@@ -1,0 +1,1 @@
+"""Experiment benchmarks (one module per experiment in EXPERIMENTS.md)."""

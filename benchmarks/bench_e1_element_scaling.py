@@ -1,0 +1,69 @@
+"""E1 — Element operations scale linearly in the number of periods.
+
+Paper, Section 3: "To implement operations on Elements such as union
+and intersect, we use efficient algorithms that execute in time linear
+in the number of periods."
+
+The benchmark sweeps the period count n and times the three set
+operations on two interleaved striped elements of n periods each.  The
+reproduced series is the per-n mean runtime; the shape claim (slope ~ 1
+on a log-log plot) is asserted in tests/test_scaling_claims.py.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.element import Element
+from repro.workload import striped_element
+
+SIZES = [16, 64, 256, 1024, 4096, 16384]
+
+STRIDE = 7200  # one hour covered, one hour gap
+
+
+def make_operands(n: int):
+    """Two striped elements whose periods interleave, so every
+    operation has to walk both inputs end to end."""
+    a = striped_element(n, 0, period_seconds=3600, gap_seconds=3600)
+    b = striped_element(n, 1800, period_seconds=3600, gap_seconds=3600)
+    return a, b
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e1-union")
+def test_union_scaling(benchmark, n):
+    a, b = make_operands(n)
+    result = benchmark(a.union, b)
+    assert result.count(0) == n  # interleaved halves coalesce pairwise
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e1-intersect")
+def test_intersect_scaling(benchmark, n):
+    a, b = make_operands(n)
+    result = benchmark(a.intersect, b)
+    assert result.count(0) >= n - 1
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e1-difference")
+def test_difference_scaling(benchmark, n):
+    a, b = make_operands(n)
+    result = benchmark(a.difference, b)
+    assert result.count(0) == n
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e1-group-union")
+def test_group_union_scaling(benchmark, n):
+    """The aggregate path: 16 elements of n/16 periods each."""
+    from repro.core.aggregates import group_union
+
+    chunk = max(1, n // 16)
+    elements = [
+        striped_element(chunk, offset * 400_000_000, period_seconds=3600, gap_seconds=3600)
+        for offset in range(16)
+    ]
+    result = benchmark(group_union, elements)
+    assert result.count(0) == chunk * 16

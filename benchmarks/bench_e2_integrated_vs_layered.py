@@ -1,0 +1,111 @@
+"""E2 — Integrated (in-engine blade) vs layered (external translation).
+
+Paper, Section 5: layered systems translate temporal queries into
+standard SQL whose "generated queries may become very complex and
+potentially difficult to optimize".  The benchmark runs the two
+flagship temporal operations in both architectures over the same data:
+
+* coalesced total time per patient
+  (integrated: ``length(group_union(valid))`` — one aggregate;
+  layered: the translated doubly-nested NOT EXISTS query);
+* temporal overlap self-join
+  (integrated: ``overlaps``/``tintersect`` routines;
+  layered: flat join + client-side reassembly).
+
+The reproduced series is runtime vs table size per architecture; the
+expected shape is integrated winning by a growing factor on coalesce.
+The static SQL-complexity metrics appear in tests/test_layered.py and
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import make_layered_db, make_tip_db
+
+#: Layered coalescing is polynomially slower; keep sizes civil.  The
+#: coalesce comparison uses its own, smaller sweep (at 200 rows the
+#: translated query already needs seconds where the blade needs
+#: milliseconds — which is the finding).
+SIZES = [100, 200, 400, 800]
+COALESCE_SIZES = [50, 100, 200]
+
+COALESCE_SQL = (
+    "SELECT patient, length_seconds(group_union(valid)) "
+    "FROM Prescription GROUP BY patient"
+)
+
+JOIN_SQL = (
+    "SELECT p1.patient, p2.patient, tintersect(p1.valid, p2.valid) "
+    "FROM Prescription p1, Prescription p2 "
+    "WHERE p1.drug = 'Diabeta' AND p2.drug = 'Aspirin' "
+    "AND overlaps(p1.valid, p2.valid)"
+)
+
+
+@pytest.fixture(scope="module")
+def databases():
+    cache = {}
+    for n in sorted(set(SIZES) | set(COALESCE_SIZES)):
+        conn, rows = make_tip_db(n)
+        cache[n] = (conn, make_layered_db(rows))
+    yield cache
+    for conn, _engine in cache.values():
+        conn.close()
+
+
+@pytest.mark.parametrize("n", COALESCE_SIZES)
+@pytest.mark.benchmark(group="e2-coalesce-integrated")
+def test_coalesce_integrated(benchmark, databases, n):
+    conn, _ = databases[n]
+    result = benchmark(conn.query, COALESCE_SQL)
+    assert result
+
+
+@pytest.mark.parametrize("n", COALESCE_SIZES)
+@pytest.mark.benchmark(group="e2-coalesce-layered")
+def test_coalesce_layered(benchmark, databases, n):
+    _, engine = databases[n]
+    result = benchmark.pedantic(
+        engine.total_length, args=("Prescription", ["patient"]),
+        rounds=2, iterations=1,
+    )
+    assert result
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e2-join-integrated")
+def test_join_integrated(benchmark, databases, n):
+    conn, _ = databases[n]
+    benchmark(conn.query, JOIN_SQL)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e2-join-layered")
+def test_join_layered(benchmark, databases, n):
+    _, engine = databases[n]
+    benchmark(
+        engine.overlap_join,
+        "Prescription",
+        "Prescription",
+        "d1.drug = 'Diabeta' AND d2.drug = 'Aspirin'",
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e2-timeslice-integrated")
+def test_timeslice_integrated(benchmark, databases, n):
+    conn, _ = databases[n]
+    sql = (
+        "SELECT patient, drug, restrict(valid, period('[1994-01-01, 1996-12-31]')) "
+        "FROM Prescription WHERE overlaps(valid, element('{[1994-01-01, 1996-12-31]}'))"
+    )
+    benchmark(conn.query, sql)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e2-timeslice-layered")
+def test_timeslice_layered(benchmark, databases, n):
+    _, engine = databases[n]
+    benchmark(engine.timeslice, "Prescription", "1994-01-01", "1996-12-31")

@@ -1,0 +1,119 @@
+"""E3 — Coalescing vs naive SUM(length): the overcount experiment.
+
+Paper, Section 2: "we cannot replace length(group_union(valid)) with
+SUM(length(valid)) ... SUM will count the length of this period
+multiple times."
+
+The benchmark sweeps the workload's overlap rate and times both
+aggregations; each benchmark records the measured **overcount factor**
+(naive / coalesced) in its ``extra_info``, which is the experiment's
+headline number: 1.0 at zero overlap, growing with the overlap rate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import make_tip_db
+
+RATES = [0.0, 0.25, 0.5, 0.75]
+
+COALESCED_SQL = (
+    "SELECT patient, length_seconds(group_union(valid)) "
+    "FROM Prescription GROUP BY patient"
+)
+NAIVE_SQL = (
+    "SELECT patient, SUM(length_seconds(valid)) "
+    "FROM Prescription GROUP BY patient"
+)
+
+
+def _make_disjoint_db():
+    """Control database: per-patient validities made strictly disjoint,
+    so SUM(length) and the coalesced length must agree exactly."""
+    import repro
+    from repro.workload import MedicalConfig, generate_prescriptions
+
+    rows = generate_prescriptions(
+        MedicalConfig(n_prescriptions=400, n_patients=200, seed=11,
+                      overlap_rate=0.0, now_fraction=0.0)
+    )
+    conn = repro.connect(now="2000-01-01")
+    conn.execute(
+        "CREATE TABLE Prescription (doctor TEXT, patient TEXT, patientdob CHRONON, "
+        "drug TEXT, dosage INTEGER, frequency SPAN, valid ELEMENT)"
+    )
+    seen: dict = {}
+    for row in rows:
+        taken = seen.setdefault(row.patient, None)
+        valid = row.valid if taken is None else row.valid.difference(taken, now=0)
+        seen[row.patient] = valid if taken is None else taken.union(valid, now=0)
+        if valid.is_empty_at(0):
+            continue
+        conn.execute(
+            "INSERT INTO Prescription VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (row.doctor, row.patient, row.patient_dob, row.drug,
+             row.dosage, row.frequency, valid),
+        )
+    return conn
+
+
+@pytest.fixture(scope="module")
+def databases():
+    cache = {"disjoint": _make_disjoint_db()}
+    for rate in RATES:
+        # Two prescriptions per patient on average; long random elements
+        # still overlap *accidentally*, which is realistic — the
+        # disjoint control isolates the effect.
+        conn, _rows = make_tip_db(
+            400, seed=11, n_patients=200, overlap_rate=rate, now_fraction=0.0
+        )
+        cache[rate] = conn
+    yield cache
+    for conn in cache.values():
+        conn.close()
+
+
+def overcount_factor(conn) -> float:
+    coalesced = dict(conn.query(COALESCED_SQL))
+    naive = dict(conn.query(NAIVE_SQL))
+    return sum(naive.values()) / sum(coalesced.values())
+
+
+@pytest.mark.benchmark(group="e3-coalesced")
+def test_coalesced_on_disjoint_control(benchmark, databases):
+    """On disjoint data the two aggregates agree exactly (factor 1.0)."""
+    conn = databases["disjoint"]
+    benchmark(conn.query, COALESCED_SQL)
+    factor = overcount_factor(conn)
+    benchmark.extra_info["overcount_factor"] = round(factor, 6)
+    assert factor == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("rate", RATES)
+@pytest.mark.benchmark(group="e3-coalesced")
+def test_coalesced_aggregate(benchmark, databases, rate):
+    conn = databases[rate]
+    benchmark(conn.query, COALESCED_SQL)
+    benchmark.extra_info["overcount_factor"] = round(overcount_factor(conn), 4)
+
+
+@pytest.mark.parametrize("rate", RATES)
+@pytest.mark.benchmark(group="e3-naive-sum")
+def test_naive_sum_aggregate(benchmark, databases, rate):
+    conn = databases[rate]
+    benchmark(conn.query, NAIVE_SQL)
+    factor = overcount_factor(conn)
+    benchmark.extra_info["overcount_factor"] = round(factor, 4)
+    # The naive aggregate never under-counts, and overlap inflates it.
+    assert factor >= 1.0
+    if rate >= 0.5:
+        assert factor > 1.05
+
+
+def test_overcount_grows_with_overlap(databases):
+    """The experiment's shape claim, independent of timing."""
+    factors = [overcount_factor(databases[rate]) for rate in RATES]
+    assert overcount_factor(databases["disjoint"]) == pytest.approx(1.0)
+    assert factors[0] < factors[-1]
+    assert factors[-1] > 1.3

@@ -1,0 +1,76 @@
+"""E4 — NOW semantics: drifting answers and what-if overrides.
+
+Paper, Sections 2 and 4: "a temporal query may return different results
+when asked at different times, even if the underlying data remains
+unchanged", and the Browser "lets the user enter a different value for
+NOW ... which provides what-if analysis".
+
+The benchmark (a) measures the cost of evaluating a NOW-sensitive query
+as the override moves across five years — the *drift series*, whose
+result values (stored in ``extra_info``) must be strictly increasing on
+unchanged data; and (b) measures the per-statement overhead of NOW
+binding itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import make_tip_db
+
+NOW_POINTS = ["1998-01-01", "1999-01-01", "2000-01-01", "2001-01-01", "2002-01-01"]
+
+DRIFT_SQL = (
+    "SELECT SUM(length_seconds(ground(valid))) FROM Prescription "
+    "WHERE NOT is_empty(valid)"
+)
+
+
+@pytest.fixture(scope="module")
+def database():
+    conn, _rows = make_tip_db(300, seed=5, now_fraction=0.6)
+    yield conn
+    conn.close()
+
+
+@pytest.mark.parametrize("now_text", NOW_POINTS)
+@pytest.mark.benchmark(group="e4-drift")
+def test_query_drift_across_now(benchmark, database, now_text):
+    database.set_now(now_text)
+    result = benchmark(database.query_one, DRIFT_SQL)
+    benchmark.extra_info["covered_seconds"] = result[0]
+
+
+def test_drift_is_monotone(database):
+    """Same data, later NOW, strictly more covered time (open elements
+    keep growing) — the experiment's shape claim."""
+    totals = []
+    for now_text in NOW_POINTS:
+        database.set_now(now_text)
+        totals.append(database.query_one(DRIFT_SQL)[0])
+    assert totals == sorted(totals)
+    assert totals[0] < totals[-1]
+
+
+@pytest.mark.benchmark(group="e4-binding-overhead")
+def test_statement_now_binding_overhead(benchmark, database):
+    """Cost of one trivial statement including NOW binding."""
+    database.set_now("2000-01-01")
+    benchmark(database.query_one, "SELECT 1")
+
+
+@pytest.mark.benchmark(group="e4-binding-overhead")
+def test_tip_now_routine(benchmark, database):
+    database.set_now("2000-01-01")
+    benchmark(database.query_one, "SELECT tip_now()")
+
+
+@pytest.mark.benchmark(group="e4-what-if")
+def test_what_if_reevaluation(benchmark, database):
+    """A full what-if cycle: override NOW, re-run the drifting query."""
+
+    def what_if():
+        database.set_now("1999-06-01")
+        return database.query_one(DRIFT_SQL)
+
+    benchmark(what_if)

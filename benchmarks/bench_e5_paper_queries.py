@@ -1,0 +1,93 @@
+"""E5 — End-to-end latency of the paper's worked queries (Section 2).
+
+Q1: patients prescribed Tylenol when less than *w* weeks old
+    (``start(valid) - patientdob < '7'::Span * :w``);
+Q2: the temporal self-join — who took Diabeta and Aspirin
+    simultaneously, and exactly when (``overlaps`` + ``intersect``);
+Q3: how long each patient has been on prescription medication
+    (``length(group_union(valid))``).
+
+The reproduced series is latency vs table size for each query on the
+TIP-enabled engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import make_tip_db
+
+SIZES = [200, 500, 1000, 2000]
+
+Q1 = (
+    "SELECT patient FROM Prescription WHERE drug = 'Tylenol' "
+    "AND tlt(tsub(start(valid), patientdob), tmul(span('7'), ?))"
+)
+Q2 = (
+    "SELECT p1.patient, p2.patient, tintersect(p1.valid, p2.valid) "
+    "FROM Prescription p1, Prescription p2 "
+    "WHERE p1.drug = 'Diabeta' AND p2.drug = 'Aspirin' "
+    "AND overlaps(p1.valid, p2.valid)"
+)
+Q3 = (
+    "SELECT patient, length_seconds(group_union(valid)) "
+    "FROM Prescription GROUP BY patient"
+)
+
+
+@pytest.fixture(scope="module")
+def databases():
+    cache = {}
+    for n in SIZES:
+        conn, _rows = make_tip_db(n, seed=42)
+        cache[n] = conn
+    yield cache
+    for conn in cache.values():
+        conn.close()
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e5-q1-infant-tylenol")
+def test_q1_infant_tylenol(benchmark, databases, n):
+    conn = databases[n]
+    benchmark(conn.query, Q1, (1000,))
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e5-q2-temporal-self-join")
+def test_q2_temporal_self_join(benchmark, databases, n):
+    conn = databases[n]
+    benchmark(conn.query, Q2)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e5-q3-coalesced-length")
+def test_q3_coalesced_length(benchmark, databases, n):
+    conn = databases[n]
+    result = benchmark(conn.query, Q3)
+    assert result
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e5-insert-throughput")
+def test_insert_with_tip_values(benchmark, databases, n):
+    """The INSERT path of Section 2, with literal string casts."""
+    import repro
+
+    conn = repro.connect(now="2000-01-01")
+    conn.execute(
+        "CREATE TABLE Prescription (doctor TEXT, patient TEXT, patientdob CHRONON, "
+        "drug TEXT, dosage INTEGER, frequency SPAN, valid ELEMENT)"
+    )
+    statement = (
+        "INSERT INTO Prescription VALUES ('Dr.Pepper', 'Mr.Showbiz', "
+        "chronon('1975-03-26'), 'Diabeta', 1, span('0 08:00:00'), "
+        "element('{[1999-10-01, NOW]}'))"
+    )
+
+    def insert_n():
+        for _ in range(n):
+            conn.execute(statement)
+
+    benchmark.pedantic(insert_n, rounds=3, iterations=1)
+    conn.close()

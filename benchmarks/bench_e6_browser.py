@@ -1,0 +1,72 @@
+"""E6 (Figure 2) — the TIP Browser browsing session.
+
+The demonstration itself: load a query, slide the time window, render
+the highlighted rows and their valid periods as time-line segments, and
+re-evaluate under a what-if NOW.  ``examples/browser_demo.py`` shows the
+session; this benchmark measures its interactive latencies (render,
+slide+highlight, what-if reload), which must stay comfortably below
+human perception thresholds for the demo to work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.browser import TimeWindow, TipBrowser
+from repro.core.chronon import Chronon
+from repro.core.span import Span
+from repro.workload import MedicalConfig, generate_prescriptions, load_tip
+
+ROWS = [50, 200, 800]
+
+
+@pytest.fixture(scope="module")
+def browsers():
+    cache = {}
+    for n in ROWS:
+        conn = repro.connect(now="2000-01-01")
+        rows = generate_prescriptions(MedicalConfig(n_prescriptions=n, seed=8))
+        load_tip(conn, rows)
+        browser = TipBrowser(conn)
+        browser.load("SELECT patient, drug, valid FROM Prescription")
+        cache[n] = browser
+    yield cache
+
+
+@pytest.mark.parametrize("n", ROWS)
+@pytest.mark.benchmark(group="e6-render")
+def test_render_full_view(benchmark, browsers, n):
+    browser = browsers[n]
+    browser.reset_window()
+    text = benchmark(browser.render, 64)
+    assert f"{n} rows" in text
+
+
+@pytest.mark.parametrize("n", ROWS)
+@pytest.mark.benchmark(group="e6-slide-highlight")
+def test_slide_and_highlight(benchmark, browsers, n):
+    browser = browsers[n]
+    browser.set_window(
+        TimeWindow(Chronon.parse("1995-01-01"), Span.of(days=90))
+    )
+
+    def slide_cycle():
+        browser.slide(1)
+        highlighted = browser.valid_row_indices()
+        browser.slide(-1)
+        return highlighted
+
+    benchmark(slide_cycle)
+
+
+@pytest.mark.parametrize("n", ROWS)
+@pytest.mark.benchmark(group="e6-what-if-reload")
+def test_what_if_now_reload(benchmark, browsers, n):
+    browser = browsers[n]
+
+    def what_if():
+        browser.set_now("1997-06-01")
+        return len(browser.valid_row_indices())
+
+    benchmark(what_if)

@@ -1,0 +1,94 @@
+"""E7 (ablation) — the design choices behind Section 3's claims.
+
+(a) **Canonical form + merge sweep vs naive quadratic ops.**  Without
+    the sorted/coalesced invariant, set operations degrade to the
+    quadratic `*_naive` implementations; the benchmark shows the
+    crossover and the widening gap.
+(b) **Binary codec vs text round-trips.**  "TIP internally stores
+    Chronons (and other datatypes) in an efficient binary format" — the
+    benchmark compares storage round-trips through the binary codec
+    against parsing/formatting the literal syntax.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import codec
+from repro.core import interval_algebra as ia
+from repro.core.element import Element
+from repro.workload import striped_element
+
+SIZES = [16, 64, 256, 1024]
+
+
+def make_pairs(n: int):
+    a = striped_element(n, 0, period_seconds=3600, gap_seconds=3600).ground_pairs(0)
+    b = striped_element(n, 1800, period_seconds=3600, gap_seconds=3600).ground_pairs(0)
+    return a, b
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e7a-union-sweep")
+def test_union_sweep(benchmark, n):
+    a, b = make_pairs(n)
+    benchmark(ia.union, a, b)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e7a-union-naive")
+def test_union_naive(benchmark, n):
+    a, b = make_pairs(n)
+    result = benchmark(ia.union_naive, a, b)
+    assert result == ia.union(a, b)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e7a-difference-sweep")
+def test_difference_sweep(benchmark, n):
+    a, b = make_pairs(n)
+    benchmark(ia.difference, a, b)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e7a-difference-naive")
+def test_difference_naive(benchmark, n):
+    a, b = make_pairs(n)
+    result = benchmark(ia.difference_naive, a, b)
+    assert result == ia.difference(a, b)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e7b-binary-roundtrip")
+def test_binary_round_trip(benchmark, n):
+    element = striped_element(n, 0)
+
+    def round_trip():
+        return codec.decode(codec.encode(element))
+
+    result = benchmark(round_trip)
+    assert result.identical(element)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e7b-text-roundtrip")
+def test_text_round_trip(benchmark, n):
+    element = striped_element(n, 0)
+
+    def round_trip():
+        return Element.parse(str(element))
+
+    result = benchmark(round_trip)
+    assert result.identical(element)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e7b-blob-size")
+def test_blob_compactness(benchmark, n):
+    """Records the size ratio text/binary in extra_info."""
+    element = striped_element(n, 0)
+    blob = benchmark(codec.encode, element)
+    text = str(element)
+    benchmark.extra_info["binary_bytes"] = len(blob)
+    benchmark.extra_info["text_bytes"] = len(text)
+    benchmark.extra_info["text_over_binary"] = round(len(text) / len(blob), 2)

@@ -1,0 +1,121 @@
+"""E8 (extension) — incremental temporal view maintenance vs recompute.
+
+The application TIP was built for (paper references [9, 10]): when a
+base table receives a small delta, bringing a materialized temporal
+view up to date incrementally should beat re-evaluating the view over
+the full base data, by a factor that grows with the base size.
+
+The benchmark maintains selection, projection (coalescing), and join
+views over tracked bases of increasing size and applies small deltas.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.warehouse import (
+    Change,
+    JoinView,
+    MaterializedJoin,
+    MaterializedProjection,
+    MaterializedSelection,
+    ProjectionView,
+    SelectionView,
+    TemporalRelation,
+)
+from repro.warehouse.maintenance import apply_changes
+
+BASE_SIZES = [200, 1000, 5000]
+DELTA_SIZE = 10
+
+
+def make_base(n: int, seed: int = 0) -> TemporalRelation:
+    rng = random.Random(seed)
+    base = TemporalRelation(("id", "drug", "dose"))
+    for i in range(n):
+        start = rng.randrange(0, 10_000_000)
+        base.insert(
+            (i, f"drug{i % 25}", rng.randrange(1, 5)),
+            [(start, start + rng.randrange(1000, 500_000))],
+        )
+    return base
+
+
+def make_delta(n_rows: int, seed: int = 1):
+    rng = random.Random(seed)
+    delta = []
+    for i in range(DELTA_SIZE):
+        start = rng.randrange(0, 10_000_000)
+        delta.append(
+            Change(
+                rng.choice("+-"),
+                (n_rows + i, f"drug{i % 25}", 1),
+                ((start, start + 100_000),),
+            )
+        )
+    return delta
+
+
+@pytest.mark.parametrize("n", BASE_SIZES)
+@pytest.mark.benchmark(group="e8-selection-incremental")
+def test_selection_incremental(benchmark, n):
+    base = make_base(n)
+    view = SelectionView(lambda row: row[1] in ("drug1", "drug2", "drug3"))
+    materialized = MaterializedSelection(view, base)
+    delta = make_delta(n)
+    benchmark(materialized.apply, delta)
+
+
+@pytest.mark.parametrize("n", BASE_SIZES)
+@pytest.mark.benchmark(group="e8-selection-recompute")
+def test_selection_recompute(benchmark, n):
+    base = make_base(n)
+    view = SelectionView(lambda row: row[1] in ("drug1", "drug2", "drug3"))
+    apply_changes(base, make_delta(n))
+    benchmark(view.evaluate, base)
+
+
+@pytest.mark.parametrize("n", BASE_SIZES)
+@pytest.mark.benchmark(group="e8-projection-incremental")
+def test_projection_incremental(benchmark, n):
+    base = make_base(n)
+    view = ProjectionView(("drug",))
+    materialized = MaterializedProjection(view, base)
+    delta = make_delta(n)
+    benchmark(materialized.apply, delta)
+
+
+@pytest.mark.parametrize("n", BASE_SIZES)
+@pytest.mark.benchmark(group="e8-projection-recompute")
+def test_projection_recompute(benchmark, n):
+    base = make_base(n)
+    view = ProjectionView(("drug",))
+    apply_changes(base, make_delta(n))
+    benchmark(view.evaluate, base)
+
+
+@pytest.mark.parametrize("n", BASE_SIZES)
+@pytest.mark.benchmark(group="e8-join-incremental")
+def test_join_incremental(benchmark, n):
+    base = make_base(n)
+    right = TemporalRelation(("drug", "class_"))
+    for i in range(25):
+        right.insert((f"drug{i}", f"class{i % 4}"), [(0, 10_500_000)])
+    view = JoinView(left_on=("drug",), right_on=("drug",))
+    materialized = MaterializedJoin(view, base, right)
+    delta = make_delta(n)
+    benchmark(materialized.apply_left, delta)
+
+
+@pytest.mark.parametrize("n", BASE_SIZES)
+@pytest.mark.benchmark(group="e8-join-recompute")
+def test_join_recompute(benchmark, n):
+    base = make_base(n)
+    right = TemporalRelation(("drug", "class_"))
+    for i in range(25):
+        right.insert((f"drug{i}", f"class{i % 4}"), [(0, 10_500_000)])
+    view = JoinView(left_on=("drug",), right_on=("drug",))
+    apply_changes(base, make_delta(n))
+    benchmark(view.evaluate, base, right)

@@ -1,0 +1,121 @@
+"""E9 (extension) — temporal indexing for period timestamps.
+
+The paper's related work (reference [2]) built a DataBlade index for
+period-valued timestamps.  This experiment measures what such an index
+buys on top of our blade:
+
+* window (timeslice) probes: interval-tree lookup vs full-table
+  ``overlaps()`` scan;
+* the temporal self-join: index-nested-loop vs the quadratic UDF scan
+  vs the layered flat join (the three-way follow-up to E2's nuance).
+
+Expected shape: the index wins on selective window probes and turns the
+join from quadratic to near-linear in the output size, overtaking both
+the scan *and* the layered rewrite as tables grow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import make_layered_db, make_tip_db
+from repro.index import IndexedTable, indexed_overlap_join
+
+SIZES = [200, 500, 1000, 2000]
+
+WINDOW_SQL = (
+    "SELECT rowid FROM Prescription "
+    "WHERE overlaps(valid, element('{[1995-03-01, 1995-03-07]}'))"
+)
+
+JOIN_SQL = (
+    "SELECT p1.rowid, p2.rowid, tintersect(p1.valid, p2.valid) "
+    "FROM Prescription p1, Prescription p2 "
+    "WHERE p1.drug = 'Diabeta' AND p2.drug = 'Aspirin' "
+    "AND overlaps(p1.valid, p2.valid)"
+)
+
+
+@pytest.fixture(scope="module")
+def databases():
+    cache = {}
+    for n in SIZES:
+        conn, rows = make_tip_db(n, seed=42)
+        conn.execute(
+            "CREATE TABLE Diabeta AS SELECT rowid AS rid, * FROM Prescription "
+            "WHERE drug = 'Diabeta'"
+        )
+        conn.execute(
+            "CREATE TABLE Aspirin AS SELECT rowid AS rid, * FROM Prescription "
+            "WHERE drug = 'Aspirin'"
+        )
+        index = IndexedTable(conn, "Prescription", "valid")
+        left = IndexedTable(conn, "Diabeta", "valid", key_column="rid")
+        right = IndexedTable(conn, "Aspirin", "valid", key_column="rid")
+        layered = make_layered_db(rows)
+        cache[n] = (conn, index, left, right, layered)
+    yield cache
+    for conn, *_rest in cache.values():
+        conn.close()
+
+
+# -- window probes ------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e9-window-scan")
+def test_window_probe_scan(benchmark, databases, n):
+    conn, _index, *_ = databases[n]
+    benchmark(conn.query, WINDOW_SQL)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e9-window-indexed")
+def test_window_probe_indexed(benchmark, databases, n):
+    conn, index, *_ = databases[n]
+    from tests.conftest import sec
+
+    lo, hi = sec("1995-03-01"), sec("1995-03-07")
+    indexed = benchmark(index.overlapping_keys, (lo, hi))
+    scan = [rowid for (rowid,) in conn.query(WINDOW_SQL)]
+    assert sorted(indexed) == sorted(scan)
+
+
+# -- the temporal join, three ways ----------------------------------------
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e9-join-udf-scan")
+def test_join_udf_scan(benchmark, databases, n):
+    conn, *_ = databases[n]
+    benchmark(conn.query, JOIN_SQL)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e9-join-indexed")
+def test_join_indexed(benchmark, databases, n):
+    _conn, _index, left, right, _layered = databases[n]
+    result = benchmark(indexed_overlap_join, left, right)
+    assert isinstance(result, list)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e9-join-layered")
+def test_join_layered(benchmark, databases, n):
+    *_, layered = databases[n]
+    benchmark(
+        layered.overlap_join,
+        "Prescription",
+        "Prescription",
+        "d1.drug = 'Diabeta' AND d2.drug = 'Aspirin'",
+    )
+
+
+# -- index build cost -------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e9-index-build")
+def test_index_build(benchmark, databases, n):
+    _conn, index, *_ = databases[n]
+    benchmark(index.refresh)

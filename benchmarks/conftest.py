@@ -1,0 +1,43 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_eN_*.py`` file regenerates one experiment of
+EXPERIMENTS.md; the pytest-benchmark result table (grouped per
+experiment) is the reproduced series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.chronon import Chronon
+from repro.layered import LayeredEngine
+from repro.workload import MedicalConfig, generate_prescriptions, load_layered, load_tip
+
+#: All experiments evaluate at this fixed transaction time, so results
+#: are machine-independent.
+BENCH_NOW = "2000-01-01"
+
+
+def make_tip_db(n_rows: int, seed: int = 42, n_patients: int | None = None, **config_kwargs):
+    """A TIP-enabled medical database with *n_rows* prescriptions."""
+    if n_patients is None:
+        n_patients = max(10, n_rows // 10)
+    rows = generate_prescriptions(
+        MedicalConfig(n_prescriptions=n_rows, n_patients=n_patients,
+                      seed=seed, **config_kwargs)
+    )
+    conn = repro.connect(now=BENCH_NOW)
+    load_tip(conn, rows)
+    return conn, rows
+
+
+def make_layered_db(rows):
+    """The same workload in the layered architecture."""
+    engine = LayeredEngine(now=BENCH_NOW)
+    load_layered(engine, rows)
+    return engine

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Bitemporal auditing: valid time x transaction time.
+
+A hospital records where patients *were* (valid time) and later
+corrects its records; transaction time keeps every superseded belief
+queryable.  The finale is the classic bitemporal probe: "what did we
+believe in February about where alice was on January 15th?"
+
+Run:  python examples/bitemporal_demo.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.bitemporal import BitemporalTable
+
+
+def show_versions(title, versions):
+    print(f"\n{title}")
+    for version in versions:
+        status = "current" if version.is_current else f"closed {version.tt_end}"
+        print(f"  v{version.vid}: {version.payload}  valid {version.valid}  "
+              f"[believed since {version.tt_start}; {status}]")
+
+
+def main() -> None:
+    conn = repro.connect(now="1999-01-05")
+    stays = BitemporalTable(conn, "Stay", [("patient", "TEXT"), ("ward", "TEXT")])
+
+    print("1999-01-05: admission recorded — alice in the ICU all of January.")
+    stays.insert(("alice", "ICU"), "{[1999-01-01, 1999-01-31]}")
+
+    conn.set_now("1999-02-15")
+    print("1999-02-15: correction — from Jan 10 she was actually in Recovery.")
+    stays.sequenced_update({"ward": "Recovery"}, "[1999-01-10, 1999-01-31]",
+                           "patient = 'alice'")
+
+    show_versions("Current beliefs:", stays.current())
+    show_versions("The full audit trail:", stays.history())
+
+    print("\nBitemporal probes — where was alice on 1999-01-15?")
+    print("  according to today's records:   ",
+          stays.valid_snapshot("1999-01-15"))
+    print("  according to Feb 1st's records: ",
+          stays.valid_snapshot("1999-01-15", tt="1999-02-01"))
+    print("  (both agree about 1999-01-05):  ",
+          stays.valid_snapshot("1999-01-05"),
+          stays.valid_snapshot("1999-01-05", tt="1999-02-01"))
+
+    conn.set_now("1999-03-01")
+    print("\n1999-03-01: discharge processed (logical delete).")
+    stays.logical_delete("patient = 'alice'")
+    print("  current rows:", len(stays.current()),
+          "— but the history still holds", len(stays.history()), "versions.")
+    conn.close()
+
+
+if __name__ == "__main__":
+    main()

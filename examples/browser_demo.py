@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""The TIP Browser session of Figure 2, rendered as ASCII.
+
+Loads the demo prescriptions, browses them by the `valid` attribute,
+slides the time window along the time line, and finishes with the
+Browser's what-if analysis (overriding NOW).
+
+Run:  python examples/browser_demo.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.browser import TimeWindow, TipBrowser
+from repro.core.chronon import Chronon
+from repro.core.span import Span
+
+
+def main() -> None:
+    conn = repro.connect(now="2000-01-01")
+    conn.execute("CREATE TABLE Prescription (patient TEXT, drug TEXT, valid ELEMENT)")
+    rows = [
+        ("Mr.Showbiz", "Diabeta", "{[1999-10-01, NOW]}"),
+        ("Mr.Showbiz", "Aspirin", "{[1999-11-01, 1999-12-15]}"),
+        ("Ms.Info", "Tylenol", "{[1999-01-10, 1999-02-20], [1999-06-01, 1999-07-04]}"),
+        ("Ms.Info", "Prozac", "{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}"),
+        ("Mx.Data", "Insulin", "{[1998-11-01, NOW]}"),
+    ]
+    conn.executemany("INSERT INTO Prescription VALUES (?, ?, element(?))", rows)
+
+    browser = TipBrowser(conn)
+    browser.load("SELECT patient, drug, valid FROM Prescription")
+
+    print("Full extent (window fitted to all valid periods):\n")
+    print(browser.render(track_width=52))
+
+    print("\nZoom into summer 1999 and slide the window (the slider):\n")
+    browser.set_window(TimeWindow(Chronon.parse("1999-06-01"), Span.of(days=45)))
+    print(browser.render(track_width=52))
+    for _ in range(2):
+        browser.slide(1)
+        print()
+        print(browser.render(track_width=52))
+
+    print("\nWhat-if analysis: pretend it is still 1999-09-15 —")
+    print("open-ended prescriptions shrink, Diabeta has not started:\n")
+    browser.set_now("1999-09-15")
+    browser.reset_window()
+    print(browser.render(track_width=52))
+
+    conn.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Regenerate docs/sql_reference.md from the blade registry.
+
+Run:  python examples/generate_reference.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.blade import build_tip_blade
+from repro.blade.docgen import render_markdown
+
+
+def main() -> None:
+    target = Path(__file__).resolve().parent.parent / "docs" / "sql_reference.md"
+    target.parent.mkdir(exist_ok=True)
+    text = render_markdown(build_tip_blade())
+    target.write_text(text)
+    print(f"wrote {target} ({len(text.splitlines())} lines)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Quickstart: the five TIP datatypes and a TIP-enabled database.
+
+Walks the paper's Section 2 end to end — types, casts, operators,
+routines, and aggregates — first in pure Python, then through SQL on a
+TIP-enabled connection.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro import NOW, Chronon, Element, Period, Span, use_now
+from repro.blade import build_tip_blade
+
+
+def section(title: str) -> None:
+    print()
+    print(f"== {title} " + "=" * max(0, 60 - len(title)))
+
+
+def main() -> None:
+    section("The five TIP datatypes")
+    dob = Chronon.parse("1975-03-26")
+    frequency = Span.parse("0 08:00:00")  # every eight hours
+    yesterday = NOW - Span.parse("1")
+    since_1999 = Period.parse("[1999-01-01, NOW]")
+    valid = Element.parse("{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}")
+    for name, value in [
+        ("Chronon", dob),
+        ("Span", frequency),
+        ("Instant", yesterday),
+        ("Period", since_1999),
+        ("Element", valid),
+    ]:
+        print(f"  {name:8} {value}")
+
+    section("Operators follow the paper's type rules")
+    print("  Chronon - Chronon =", Chronon.parse("1999-09-08") - Chronon.parse("1999-09-01"))
+    print("  Chronon + Span    =", Chronon.parse("1999-09-01") + Span.parse("7"))
+    print("  Span * 2          =", Span.parse("7") * 2)
+    try:
+        _ = dob + dob  # type: ignore[operator]
+    except Exception as exc:
+        print("  Chronon + Chronon ->", exc)
+
+    section("NOW is the transaction time")
+    with use_now("1999-09-01"):
+        print("  with NOW = 1999-09-01:")
+        print("    NOW-1 grounds to", yesterday.ground())
+        print("    [NOW-7, NOW]    =", Period.parse("[NOW-7, NOW]").ground())
+
+    section("Element algebra (linear time)")
+    other = Element.parse("{[1999-03-01, 1999-08-01]}")
+    print("  union      ", valid.union(other))
+    print("  intersect  ", valid.intersect(other))
+    print("  difference ", valid.difference(other))
+    print("  length     ", valid.length(), "   overlaps:", valid.overlaps(other))
+
+    section("A TIP-enabled database")
+    conn = repro.connect(now="1999-12-01")  # in-memory SQLite + TIP blade
+    conn.execute(
+        "CREATE TABLE Prescription (doctor TEXT, patient TEXT, patientdob CHRONON, "
+        "drug TEXT, dosage INTEGER, frequency SPAN, valid ELEMENT)"
+    )
+    # The paper's INSERT, with literal strings cast by the engine:
+    conn.execute(
+        "INSERT INTO Prescription VALUES ('Dr.Pepper', 'Mr.Showbiz', "
+        "chronon('1975-03-26'), 'Diabeta', 1, span('0 08:00:00'), "
+        "element('{[1999-10-01, NOW]}'))"
+    )
+    conn.execute(
+        "INSERT INTO Prescription VALUES ('Dr.No', 'Mr.Showbiz', "
+        "chronon('1975-03-26'), 'Aspirin', 2, span('0 12:00:00'), "
+        "element('{[1999-11-01, 1999-12-15]}'))"
+    )
+    print("  who takes Diabeta and Aspirin simultaneously, and when:")
+    rows = conn.query(
+        "SELECT p1.patient, tip_text(tintersect(p1.valid, p2.valid)) "
+        "FROM Prescription p1, Prescription p2 "
+        "WHERE p1.drug = 'Diabeta' AND p2.drug = 'Aspirin' "
+        "AND overlaps(p1.valid, p2.valid)"
+    )
+    for patient, shared in rows:
+        print(f"    {patient}: {shared}")
+    print("  total time on medication (coalesced, no double counting):")
+    for patient, seconds in conn.query(
+        "SELECT patient, length_seconds(group_union(valid)) "
+        "FROM Prescription GROUP BY patient"
+    ):
+        print(f"    {patient}: {Span(seconds)}")
+
+    section("The TIP DataBlade inventory")
+    print(build_tip_blade().describe())
+    conn.close()
+
+
+if __name__ == "__main__":
+    main()

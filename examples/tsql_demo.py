@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""TSQL2 statement modifiers over TIP (the paper's §5 future work).
+
+Shows the three TSQL2 evaluation modes — snapshot, sequenced
+(VALIDTIME), and nonsequenced — preprocessed onto plain TIP SQL, and
+prints the rewritten statements so the translation is visible.
+
+Run:  python examples/tsql_demo.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.tsql import TsqlSession
+
+
+def show(session: TsqlSession, statement: str) -> None:
+    print(f"TSQL2>  {statement}")
+    print(f"  SQL>  {session.translate(statement)}")
+    for row in session.query(statement):
+        print("        ", tuple(str(v) for v in row))
+    print()
+
+
+def main() -> None:
+    conn = repro.connect(now="1999-09-01")
+    conn.execute("CREATE TABLE Prescription (patient TEXT, drug TEXT, valid ELEMENT)")
+    rows = [
+        ("Mr.Showbiz", "Diabeta", "{[1999-10-01, NOW]}"),
+        ("Mr.Showbiz", "Aspirin", "{[1999-11-01, 1999-12-15]}"),
+        ("Ms.Info", "Tylenol", "{[1999-08-01, 1999-08-20]}"),
+        ("Ms.Info", "Prozac", "{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}"),
+    ]
+    conn.executemany("INSERT INTO Prescription VALUES (?, ?, element(?))", rows)
+    session = TsqlSession(conn)
+    print(f"Temporal tables discovered: {session.temporal_tables}\n")
+
+    print("-- Snapshot: the database as of one instant ----------------------\n")
+    show(session, "SNAPSHOT AT '1999-08-10' SELECT patient, drug FROM Prescription")
+    show(session, "SNAPSHOT SELECT patient, drug FROM Prescription")
+
+    print("-- Sequenced: results hold where all operands hold ---------------\n")
+    show(session, "VALIDTIME SELECT patient FROM Prescription WHERE drug = 'Prozac'")
+    show(
+        session,
+        "VALIDTIME SELECT p1.patient FROM Prescription p1, Prescription p2 "
+        "WHERE p1.drug = 'Tylenol' AND p2.drug = 'Prozac' "
+        "AND p1.patient = p2.patient",
+    )
+    show(
+        session,
+        "VALIDTIME PERIOD '1999-08-05, 1999-08-10' "
+        "SELECT patient FROM Prescription WHERE drug = 'Tylenol'",
+    )
+
+    print("-- Nonsequenced: timestamps are ordinary attributes --------------\n")
+    show(
+        session,
+        "NONSEQUENCED VALIDTIME SELECT patient, length(valid) FROM Prescription "
+        "WHERE drug = 'Prozac'",
+    )
+    conn.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Temporal data warehousing — the application TIP was built for.
+
+Follows the authors' motivation (paper references [9, 10]): observe a
+*non-temporal* source through a change stream, derive a temporal
+relation whose open versions end at NOW, store it in a TIP-enabled
+database, and maintain a materialized temporal view incrementally.
+
+Run:  python examples/warehouse_demo.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import repro
+from repro.core.chronon import Chronon
+from repro.warehouse import (
+    Change,
+    ChangeTracker,
+    MaterializedProjection,
+    ProjectionView,
+)
+from repro.warehouse.maintenance import apply_changes
+
+
+def sec(text: str) -> int:
+    return Chronon.parse(text).seconds
+
+
+def main() -> None:
+    print("1. Observing a non-temporal source (a pharmacy's live table):\n")
+    tracker = ChangeTracker("patient", ("drug", "dose"))
+    events = [
+        ("insert", "showbiz", ("Diabeta", 1), "1999-10-01"),
+        ("insert", "info", ("Prozac", 10), "1999-10-15"),
+        ("update", "info", ("Prozac", 20), "1999-11-10"),
+        ("insert", "data", ("Insulin", 2), "1999-11-20"),
+        ("delete", "info", None, "1999-12-05"),
+    ]
+    for kind, key, attrs, when in events:
+        print(f"   {when}: {kind:6} {key} {attrs or ''}")
+        if kind == "insert":
+            tracker.insert(key, attrs, sec(when))
+        elif kind == "update":
+            tracker.update(key, attrs, sec(when))
+        else:
+            tracker.delete(key, sec(when))
+
+    print("\n2. The derived temporal relation (open versions end at NOW):\n")
+    for row, element in tracker.as_temporal_rows():
+        print(f"   {str(row):38} {element}")
+
+    print("\n3. Stored in a TIP-enabled database, queried at two times:\n")
+    conn = repro.connect(now="2000-01-01")
+    conn.execute("CREATE TABLE History (patient TEXT, drug TEXT, dose INTEGER, valid ELEMENT)")
+    conn.executemany(
+        "INSERT INTO History VALUES (?, ?, ?, ?)",
+        [(row[0], row[1], row[2], element) for row, element in tracker.as_temporal_rows()],
+    )
+    for now_text in ("2000-01-01", "2001-06-01"):
+        conn.set_now(now_text)
+        (total,) = conn.query_one(
+            "SELECT SUM(length_seconds(ground(valid))) FROM History"
+        )
+        print(f"   NOW = {now_text}: total recorded history = {total} seconds")
+
+    print("\n4. Incremental maintenance of a coalescing view (per-drug history):\n")
+    base = tracker.as_relation(sec("2000-01-01"))
+    view = ProjectionView(("drug",))
+    materialized = MaterializedProjection(view, base)
+    print("   materialized view:")
+    for row, element in materialized.contents.as_elements():
+        print(f"     {row[0]:10} {element}")
+
+    delta = [
+        Change("+", ("late", "Insulin", 4), ((sec("1999-12-20"), sec("2000-01-01")),)),
+    ]
+    print("\n   applying a delta (one new Insulin prescription)...")
+    started = time.perf_counter()
+    out = materialized.apply(delta)
+    elapsed = time.perf_counter() - started
+    apply_changes(base, delta)
+    print(f"   view delta ({elapsed * 1e6:.0f} us, no recompute): ")
+    for change in out:
+        print(f"     {change.kind} {change.row[0]}: {len(change.pairs)} period(s)")
+    assert materialized.contents.same_contents(view.evaluate(base))
+    print("   invariant holds: incremental contents == full recompute")
+    conn.close()
+
+
+if __name__ == "__main__":
+    main()

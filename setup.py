@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments without the ``wheel``
+package (pip falls back to the setup.py develop path when no
+[build-system] table is present).
+"""
+
+from setuptools import setup
+
+setup()

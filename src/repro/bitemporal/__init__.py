@@ -1,0 +1,17 @@
+"""Bitemporal tables: valid time x transaction time.
+
+TIP timestamps model *valid time* — when a fact holds in the modeled
+world.  The TSQL2 consensus design the paper follows also tracks
+*transaction time* — when the database believed it.  This package adds
+the second dimension on top of any TIP connection: an append-only
+version store where every logical change closes the current versions
+and records new ones, enabling audit queries of the form "what did we
+believe on 1999-06-01 about where this patient was on 1999-03-15?".
+
+Transaction time binds to the statement's ``NOW`` (so the warehouse's
+what-if override works for loading historical change streams too).
+"""
+
+from repro.bitemporal.table import BitemporalTable, Version
+
+__all__ = ["BitemporalTable", "Version"]

@@ -1,0 +1,258 @@
+"""The bitemporal version store.
+
+Physical layout of a :class:`BitemporalTable` named ``T``::
+
+    T(vid INTEGER PRIMARY KEY,      -- version id
+      <payload columns...>,
+      valid ELEMENT,                -- valid time (TIP timestamp)
+      tt_start INTEGER NOT NULL,    -- transaction-time start (chronon s)
+      tt_end INTEGER)               -- NULL while current, else closed end
+
+Semantics:
+
+* versions are **logically append-only**: the only in-place mutation is
+  closing ``tt_end`` (once, from NULL);
+* a version is *believed* during the closed transaction-time period
+  ``[tt_start, tt_end]`` (``tt_end = NULL`` meaning "still believed");
+* transaction times are strictly monotonic per table — each modifying
+  call stamps ``max(statement NOW, last + 1)``, so replaying a change
+  stream under an overridden NOW stays well-ordered.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.client.connection import TipConnection
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.period import Period
+from repro.errors import TipValueError
+
+__all__ = ["BitemporalTable", "Version"]
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _check_name(name: str, what: str) -> str:
+    if not _NAME_RE.match(name):
+        raise TipValueError(f"invalid {what} name {name!r}")
+    return name
+
+
+@dataclass(frozen=True)
+class Version:
+    """One stored version of a fact."""
+
+    vid: int
+    payload: Tuple
+    valid: Element
+    tt_start: Chronon
+    tt_end: Optional[Chronon]  # None while current
+
+    @property
+    def is_current(self) -> bool:
+        return self.tt_end is None
+
+
+class BitemporalTable:
+    """An append-only bitemporal table over a TIP connection."""
+
+    def __init__(
+        self,
+        connection: TipConnection,
+        name: str,
+        columns: Sequence[Tuple[str, str]],
+    ) -> None:
+        self._connection = connection
+        self.name = _check_name(name, "table")
+        self.columns: Tuple[Tuple[str, str], ...] = tuple(
+            (_check_name(col, "column"), sql_type) for col, sql_type in columns
+        )
+        column_sql = ", ".join(f"{col} {sql_type}" for col, sql_type in self.columns)
+        connection.execute(
+            f"CREATE TABLE {name} (vid INTEGER PRIMARY KEY, {column_sql}, "
+            "valid ELEMENT, tt_start INTEGER NOT NULL, tt_end INTEGER)"
+        )
+        connection.execute(
+            f"CREATE INDEX {name}__tt ON {name}(tt_start, tt_end)"
+        )
+        self._last_tt: Optional[int] = None
+
+    # -- transaction-time clock ------------------------------------------
+
+    def _stamp(self) -> int:
+        now = self._connection.statement_now_seconds()
+        if self._last_tt is not None and now <= self._last_tt:
+            now = self._last_tt + 1
+        self._last_tt = now
+        return now
+
+    # -- modifications ------------------------------------------------------
+
+    def _payload_names(self) -> List[str]:
+        return [col for col, _t in self.columns]
+
+    def insert(self, payload: Sequence, valid: "Element | str") -> int:
+        """Record a new fact; returns its version id."""
+        if isinstance(valid, str):
+            valid = Element.parse(valid)
+        if len(payload) != len(self.columns):
+            raise TipValueError(
+                f"expected {len(self.columns)} payload values, got {len(payload)}"
+            )
+        tt = self._stamp()
+        names = ", ".join(self._payload_names())
+        placeholders = ", ".join("?" for _ in self.columns)
+        cursor = self._connection.execute(
+            f"INSERT INTO {self.name} ({names}, valid, tt_start, tt_end) "
+            f"VALUES ({placeholders}, ?, ?, NULL)",
+            (*payload, valid, tt),
+        )
+        assert cursor.lastrowid is not None
+        return cursor.lastrowid
+
+    def _close_versions(self, vids: Sequence[int], tt: int) -> None:
+        if not vids:
+            return
+        placeholders = ", ".join("?" for _ in vids)
+        self._connection.execute(
+            f"UPDATE {self.name} SET tt_end = ? WHERE vid IN ({placeholders})",
+            (max(0, tt - 1), *vids),
+        )
+
+    def _current_matching(self, where: str, params: Sequence) -> List[Version]:
+        return self._fetch(f"tt_end IS NULL AND ({where})", params)
+
+    def logical_delete(self, where: str = "1 = 1", params: Sequence = ()) -> int:
+        """Stop believing the matching current versions (they remain
+        queryable as of earlier transaction times)."""
+        victims = self._current_matching(where, params)
+        self._close_versions([v.vid for v in victims], self._stamp())
+        return len(victims)
+
+    def sequenced_update(
+        self,
+        assignments: Dict[str, object],
+        period: "Period | str",
+        where: str = "1 = 1",
+        params: Sequence = (),
+    ) -> int:
+        """Change attribute values *during a valid-time period*.
+
+        Affected current versions are closed; their replacements — the
+        original shrunk to the time outside the period, plus an updated
+        copy valid inside it — are appended with a fresh transaction
+        time.  Returns the number of versions superseded.
+        """
+        if isinstance(period, str):
+            period = Period.parse(period)
+        for column in assignments:
+            if column not in self._payload_names():
+                raise TipValueError(f"unknown column {column!r}")
+        names = self._payload_names()
+        window = Element.of(period)
+        affected = [
+            version
+            for version in self._current_matching(where, params)
+            if version.valid.overlaps(window)
+        ]
+        if not affected:
+            return 0
+        tt = self._stamp()
+        self._close_versions([v.vid for v in affected], tt)
+        placeholders = ", ".join("?" for _ in names)
+        insert_sql = (
+            f"INSERT INTO {self.name} ({', '.join(names)}, valid, tt_start, tt_end) "
+            f"VALUES ({placeholders}, ?, ?, NULL)"
+        )
+        for version in affected:
+            outside = version.valid.difference(window)
+            inside = version.valid.intersect(window)
+            if not outside.is_empty_at(0):
+                self._connection.execute(insert_sql, (*version.payload, outside, tt))
+            new_payload = tuple(
+                assignments.get(column, value)
+                for column, value in zip(names, version.payload)
+            )
+            self._connection.execute(insert_sql, (*new_payload, inside, tt))
+        return len(affected)
+
+    # -- queries ---------------------------------------------------------------
+
+    def _fetch(self, where: str, params: Sequence = ()) -> List[Version]:
+        names = ", ".join(self._payload_names())
+        rows = self._connection.query(
+            f"SELECT vid, {names}, valid, tt_start, tt_end FROM {self.name} "
+            f"WHERE {where} ORDER BY vid",
+            params,
+        )
+        width = len(self.columns)
+        versions = []
+        for row in rows:
+            vid, payload = row[0], tuple(row[1 : 1 + width])
+            valid, tt_start, tt_end = row[1 + width], row[2 + width], row[3 + width]
+            versions.append(
+                Version(
+                    vid=vid,
+                    payload=payload,
+                    valid=valid,
+                    tt_start=Chronon(tt_start),
+                    tt_end=None if tt_end is None else Chronon(tt_end),
+                )
+            )
+        return versions
+
+    def current(self, where: str = "1 = 1", params: Sequence = ()) -> List[Version]:
+        """The versions believed right now."""
+        return self._current_matching(where, params)
+
+    def as_of(
+        self,
+        tt: "Chronon | str",
+        where: str = "1 = 1",
+        params: Sequence = (),
+    ) -> List[Version]:
+        """The versions believed at transaction time *tt* (audit view)."""
+        if isinstance(tt, str):
+            tt = Chronon.parse(tt)
+        return self._fetch(
+            f"tt_start <= ? AND (tt_end IS NULL OR tt_end >= ?) AND ({where})",
+            (tt.seconds, tt.seconds, *params),
+        )
+
+    def valid_snapshot(
+        self,
+        vt: "Chronon | str",
+        tt: "Chronon | str | None" = None,
+        where: str = "1 = 1",
+        params: Sequence = (),
+    ) -> List[Tuple]:
+        """Payloads valid at valid-time *vt*, per the beliefs at *tt*.
+
+        The full bitemporal probe: "what did we believe at *tt* about
+        *vt*?"  *tt* defaults to now (current beliefs).
+        """
+        if isinstance(vt, str):
+            vt = Chronon.parse(vt)
+        if tt is None:
+            versions = self.current(where, params)
+            belief_seconds = self._connection.statement_now_seconds()
+        else:
+            if isinstance(tt, str):
+                tt = Chronon.parse(tt)
+            versions = self.as_of(tt, where, params)
+            # Reconstructing the beliefs of time *tt*: back then, NOW
+            # meant tt, so NOW-relative validities ground there.
+            belief_seconds = tt.seconds
+        return [
+            version.payload
+            for version in versions
+            if version.valid.contains(vt, now=belief_seconds)
+        ]
+
+    def history(self, where: str = "1 = 1", params: Sequence = ()) -> List[Version]:
+        """Every version ever recorded (the audit trail)."""
+        return self._fetch(where, params)

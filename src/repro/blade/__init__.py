@@ -1,0 +1,24 @@
+"""The DataBlade framework and the TIP blade.
+
+:mod:`repro.blade.registry` is the generic extensibility layer — the
+analog of the Informix DataBlade API: it lets a plugin declare new
+datatypes, routines, casts, and aggregates.  :mod:`repro.blade.datablade`
+is the TIP blade itself, and :func:`install_tip` wires it into a live
+:mod:`sqlite3` connection, after which the TIP routines are callable
+from SQL "as if they were built into the DBMS".
+"""
+
+from repro.blade.datablade import build_tip_blade
+from repro.blade.registry import AggregateDef, CastDef, DataBlade, RoutineDef, TypeDef
+from repro.blade.sqlite_backend import install_blade, install_tip
+
+__all__ = [
+    "DataBlade",
+    "TypeDef",
+    "RoutineDef",
+    "CastDef",
+    "AggregateDef",
+    "build_tip_blade",
+    "install_blade",
+    "install_tip",
+]

@@ -1,0 +1,127 @@
+"""Temporal integrity constraints, enforced inside the engine.
+
+Because the TIP routines are installed *in* the engine, they are usable
+from ordinary SQL triggers — which gives declarative temporal CHECK
+constraints for free, something the layered architecture cannot do (its
+translation module sits outside the engine's trigger machinery).
+
+:func:`add_temporal_check` compiles a boolean TIP-SQL expression over
+``NEW`` into a pair of INSERT/UPDATE triggers that abort violating
+statements.  Canned constraints cover the common temporal rules:
+non-empty timestamps, no retroactive-future time, and containment
+between two temporal columns.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.client.connection import TipConnection
+from repro.errors import TipValueError
+
+__all__ = [
+    "add_temporal_check",
+    "require_nonempty",
+    "require_no_future",
+    "require_contained_in",
+    "drop_temporal_check",
+]
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _check_name(name: str, what: str) -> str:
+    if not _NAME_RE.match(name):
+        raise TipValueError(f"invalid {what} name {name!r}")
+    return name
+
+
+def _trigger_names(table: str, constraint: str) -> List[str]:
+    return [
+        f"tipcheck_{table}_{constraint}_insert",
+        f"tipcheck_{table}_{constraint}_update",
+    ]
+
+
+def add_temporal_check(
+    connection: TipConnection,
+    table: str,
+    constraint: str,
+    expression: str,
+    message: str = "",
+) -> None:
+    """Enforce that *expression* (over ``NEW``) holds on insert/update.
+
+    *expression* is any boolean TIP-SQL expression, e.g.
+    ``NOT is_empty(NEW.valid)``.  Violations abort the statement with
+    ``TIP constraint <constraint>: <message>``.
+    """
+    _check_name(table, "table")
+    _check_name(constraint, "constraint")
+    error = f"TIP constraint {constraint}: {message or expression}".replace("'", "''")
+    insert_name, update_name = _trigger_names(table, constraint)
+    for name, event in ((insert_name, "INSERT"), (update_name, "UPDATE")):
+        connection.execute(
+            f"CREATE TRIGGER {name} BEFORE {event} ON {table} "
+            f"WHEN NOT ({expression}) "
+            f"BEGIN SELECT RAISE(ABORT, '{error}'); END"
+        )
+
+
+def drop_temporal_check(connection: TipConnection, table: str, constraint: str) -> None:
+    """Remove a previously added temporal check."""
+    _check_name(table, "table")
+    _check_name(constraint, "constraint")
+    for name in _trigger_names(table, constraint):
+        connection.execute(f"DROP TRIGGER IF EXISTS {name}")
+
+
+def require_nonempty(connection: TipConnection, table: str, column: str) -> None:
+    """The timestamp must cover at least one chronon (at insertion NOW)."""
+    _check_name(column, "column")
+    add_temporal_check(
+        connection,
+        table,
+        f"{column}_nonempty",
+        f"NOT is_empty(NEW.{column})",
+        f"{column} must not be empty",
+    )
+
+
+def require_no_future(connection: TipConnection, table: str, column: str) -> None:
+    """The timestamp must not extend beyond the transaction time.
+
+    (A *recorded-history* rule; open-ended ``[x, NOW]`` periods satisfy
+    it by construction, since they ground exactly at NOW.)
+    """
+    _check_name(column, "column")
+    add_temporal_check(
+        connection,
+        table,
+        f"{column}_nofuture",
+        f"tle(end_time(NEW.{column}), tip_now())",
+        f"{column} must not extend past NOW",
+    )
+
+
+def require_contained_in(
+    connection: TipConnection,
+    table: str,
+    inner_column: str,
+    outer_expression: str,
+) -> None:
+    """The timestamp must lie within another temporal expression.
+
+    Example: prescriptions cannot predate the patient's birth —
+    ``require_contained_in(conn, 'Prescription', 'valid',
+    "to_element(period(instant(tip_text(NEW.patientdob)), instant('NOW')))")``.
+    """
+    _check_name(inner_column, "column")
+    add_temporal_check(
+        connection,
+        table,
+        f"{inner_column}_containment",
+        f"contains({outer_expression}, NEW.{inner_column})",
+        f"{inner_column} must lie within {outer_expression}",
+    )

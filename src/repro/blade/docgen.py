@@ -1,0 +1,99 @@
+"""Generate the SQL reference from the blade registry itself.
+
+The registry is the single source of truth for what is callable from
+SQL, so the reference manual is *derived*, never hand-maintained:
+:func:`render_markdown` produces ``docs/sql_reference.md`` (see
+``examples/generate_reference.py``), and the test suite asserts the
+checked-in file is up to date.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+from repro.blade.registry import DataBlade, RoutineDef
+
+__all__ = ["render_markdown"]
+
+_CATEGORY_ORDER = [
+    ("Constructors and casts",
+     {"chronon", "span", "instant", "period", "element", "to_element", "to_period",
+      "to_chronon", "ground", "tip_text", "tip_now"}),
+    ("Element accessors",
+     {"start", "end_time", "first_period", "last_period", "n_periods", "is_empty",
+      "length", "length_seconds"}),
+    ("Element set algebra",
+     {"tunion", "element_union", "tintersect", "element_intersect", "tdifference",
+      "element_difference", "difference", "complement", "restrict", "shift",
+      "overlaps", "contains", "contains_instant", "extent", "gaps",
+      "before_point", "after_point"}),
+    ("Period accessors and Allen's operators",
+     {"period_start", "period_end", "period_intersect", "allen_relation"}),
+    ("Generic operators and comparisons",
+     {"tadd", "tsub", "tmul", "tdiv", "teq", "tne", "tlt", "tle", "tgt", "tge", "tcmp"}),
+    ("Calendar arithmetic",
+     {"add_months", "add_years", "start_of_day", "start_of_month", "start_of_year"}),
+    ("Scalar bridges",
+     {"span_seconds", "seconds_span", "span_days", "chronon_seconds"}),
+]
+
+
+def _category_of(name: str) -> str:
+    if name.startswith("allen_"):
+        return "Period accessors and Allen's operators"
+    for title, members in _CATEGORY_ORDER:
+        if name in members:
+            return title
+    return "Other routines"
+
+
+def _signature(name: str, routine: RoutineDef) -> str:
+    args = ", ".join(routine.arg_types)
+    return f"{name}({args}) -> {routine.return_type}"
+
+
+def render_markdown(blade: DataBlade) -> str:
+    """The full SQL reference for *blade* as markdown."""
+    lines: List[str] = [
+        f"# {blade.name} DataBlade — SQL reference",
+        "",
+        "*Generated from the blade registry by `repro.blade.docgen` — do not edit.*",
+        "",
+        "## Datatypes",
+        "",
+        "| type | description |",
+        "|---|---|",
+    ]
+    for name in sorted(blade.types):
+        lines.append(f"| `{name}` | {blade.types[name].doc} |")
+
+    grouped: Dict[str, List[str]] = defaultdict(list)
+    for (name, _arity), routine in sorted(blade.routines.items()):
+        grouped[_category_of(name)].append(
+            f"| `{_signature(name, routine)}` | {routine.doc} |"
+        )
+    lines += ["", "## Routines", ""]
+    titles = [title for title, _members in _CATEGORY_ORDER] + ["Other routines"]
+    for title in titles:
+        if title not in grouped:
+            continue
+        lines += [f"### {title}", "", "| signature | description |", "|---|---|"]
+        lines += grouped[title]
+        lines.append("")
+
+    lines += ["## Aggregates", "", "| signature | description |", "|---|---|"]
+    for name in sorted(blade.aggregates):
+        aggregate = blade.aggregates[name]
+        lines.append(
+            f"| `{name}({aggregate.arg_type}) -> {aggregate.return_type}` | {aggregate.doc} |"
+        )
+
+    lines += ["", "## Casts", "", "| cast | implicit | description |", "|---|---|---|"]
+    for cast_def in sorted(blade.casts, key=lambda c: (c.source, c.target)):
+        implicit = "yes" if cast_def.implicit else "explicit (`::`)"
+        lines.append(
+            f"| `{cast_def.source} -> {cast_def.target}` | {implicit} | {cast_def.doc} |"
+        )
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,172 @@
+"""Generic DBMS extensibility framework (the DataBlade API analog).
+
+A :class:`DataBlade` is a named bundle of type, routine, cast, and
+aggregate definitions.  The registry is backend-agnostic: it validates
+the declarations (unique names, known type references) and leaves
+installation to a backend module such as
+:mod:`repro.blade.sqlite_backend`, mirroring how a DataBlade is compiled
+once and then installed into a server.
+
+Type names used in routine signatures:
+
+* the five TIP types, by class name (``"Chronon"``, ... ``"Element"``);
+* ``"integer"``, ``"float"``, ``"text"`` for SQL scalars;
+* ``"number"`` for integer-or-float;
+* ``"any"`` for unconstrained arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.errors import DuplicateRegistrationError, UnknownTypeError
+
+__all__ = ["TypeDef", "RoutineDef", "CastDef", "AggregateDef", "DataBlade", "SCALAR_TYPE_NAMES"]
+
+#: Signature names that do not refer to registered extension types.
+SCALAR_TYPE_NAMES = frozenset({"integer", "float", "text", "number", "boolean", "any"})
+
+
+@dataclass(frozen=True)
+class TypeDef:
+    """A user-defined type: its Python class and (de)serialization."""
+
+    name: str
+    python_type: Type
+    encode: Callable[[object], bytes]
+    decode: Callable[[bytes], object]
+    parse: Callable[[str], object]
+    render: Callable[[object], str]
+    doc: str = ""
+
+
+@dataclass(frozen=True)
+class RoutineDef:
+    """A SQL-callable routine.
+
+    *implementation* receives already-decoded Python values and returns
+    a Python value; the backend handles SQL marshalling.  *arg_types*
+    drives argument decoding, implicit casts, and arity registration.
+    """
+
+    name: str
+    arg_types: Tuple[str, ...]
+    return_type: str
+    implementation: Callable
+    doc: str = ""
+    deterministic: bool = False
+    aliases: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class CastDef:
+    """A cast between two registered (or scalar) types."""
+
+    source: str
+    target: str
+    implicit: bool
+    implementation: Callable
+    doc: str = ""
+
+
+@dataclass(frozen=True)
+class AggregateDef:
+    """A SQL aggregate: *factory* builds an accumulator with
+    ``step(value)`` and ``finish()`` methods per group."""
+
+    name: str
+    arg_type: str
+    return_type: str
+    factory: Callable[[], object]
+    doc: str = ""
+
+
+@dataclass
+class DataBlade:
+    """A validated bundle of extension definitions."""
+
+    name: str
+    version: str = "1.0"
+    types: Dict[str, TypeDef] = field(default_factory=dict)
+    #: Routines are keyed by ``(name, arity)`` — the blade framework
+    #: supports routine overloading, as the DataBlade API does.
+    routines: Dict[Tuple[str, int], RoutineDef] = field(default_factory=dict)
+    casts: List[CastDef] = field(default_factory=list)
+    aggregates: Dict[str, AggregateDef] = field(default_factory=dict)
+
+    # -- registration -------------------------------------------------
+
+    def register_type(self, type_def: TypeDef) -> None:
+        key = type_def.name
+        if key in self.types:
+            raise DuplicateRegistrationError(f"type {key!r} already registered in {self.name}")
+        self.types[key] = type_def
+
+    def register_routine(self, routine: RoutineDef) -> None:
+        arity = len(routine.arg_types)
+        for name in (routine.name, *routine.aliases):
+            if (name, arity) in self.routines or name in self.aggregates:
+                raise DuplicateRegistrationError(
+                    f"routine {name!r}/{arity} already registered in {self.name}"
+                )
+        self._check_signature(routine.name, routine.arg_types, routine.return_type)
+        self.routines[(routine.name, arity)] = routine
+        for alias in routine.aliases:
+            self.routines[(alias, arity)] = routine
+
+    def register_cast(self, cast_def: CastDef) -> None:
+        self._check_type_name(f"cast {cast_def.source}->{cast_def.target}", cast_def.source)
+        self._check_type_name(f"cast {cast_def.source}->{cast_def.target}", cast_def.target)
+        for existing in self.casts:
+            if existing.source == cast_def.source and existing.target == cast_def.target:
+                raise DuplicateRegistrationError(
+                    f"cast {cast_def.source}->{cast_def.target} already registered"
+                )
+        self.casts.append(cast_def)
+
+    def register_aggregate(self, aggregate: AggregateDef) -> None:
+        routine_names = {name for name, _arity in self.routines}
+        if aggregate.name in self.aggregates or aggregate.name in routine_names:
+            raise DuplicateRegistrationError(
+                f"aggregate {aggregate.name!r} already registered in {self.name}"
+            )
+        self._check_signature(aggregate.name, (aggregate.arg_type,), aggregate.return_type)
+        self.aggregates[aggregate.name] = aggregate
+
+    # -- lookup -------------------------------------------------------
+
+    def type_for_class(self, python_type: Type) -> Optional[TypeDef]:
+        for type_def in self.types.values():
+            if type_def.python_type is python_type:
+                return type_def
+        return None
+
+    def find_cast(self, source: str, target: str, *, implicit_only: bool = False) -> Optional[CastDef]:
+        for cast_def in self.casts:
+            if cast_def.source == source and cast_def.target == target:
+                if cast_def.implicit or not implicit_only:
+                    return cast_def
+        return None
+
+    # -- validation ---------------------------------------------------
+
+    def _check_signature(self, owner: str, arg_types: Sequence[str], return_type: str) -> None:
+        for type_name in (*arg_types, return_type):
+            self._check_type_name(owner, type_name)
+
+    def _check_type_name(self, owner: str, type_name: str) -> None:
+        if type_name in SCALAR_TYPE_NAMES:
+            return
+        if type_name not in self.types:
+            raise UnknownTypeError(f"{owner}: unknown type {type_name!r} in blade {self.name}")
+
+    def describe(self) -> str:
+        """Human-readable inventory (used by ``examples/quickstart.py``)."""
+        lines = [f"DataBlade {self.name} v{self.version}"]
+        lines.append(f"  types ({len(self.types)}): " + ", ".join(sorted(self.types)))
+        routine_names = sorted({name for name, _arity in self.routines})
+        lines.append(f"  routines ({len(routine_names)}): " + ", ".join(routine_names))
+        lines.append(f"  casts ({len(self.casts)})")
+        lines.append(f"  aggregates ({len(self.aggregates)}): " + ", ".join(sorted(self.aggregates)))
+        return "\n".join(lines)

@@ -1,0 +1,281 @@
+"""Implementations of the TIP SQL routines.
+
+Each function receives already-decoded Python values (the backend
+marshaller handles blob decoding, string casts, and implicit widening
+casts per the declared signature) and returns a Python value that the
+backend encodes back to SQL.
+
+Naming notes relative to the paper: the paper calls its element set
+operations ``union``, ``intersect``, and ``difference``, but those words
+are reserved tokens in SQLite's expression grammar, so the SQL names
+here are ``tunion`` / ``tintersect`` / ``tdifference`` (with
+``element_union`` etc. as aliases).  Allen's ``overlaps`` and
+``contains`` would collide with the element predicates of the same
+name, so Allen's operators are prefixed ``allen_``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import allen as allen_ops
+from repro.core.casts import cast
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.instant import Instant
+from repro.core.nowctx import current_now
+from repro.core.period import Period
+from repro.core.span import Span
+from repro.core.typerules import apply_operator
+from repro.errors import TipTypeError
+
+__all__ = ["GENERIC_OPS"]
+
+
+# -- constructors and casts -------------------------------------------
+
+
+def make_period(start: Instant, end: Instant) -> Period:
+    """``period(start, end)`` — construct a period from two instants."""
+    return Period(start, end)
+
+
+def to_element(value: object) -> Element:
+    """``to_element(x)`` — widen a chronon/instant/period to an element."""
+    return cast(value, Element)
+
+
+def to_period(value: object) -> Period:
+    """``to_period(x)`` — widen a chronon/instant to a degenerate period."""
+    return cast(value, Period)
+
+
+def ground(value: object) -> object:
+    """``ground(x)`` — substitute the statement's NOW throughout *x*."""
+    if isinstance(value, Instant):
+        return value.ground()
+    if isinstance(value, Period):
+        return value.ground()
+    if isinstance(value, Element):
+        return value.ground()
+    if isinstance(value, (Chronon, Span)):
+        return value
+    raise TipTypeError(f"ground() does not accept {type(value).__name__}")
+
+
+def tip_text(value: object) -> str:
+    """``tip_text(x)`` — render any TIP value in literal syntax."""
+    if isinstance(value, (Chronon, Span, Instant, Period, Element)):
+        return str(value)
+    raise TipTypeError(f"tip_text() does not accept {type(value).__name__}")
+
+
+def tip_now() -> Chronon:
+    """``tip_now()`` — the statement's transaction time."""
+    return current_now()
+
+
+# -- element accessors -------------------------------------------------
+
+
+def element_start(value: Element) -> Chronon:
+    """``start(e)`` — start of the first period (the paper's example)."""
+    return value.start()
+
+
+def element_end(value: Element) -> Chronon:
+    """``end_time(e)`` — end of the last period."""
+    return value.end()
+
+
+def first_period(value: Element) -> Period:
+    """``first_period(e)`` — the earliest period, grounded."""
+    return value.first()
+
+
+def last_period(value: Element) -> Period:
+    """``last_period(e)`` — the latest period, grounded."""
+    return value.last()
+
+
+def n_periods(value: Element) -> int:
+    """``n_periods(e)`` — period count after grounding and coalescing."""
+    return value.count()
+
+
+def is_empty(value: Element) -> bool:
+    """``is_empty(e)`` — true when the element covers no chronon now."""
+    return value.is_empty_at()
+
+
+def length(value: Element) -> Span:
+    """``length(e)`` — total covered time as a span."""
+    return value.length()
+
+
+def length_seconds(value: Element) -> int:
+    """``length_seconds(e)`` — total covered time as raw seconds."""
+    return value.length().seconds
+
+
+# -- element set algebra ------------------------------------------------
+
+
+def element_union(a: Element, b: Element) -> Element:
+    """``tunion(a, b)`` — set union (linear time)."""
+    return a.union(b)
+
+
+def element_intersect(a: Element, b: Element) -> Element:
+    """``tintersect(a, b)`` — set intersection (linear time)."""
+    return a.intersect(b)
+
+
+def element_difference(a: Element, b: Element) -> Element:
+    """``tdifference(a, b)`` — set difference (linear time)."""
+    return a.difference(b)
+
+
+def element_complement(a: Element) -> Element:
+    """``complement(e)`` — chronons not in *e*, over the whole line."""
+    return a.complement()
+
+
+def element_restrict(a: Element, window: Period) -> Element:
+    """``restrict(e, p)`` — clip *e* to the window *p* (timeslice)."""
+    return a.restrict(window)
+
+
+def element_shift(a: Element, delta: Span) -> Element:
+    """``shift(e, s)`` — translate *e* by span *s*."""
+    return a.shift(delta)
+
+
+def element_overlaps(a: Element, b: Element) -> bool:
+    """``overlaps(a, b)`` — true when *a* and *b* share a chronon."""
+    return a.overlaps(b)
+
+
+def element_contains(a: Element, b: Element) -> bool:
+    """``contains(a, b)`` — true when *b* lies entirely inside *a*."""
+    return a.contains(b)
+
+
+def contains_instant(a: Element, point: Instant) -> bool:
+    """``contains_instant(e, i)`` — membership test for a single instant."""
+    return a.contains(point)
+
+
+def element_extent(a: Element) -> Period:
+    """``extent(e)`` — the bounding period of the whole element."""
+    return a.extent()
+
+
+def element_gaps(a: Element) -> Element:
+    """``gaps(e)`` — the uncovered time between the element's periods."""
+    return a.gaps()
+
+
+def element_before_point(a: Element, point: Instant) -> Element:
+    """``before_point(e, i)`` — the part of *e* strictly before *i*."""
+    return a.before_point(point)
+
+
+def element_after_point(a: Element, point: Instant) -> Element:
+    """``after_point(e, i)`` — the part of *e* strictly after *i*."""
+    return a.after_point(point)
+
+
+# -- period accessors ---------------------------------------------------
+
+
+def period_start(value: Period) -> Instant:
+    """``period_start(p)`` — the start instant (NOW-relativity kept)."""
+    return value.start
+
+
+def period_end(value: Period) -> Instant:
+    """``period_end(p)`` — the end instant (NOW-relativity kept)."""
+    return value.end
+
+
+def period_intersect(a: Period, b: Period) -> Optional[Period]:
+    """``period_intersect(a, b)`` — shared sub-period or NULL."""
+    return a.intersect(b)
+
+
+def allen_relation(a: Period, b: Period) -> str:
+    """``allen_relation(a, b)`` — name of the unique Allen relation."""
+    return allen_ops.relation(a, b)
+
+
+# -- generic operators ---------------------------------------------------
+
+
+def _binary_op(op: str):
+    def implementation(a: object, b: object):
+        return apply_operator(op, a, b)
+
+    implementation.__name__ = f"op_{op}"
+    implementation.__doc__ = f"Generic TIP dispatch for the ``{op}`` operator."
+    return implementation
+
+
+#: SQL name -> (operator symbol, doc) for the generic operator routines.
+GENERIC_OPS = {
+    "tadd": ("+", "``tadd(a, b)`` — TIP addition (Chronon+Span, Span+Span, ...)."),
+    "tsub": ("-", "``tsub(a, b)`` — TIP subtraction (Chronon-Chronon -> Span, ...)."),
+    "tmul": ("*", "``tmul(a, b)`` — span scaling."),
+    "tdiv": ("/", "``tdiv(a, b)`` — span division."),
+    "teq": ("=", "``teq(a, b)`` — temporal equality (NOW-dependent)."),
+    "tne": ("<>", "``tne(a, b)`` — temporal inequality."),
+    "tlt": ("<", "``tlt(a, b)`` — temporal less-than."),
+    "tle": ("<=", "``tle(a, b)`` — temporal less-or-equal."),
+    "tgt": (">", "``tgt(a, b)`` — temporal greater-than."),
+    "tge": (">=", "``tge(a, b)`` — temporal greater-or-equal."),
+}
+
+
+def generic_operator(sql_name: str):
+    """Build the implementation for one entry of :data:`GENERIC_OPS`."""
+    op, doc = GENERIC_OPS[sql_name]
+    implementation = _binary_op(op)
+    implementation.__doc__ = doc
+    return implementation
+
+
+def tcmp(a: object, b: object) -> int:
+    """``tcmp(a, b)`` — three-way temporal comparison (-1, 0, 1).
+
+    Useful in ORDER BY, where SQLite cannot use TIP operators directly.
+    """
+    if apply_operator("<", a, b):
+        return -1
+    if apply_operator("=", a, b):
+        return 0
+    return 1
+
+
+# -- scalar bridges -------------------------------------------------------
+
+
+def span_seconds(value: Span) -> int:
+    """``span_seconds(s)`` — signed total seconds of a span."""
+    return value.seconds
+
+
+def seconds_span(value: int) -> Span:
+    """``seconds_span(n)`` — build a span from raw seconds."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TipTypeError("seconds_span() expects an integer")
+    return Span(value)
+
+
+def span_days(value: Span) -> float:
+    """``span_days(s)`` — signed length in (fractional) days."""
+    return value.seconds / 86400.0
+
+
+def chronon_seconds(value: Chronon) -> int:
+    """``chronon_seconds(c)`` — epoch seconds of a chronon."""
+    return value.seconds

@@ -1,0 +1,210 @@
+"""Installation of a DataBlade into a :mod:`sqlite3` connection.
+
+This module plays the role of the Informix server's extension loader:
+after :func:`install_blade`, every routine and aggregate of the blade is
+callable from SQL on that connection, with values marshalled between
+SQLite's storage classes and the blade's Python types.
+
+Marshalling rules, mirroring the engine behaviour the paper describes:
+
+* blade values travel as tagged binary blobs (:mod:`repro.codec`);
+* a string argument where a blade type is expected is parsed via the
+  blade's string cast — this is how ``overlaps(valid, '{[1999-01-01,
+  NOW]}')`` works with a literal, the paper's implicit string casts;
+* a value of a different blade type is widened through the blade's
+  implicit cast graph (``Chronon -> Instant -> Period -> Element``);
+* SQL ``NULL`` anywhere yields ``NULL`` (strict routines);
+* booleans surface as SQLite integers 0/1.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Callable, Optional
+
+from repro import codec
+from repro.blade.datablade import TIP_TYPES, build_tip_blade
+from repro.blade.registry import AggregateDef, DataBlade, RoutineDef
+from repro.errors import TipError, TipTypeError
+
+__all__ = ["install_blade", "install_tip", "tip_blade"]
+
+_TIP_BLADE: Optional[DataBlade] = None
+
+
+def tip_blade() -> DataBlade:
+    """The singleton TIP blade bundle (built on first use)."""
+    global _TIP_BLADE
+    if _TIP_BLADE is None:
+        _TIP_BLADE = build_tip_blade()
+    return _TIP_BLADE
+
+
+def _register_module_level_codecs() -> None:
+    """Register global sqlite3 adapters/converters for the TIP types.
+
+    Adapters let TIP objects be passed directly as statement parameters;
+    converters decode columns whose *declared* type is a TIP type name
+    (``CREATE TABLE ... valid ELEMENT``) on connections opened with
+    ``detect_types=sqlite3.PARSE_DECLTYPES``.
+    """
+    for tip_type in TIP_TYPES:
+        sqlite3.register_adapter(tip_type, codec.encode)
+        sqlite3.register_converter(tip_type.__name__.upper(), codec.decode)
+
+
+_register_module_level_codecs()
+
+
+class _Null(Exception):
+    """Internal control flow: a NULL argument short-circuits to NULL."""
+
+
+def _coerce_argument(value, type_name: str, blade: DataBlade):
+    """Decode and implicitly cast one SQL argument to its declared type."""
+    if value is None:
+        raise _Null()
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        if codec.is_tip_blob(value):
+            value = codec.decode(bytes(value))
+        elif type_name in blade.types:
+            # A blade-specific binary encoding for the declared type.
+            value = blade.types[type_name].decode(bytes(value))
+        elif type_name not in ("any", "text"):
+            raise TipTypeError(f"argument is a non-TIP blob where {type_name} was expected")
+
+    if type_name == "any":
+        return value
+
+    if type_name in ("integer", "number", "float", "boolean", "text"):
+        return _coerce_scalar(value, type_name)
+
+    type_def = blade.types.get(type_name)
+    if type_def is None:
+        raise TipTypeError(f"routine declared unknown type {type_name!r}")
+    if isinstance(value, type_def.python_type):
+        return value
+    if isinstance(value, str):
+        return type_def.parse(value)
+    # Implicit widening between blade types (e.g. Chronon where an
+    # Element is expected).
+    source_def = blade.type_for_class(type(value))
+    if source_def is not None:
+        cast_def = blade.find_cast(source_def.name, type_name, implicit_only=True)
+        if cast_def is not None:
+            return cast_def.implementation(value)
+    raise TipTypeError(
+        f"no implicit conversion from {type(value).__name__} to {type_name}"
+    )
+
+
+def _coerce_scalar(value, type_name: str):
+    if type_name == "text":
+        if isinstance(value, str):
+            return value
+        raise TipTypeError(f"expected text, got {type(value).__name__}")
+    if type_name == "integer":
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TipTypeError(f"expected an integer, got {type(value).__name__}")
+        return value
+    if type_name == "float":
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+        raise TipTypeError(f"expected a float, got {type(value).__name__}")
+    if type_name == "number":
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return value
+        raise TipTypeError(f"expected a number, got {type(value).__name__}")
+    if type_name == "boolean":
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int):
+            return bool(value)
+        raise TipTypeError(f"expected a boolean, got {type(value).__name__}")
+    raise TipTypeError(f"unknown scalar type {type_name!r}")
+
+
+def _encode_result(value, blade: DataBlade):
+    """Marshal a routine result back to a SQLite storage class."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, TIP_TYPES):
+        return codec.encode(value)
+    if isinstance(value, (int, float, str, bytes)):
+        return value
+    type_def = blade.type_for_class(type(value))
+    if type_def is not None:
+        return type_def.encode(value)
+    raise TipTypeError(f"routine returned unsupported type {type(value).__name__}")
+
+
+def _make_sql_function(routine: RoutineDef, blade: DataBlade) -> Callable:
+    arg_types = routine.arg_types
+    implementation = routine.implementation
+
+    def sql_function(*raw_args):
+        try:
+            args = [
+                _coerce_argument(raw, type_name, blade)
+                for raw, type_name in zip(raw_args, arg_types)
+            ]
+        except _Null:
+            return None
+        return _encode_result(implementation(*args), blade)
+
+    sql_function.__name__ = f"tip_sql_{routine.name}"
+    sql_function.__doc__ = routine.doc
+    return sql_function
+
+
+def _make_sql_aggregate(aggregate: AggregateDef, blade: DataBlade) -> type:
+    factory = aggregate.factory
+    arg_type = aggregate.arg_type
+
+    class SqlAggregate:
+        def __init__(self) -> None:
+            self._inner = factory()
+
+        def step(self, value) -> None:
+            if value is None:
+                return  # SQL aggregates ignore NULLs
+            try:
+                decoded = _coerce_argument(value, arg_type, blade)
+            except _Null:  # pragma: no cover - None handled above
+                return
+            self._inner.step(decoded)
+
+        def finalize(self):
+            return _encode_result(self._inner.finish(), blade)
+
+    SqlAggregate.__name__ = f"TipAggregate_{aggregate.name}"
+    SqlAggregate.__doc__ = aggregate.doc
+    return SqlAggregate
+
+
+def install_blade(connection: sqlite3.Connection, blade: DataBlade) -> sqlite3.Connection:
+    """Install every routine and aggregate of *blade* into *connection*.
+
+    Returns the connection for chaining.  Installation is idempotent
+    (re-creating a function replaces it).
+    """
+    for (name, arity), routine in blade.routines.items():
+        connection.create_function(
+            name,
+            arity,
+            _make_sql_function(routine, blade),
+            deterministic=routine.deterministic,
+        )
+    for name, aggregate in blade.aggregates.items():
+        connection.create_aggregate(name, 1, _make_sql_aggregate(aggregate, blade))
+    return connection
+
+
+def install_tip(connection: sqlite3.Connection) -> sqlite3.Connection:
+    """Install the TIP blade into *connection* (the paper's ``install``)."""
+    try:
+        return install_blade(connection, tip_blade())
+    except TipError:
+        raise

@@ -1,0 +1,26 @@
+"""The TIP Browser (Figure 2 of the paper), headless.
+
+A client for querying and browsing temporal data: pick any temporal
+attribute of a query result as the *validity* attribute, slide an
+adjustable time window along the time line, see which result tuples are
+valid in the window, and see their valid periods drawn as segments of
+the time line.  ``NOW`` can be overridden to evaluate queries in a
+temporal context different from the present (what-if analysis).
+
+The original is a Java Swing GUI; everything it demonstrates is model
+behaviour, reproduced here with deterministic ASCII rendering.
+"""
+
+from repro.browser.browser import BrowseResult, TipBrowser
+from repro.browser.timeline import distribution, render_axis, render_distribution, render_track
+from repro.browser.window import TimeWindow
+
+__all__ = [
+    "TipBrowser",
+    "BrowseResult",
+    "TimeWindow",
+    "render_track",
+    "render_axis",
+    "distribution",
+    "render_distribution",
+]

@@ -1,0 +1,233 @@
+"""The Browser model: query, choose validity, slide, highlight, what-if.
+
+Reproduces the behaviour of Figure 2: load a query, pick the attribute
+of type Chronon/Instant/Period/Element that defines when each result
+tuple is valid, move a time window along the time line with a slider,
+and watch the highlight set and the timeline segments change.  Entering
+a different value for ``NOW`` re-evaluates the query in that temporal
+context (what-if analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.browser.timeline import (
+    distribution,
+    render_axis,
+    render_distribution,
+    render_marker,
+    render_track,
+)
+from repro.browser.window import TimeWindow
+from repro.client.connection import TipConnection
+from repro.core.casts import cast
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.instant import Instant
+from repro.core.period import Period
+from repro.core.span import Span
+from repro.errors import TipValueError
+
+__all__ = ["TipBrowser", "BrowseResult"]
+
+_TEMPORAL_TYPES = (Chronon, Instant, Period, Element)
+
+
+@dataclass
+class BrowseResult:
+    """One loaded query: rows plus the chosen validity elements."""
+
+    columns: List[str]
+    rows: List[Tuple]
+    validity_column: str
+    #: Per-row validity, widened to Element and grounded at statement NOW.
+    elements: List[Element] = field(default_factory=list)
+    statement_now: Optional[Chronon] = None
+
+    def extent(self) -> Optional[Tuple[Chronon, Chronon]]:
+        """Earliest start and latest end across all rows, or None."""
+        lo: Optional[int] = None
+        hi: Optional[int] = None
+        for element in self.elements:
+            pairs = element.ground_pairs(0)
+            if not pairs:
+                continue
+            if lo is None or pairs[0][0] < lo:
+                lo = pairs[0][0]
+            if hi is None or pairs[-1][1] > hi:
+                hi = pairs[-1][1]
+        if lo is None or hi is None:
+            return None
+        return Chronon(lo), Chronon(hi)
+
+
+class TipBrowser:
+    """Headless model of the TIP Browser GUI."""
+
+    def __init__(self, connection: TipConnection) -> None:
+        self._connection = connection
+        self._result: Optional[BrowseResult] = None
+        self._window: Optional[TimeWindow] = None
+        self._last_sql: Optional[str] = None
+        self._last_params: Sequence = ()
+        self._last_validity: Optional[str] = None
+
+    # -- loading -----------------------------------------------------
+
+    def load(
+        self,
+        sql: str,
+        params: Sequence = (),
+        validity: Optional[str] = None,
+    ) -> BrowseResult:
+        """Run *sql* and choose the validity attribute.
+
+        *validity* names the column whose value determines when a tuple
+        is valid; by default the first column of a temporal type is
+        used.  Temporal values are widened to elements via the standard
+        cast chain.
+        """
+        cursor = self._connection.execute(sql, params)
+        statement_now = cursor.statement_now
+        rows = cursor.fetchall()
+        columns = [entry[0] for entry in cursor.description or []]
+        validity_index = self._pick_validity(columns, rows, validity)
+        elements = [
+            cast(row[validity_index], Element, implicit_only=True).ground(statement_now)
+            for row in rows
+        ]
+        self._result = BrowseResult(
+            columns=columns,
+            rows=rows,
+            validity_column=columns[validity_index],
+            elements=elements,
+            statement_now=statement_now,
+        )
+        self._last_sql, self._last_params, self._last_validity = sql, params, validity
+        if self._window is None:
+            self.reset_window()
+        return self._result
+
+    def _pick_validity(
+        self,
+        columns: List[str],
+        rows: List[Tuple],
+        validity: Optional[str],
+    ) -> int:
+        if validity is not None:
+            if validity not in columns:
+                raise TipValueError(f"no column named {validity!r} in result")
+            return columns.index(validity)
+        for index in range(len(columns)):
+            if all(isinstance(row[index], _TEMPORAL_TYPES) for row in rows) and rows:
+                return index
+        raise TipValueError("result has no temporal column to browse by")
+
+    # -- window control (the slider) ------------------------------------
+
+    @property
+    def window(self) -> TimeWindow:
+        if self._window is None:
+            raise TipValueError("no query loaded")
+        return self._window
+
+    @property
+    def result(self) -> BrowseResult:
+        if self._result is None:
+            raise TipValueError("no query loaded")
+        return self._result
+
+    def reset_window(self) -> None:
+        """Fit the window to the full extent of the loaded result."""
+        extent = self.result.extent()
+        if extent is None:
+            self._window = TimeWindow(
+                start=self.result.statement_now or Chronon(0), width=Span(86400)
+            )
+        else:
+            self._window = TimeWindow.spanning(*extent)
+
+    def set_window(self, window: TimeWindow) -> None:
+        self._window = window
+
+    def slide(self, notches: int) -> TimeWindow:
+        """Move the slider by whole window-widths (positive = later)."""
+        self._window = self.window.moved_fraction(float(notches))
+        return self._window
+
+    def zoom(self, factor: float) -> TimeWindow:
+        self._window = self.window.zoomed(factor)
+        return self._window
+
+    # -- what-if NOW -------------------------------------------------------
+
+    def set_now(self, now: "Chronon | str | None") -> None:
+        """Override ``NOW`` and re-evaluate the loaded query (what-if)."""
+        self._connection.set_now(now)
+        if self._last_sql is not None:
+            self.load(self._last_sql, self._last_params, self._last_validity)
+
+    # -- highlighting --------------------------------------------------------
+
+    def valid_row_indices(self) -> List[int]:
+        """Rows whose validity overlaps the current window (highlighted)."""
+        window_period = self.window.period
+        return [
+            index
+            for index, element in enumerate(self.result.elements)
+            if element.overlaps(Element.of(window_period), now=0)
+        ]
+
+    def distribution(self, buckets: int = 48) -> List[int]:
+        """Tuple counts per window bucket (the slider's distribution view)."""
+        return distribution(self.result.elements, self.window, buckets, now_seconds=0)
+
+    # -- rendering -------------------------------------------------------------
+
+    def render(self, track_width: int = 48, max_col_width: int = 16) -> str:
+        """Render the browsing session as deterministic ASCII."""
+        result = self.result
+        window = self.window
+        highlighted = set(self.valid_row_indices())
+
+        display_columns = [
+            (name, index)
+            for index, name in enumerate(result.columns)
+            if name != result.validity_column
+        ]
+        widths = {}
+        for name, index in display_columns:
+            cells = [str(row[index]) for row in result.rows] + [name]
+            widths[name] = min(max_col_width, max(len(cell) for cell in cells))
+
+        def fit(text: str, width: int) -> str:
+            return text[:width].ljust(width)
+
+        header_cells = [fit(name, widths[name]) for name, _ in display_columns]
+        lines = [
+            (
+                f"TIP Browser — {len(result.rows)} rows, "
+                f"validity: {result.validity_column}, NOW = {result.statement_now}"
+            ),
+            "  " + " | ".join(header_cells + ["valid in window".ljust(track_width)]),
+        ]
+        for row_index, row in enumerate(result.rows):
+            marker = "*" if row_index in highlighted else " "
+            cells = [fit(str(row[index]), widths[name]) for name, index in display_columns]
+            track = render_track(result.elements[row_index], window, track_width, now_seconds=0)
+            lines.append(f"{marker} " + " | ".join(cells + [track]))
+        pad = "  " + " | ".join(" " * widths[name] for name, _ in display_columns)
+        pad = pad + (" | " if display_columns else "")
+        lines.append(
+            pad + render_distribution(result.elements, window, track_width, now_seconds=0)
+        )
+        lines.append(pad + render_axis(window, track_width))
+        if result.statement_now is not None:
+            lines.append(pad + render_marker(window, result.statement_now, track_width))
+        lines.append(
+            f"window: [{window.start}, {window.end}]  width: {window.width}  "
+            f"highlighted: {len(highlighted)}/{len(result.rows)}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""ASCII rendering of valid periods as time-line segments.
+
+The Browser "graphically displays their valid periods within the window
+as segments of the time line (see the rightmost column in Figure 2)".
+Each render maps the window onto a fixed number of character cells:
+
+* ``#`` — the cell's time range is mostly covered (> 50%);
+* ``+`` — partially covered;
+* ``.`` — not covered.
+
+The mapping is deterministic, so rendered sessions are testable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core import interval_algebra as ia
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.browser.window import TimeWindow
+
+__all__ = ["render_track", "render_axis", "render_marker", "distribution", "render_distribution"]
+
+FULL_CELL = "#"
+PARTIAL_CELL = "+"
+EMPTY_CELL = "."
+
+
+def _cell_bounds(window: TimeWindow, width: int, index: int) -> tuple[int, int]:
+    """Closed second-range covered by character cell *index*."""
+    total = window.width.seconds
+    lo = window.start.seconds + (index * total) // width
+    hi = window.start.seconds + ((index + 1) * total) // width - 1
+    return lo, max(lo, hi)
+
+
+def render_track(
+    element: Element,
+    window: TimeWindow,
+    width: int = 48,
+    now_seconds: Optional[int] = None,
+) -> str:
+    """Render *element*'s coverage of *window* as a character track."""
+    pairs = element.ground_pairs(now_seconds)
+    clipped = ia.restrict(pairs, window.start.seconds, window.end.seconds)
+    cells: List[str] = []
+    for index in range(width):
+        lo, hi = _cell_bounds(window, width, index)
+        covered = ia.total_length(ia.restrict(clipped, lo, hi))
+        cell_len = hi - lo + 1
+        if covered == 0:
+            cells.append(EMPTY_CELL)
+        elif covered * 2 > cell_len:
+            cells.append(FULL_CELL)
+        else:
+            cells.append(PARTIAL_CELL)
+    return "".join(cells)
+
+
+def render_axis(window: TimeWindow, width: int = 48) -> str:
+    """Render the window's boundary labels under a track."""
+    start_label = str(window.start)
+    end_label = str(window.end)
+    gap = width - len(start_label) - len(end_label)
+    if gap < 1:
+        return f"{start_label} .. {end_label}"
+    return start_label + " " * gap + end_label
+
+
+def distribution(
+    elements: List[Element],
+    window: TimeWindow,
+    buckets: int = 48,
+    now_seconds: Optional[int] = None,
+) -> List[int]:
+    """Per-bucket count of tuples valid somewhere in each bucket.
+
+    This is the data behind the Browser's slider affordance: "A slider
+    interface lets the user move the window along the time line and
+    visualize the distribution of the result tuples over time" (§4).
+    """
+    counts = [0] * buckets
+    for element in elements:
+        pairs = ia.restrict(
+            element.ground_pairs(now_seconds), window.start.seconds, window.end.seconds
+        )
+        if not pairs:
+            continue
+        for index in range(buckets):
+            lo, hi = _cell_bounds(window, buckets, index)
+            if ia.overlaps(pairs, [(lo, hi)]):
+                counts[index] += 1
+    return counts
+
+
+_BARS = " .:-=+*#%@"
+
+
+def render_distribution(
+    elements: List[Element],
+    window: TimeWindow,
+    width: int = 48,
+    now_seconds: Optional[int] = None,
+) -> str:
+    """One-line bar chart of the tuple distribution over the window.
+
+    Each cell's glyph encodes the fraction of tuples valid there, from
+    ``' '`` (none) through ``'@'`` (all of them).
+    """
+    counts = distribution(elements, window, width, now_seconds)
+    total = len(elements)
+    if total == 0:
+        return " " * width
+    cells = []
+    for count in counts:
+        level = 0 if count == 0 else 1 + (count * (len(_BARS) - 2)) // total
+        cells.append(_BARS[min(level, len(_BARS) - 1)])
+    return "".join(cells)
+
+
+def render_marker(
+    window: TimeWindow,
+    point: Chronon,
+    width: int = 48,
+    marker: str = "v",
+) -> str:
+    """Render a single-point marker line (e.g. the NOW position)."""
+    if point < window.start or window.end < point:
+        return " " * width
+    total = window.width.seconds
+    offset = point.seconds - window.start.seconds
+    index = min(width - 1, (offset * width) // total)
+    return " " * index + marker + " " * (width - index - 1)

@@ -1,0 +1,72 @@
+"""The Browser's time window: an adjustable view port over the time line.
+
+"Conceptually, there is a time window of adjustable size and position
+over the time line" (paper Section 4).  The slider beneath the result
+display moves this window; tuples valid anywhere inside it are
+highlighted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.chronon import Chronon
+from repro.core.period import Period
+from repro.core.span import Span
+from repro.errors import TipValueError
+
+__all__ = ["TimeWindow"]
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """A closed window ``[start, start + width - 1s]`` on the time line."""
+
+    start: Chronon
+    width: Span
+
+    def __post_init__(self) -> None:
+        if self.width.seconds <= 0:
+            raise TipValueError("window width must be positive")
+
+    # -- geometry -----------------------------------------------------
+
+    @property
+    def end(self) -> Chronon:
+        """Last chronon inside the window (closed-closed)."""
+        return Chronon(self.start.seconds + self.width.seconds - 1)
+
+    @property
+    def period(self) -> Period:
+        """The window as a determinate period."""
+        return Period(self.start, self.end)
+
+    @classmethod
+    def spanning(cls, lo: Chronon, hi: Chronon) -> "TimeWindow":
+        """The smallest window covering ``[lo, hi]``."""
+        if hi < lo:
+            raise TipValueError("window bounds inverted")
+        return cls(start=lo, width=Span(hi.seconds - lo.seconds + 1))
+
+    # -- slider operations ----------------------------------------------
+
+    def moved(self, delta: Span) -> "TimeWindow":
+        """Slide the window by *delta* (positive = later)."""
+        return TimeWindow(start=Chronon(self.start.seconds + delta.seconds), width=self.width)
+
+    def moved_fraction(self, fraction: float) -> "TimeWindow":
+        """Slide by a fraction of the window width (one slider notch)."""
+        return self.moved(Span(round(self.width.seconds * fraction)))
+
+    def resized(self, width: Span) -> "TimeWindow":
+        """Change the window size, keeping the start anchored."""
+        return TimeWindow(start=self.start, width=width)
+
+    def zoomed(self, factor: float) -> "TimeWindow":
+        """Scale the width around the window center."""
+        if factor <= 0:
+            raise TipValueError("zoom factor must be positive")
+        new_width = max(1, round(self.width.seconds * factor))
+        center = self.start.seconds + self.width.seconds // 2
+        new_start = center - new_width // 2
+        return TimeWindow(start=Chronon(new_start), width=Span(new_width))

@@ -1,0 +1,241 @@
+"""An interactive TIP shell: query and browse temporal data.
+
+The terminal counterpart of the demo setup — a ``dbaccess``-style REPL
+over a TIP-enabled database with the Browser built in::
+
+    python -m repro [database]
+
+Plain input is executed as SQL (TSQL2 statement modifiers included).
+Dot-commands drive the session:
+
+======================  ==================================================
+``.help``               this text
+``.demo [n]``           load the synthetic medical database (default 50)
+``.tables``             list tables (temporal ones are marked)
+``.schema <table>``     show a table's DDL
+``.now [t | clear]``    show/override/clear the interpretation of NOW
+``.blade``              describe the installed TIP DataBlade
+``.browse <sql>``       load a query into the Browser and render it
+``.window <start> <days>``  set the Browser window
+``.slide <n>``          move the Browser window by n window-widths
+``.zoom <factor>``      scale the Browser window
+``.quit``               leave
+======================  ==================================================
+
+Everything returns text, so the shell is scriptable and testable
+(:class:`TipShell` is the engine; ``main()`` is the stdin loop).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import sys
+from typing import List, Optional, Sequence
+
+import repro
+from repro.browser import TimeWindow, TipBrowser
+from repro.core.chronon import Chronon
+from repro.core.span import Span
+from repro.errors import TipError
+from repro.tsql import TsqlSession
+
+__all__ = ["TipShell", "main"]
+
+_MAX_ROWS = 40
+
+
+def _format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width table rendering for result sets."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max([len(header)] + [len(row[index]) for row in cells])
+        for index, header in enumerate(headers)
+    ]
+    lines = [
+        " | ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "-+-".join("-" * width for width in widths),
+    ]
+    for row in cells:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+class TipShell:
+    """The shell engine: one line of input -> one block of output."""
+
+    def __init__(self, database: str = ":memory:") -> None:
+        self.connection = repro.connect(database)
+        self.tsql = TsqlSession(self.connection)
+        self.browser = TipBrowser(self.connection)
+        self._browser_loaded = False
+        self.done = False
+
+    # -- dispatch -------------------------------------------------------
+
+    def execute_line(self, line: str) -> str:
+        """Process one input line; never raises (errors become text)."""
+        line = line.strip()
+        if not line:
+            return ""
+        try:
+            if line.startswith("."):
+                return self._command(line)
+            return self._run_sql(line)
+        except (TipError, sqlite3.Error, ValueError) as exc:
+            return f"error: {exc}"
+
+    def _command(self, line: str) -> str:
+        parts = line.split(None, 1)
+        name = parts[0].lower()
+        argument = parts[1].strip() if len(parts) > 1 else ""
+        handler = getattr(self, f"_cmd_{name[1:]}", None)
+        if handler is None:
+            return f"error: unknown command {name} (try .help)"
+        return handler(argument)
+
+    # -- SQL ----------------------------------------------------------------
+
+    def _run_sql(self, sql: str) -> str:
+        self.tsql.rescan()
+        translated = self.tsql.translate(sql)
+        cursor = self.connection.execute(translated)
+        if cursor.description is None:
+            self.connection.commit()
+            affected = cursor.rowcount
+            return f"ok ({affected} row{'s' if affected != 1 else ''} affected)" \
+                if affected >= 0 else "ok"
+        rows = cursor.fetchall()
+        headers = [entry[0] for entry in cursor.description]
+        shown = rows[:_MAX_ROWS]
+        text = _format_table(headers, shown)
+        if len(rows) > _MAX_ROWS:
+            text += f"\n... ({len(rows) - _MAX_ROWS} more rows)"
+        return text + f"\n({len(rows)} row{'s' if len(rows) != 1 else ''})"
+
+    # -- commands ----------------------------------------------------------------
+
+    def _cmd_help(self, _argument: str) -> str:
+        return (__doc__ or "").strip()
+
+    def _cmd_quit(self, _argument: str) -> str:
+        self.done = True
+        return "bye"
+
+    _cmd_exit = _cmd_quit
+
+    def _cmd_demo(self, argument: str) -> str:
+        from repro.workload import MedicalConfig, generate_prescriptions, load_tip
+
+        n = int(argument) if argument else 50
+        rows = generate_prescriptions(MedicalConfig(n_prescriptions=n, seed=1999))
+        load_tip(self.connection, rows, table="Prescription")
+        self.tsql.rescan()
+        return f"loaded {n} prescriptions into Prescription"
+
+    def _cmd_tables(self, _argument: str) -> str:
+        rows = self.connection.query(
+            "SELECT name FROM sqlite_master WHERE type = 'table' ORDER BY name"
+        )
+        if not rows:
+            return "(no tables)"
+        self.tsql.rescan()
+        temporal = self.tsql.temporal_tables
+        lines = []
+        for (name,) in rows:
+            marker = f"  [temporal: {temporal[name.lower()]}]" if name.lower() in temporal else ""
+            lines.append(name + marker)
+        return "\n".join(lines)
+
+    def _cmd_schema(self, argument: str) -> str:
+        if not argument:
+            return "usage: .schema <table>"
+        row = self.connection.query_one(
+            "SELECT sql FROM sqlite_master WHERE type = 'table' AND name = ?",
+            (argument,),
+        )
+        return row[0] if row and row[0] else f"error: no table {argument!r}"
+
+    def _cmd_now(self, argument: str) -> str:
+        if not argument:
+            override = self.connection.now_override
+            if override is None:
+                return f"NOW tracks the wall clock (currently {Chronon(self.connection.statement_now_seconds())})"
+            return f"NOW = {override} (override)"
+        if argument.lower() == "clear":
+            self.connection.set_now(None)
+            return "NOW override cleared"
+        self.connection.set_now(argument)
+        return f"NOW = {self.connection.now_override} (override)"
+
+    def _cmd_blade(self, _argument: str) -> str:
+        from repro.blade import build_tip_blade
+
+        return build_tip_blade().describe()
+
+    # -- browser commands -----------------------------------------------------------
+
+    def _cmd_browse(self, argument: str) -> str:
+        if not argument:
+            return "usage: .browse <select statement>"
+        self.tsql.rescan()
+        self.browser.load(self.tsql.translate(argument))
+        self.browser.reset_window()
+        self._browser_loaded = True
+        return self.browser.render()
+
+    def _require_browser(self) -> Optional[str]:
+        if not self._browser_loaded:
+            return "error: no query loaded (use .browse <sql>)"
+        return None
+
+    def _cmd_window(self, argument: str) -> str:
+        problem = self._require_browser()
+        if problem:
+            return problem
+        parts = argument.split()
+        if len(parts) != 2:
+            return "usage: .window <start chronon> <days>"
+        window = TimeWindow(Chronon.parse(parts[0]), Span.of(days=int(parts[1])))
+        self.browser.set_window(window)
+        return self.browser.render()
+
+    def _cmd_slide(self, argument: str) -> str:
+        problem = self._require_browser()
+        if problem:
+            return problem
+        self.browser.slide(int(argument or "1"))
+        return self.browser.render()
+
+    def _cmd_zoom(self, argument: str) -> str:
+        problem = self._require_browser()
+        if problem:
+            return problem
+        self.browser.zoom(float(argument or "2"))
+        return self.browser.render()
+
+    def close(self) -> None:
+        self.connection.close()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """The stdin REPL loop."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    database = arguments[0] if arguments else ":memory:"
+    shell = TipShell(database)
+    print(f"TIP shell — database: {database}.  .help for help, .quit to leave.")
+    try:
+        while not shell.done:
+            try:
+                line = input("tip> ")
+            except EOFError:
+                break
+            output = shell.execute_line(line)
+            if output:
+                print(output)
+    finally:
+        shell.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

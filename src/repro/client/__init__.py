@@ -1,0 +1,23 @@
+"""TIP client library.
+
+The Python analog of the paper's TIP C and Java libraries: it opens a
+TIP-enabled database, maps engine values to the five datatype classes
+(JDBC-2.0-style customized type mapping), binds one consistent ``NOW``
+per statement, and supports overriding ``NOW`` for what-if analysis.
+"""
+
+from repro.client.connection import TipConnection, TipCursor, connect
+from repro.client.literals import literal
+from repro.client.temporal_dml import coalesce_table, temporal_delete, temporal_update
+from repro.client.typemap import TypeMap
+
+__all__ = [
+    "connect",
+    "TipConnection",
+    "TipCursor",
+    "TypeMap",
+    "literal",
+    "temporal_delete",
+    "temporal_update",
+    "coalesce_table",
+]

@@ -1,0 +1,233 @@
+"""TIP-enabled database connections.
+
+:func:`connect` opens a SQLite database, installs the TIP DataBlade
+into it, and wraps it in :class:`TipConnection`, which adds the two
+behaviours a temporal client needs beyond DB-API:
+
+* **Per-statement ``NOW`` binding.**  The interpretation of ``NOW`` is
+  sampled once when a statement starts and held fixed for all engine
+  routine invocations of that statement, *including those that happen
+  during later fetches* — SQLite evaluates rows lazily, so the cursor
+  re-enters the statement's ``NOW`` context around every fetch.
+* **``NOW`` override** (:meth:`TipConnection.set_now`), the what-if
+  mechanism the TIP Browser exposes: queries evaluate in a temporal
+  context different from the present.
+
+Result values pass through a :class:`~repro.client.typemap.TypeMap`,
+so TIP values come back as their datatype classes whether they arrive
+from declared columns or from expressions.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.blade.sqlite_backend import install_tip
+from repro.client.typemap import TypeMap
+from repro.core.chronon import Chronon
+from repro.core.granularity import wall_clock_seconds
+from repro.core.nowctx import use_now
+from repro.core.parser import parse_chronon
+
+__all__ = ["connect", "TipConnection", "TipCursor"]
+
+
+def connect(
+    database: str = ":memory:",
+    *,
+    now: "Chronon | str | None" = None,
+    type_map: Optional[TypeMap] = None,
+    check_same_thread: bool = True,
+) -> "TipConnection":
+    """Open a TIP-enabled database.
+
+    *now*, when given, overrides the interpretation of ``NOW`` for every
+    statement on this connection (what-if analysis); otherwise each
+    statement binds ``NOW`` to the wall clock at execution time.
+    *check_same_thread=False* permits cross-thread use — the caller must
+    then serialize access itself (the network server does, via a lock).
+    """
+    raw = sqlite3.connect(
+        database,
+        detect_types=sqlite3.PARSE_DECLTYPES,
+        check_same_thread=check_same_thread,
+    )
+    install_tip(raw)
+    return TipConnection(raw, now=now, type_map=type_map)
+
+
+class TipConnection:
+    """A DB-API-flavoured wrapper around a TIP-enabled connection."""
+
+    def __init__(
+        self,
+        raw: sqlite3.Connection,
+        *,
+        now: "Chronon | str | None" = None,
+        type_map: Optional[TypeMap] = None,
+    ) -> None:
+        self._raw = raw
+        self._now_override: Optional[int] = None
+        self.type_map = type_map if type_map is not None else TypeMap()
+        if now is not None:
+            self.set_now(now)
+
+    # -- NOW control ---------------------------------------------------
+
+    def set_now(self, now: "Chronon | str | None") -> None:
+        """Override ``NOW`` for subsequent statements (None clears it)."""
+        if now is None:
+            self._now_override = None
+        elif isinstance(now, str):
+            self._now_override = parse_chronon(now).seconds
+        elif isinstance(now, Chronon):
+            self._now_override = now.seconds
+        else:
+            raise TypeError(f"set_now expects Chronon, str, or None, got {type(now).__name__}")
+
+    @property
+    def now_override(self) -> Optional[Chronon]:
+        """The active override, or None when tracking the wall clock."""
+        return None if self._now_override is None else Chronon(self._now_override)
+
+    def statement_now_seconds(self) -> int:
+        """The ``NOW`` a statement starting right now would bind."""
+        if self._now_override is not None:
+            return self._now_override
+        return wall_clock_seconds()
+
+    # -- statement execution --------------------------------------------
+
+    def cursor(self) -> "TipCursor":
+        return TipCursor(self._raw.cursor(), self)
+
+    def execute(self, sql: str, parameters: Sequence = ()) -> "TipCursor":
+        """Execute one statement, binding ``NOW`` for its whole lifetime."""
+        return self.cursor().execute(sql, parameters)
+
+    def executemany(self, sql: str, seq_of_parameters: Iterable[Sequence]) -> "TipCursor":
+        return self.cursor().executemany(sql, seq_of_parameters)
+
+    def executescript(self, script: str) -> "TipCursor":
+        cursor = self.cursor()
+        cursor.executescript(script)
+        return cursor
+
+    def query(self, sql: str, parameters: Sequence = ()) -> List[Tuple]:
+        """Execute and fetch all rows, type-mapped."""
+        return self.execute(sql, parameters).fetchall()
+
+    def query_one(self, sql: str, parameters: Sequence = ()) -> Optional[Tuple]:
+        """Execute and fetch the first row, type-mapped."""
+        return self.execute(sql, parameters).fetchone()
+
+    # -- transactions and lifecycle ---------------------------------------
+
+    def commit(self) -> None:
+        self._raw.commit()
+
+    def rollback(self) -> None:
+        self._raw.rollback()
+
+    def close(self) -> None:
+        self._raw.close()
+
+    @property
+    def raw(self) -> sqlite3.Connection:
+        """The underlying sqlite3 connection (blade already installed)."""
+        return self._raw
+
+    def __enter__(self) -> "TipConnection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        self.close()
+
+
+class TipCursor:
+    """Cursor holding its statement's ``NOW`` across lazy evaluation."""
+
+    def __init__(self, raw: sqlite3.Cursor, connection: TipConnection) -> None:
+        self._raw = raw
+        self._connection = connection
+        self._stmt_now: int = connection.statement_now_seconds()
+
+    # -- execution -------------------------------------------------------
+
+    def execute(self, sql: str, parameters: Sequence = ()) -> "TipCursor":
+        self._stmt_now = self._connection.statement_now_seconds()
+        with use_now(self._stmt_now):
+            self._raw.execute(sql, parameters)
+        return self
+
+    def executemany(self, sql: str, seq_of_parameters: Iterable[Sequence]) -> "TipCursor":
+        self._stmt_now = self._connection.statement_now_seconds()
+        with use_now(self._stmt_now):
+            self._raw.executemany(sql, seq_of_parameters)
+        return self
+
+    def executescript(self, script: str) -> "TipCursor":
+        self._stmt_now = self._connection.statement_now_seconds()
+        with use_now(self._stmt_now):
+            self._raw.executescript(script)
+        return self
+
+    # -- fetching ----------------------------------------------------------
+
+    def _decltypes(self) -> Optional[List[Optional[str]]]:
+        description = self._raw.description
+        if description is None:
+            return None
+        # sqlite3 exposes no decltype in description; converters already
+        # handled declared columns.  The type map's blob detection covers
+        # expression results, so no per-column decltype is needed here.
+        return None
+
+    def fetchone(self) -> Optional[Tuple]:
+        with use_now(self._stmt_now):
+            row = self._raw.fetchone()
+            return self._connection.type_map.map_row(row, self._decltypes())
+
+    def fetchmany(self, size: int = 64) -> List[Tuple]:
+        with use_now(self._stmt_now):
+            rows = self._raw.fetchmany(size)
+            return self._connection.type_map.map_rows(rows, self._decltypes())
+
+    def fetchall(self) -> List[Tuple]:
+        with use_now(self._stmt_now):
+            rows = self._raw.fetchall()
+            return self._connection.type_map.map_rows(rows, self._decltypes())
+
+    def __iter__(self) -> Iterator[Tuple]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    # -- metadata ------------------------------------------------------------
+
+    @property
+    def description(self):
+        return self._raw.description
+
+    @property
+    def rowcount(self) -> int:
+        return self._raw.rowcount
+
+    @property
+    def lastrowid(self) -> Optional[int]:
+        return self._raw.lastrowid
+
+    @property
+    def statement_now(self) -> Chronon:
+        """The ``NOW`` this cursor's current statement is bound to."""
+        return Chronon(self._stmt_now)
+
+    def close(self) -> None:
+        self._raw.close()

@@ -1,0 +1,47 @@
+"""SQL literal rendering for TIP values.
+
+Parameter binding (``?`` placeholders) is always preferable, but the
+paper's examples write temporal constants inline as quoted strings —
+``'{[1999-10-01, NOW]}'`` — relying on the engine's implicit string
+casts.  :func:`literal` renders any supported Python value in exactly
+that style, with proper SQL quoting, for code generation (the layered
+translator uses it) and for interactive use.
+"""
+
+from __future__ import annotations
+
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.instant import Instant
+from repro.core.period import Period
+from repro.core.span import Span
+from repro.errors import TipTypeError
+
+__all__ = ["literal", "quote_string"]
+
+_TIP_TYPES = (Chronon, Span, Instant, Period, Element)
+
+
+def quote_string(text: str) -> str:
+    """Single-quote *text* for SQL, doubling embedded quotes."""
+    return "'" + text.replace("'", "''") + "'"
+
+
+def literal(value: object) -> str:
+    """Render *value* as a SQL literal.
+
+    TIP values render as quoted literal strings in the paper's syntax
+    (parsed back by the engine's implicit string casts); scalars render
+    as standard SQL literals.
+    """
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return quote_string(value)
+    if isinstance(value, _TIP_TYPES):
+        return quote_string(str(value))
+    raise TipTypeError(f"cannot render a SQL literal for {type(value).__name__}")

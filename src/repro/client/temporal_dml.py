@@ -1,0 +1,211 @@
+"""Sequenced temporal DML: UPDATE and DELETE *for a period of time*.
+
+Classic temporal-database modifications (Snodgrass, *Developing
+Time-Oriented Database Applications in SQL*) applied to TIP tables:
+
+* a **temporal delete** removes a stretch of time from the validity of
+  matching rows — the fact stops holding *during that period* but
+  survives outside it;
+* a **temporal update** changes attribute values *during a period*: the
+  affected rows are split into an updated copy valid only inside the
+  period and the original rows valid only outside it.
+
+Both are executed as plain SQL over the TIP routines — no engine
+changes, which is exactly the paper's point about building temporal
+support as in-engine routines.  :func:`coalesce_table` is the
+complementary vacuum: merge value-equivalent rows by unioning their
+validities.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence
+
+from repro.client.connection import TipConnection
+from repro.client.literals import literal
+from repro.core.element import Element
+from repro.core.period import Period
+from repro.errors import TipValueError
+
+__all__ = ["temporal_delete", "temporal_update", "coalesce_table"]
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _check_name(name: str, what: str) -> str:
+    if not _NAME_RE.match(name):
+        raise TipValueError(f"invalid {what} name {name!r}")
+    return name
+
+
+def _period_literal(period: "Period | str") -> str:
+    if isinstance(period, str):
+        period = Period.parse(period)
+    if not isinstance(period, Period):
+        raise TipValueError(f"expected a Period, got {type(period).__name__}")
+    return literal(Element.of(period))
+
+
+def temporal_delete(
+    connection: TipConnection,
+    table: str,
+    period: "Period | str",
+    where: str = "1 = 1",
+    params: Sequence = (),
+    *,
+    valid_column: str = "valid",
+) -> int:
+    """Remove *period* from the validity of rows matching *where*.
+
+    Rows whose validity becomes empty are deleted outright.  Returns
+    the number of rows whose timestamp changed (including removed
+    rows).
+    """
+    _check_name(table, "table")
+    _check_name(valid_column, "column")
+    element_literal = _period_literal(period)
+    affected = connection.query_one(
+        f"SELECT COUNT(*) FROM {table} "
+        f"WHERE ({where}) AND overlaps({valid_column}, element({element_literal}))",
+        params,
+    )[0]
+    connection.execute(
+        f"UPDATE {table} SET {valid_column} = "
+        f"tdifference({valid_column}, element({element_literal})) "
+        f"WHERE ({where}) AND overlaps({valid_column}, element({element_literal}))",
+        params,
+    )
+    connection.execute(
+        f"DELETE FROM {table} WHERE ({where}) AND is_empty({valid_column})",
+        params,
+    )
+    return affected
+
+
+def temporal_update(
+    connection: TipConnection,
+    table: str,
+    assignments: Dict[str, object],
+    period: "Period | str",
+    where: str = "1 = 1",
+    params: Sequence = (),
+    *,
+    valid_column: str = "valid",
+) -> int:
+    """Apply *assignments* to matching rows, but only during *period*.
+
+    Each affected row splits: a copy with the new attribute values
+    valid for ``old_validity intersect period``, and the original
+    shrunk to ``old_validity - period`` (dropped when empty).  Returns
+    the number of rows that were split.
+    """
+    _check_name(table, "table")
+    _check_name(valid_column, "column")
+    if not assignments:
+        raise TipValueError("temporal_update needs at least one assignment")
+    for column in assignments:
+        _check_name(column, "column")
+        if column == valid_column:
+            raise TipValueError("cannot assign the validity column directly")
+
+    element_literal = _period_literal(period)
+    columns = [
+        row[1] for row in connection.execute(f"PRAGMA table_info({table})").fetchall()
+    ]
+    if valid_column not in columns:
+        raise TipValueError(f"{table} has no column {valid_column!r}")
+
+    select_exprs: List[str] = []
+    for column in columns:
+        if column == valid_column:
+            select_exprs.append(
+                f"tintersect({valid_column}, element({element_literal}))"
+            )
+        elif column in assignments:
+            select_exprs.append(literal(assignments[column]))
+        else:
+            select_exprs.append(column)
+
+    match = (
+        f"({where}) AND overlaps({valid_column}, element({element_literal}))"
+    )
+    affected = connection.query_one(
+        f"SELECT COUNT(*) FROM {table} WHERE {match}", params
+    )[0]
+    if affected == 0:
+        return 0
+
+    # 1. Insert the updated copies (valid only inside the period).
+    connection.execute(
+        f"INSERT INTO {table} ({', '.join(columns)}) "
+        f"SELECT {', '.join(select_exprs)} FROM {table} WHERE {match}",
+        params,
+    )
+    # 2. Shrink the originals to the time outside the period.  The
+    #    freshly inserted copies have validity inside the period, so
+    #    they are excluded by construction... unless an original was
+    #    entirely inside the period, making its copy identical in the
+    #    match; subtracting the period from a copy that lies inside it
+    #    would wrongly empty it.  Guard by rowid: only rows that
+    #    existed before step 1 are shrunk.
+    max_new = connection.query_one(f"SELECT MAX(rowid) FROM {table}")[0]
+    first_copy = max_new - affected + 1
+    connection.execute(
+        f"UPDATE {table} SET {valid_column} = "
+        f"tdifference({valid_column}, element({element_literal})) "
+        f"WHERE {match} AND rowid < ?",
+        (*params, first_copy),
+    )
+    connection.execute(
+        f"DELETE FROM {table} WHERE ({where}) AND is_empty({valid_column})",
+        params,
+    )
+    return affected
+
+
+def coalesce_table(
+    connection: TipConnection,
+    table: str,
+    key_columns: Sequence[str],
+    *,
+    valid_column: str = "valid",
+) -> int:
+    """Merge value-equivalent rows, unioning their validities.
+
+    The vacuum counterpart of temporal DML: splits and inserts can
+    leave several rows with identical attributes; afterwards the table
+    holds one row per distinct attribute tuple.  Returns the number of
+    rows removed.
+    """
+    _check_name(table, "table")
+    _check_name(valid_column, "column")
+    for column in key_columns:
+        _check_name(column, "column")
+    if not key_columns:
+        raise TipValueError("coalesce_table needs the attribute columns")
+    table_columns = [
+        row[1] for row in connection.execute(f"PRAGMA table_info({table})").fetchall()
+    ]
+    expected = set(key_columns) | {valid_column}
+    if set(table_columns) != expected:
+        raise TipValueError(
+            f"coalesce_table needs every non-validity column listed: "
+            f"table has {table_columns}, given {sorted(expected)}"
+        )
+    keys = ", ".join(key_columns)
+    before = connection.query_one(f"SELECT COUNT(*) FROM {table}")[0]
+    connection.execute("DROP TABLE IF EXISTS coalesce_scratch")
+    connection.execute(
+        f"CREATE TEMPORARY TABLE coalesce_scratch AS "
+        f"SELECT {keys}, group_union({valid_column}) AS {valid_column} "
+        f"FROM {table} GROUP BY {keys}"
+    )
+    connection.execute(f"DELETE FROM {table}")
+    connection.execute(
+        f"INSERT INTO {table} ({keys}, {valid_column}) "
+        f"SELECT {keys}, {valid_column} FROM coalesce_scratch"
+    )
+    connection.execute("DROP TABLE coalesce_scratch")
+    after = connection.query_one(f"SELECT COUNT(*) FROM {table}")[0]
+    return before - after

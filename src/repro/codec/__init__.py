@@ -1,0 +1,6 @@
+"""Binary storage format for TIP values (paper: "TIP internally stores
+Chronons (and other datatypes) in an efficient binary format")."""
+
+from repro.codec.binary import decode, encode, is_tip_blob, tip_type_of
+
+__all__ = ["encode", "decode", "is_tip_blob", "tip_type_of"]

@@ -1,0 +1,224 @@
+"""Tagged, versioned binary encoding of the five TIP datatypes.
+
+This is the on-disk / on-wire representation the blade stores in table
+columns, the analog of the DataBlade's internal binary format.  Layout
+(big-endian throughout):
+
+====  =======================================================
+byte  meaning
+====  =======================================================
+0     magic ``0x54`` (``'T'``)
+1     format version (currently 1)
+2     type tag (see below)
+3..   type-specific payload
+====  =======================================================
+
+Payloads:
+
+* ``Chronon`` — 64-bit *biased* unsigned seconds (value − calendar
+  minimum).
+* ``Span`` — 64-bit biased unsigned seconds (value − span minimum).
+* ``Instant`` — 1 flavor byte (0 determinate / 1 NOW-relative) +
+  64-bit biased seconds (absolute or offset).
+* ``Period`` — two instant payloads (start, end).
+* ``Element`` — unsigned 32-bit period count + period payloads.
+
+The format is self-describing, so result values flowing out of engine
+expressions (whose column type SQLite does not declare) can still be
+recognized and decoded by the client's type map.  It is also
+**order-preserving**: within one type, raw byte comparison of blobs
+equals value comparison (biased payloads, big-endian, constant header),
+so SQLite's native ``ORDER BY``, ``MIN``/``MAX``, and B-tree indexes
+work directly on stored TIP columns.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Type, Union
+
+from repro.core import granularity
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.instant import Instant
+from repro.core.period import Period
+from repro.core.span import Span
+from repro.errors import CodecError
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "encode",
+    "decode",
+    "is_tip_blob",
+    "tip_type_of",
+    "TAG_BY_TYPE",
+    "TYPE_BY_TAG",
+]
+
+MAGIC = 0x54
+VERSION = 1
+
+_TAG_CHRONON = 0x01
+_TAG_SPAN = 0x02
+_TAG_INSTANT = 0x03
+_TAG_PERIOD = 0x04
+_TAG_ELEMENT = 0x05
+
+TAG_BY_TYPE = {
+    Chronon: _TAG_CHRONON,
+    Span: _TAG_SPAN,
+    Instant: _TAG_INSTANT,
+    Period: _TAG_PERIOD,
+    Element: _TAG_ELEMENT,
+}
+TYPE_BY_TAG = {tag: tip_type for tip_type, tag in TAG_BY_TYPE.items()}
+
+TipValue = Union[Chronon, Span, Instant, Period, Element]
+
+_U64 = struct.Struct(">Q")
+_U32 = struct.Struct(">I")
+_INSTANT = struct.Struct(">BQ")
+
+# Payload integers are stored *biased* (value - minimum, as unsigned
+# big-endian), so raw byte order equals value order.  Within one type
+# the 3-byte header is constant, hence plain blob comparison — SQLite's
+# ORDER BY, MIN(), MAX(), B-tree indexes — sorts TIP columns
+# chronologically with no collation support needed.
+_BIAS_SECONDS = -granularity.MIN_SECONDS
+_BIAS_SPAN = -granularity.MIN_SPAN_SECONDS
+
+
+def _encode_instant_body(value: Instant) -> bytes:
+    if value.is_determinate:
+        return _INSTANT.pack(0, value.ground_seconds(0) + _BIAS_SECONDS)
+    return _INSTANT.pack(1, value.offset.seconds + _BIAS_SPAN)  # type: ignore[union-attr]
+
+
+def _decode_instant_body(data: bytes, offset: int) -> tuple[Instant, int]:
+    try:
+        flavor, biased = _INSTANT.unpack_from(data, offset)
+    except struct.error as exc:
+        raise CodecError(f"truncated instant payload at byte {offset}") from exc
+    if flavor not in (0, 1):
+        raise CodecError(f"unknown instant flavor {flavor}")
+    try:
+        if flavor == 0:
+            instant = Instant(abs_seconds=biased - _BIAS_SECONDS)
+        else:
+            instant = Instant(offset_seconds=biased - _BIAS_SPAN)
+    except Exception as exc:  # out-of-range payload in a corrupted blob
+        raise CodecError(f"blob encodes an invalid Instant: {exc}") from exc
+    return instant, offset + _INSTANT.size
+
+
+def encode(value: TipValue) -> bytes:
+    """Serialize a TIP value to its binary blob."""
+    tag = TAG_BY_TYPE.get(type(value))
+    if tag is None:
+        raise CodecError(f"not a TIP value: {type(value).__name__}")
+    header = bytes((MAGIC, VERSION, tag))
+    if isinstance(value, (Chronon,)):
+        return header + _U64.pack(value.seconds + _BIAS_SECONDS)
+    if isinstance(value, Span):
+        return header + _U64.pack(value.seconds + _BIAS_SPAN)
+    if isinstance(value, Instant):
+        return header + _encode_instant_body(value)
+    if isinstance(value, Period):
+        return header + _encode_instant_body(value.start) + _encode_instant_body(value.end)
+    # Element
+    parts = [header, _U32.pack(len(value.periods))]
+    for period in value.periods:
+        parts.append(_encode_instant_body(period.start))
+        parts.append(_encode_instant_body(period.end))
+    return b"".join(parts)
+
+
+def is_tip_blob(data: object) -> bool:
+    """True when *data* looks like an encoded TIP value."""
+    return (
+        isinstance(data, (bytes, bytearray, memoryview))
+        and len(data) >= 3
+        and data[0] == MAGIC
+        and data[1] == VERSION
+        and data[2] in TYPE_BY_TAG
+    )
+
+
+def tip_type_of(data: bytes) -> Type[TipValue]:
+    """The TIP type encoded in *data* (header inspection only)."""
+    if not is_tip_blob(data):
+        raise CodecError("not a TIP blob")
+    return TYPE_BY_TAG[data[2]]
+
+
+def decode(data: bytes) -> TipValue:
+    """Deserialize a binary blob back into a TIP value."""
+    if isinstance(data, (bytearray, memoryview)):
+        data = bytes(data)
+    if not isinstance(data, bytes):
+        raise CodecError(f"expected bytes, got {type(data).__name__}")
+    if len(data) < 3:
+        raise CodecError("blob too short for a TIP header")
+    if data[0] != MAGIC:
+        raise CodecError(f"bad magic byte 0x{data[0]:02x}")
+    if data[1] != VERSION:
+        raise CodecError(f"unsupported format version {data[1]}")
+    tag = data[2]
+    body = 3
+    if tag == _TAG_CHRONON:
+        return _build(Chronon, _unpack_u64(data, body, expected_end=True) - _BIAS_SECONDS)
+    if tag == _TAG_SPAN:
+        return _build(Span, _unpack_u64(data, body, expected_end=True) - _BIAS_SPAN)
+    if tag == _TAG_INSTANT:
+        instant, end = _decode_instant_body(data, body)
+        _check_consumed(data, end)
+        return instant
+    if tag == _TAG_PERIOD:
+        start, offset = _decode_instant_body(data, body)
+        end_instant, offset = _decode_instant_body(data, offset)
+        _check_consumed(data, offset)
+        return _build_period(start, end_instant)
+    if tag == _TAG_ELEMENT:
+        try:
+            (count,) = _U32.unpack_from(data, body)
+        except struct.error as exc:
+            raise CodecError("truncated element count") from exc
+        offset = body + _U32.size
+        periods = []
+        for _ in range(count):
+            start, offset = _decode_instant_body(data, offset)
+            end_instant, offset = _decode_instant_body(data, offset)
+            periods.append(_build_period(start, end_instant))
+        _check_consumed(data, offset)
+        return Element(periods)
+    raise CodecError(f"unknown type tag 0x{tag:02x}")
+
+
+def _build(tip_type: Type[TipValue], seconds: int) -> TipValue:
+    try:
+        return tip_type(seconds)
+    except Exception as exc:  # out-of-range payload in a corrupted blob
+        raise CodecError(f"blob encodes an invalid {tip_type.__name__}: {exc}") from exc
+
+
+def _build_period(start: Instant, end: Instant) -> Period:
+    try:
+        return Period(start, end)
+    except Exception as exc:  # inverted determinate endpoints
+        raise CodecError(f"blob encodes an invalid period: {exc}") from exc
+
+
+def _unpack_u64(data: bytes, offset: int, *, expected_end: bool = False) -> int:
+    try:
+        (value,) = _U64.unpack_from(data, offset)
+    except struct.error as exc:
+        raise CodecError(f"truncated payload at byte {offset}") from exc
+    if expected_end:
+        _check_consumed(data, offset + _U64.size)
+    return value
+
+
+def _check_consumed(data: bytes, end: int) -> None:
+    if len(data) != end:
+        raise CodecError(f"trailing garbage: blob is {len(data)} bytes, value ends at {end}")

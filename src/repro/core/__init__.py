@@ -1,0 +1,27 @@
+"""Core temporal type system: the five TIP datatypes and their algebra.
+
+The subpackage is self-contained (no database dependencies) and mirrors
+Section 2 of the paper: :class:`~repro.core.chronon.Chronon`,
+:class:`~repro.core.span.Span`, :class:`~repro.core.instant.Instant`,
+:class:`~repro.core.period.Period`, and
+:class:`~repro.core.element.Element`, plus ``NOW`` semantics, casts,
+Allen's operators, and temporal aggregates.
+"""
+
+from repro.core.chronon import Chronon
+from repro.core.span import Span
+from repro.core.instant import NOW, Instant
+from repro.core.period import Period
+from repro.core.element import Element
+from repro.core.nowctx import current_now, use_now
+
+__all__ = [
+    "Chronon",
+    "Span",
+    "Instant",
+    "NOW",
+    "Period",
+    "Element",
+    "current_now",
+    "use_now",
+]

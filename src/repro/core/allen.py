@@ -1,0 +1,148 @@
+"""Allen's thirteen interval relations on TIP periods.
+
+The paper states that "TIP supports Allen's operators for Periods"
+(Allen, CACM 1983).  At chronon granularity with closed-closed periods
+we use the standard discrete mapping: *meets* holds when the first
+period's end is immediately followed by the second's start
+(``a.end + 1 == b.start``), so the two share no chronon yet nothing
+fits between them.
+
+The thirteen relations partition all pairs of non-empty periods: for
+every pair exactly one holds (property-tested in the test suite).
+Empty-at-now periods have no Allen relation and raise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.core.instant import _coerce_now_seconds
+from repro.core.nowctx import current_now_seconds
+from repro.core.period import Period
+from repro.errors import TipEmptyPeriodError
+
+__all__ = [
+    "before",
+    "after",
+    "meets",
+    "met_by",
+    "overlaps",
+    "overlapped_by",
+    "starts",
+    "started_by",
+    "during",
+    "contains",
+    "finishes",
+    "finished_by",
+    "equals",
+    "relation",
+    "RELATION_NAMES",
+]
+
+Pair = Tuple[int, int]
+
+
+def _ground(a: Period, b: Period, now) -> Tuple[Pair, Pair]:
+    now_seconds = _coerce_now_seconds(now)
+    if now_seconds is None:
+        now_seconds = current_now_seconds()
+    ga = a.ground_pair(now_seconds)
+    gb = b.ground_pair(now_seconds)
+    if ga is None or gb is None:
+        raise TipEmptyPeriodError("Allen relations are undefined for empty periods")
+    return ga, gb
+
+
+def _rel_before(a: Pair, b: Pair) -> bool:
+    return a[1] + 1 < b[0]
+
+
+def _rel_meets(a: Pair, b: Pair) -> bool:
+    return a[1] + 1 == b[0]
+
+
+def _rel_overlaps(a: Pair, b: Pair) -> bool:
+    return a[0] < b[0] <= a[1] < b[1]
+
+
+def _rel_starts(a: Pair, b: Pair) -> bool:
+    return a[0] == b[0] and a[1] < b[1]
+
+
+def _rel_during(a: Pair, b: Pair) -> bool:
+    return b[0] < a[0] and a[1] < b[1]
+
+
+def _rel_finishes(a: Pair, b: Pair) -> bool:
+    return b[0] < a[0] and a[1] == b[1]
+
+
+def _rel_equals(a: Pair, b: Pair) -> bool:
+    return a == b
+
+
+_BASE: Dict[str, Callable[[Pair, Pair], bool]] = {
+    "before": _rel_before,
+    "meets": _rel_meets,
+    "overlaps": _rel_overlaps,
+    "starts": _rel_starts,
+    "during": _rel_during,
+    "finishes": _rel_finishes,
+    "equals": _rel_equals,
+}
+
+_INVERSE = {
+    "before": "after",
+    "meets": "met_by",
+    "overlaps": "overlapped_by",
+    "starts": "started_by",
+    "during": "contains",
+    "finishes": "finished_by",
+}
+
+#: All thirteen relation names, base relations first.
+RELATION_NAMES = tuple(_BASE) + tuple(_INVERSE.values())
+
+
+def _make_predicate(name: str, flipped: bool):
+    base = _BASE[name]
+
+    def predicate(a: Period, b: Period, now=None) -> bool:
+        ga, gb = _ground(a, b, now)
+        return base(gb, ga) if flipped else base(ga, gb)
+
+    direction = "inverse of" if flipped else ""
+    predicate.__name__ = _INVERSE[name] if flipped else name
+    predicate.__doc__ = (
+        f"Allen's *{predicate.__name__}* relation"
+        + (f" ({direction} *{name}*)" if flipped else "")
+        + ", evaluated at the given (or ambient) NOW."
+    )
+    return predicate
+
+
+before = _make_predicate("before", flipped=False)
+meets = _make_predicate("meets", flipped=False)
+overlaps = _make_predicate("overlaps", flipped=False)
+starts = _make_predicate("starts", flipped=False)
+during = _make_predicate("during", flipped=False)
+finishes = _make_predicate("finishes", flipped=False)
+equals = _make_predicate("equals", flipped=False)
+after = _make_predicate("before", flipped=True)
+met_by = _make_predicate("meets", flipped=True)
+overlapped_by = _make_predicate("overlaps", flipped=True)
+started_by = _make_predicate("starts", flipped=True)
+contains = _make_predicate("during", flipped=True)
+finished_by = _make_predicate("finishes", flipped=True)
+
+
+def relation(a: Period, b: Period, now=None) -> str:
+    """Classify the pair: the unique Allen relation holding at *now*."""
+    ga, gb = _ground(a, b, now)
+    for name, base in _BASE.items():
+        if base(ga, gb):
+            return name
+    for name, inverse_name in _INVERSE.items():
+        if _BASE[name](gb, ga):
+            return inverse_name
+    raise AssertionError(f"Allen relations failed to classify {ga} vs {gb}")

@@ -1,0 +1,59 @@
+"""Calendar-aware arithmetic on chronons.
+
+A TIP ``Span`` is a fixed number of seconds, but calendar applications
+also need "same day next month" arithmetic whose length varies with the
+calendar (the engine's DATE arithmetic).  These helpers implement the
+standard end-of-month clamping rule: 1999-01-31 plus one month is
+1999-02-28.
+"""
+
+from __future__ import annotations
+
+from repro.core import granularity
+from repro.core.chronon import Chronon
+from repro.errors import TipTypeError, TipValueError
+
+__all__ = ["add_months", "add_years", "start_of_day", "start_of_month", "start_of_year"]
+
+
+def add_months(chronon: Chronon, months: int) -> Chronon:
+    """Shift by whole calendar months, clamping the day of month.
+
+    >>> str(add_months(Chronon.of(1999, 1, 31), 1))
+    '1999-02-28'
+    """
+    if not isinstance(chronon, Chronon):
+        raise TipTypeError(f"add_months expects a Chronon, got {type(chronon).__name__}")
+    if isinstance(months, bool) or not isinstance(months, int):
+        raise TipTypeError("add_months expects an integer month count")
+    year, month, day, hour, minute, second = chronon.fields()
+    total = (year * 12 + (month - 1)) + months
+    new_year, new_month_zero = divmod(total, 12)
+    new_month = new_month_zero + 1
+    if not 1 <= new_year <= 9999:
+        raise TipValueError(f"add_months leaves the calendar: year {new_year}")
+    new_day = min(day, granularity.days_in_month(new_year, new_month))
+    return Chronon.of(new_year, new_month, new_day, hour, minute, second)
+
+
+def add_years(chronon: Chronon, years: int) -> Chronon:
+    """Shift by whole calendar years (Feb 29 clamps to Feb 28)."""
+    return add_months(chronon, years * 12)
+
+
+def start_of_day(chronon: Chronon) -> Chronon:
+    """Truncate to midnight."""
+    year, month, day, _h, _m, _s = chronon.fields()
+    return Chronon.of(year, month, day)
+
+
+def start_of_month(chronon: Chronon) -> Chronon:
+    """Truncate to the first of the month."""
+    year, month, _d, _h, _m, _s = chronon.fields()
+    return Chronon.of(year, month, 1)
+
+
+def start_of_year(chronon: Chronon) -> Chronon:
+    """Truncate to January 1st."""
+    year, _mo, _d, _h, _m, _s = chronon.fields()
+    return Chronon.of(year, 1, 1)

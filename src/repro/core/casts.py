@@ -1,0 +1,138 @@
+"""The TIP cast system.
+
+The paper: "TIP provides casts between TIP datatypes whenever
+appropriate" — the widening chain ``Chronon -> Instant -> Period ->
+Element`` is implicit, grounding ``Instant -> Chronon`` is explicit
+(it substitutes the transaction time for ``NOW``), and every type casts
+to and from its SQL string literal form implicitly, which is how string
+constants in INSERT statements become temporal values.
+
+The table here is the single source of truth; the blade framework
+(:mod:`repro.blade`) registers each entry as an engine cast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple, Type
+
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.instant import Instant
+from repro.core.period import Period
+from repro.core.span import Span
+from repro.errors import TipTypeError
+
+__all__ = ["CastRule", "CAST_RULES", "cast", "can_cast"]
+
+
+@dataclass(frozen=True)
+class CastRule:
+    """One edge of the cast graph."""
+
+    source: Type
+    target: Type
+    implicit: bool
+    convert: Callable
+    doc: str
+
+
+def _instant_to_chronon(value: Instant, now=None) -> Chronon:
+    return value.ground(now)
+
+
+def _period_to_element(value: Period, now=None) -> Element:
+    return Element.of(value)
+
+
+def _instant_to_period(value: Instant, now=None) -> Period:
+    return Period.at(value)
+
+
+def _chronon_to_instant(value: Chronon, now=None) -> Instant:
+    return Instant.at(value)
+
+
+def _chronon_to_period(value: Chronon, now=None) -> Period:
+    return Period.at(value)
+
+
+def _chronon_to_element(value: Chronon, now=None) -> Element:
+    return Element.of(value)
+
+
+def _instant_to_element(value: Instant, now=None) -> Element:
+    return Element.of(value)
+
+
+def _parse_rule(parser: Callable) -> Callable:
+    def convert(value: str, now=None):
+        return parser(value)
+
+    return convert
+
+
+def _format_rule() -> Callable:
+    def convert(value, now=None) -> str:
+        return str(value)
+
+    return convert
+
+
+def _build_rules() -> Dict[Tuple[Type, Type], CastRule]:
+    rules = [
+        CastRule(Chronon, Instant, True, _chronon_to_instant,
+                 "A chronon is a determinate instant."),
+        CastRule(Chronon, Period, True, _chronon_to_period,
+                 "1999-01-01 becomes [1999-01-01, 1999-01-01]."),
+        CastRule(Chronon, Element, True, _chronon_to_element,
+                 "A chronon becomes a singleton element."),
+        CastRule(Instant, Period, True, _instant_to_period,
+                 "An instant becomes the degenerate period at itself."),
+        CastRule(Instant, Element, True, _instant_to_element,
+                 "An instant becomes a singleton element."),
+        CastRule(Period, Element, True, _period_to_element,
+                 "A period becomes a one-period element."),
+        CastRule(Instant, Chronon, False, _instant_to_chronon,
+                 "Grounding: NOW-1 becomes 1999-08-31 if today is 1999-09-01."),
+    ]
+    for tip_type in (Chronon, Span, Instant, Period, Element):
+        rules.append(
+            CastRule(str, tip_type, True, _parse_rule(tip_type.parse),
+                     f"Parse a {tip_type.__name__} literal string.")
+        )
+        rules.append(
+            CastRule(tip_type, str, True, _format_rule(),
+                     f"Render a {tip_type.__name__} in literal syntax.")
+        )
+    return {(rule.source, rule.target): rule for rule in rules}
+
+
+#: The complete cast graph, keyed by ``(source_type, target_type)``.
+CAST_RULES: Dict[Tuple[Type, Type], CastRule] = _build_rules()
+
+
+def can_cast(source: Type, target: Type, *, implicit_only: bool = False) -> bool:
+    """True when a (direct) cast from *source* to *target* exists."""
+    if source is target:
+        return True
+    rule = CAST_RULES.get((source, target))
+    if rule is None:
+        return False
+    return rule.implicit or not implicit_only
+
+
+def cast(value, target: Type, *, now=None, implicit_only: bool = False):
+    """Cast *value* to *target*, the engine's ``::`` operator.
+
+    *now* is forwarded to grounding casts; *implicit_only* restricts the
+    lookup to casts the engine applies automatically.
+    """
+    source = type(value)
+    if source is target:
+        return value
+    rule = CAST_RULES.get((source, target))
+    if rule is None or (implicit_only and not rule.implicit):
+        kind = "implicit cast" if implicit_only else "cast"
+        raise TipTypeError(f"no {kind} from {source.__name__} to {target.__name__}")
+    return rule.convert(value, now=now)

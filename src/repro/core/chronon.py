@@ -1,0 +1,178 @@
+"""The ``Chronon`` datatype: a specific point in time.
+
+A chronon is the paper's analog of SQL's ``DATE``, at one-second
+granularity, written ``year-month-day[ hour:minute:second]``.  The most
+famous chronon is ``2000-01-01 00:00:00`` — and yes, TIP is
+Y2K-compliant.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core import granularity
+from repro.core.span import Span
+from repro.errors import TipTypeError
+
+__all__ = ["Chronon"]
+
+
+class Chronon:
+    """An absolute, determinate point in time.
+
+    Arithmetic follows the paper's type rules:
+
+    * ``Chronon - Chronon`` yields a :class:`Span`;
+    * ``Chronon ± Span`` (and ``Span + Chronon``) yield a ``Chronon``;
+    * ``Chronon + Chronon`` is a type error, reported by raising
+      :class:`~repro.errors.TipTypeError` exactly as the engine would.
+
+    Comparisons between two chronons are plain value comparisons.
+    Comparing a chronon against a ``NOW``-relative
+    :class:`~repro.core.instant.Instant` is delegated to the instant's
+    reflected operator, whose result may change as time advances.
+    """
+
+    __slots__ = ("_seconds",)
+
+    def __init__(self, seconds: int) -> None:
+        self._seconds = granularity.check_chronon_seconds(seconds)
+
+    # -- constructors ------------------------------------------------
+
+    @classmethod
+    def of(
+        cls,
+        year: int,
+        month: int,
+        day: int,
+        hour: int = 0,
+        minute: int = 0,
+        second: int = 0,
+    ) -> "Chronon":
+        """Build a chronon from calendar fields (validated)."""
+        return cls(granularity.fields_to_seconds(year, month, day, hour, minute, second))
+
+    @staticmethod
+    def parse(text: str) -> "Chronon":
+        """Parse a chronon literal, e.g. ``'2000-01-01 00:00:00'``."""
+        from repro.core.parser import parse_chronon
+
+        return parse_chronon(text)
+
+    @classmethod
+    def min(cls) -> "Chronon":
+        """The earliest representable chronon (0001-01-01 00:00:00)."""
+        return cls(granularity.MIN_SECONDS)
+
+    @classmethod
+    def max(cls) -> "Chronon":
+        """The latest representable chronon (9999-12-31 23:59:59)."""
+        return cls(granularity.MAX_SECONDS)
+
+    # -- accessors ---------------------------------------------------
+
+    @property
+    def seconds(self) -> int:
+        """Seconds from the epoch 1970-01-01 00:00:00 (may be negative)."""
+        return self._seconds
+
+    def fields(self) -> granularity.FieldTuple:
+        """Calendar fields ``(year, month, day, hour, minute, second)``."""
+        return granularity.seconds_to_fields(self._seconds)
+
+    @property
+    def year(self) -> int:
+        return self.fields()[0]
+
+    @property
+    def month(self) -> int:
+        return self.fields()[1]
+
+    @property
+    def day(self) -> int:
+        return self.fields()[2]
+
+    @property
+    def hour(self) -> int:
+        return self.fields()[3]
+
+    @property
+    def minute(self) -> int:
+        return self.fields()[4]
+
+    @property
+    def second(self) -> int:
+        return self.fields()[5]
+
+    def next(self) -> "Chronon":
+        """The immediately following chronon (one second later)."""
+        return Chronon(self._seconds + 1)
+
+    def prev(self) -> "Chronon":
+        """The immediately preceding chronon (one second earlier)."""
+        return Chronon(self._seconds - 1)
+
+    # -- arithmetic --------------------------------------------------
+
+    def __add__(self, other: object) -> "Chronon":
+        if isinstance(other, Span):
+            return Chronon(self._seconds + other.seconds)
+        if isinstance(other, Chronon):
+            raise TipTypeError("Chronon + Chronon is a type error (did you mean Chronon + Span?)")
+        return NotImplemented
+
+    def __radd__(self, other: object) -> "Chronon":
+        if isinstance(other, Span):
+            return Chronon(self._seconds + other.seconds)
+        return NotImplemented
+
+    def __sub__(self, other: object):
+        if isinstance(other, Chronon):
+            return Span(self._seconds - other._seconds)
+        if isinstance(other, Span):
+            return Chronon(self._seconds - other.seconds)
+        return NotImplemented
+
+    # -- comparisons and hashing -------------------------------------
+
+    def _cmp_key(self, other: object) -> Tuple[bool, int]:
+        return isinstance(other, Chronon), getattr(other, "_seconds", 0)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Chronon):
+            return self._seconds == other._seconds
+        return NotImplemented
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, Chronon):
+            return self._seconds < other._seconds
+        return NotImplemented
+
+    def __le__(self, other: object) -> bool:
+        if isinstance(other, Chronon):
+            return self._seconds <= other._seconds
+        return NotImplemented
+
+    def __gt__(self, other: object) -> bool:
+        if isinstance(other, Chronon):
+            return self._seconds > other._seconds
+        return NotImplemented
+
+    def __ge__(self, other: object) -> bool:
+        if isinstance(other, Chronon):
+            return self._seconds >= other._seconds
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Chronon", self._seconds))
+
+    # -- rendering ---------------------------------------------------
+
+    def __str__(self) -> str:
+        from repro.core.formatter import format_chronon
+
+        return format_chronon(self)
+
+    def __repr__(self) -> str:
+        return f"Chronon('{self}')"

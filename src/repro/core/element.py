@@ -1,0 +1,347 @@
+"""The ``Element`` datatype: a set of periods.
+
+An element is the paper's general tuple timestamp: ``{[1999-01-01,
+1999-04-30], [1999-07-01, 1999-10-31]}`` is "from January to April, and
+then from July to October".  Periods may be ``NOW``-relative, as in
+``{[1999-10-01, NOW]}``.
+
+Determinate elements are kept in *canonical form* — sorted, disjoint,
+coalesced — which is what makes every set operation a linear merge sweep
+(paper Section 3, experiment E1).  Elements containing ``NOW`` cannot be
+canonicalized statically; they are canonicalized on grounding, and all
+set operations ground their operands at the ambient transaction time
+first (exactly when the engine evaluates them inside a statement).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.core import interval_algebra as ia
+from repro.core import granularity
+from repro.core.chronon import Chronon
+from repro.core.instant import Instant, _coerce_now_seconds
+from repro.core.nowctx import current_now_seconds
+from repro.core.period import Period
+from repro.core.span import Span
+from repro.errors import TipTypeError, TipValueError
+
+__all__ = ["Element"]
+
+
+def _coerce_period(item: "Period | Chronon | Instant") -> Period:
+    if isinstance(item, Period):
+        return item
+    if isinstance(item, (Chronon, Instant)):
+        return Period.at(item)
+    raise TipTypeError(f"Element members must be periods, got {type(item).__name__}")
+
+
+class Element:
+    """An immutable set of periods, the general TIP timestamp."""
+
+    __slots__ = ("_periods", "_canonical")
+
+    def __init__(self, periods: Iterable["Period | Chronon | Instant"] = ()) -> None:
+        coerced = [_coerce_period(p) for p in periods]
+        if all(p.is_determinate for p in coerced):
+            pairs = ia.normalize(
+                pair for p in coerced if (pair := p.ground_pair(0)) is not None
+            )
+            self._periods: Tuple[Period, ...] = tuple(
+                Period(Chronon(lo), Chronon(hi)) for lo, hi in pairs
+            )
+            self._canonical = True
+        else:
+            self._periods = tuple(coerced)
+            self._canonical = False
+
+    # -- constructors ------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "Element":
+        """The empty element ``{}``."""
+        return cls(())
+
+    @classmethod
+    def of(cls, *periods: "Period | Chronon | Instant") -> "Element":
+        """Build an element from periods given as positional arguments."""
+        return cls(periods)
+
+    @staticmethod
+    def parse(text: str) -> "Element":
+        """Parse an element literal, e.g. ``'{[1999-10-01, NOW]}'``."""
+        from repro.core.parser import parse_element
+
+        return parse_element(text)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[int, int]]) -> "Element":
+        """Build a determinate element from raw second pairs (normalized)."""
+        element = cls.__new__(cls)
+        normalized = ia.normalize(pairs)
+        for lo, hi in normalized:
+            granularity.check_chronon_seconds(lo)
+            granularity.check_chronon_seconds(hi)
+        element._periods = tuple(Period(Chronon(lo), Chronon(hi)) for lo, hi in normalized)
+        element._canonical = True
+        return element
+
+    # -- accessors ---------------------------------------------------
+
+    @property
+    def periods(self) -> Tuple[Period, ...]:
+        """The member periods (canonical when determinate)."""
+        return self._periods
+
+    @property
+    def is_determinate(self) -> bool:
+        """True when no member period involves ``NOW``."""
+        return self._canonical
+
+    def __iter__(self) -> Iterator[Period]:
+        return iter(self._periods)
+
+    def __len__(self) -> int:
+        """Number of stored periods (before grounding)."""
+        return len(self._periods)
+
+    def key(self) -> Tuple:
+        """Structural identity, independent of time."""
+        return tuple(p.key() for p in self._periods)
+
+    def identical(self, other: "Element") -> bool:
+        """Structural (time-independent) identity."""
+        return isinstance(other, Element) and self.key() == other.key()
+
+    # -- grounding ---------------------------------------------------
+
+    def ground_pairs(self, now_seconds: Optional[int] = None) -> List[Tuple[int, int]]:
+        """Canonical grounded form as raw second pairs at *now_seconds*.
+
+        ``NOW``-relative periods that are empty at *now* are dropped,
+        following the paper's set semantics (an empty period contributes
+        no chronons).
+        """
+        if self._canonical:
+            return [p.ground_pair(0) for p in self._periods]  # type: ignore[misc]
+        if now_seconds is None:
+            now_seconds = current_now_seconds()
+        pairs = []
+        for period in self._periods:
+            pair = period.ground_pair(now_seconds)
+            if pair is not None:
+                pairs.append(pair)
+        return ia.normalize(pairs)
+
+    def ground(self, now: "Chronon | int | None" = None) -> "Element":
+        """Substitute the transaction time for every ``NOW``, canonicalize."""
+        if self._canonical:
+            return self
+        return Element.from_pairs(self.ground_pairs(_coerce_now_seconds(now)))
+
+    def is_empty_at(self, now: "Chronon | int | None" = None) -> bool:
+        """True when the element covers no chronon at *now*."""
+        return not self.ground_pairs(_coerce_now_seconds(now))
+
+    # -- set algebra (linear-time; grounds at the ambient NOW) --------
+
+    def _binary(self, other: "Element", op, now) -> "Element":
+        if not isinstance(other, Element):
+            raise TipTypeError(f"expected Element, got {type(other).__name__}")
+        now_seconds = _coerce_now_seconds(now)
+        if now_seconds is None and not (self._canonical and other._canonical):
+            now_seconds = current_now_seconds()
+        return Element.from_pairs(
+            op(self.ground_pairs(now_seconds), other.ground_pairs(now_seconds))
+        )
+
+    def union(self, other: "Element", now: "Chronon | int | None" = None) -> "Element":
+        """Set union, in time linear in the total number of periods."""
+        return self._binary(other, ia.union, now)
+
+    def intersect(self, other: "Element", now: "Chronon | int | None" = None) -> "Element":
+        """Set intersection, linear time."""
+        return self._binary(other, ia.intersect, now)
+
+    def difference(self, other: "Element", now: "Chronon | int | None" = None) -> "Element":
+        """Set difference ``self - other``, linear time."""
+        return self._binary(other, ia.difference, now)
+
+    def complement(
+        self,
+        within: Optional[Period] = None,
+        now: "Chronon | int | None" = None,
+    ) -> "Element":
+        """Chronons *not* in this element, within a bounding period.
+
+        The bound defaults to the whole calendar line.
+        """
+        now_seconds = _coerce_now_seconds(now)
+        if within is None:
+            lo, hi = granularity.MIN_SECONDS, granularity.MAX_SECONDS
+        else:
+            bound = within.ground_pair(now_seconds)
+            if bound is None:
+                return Element.empty()
+            lo, hi = bound
+        return Element.from_pairs(ia.complement(self.ground_pairs(now_seconds), lo, hi))
+
+    def __or__(self, other: "Element") -> "Element":
+        return self.union(other)
+
+    def __and__(self, other: "Element") -> "Element":
+        return self.intersect(other)
+
+    def __sub__(self, other: "Element") -> "Element":
+        return self.difference(other)
+
+    # -- predicates ---------------------------------------------------
+
+    def overlaps(self, other: "Element | Period", now: "Chronon | int | None" = None) -> bool:
+        """True when the two values share at least one chronon at *now*."""
+        now_seconds = _coerce_now_seconds(now)
+        if isinstance(other, Period):
+            other = Element.of(other)
+        if not isinstance(other, Element):
+            raise TipTypeError(f"overlaps() does not accept {type(other).__name__}")
+        if now_seconds is None and not (self._canonical and other._canonical):
+            now_seconds = current_now_seconds()
+        return ia.overlaps(self.ground_pairs(now_seconds), other.ground_pairs(now_seconds))
+
+    def contains(
+        self,
+        other: "Element | Period | Instant | Chronon",
+        now: "Chronon | int | None" = None,
+    ) -> bool:
+        """True when *other* lies entirely inside this element at *now*."""
+        now_seconds = _coerce_now_seconds(now)
+        if isinstance(other, (Chronon, Instant)):
+            instant = Instant.at(other)
+            if now_seconds is None and not (self._canonical and instant.is_determinate):
+                now_seconds = current_now_seconds()
+            point = instant.ground_seconds(now_seconds)
+            return ia.contains_point(self.ground_pairs(now_seconds), point)
+        if isinstance(other, Period):
+            other = Element.of(other)
+        if not isinstance(other, Element):
+            raise TipTypeError(f"contains() does not accept {type(other).__name__}")
+        if now_seconds is None and not (self._canonical and other._canonical):
+            now_seconds = current_now_seconds()
+        return ia.contains(self.ground_pairs(now_seconds), other.ground_pairs(now_seconds))
+
+    # -- derived quantities -------------------------------------------
+
+    def length(self, now: "Chronon | int | None" = None) -> Span:
+        """Total covered time as a span (paper's ``length`` routine)."""
+        return Span(ia.total_length(self.ground_pairs(_coerce_now_seconds(now))))
+
+    def count(self, now: "Chronon | int | None" = None) -> int:
+        """Number of periods after grounding and coalescing."""
+        return len(self.ground_pairs(_coerce_now_seconds(now)))
+
+    def first(self, now: "Chronon | int | None" = None) -> Period:
+        """The earliest period (grounded)."""
+        pairs = self.ground_pairs(_coerce_now_seconds(now))
+        if not pairs:
+            raise TipValueError("first() of an empty element")
+        return Period(Chronon(pairs[0][0]), Chronon(pairs[0][1]))
+
+    def last(self, now: "Chronon | int | None" = None) -> Period:
+        """The latest period (grounded)."""
+        pairs = self.ground_pairs(_coerce_now_seconds(now))
+        if not pairs:
+            raise TipValueError("last() of an empty element")
+        return Period(Chronon(pairs[-1][0]), Chronon(pairs[-1][1]))
+
+    def start(self, now: "Chronon | int | None" = None) -> Chronon:
+        """Start of the first period (the paper's ``start`` routine)."""
+        pairs = self.ground_pairs(_coerce_now_seconds(now))
+        if not pairs:
+            raise TipValueError("start() of an empty element")
+        return Chronon(pairs[0][0])
+
+    def end(self, now: "Chronon | int | None" = None) -> Chronon:
+        """End of the last period."""
+        pairs = self.ground_pairs(_coerce_now_seconds(now))
+        if not pairs:
+            raise TipValueError("end() of an empty element")
+        return Chronon(pairs[-1][1])
+
+    def restrict(self, window: Period, now: "Chronon | int | None" = None) -> "Element":
+        """Clip to *window* (the Browser's timeslice operation)."""
+        now_seconds = _coerce_now_seconds(now)
+        bound = window.ground_pair(now_seconds)
+        if bound is None:
+            return Element.empty()
+        return Element.from_pairs(ia.restrict(self.ground_pairs(now_seconds), bound[0], bound[1]))
+
+    def extent(self, now: "Chronon | int | None" = None) -> Period:
+        """The bounding period ``[start, end]`` of the whole element."""
+        pairs = self.ground_pairs(_coerce_now_seconds(now))
+        if not pairs:
+            raise TipValueError("extent() of an empty element")
+        return Period(Chronon(pairs[0][0]), Chronon(pairs[-1][1]))
+
+    def gaps(self, now: "Chronon | int | None" = None) -> "Element":
+        """The uncovered time *between* this element's periods.
+
+        The complement restricted to the element's own extent; empty
+        for elements with a single period.
+        """
+        now_seconds = _coerce_now_seconds(now)
+        pairs = self.ground_pairs(now_seconds)
+        if len(pairs) < 2:
+            return Element.empty()
+        return Element.from_pairs(
+            ia.complement(pairs, pairs[0][0], pairs[-1][1])
+        )
+
+    def before_point(self, when: "Chronon | Instant", now: "Chronon | int | None" = None) -> "Element":
+        """The part of the element strictly before *when*."""
+        now_seconds = _coerce_now_seconds(now)
+        point = Instant.at(when).ground_seconds(
+            now_seconds if now_seconds is not None else current_now_seconds()
+        )
+        pairs = self.ground_pairs(now_seconds)
+        if point <= granularity.MIN_SECONDS:
+            return Element.empty()
+        return Element.from_pairs(ia.restrict(pairs, granularity.MIN_SECONDS, point - 1))
+
+    def after_point(self, when: "Chronon | Instant", now: "Chronon | int | None" = None) -> "Element":
+        """The part of the element strictly after *when*."""
+        now_seconds = _coerce_now_seconds(now)
+        point = Instant.at(when).ground_seconds(
+            now_seconds if now_seconds is not None else current_now_seconds()
+        )
+        pairs = self.ground_pairs(now_seconds)
+        if point >= granularity.MAX_SECONDS:
+            return Element.empty()
+        return Element.from_pairs(ia.restrict(pairs, point + 1, granularity.MAX_SECONDS))
+
+    def shift(self, delta: Span) -> "Element":
+        """Translate every period by *delta*, preserving NOW-relativity."""
+        if not isinstance(delta, Span):
+            raise TipTypeError(f"shift expects a Span, got {type(delta).__name__}")
+        return Element(p.shift(delta) for p in self._periods)
+
+    # -- temporal comparisons -----------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Element):
+            return NotImplemented
+        now_seconds = current_now_seconds()
+        return self.ground_pairs(now_seconds) == other.ground_pairs(now_seconds)
+
+    #: Temporal equality is time-dependent, so elements are unhashable.
+    __hash__ = None  # type: ignore[assignment]
+
+    # -- rendering ----------------------------------------------------
+
+    def __str__(self) -> str:
+        from repro.core.formatter import format_element
+
+        return format_element(self)
+
+    def __repr__(self) -> str:
+        return f"Element('{self}')"

@@ -1,0 +1,73 @@
+"""Canonical text rendering for the five TIP datatypes.
+
+The formats are exactly the paper's literal notation, so every value
+round-trips through :mod:`repro.core.parser`:
+
+* ``Chronon`` — ``1999-09-01`` or ``2000-01-01 00:00:00`` (the time part
+  is omitted at midnight);
+* ``Span`` — ``7 12:00:00``, ``-7``;
+* ``Instant`` — a chronon, or ``NOW``, ``NOW-1``, ``NOW+0 06:00:00``;
+* ``Period`` — ``[1999-01-01, NOW]``;
+* ``Element`` — ``{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.chronon import Chronon
+    from repro.core.element import Element
+    from repro.core.instant import Instant
+    from repro.core.period import Period
+    from repro.core.span import Span
+
+__all__ = [
+    "format_chronon",
+    "format_span",
+    "format_instant",
+    "format_period",
+    "format_element",
+]
+
+
+def format_chronon(value: "Chronon") -> str:
+    """Render ``year-month-day[ hour:minute:second]``."""
+    year, month, day, hour, minute, second = value.fields()
+    date_part = f"{year:04d}-{month:02d}-{day:02d}"
+    if hour == 0 and minute == 0 and second == 0:
+        return date_part
+    return f"{date_part} {hour:02d}:{minute:02d}:{second:02d}"
+
+
+def format_span(value: "Span") -> str:
+    """Render ``[-]days[ hours:minutes:seconds]``."""
+    sign, days, hours, minutes, seconds = value.components()
+    prefix = "-" if sign < 0 else ""
+    if hours == 0 and minutes == 0 and seconds == 0:
+        return f"{prefix}{days}"
+    return f"{prefix}{days} {hours:02d}:{minutes:02d}:{seconds:02d}"
+
+
+def format_instant(value: "Instant") -> str:
+    """Render a chronon literal or ``NOW[±span]``."""
+    if value.is_determinate:
+        return format_chronon(value.chronon)  # type: ignore[arg-type]
+    offset = value.offset
+    assert offset is not None
+    if offset.is_zero:
+        return "NOW"
+    if offset.is_negative:
+        return f"NOW-{format_span(abs(offset))}"
+    return f"NOW+{format_span(offset)}"
+
+
+def format_period(value: "Period") -> str:
+    """Render ``[start, end]``."""
+    return f"[{format_instant(value.start)}, {format_instant(value.end)}]"
+
+
+def format_element(value: "Element") -> str:
+    """Render ``{period, period, ...}`` (``{}`` when empty)."""
+    inner = ", ".join(format_period(p) for p in value.periods)
+    return "{" + inner + "}"

@@ -1,0 +1,139 @@
+"""Calendar and granularity substrate.
+
+TIP models time at a fixed granularity of one second (the finest
+granularity the paper displays).  A point in time — a *chronon* — is an
+integer count of seconds from the epoch 1970-01-01 00:00:00 on the
+proleptic Gregorian calendar, covering years 0001 through 9999.
+
+The civil-calendar conversions below are implemented from first
+principles (era/day-of-era arithmetic) so the substrate does not inherit
+the limits or timezone semantics of :mod:`datetime`.  All times are
+timezone-naive, as in the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Tuple
+
+from repro.errors import TipValueError
+
+SECONDS_PER_MINUTE = 60
+SECONDS_PER_HOUR = 60 * 60
+SECONDS_PER_DAY = 24 * 60 * 60
+
+#: Days between 0000-03-01 (start of the era arithmetic) and 1970-01-01.
+_EPOCH_DAYS_FROM_CIVIL_ZERO = 719468
+
+_DAYS_IN_MONTH = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+FieldTuple = Tuple[int, int, int, int, int, int]
+
+
+def is_leap_year(year: int) -> bool:
+    """Return True when *year* is a Gregorian leap year."""
+    return year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)
+
+
+def days_in_month(year: int, month: int) -> int:
+    """Return the number of days in *month* of *year* (month is 1..12)."""
+    if not 1 <= month <= 12:
+        raise TipValueError(f"month out of range: {month}")
+    if month == 2 and is_leap_year(year):
+        return 29
+    return _DAYS_IN_MONTH[month - 1]
+
+
+def _days_from_civil(year: int, month: int, day: int) -> int:
+    """Days from 1970-01-01 to the given civil date (may be negative)."""
+    year -= month <= 2
+    era = (year if year >= 0 else year - 399) // 400
+    yoe = year - era * 400
+    doy = (153 * (month + (-3 if month > 2 else 9)) + 2) // 5 + day - 1
+    doe = yoe * 365 + yoe // 4 - yoe // 100 + doy
+    return era * 146097 + doe - _EPOCH_DAYS_FROM_CIVIL_ZERO
+
+
+def _civil_from_days(days: int) -> Tuple[int, int, int]:
+    """Inverse of :func:`_days_from_civil`."""
+    days += _EPOCH_DAYS_FROM_CIVIL_ZERO
+    era = (days if days >= 0 else days - 146096) // 146097
+    doe = days - era * 146097
+    yoe = (doe - doe // 1460 + doe // 36524 - doe // 146096) // 365
+    year = yoe + era * 400
+    doy = doe - (365 * yoe + yoe // 4 - yoe // 100)
+    mp = (5 * doy + 2) // 153
+    day = doy - (153 * mp + 2) // 5 + 1
+    month = mp + (3 if mp < 10 else -9)
+    return year + (month <= 2), month, day
+
+
+#: Chronon bounds: 0001-01-01 00:00:00 through 9999-12-31 23:59:59.
+MIN_SECONDS = _days_from_civil(1, 1, 1) * SECONDS_PER_DAY
+MAX_SECONDS = _days_from_civil(9999, 12, 31) * SECONDS_PER_DAY + SECONDS_PER_DAY - 1
+
+#: Span bounds: wide enough that any chronon difference is representable.
+MAX_SPAN_SECONDS = MAX_SECONDS - MIN_SECONDS
+MIN_SPAN_SECONDS = -MAX_SPAN_SECONDS
+
+
+def check_chronon_seconds(seconds: int) -> int:
+    """Validate that *seconds* designates a representable chronon."""
+    if not isinstance(seconds, int) or isinstance(seconds, bool):
+        raise TipValueError(f"chronon seconds must be an int, got {type(seconds).__name__}")
+    if not MIN_SECONDS <= seconds <= MAX_SECONDS:
+        raise TipValueError(f"chronon out of calendar range (years 0001-9999): {seconds}")
+    return seconds
+
+
+def check_span_seconds(seconds: int) -> int:
+    """Validate that *seconds* is a representable span length."""
+    if not isinstance(seconds, int) or isinstance(seconds, bool):
+        raise TipValueError(f"span seconds must be an int, got {type(seconds).__name__}")
+    if not MIN_SPAN_SECONDS <= seconds <= MAX_SPAN_SECONDS:
+        raise TipValueError(f"span out of range: {seconds}")
+    return seconds
+
+
+def fields_to_seconds(
+    year: int,
+    month: int,
+    day: int,
+    hour: int = 0,
+    minute: int = 0,
+    second: int = 0,
+) -> int:
+    """Convert calendar fields to chronon seconds, validating every field."""
+    if not 1 <= year <= 9999:
+        raise TipValueError(f"year out of range 1..9999: {year}")
+    if not 1 <= month <= 12:
+        raise TipValueError(f"month out of range 1..12: {month}")
+    if not 1 <= day <= days_in_month(year, month):
+        raise TipValueError(f"day out of range for {year:04d}-{month:02d}: {day}")
+    if not 0 <= hour <= 23:
+        raise TipValueError(f"hour out of range 0..23: {hour}")
+    if not 0 <= minute <= 59:
+        raise TipValueError(f"minute out of range 0..59: {minute}")
+    if not 0 <= second <= 59:
+        raise TipValueError(f"second out of range 0..59: {second}")
+    days = _days_from_civil(year, month, day)
+    return days * SECONDS_PER_DAY + hour * SECONDS_PER_HOUR + minute * SECONDS_PER_MINUTE + second
+
+
+def seconds_to_fields(seconds: int) -> FieldTuple:
+    """Convert chronon seconds back to (year, month, day, hour, minute, second)."""
+    check_chronon_seconds(seconds)
+    days, rem = divmod(seconds, SECONDS_PER_DAY)
+    year, month, day = _civil_from_days(days)
+    hour, rem = divmod(rem, SECONDS_PER_HOUR)
+    minute, second = divmod(rem, SECONDS_PER_MINUTE)
+    return year, month, day, hour, minute, second
+
+
+def wall_clock_seconds() -> int:
+    """Current UTC wall-clock time as chronon seconds.
+
+    This is the fallback interpretation of ``NOW`` when no transaction
+    context is active (see :mod:`repro.core.nowctx`).
+    """
+    return int(time.time())

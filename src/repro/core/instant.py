@@ -1,0 +1,234 @@
+"""The ``Instant`` datatype: a chronon or a ``NOW``-relative time.
+
+An instant is either *determinate* (an absolute chronon) or
+*``NOW``-relative*: an offset of type :class:`~repro.core.span.Span`
+from the special symbol ``NOW``, whose interpretation changes as time
+advances.  ``NOW-1`` denotes yesterday; ``NOW`` itself is exported as a
+module-level constant.
+
+Because the value of a ``NOW``-relative instant depends on the ambient
+transaction time, comparison operators involving instants are *temporal*:
+they ground both operands at :func:`repro.core.nowctx.current_now` and
+may therefore change over time, exactly as the paper describes for the
+engine.  Consequently instants are unhashable; use :meth:`Instant.key`
+for structural identity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core import granularity
+from repro.core.chronon import Chronon
+from repro.core.nowctx import current_now_seconds
+from repro.core.span import Span
+from repro.errors import TipTypeError, TipValueError
+
+__all__ = ["Instant", "NOW"]
+
+
+class Instant:
+    """A point in time that may float with ``NOW``.
+
+    Construction:
+
+    * ``Instant.at(chronon)`` — a determinate instant;
+    * ``Instant.now_relative(span)`` — ``NOW + span``;
+    * the module constant :data:`NOW` with ``NOW - Span.of(days=1)`` etc.
+    """
+
+    __slots__ = ("_abs", "_offset")
+
+    def __init__(self, *, abs_seconds: Optional[int] = None, offset_seconds: Optional[int] = None) -> None:
+        if (abs_seconds is None) == (offset_seconds is None):
+            raise TipValueError("Instant requires exactly one of abs_seconds/offset_seconds")
+        if abs_seconds is not None:
+            granularity.check_chronon_seconds(abs_seconds)
+        else:
+            granularity.check_span_seconds(offset_seconds)  # type: ignore[arg-type]
+        self._abs = abs_seconds
+        self._offset = offset_seconds
+
+    # -- constructors ------------------------------------------------
+
+    @classmethod
+    def at(cls, when: "Chronon | Instant") -> "Instant":
+        """A determinate instant at *when* (idempotent for instants)."""
+        if isinstance(when, Instant):
+            return when
+        if isinstance(when, Chronon):
+            return cls(abs_seconds=when.seconds)
+        raise TipTypeError(f"cannot build Instant from {type(when).__name__}")
+
+    @classmethod
+    def now_relative(cls, offset: Span = Span(0)) -> "Instant":
+        """The instant ``NOW + offset``."""
+        if not isinstance(offset, Span):
+            raise TipTypeError(f"NOW offset must be a Span, got {type(offset).__name__}")
+        return cls(offset_seconds=offset.seconds)
+
+    @staticmethod
+    def parse(text: str) -> "Instant":
+        """Parse an instant literal: a chronon literal or ``NOW[±span]``."""
+        from repro.core.parser import parse_instant
+
+        return parse_instant(text)
+
+    # -- accessors ---------------------------------------------------
+
+    @property
+    def is_now_relative(self) -> bool:
+        return self._offset is not None
+
+    @property
+    def is_determinate(self) -> bool:
+        return self._abs is not None
+
+    @property
+    def offset(self) -> Optional[Span]:
+        """The offset from ``NOW``, or None for a determinate instant."""
+        return None if self._offset is None else Span(self._offset)
+
+    @property
+    def chronon(self) -> Optional[Chronon]:
+        """The absolute chronon, or None for a ``NOW``-relative instant."""
+        return None if self._abs is None else Chronon(self._abs)
+
+    def key(self) -> Tuple[str, int]:
+        """Structural identity, independent of time.
+
+        Two instants with equal keys denote the same value at every
+        possible ``NOW``; the converse does not hold only at the calendar
+        bounds.
+        """
+        if self._abs is not None:
+            return ("abs", self._abs)
+        return ("now", self._offset)  # type: ignore[return-value]
+
+    # -- grounding ---------------------------------------------------
+
+    def ground_seconds(self, now_seconds: Optional[int] = None) -> int:
+        """Grounded value in chronon seconds at *now_seconds*.
+
+        ``NOW``-relative instants that ground outside the calendar are
+        clamped to the calendar bounds: ``NOW + 50 years`` asked in 9990
+        means "the far future", not an error, matching the engine's
+        saturating behaviour for open-ended timestamps.
+        """
+        if self._abs is not None:
+            return self._abs
+        if now_seconds is None:
+            now_seconds = current_now_seconds()
+        grounded = now_seconds + self._offset  # type: ignore[operator]
+        if grounded < granularity.MIN_SECONDS:
+            return granularity.MIN_SECONDS
+        if grounded > granularity.MAX_SECONDS:
+            return granularity.MAX_SECONDS
+        return grounded
+
+    def ground(self, now: "Chronon | int | None" = None) -> Chronon:
+        """Substitute the transaction time for ``NOW``, yielding a chronon.
+
+        This is the paper's ``Instant -> Chronon`` cast: ``NOW-1`` becomes
+        ``1999-08-31`` if today is ``1999-09-01``.
+        """
+        now_seconds = _coerce_now_seconds(now)
+        return Chronon(self.ground_seconds(now_seconds))
+
+    # -- arithmetic --------------------------------------------------
+
+    def __add__(self, other: object) -> "Instant":
+        if isinstance(other, Span):
+            if self._abs is not None:
+                return Instant(abs_seconds=self._abs + other.seconds)
+            return Instant(offset_seconds=self._offset + other.seconds)  # type: ignore[operator]
+        if isinstance(other, (Chronon, Instant)):
+            raise TipTypeError("Instant + time-point is a type error (did you mean + Span?)")
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object):
+        if isinstance(other, Span):
+            return self.__add__(-other)
+        if isinstance(other, Instant):
+            return Span(self.ground_seconds() - other.ground_seconds())
+        if isinstance(other, Chronon):
+            return Span(self.ground_seconds() - other.seconds)
+        return NotImplemented
+
+    def __rsub__(self, other: object):
+        if isinstance(other, Chronon):
+            return Span(other.seconds - self.ground_seconds())
+        return NotImplemented
+
+    # -- temporal comparisons ----------------------------------------
+
+    def _other_seconds(self, other: object) -> Optional[int]:
+        if isinstance(other, Instant):
+            return other.ground_seconds(current_now_seconds())
+        if isinstance(other, Chronon):
+            return other.seconds
+        return None
+
+    def __eq__(self, other: object) -> bool:
+        rhs = self._other_seconds(other)
+        if rhs is None:
+            return NotImplemented
+        return self.ground_seconds(current_now_seconds()) == rhs
+
+    def __lt__(self, other: object) -> bool:
+        rhs = self._other_seconds(other)
+        if rhs is None:
+            return NotImplemented
+        return self.ground_seconds(current_now_seconds()) < rhs
+
+    def __le__(self, other: object) -> bool:
+        rhs = self._other_seconds(other)
+        if rhs is None:
+            return NotImplemented
+        return self.ground_seconds(current_now_seconds()) <= rhs
+
+    def __gt__(self, other: object) -> bool:
+        rhs = self._other_seconds(other)
+        if rhs is None:
+            return NotImplemented
+        return self.ground_seconds(current_now_seconds()) > rhs
+
+    def __ge__(self, other: object) -> bool:
+        rhs = self._other_seconds(other)
+        if rhs is None:
+            return NotImplemented
+        return self.ground_seconds(current_now_seconds()) >= rhs
+
+    #: Temporal equality is time-dependent, so instants are unhashable.
+    __hash__ = None  # type: ignore[assignment]
+
+    def identical(self, other: "Instant") -> bool:
+        """Structural (time-independent) identity."""
+        return isinstance(other, Instant) and self.key() == other.key()
+
+    # -- rendering ---------------------------------------------------
+
+    def __str__(self) -> str:
+        from repro.core.formatter import format_instant
+
+        return format_instant(self)
+
+    def __repr__(self) -> str:
+        return f"Instant('{self}')"
+
+
+def _coerce_now_seconds(now: "Chronon | int | None") -> Optional[int]:
+    """Normalize the many ways callers spell a grounding time."""
+    if now is None:
+        return None
+    if isinstance(now, Chronon):
+        return now.seconds
+    if isinstance(now, int) and not isinstance(now, bool):
+        return granularity.check_chronon_seconds(now)
+    raise TipTypeError(f"now must be a Chronon or seconds, got {type(now).__name__}")
+
+
+#: The special symbol ``NOW``: the current transaction time.
+NOW = Instant.now_relative(Span(0))

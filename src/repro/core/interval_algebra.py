@@ -1,0 +1,281 @@
+"""Linear-time set algebra over normalized period lists.
+
+This module is the performance kernel behind ``Element`` (paper
+Section 3: "we use efficient algorithms that execute in time linear in
+the number of periods").  It works on plain Python data — lists of
+``(start, end)`` integer pairs, closed-closed at chronon granularity —
+so the hot loops carry no object overhead.
+
+A list is in *canonical form* when its periods are sorted by start,
+pairwise disjoint, and non-adjacent (no ``a.end + 1 == b.start``).
+Every function that consumes two canonical lists produces a canonical
+list in ``O(n + m)`` time via a merge sweep.
+
+The deliberately naive quadratic implementations at the bottom exist
+only for experiment E7 (ablation): they are what you get without the
+canonical-form invariant.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import TipValueError
+
+Pair = Tuple[int, int]
+Pairs = List[Pair]
+
+
+def is_canonical(pairs: Sequence[Pair]) -> bool:
+    """True when *pairs* is sorted, disjoint, non-adjacent, and non-empty-free."""
+    prev_end = None
+    for start, end in pairs:
+        if start > end:
+            return False
+        if prev_end is not None and start <= prev_end + 1:
+            return False
+        prev_end = end
+    return True
+
+
+def normalize(pairs: Iterable[Pair]) -> Pairs:
+    """Sort and coalesce arbitrary pairs into canonical form.
+
+    Overlapping and adjacent periods merge; inverted pairs raise.
+    ``O(n log n)`` in general, ``O(n)`` when already sorted.
+    """
+    items = sorted(pairs)
+    out: Pairs = []
+    for start, end in items:
+        if start > end:
+            raise TipValueError(f"inverted period ({start}, {end})")
+        if out and start <= out[-1][1] + 1:
+            if end > out[-1][1]:
+                out[-1] = (out[-1][0], end)
+        else:
+            out.append((start, end))
+    return out
+
+
+def union(a: Sequence[Pair], b: Sequence[Pair]) -> Pairs:
+    """Union of two canonical lists, canonical, in ``O(n + m)``."""
+    out: Pairs = []
+    i = j = 0
+    n, m = len(a), len(b)
+    while i < n or j < m:
+        if j >= m or (i < n and a[i][0] <= b[j][0]):
+            start, end = a[i]
+            i += 1
+        else:
+            start, end = b[j]
+            j += 1
+        if out and start <= out[-1][1] + 1:
+            if end > out[-1][1]:
+                out[-1] = (out[-1][0], end)
+        else:
+            out.append((start, end))
+    return out
+
+
+def intersect(a: Sequence[Pair], b: Sequence[Pair]) -> Pairs:
+    """Intersection of two canonical lists, canonical, in ``O(n + m)``."""
+    out: Pairs = []
+    i = j = 0
+    n, m = len(a), len(b)
+    while i < n and j < m:
+        lo = a[i][0] if a[i][0] > b[j][0] else b[j][0]
+        hi = a[i][1] if a[i][1] < b[j][1] else b[j][1]
+        if lo <= hi:
+            out.append((lo, hi))
+        if a[i][1] < b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def difference(a: Sequence[Pair], b: Sequence[Pair]) -> Pairs:
+    """Set difference ``a - b`` of canonical lists, canonical, ``O(n + m)``."""
+    out: Pairs = []
+    j = 0
+    m = len(b)
+    for start, end in a:
+        cur = start
+        while j < m and b[j][1] < cur:
+            j += 1
+        k = j
+        while k < m and b[k][0] <= end:
+            if b[k][0] > cur:
+                out.append((cur, b[k][0] - 1))
+            if b[k][1] + 1 > cur:
+                cur = b[k][1] + 1
+            if cur > end:
+                break
+            k += 1
+        if cur <= end:
+            out.append((cur, end))
+    return out
+
+
+def complement(a: Sequence[Pair], lo: int, hi: int) -> Pairs:
+    """Complement of a canonical list within the closed range [lo, hi]."""
+    if lo > hi:
+        raise TipValueError(f"inverted complement range ({lo}, {hi})")
+    out: Pairs = []
+    cur = lo
+    for start, end in a:
+        if end < lo:
+            continue
+        if start > hi:
+            break
+        if start > cur:
+            out.append((cur, start - 1))
+        if end + 1 > cur:
+            cur = end + 1
+        if cur > hi:
+            return out
+    if cur <= hi:
+        out.append((cur, hi))
+    return out
+
+
+def overlaps(a: Sequence[Pair], b: Sequence[Pair]) -> bool:
+    """True when the two canonical lists share at least one chronon.
+
+    Early-exit merge sweep: ``O(n + m)`` worst case, usually far less.
+    """
+    i = j = 0
+    n, m = len(a), len(b)
+    while i < n and j < m:
+        if a[i][1] < b[j][0]:
+            i += 1
+        elif b[j][1] < a[i][0]:
+            j += 1
+        else:
+            return True
+    return False
+
+
+def contains(a: Sequence[Pair], b: Sequence[Pair]) -> bool:
+    """True when every chronon of *b* lies inside *a* (both canonical)."""
+    i = 0
+    n = len(a)
+    for start, end in b:
+        while i < n and a[i][1] < start:
+            i += 1
+        if i >= n or a[i][0] > start or a[i][1] < end:
+            return False
+    return True
+
+
+def contains_point(a: Sequence[Pair], t: int) -> bool:
+    """True when chronon *t* lies inside canonical list *a* (binary search)."""
+    idx = bisect_right(a, (t, _INF)) - 1
+    return idx >= 0 and a[idx][1] >= t
+
+
+_INF = float("inf")
+
+
+def restrict(a: Sequence[Pair], lo: int, hi: int) -> Pairs:
+    """Clip a canonical list to the window [lo, hi] (timeslice).
+
+    Uses binary search to locate the window, so the cost is
+    ``O(log n + k)`` for *k* output periods.
+    """
+    if lo > hi:
+        raise TipValueError(f"inverted window ({lo}, {hi})")
+    left = bisect_right(a, (lo, _INF)) - 1
+    if left >= 0 and a[left][1] >= lo:
+        start_idx = left
+    else:
+        start_idx = left + 1
+    out: Pairs = []
+    for idx in range(start_idx, len(a)):
+        start, end = a[idx]
+        if start > hi:
+            break
+        clipped_lo = start if start > lo else lo
+        clipped_hi = end if end < hi else hi
+        if clipped_lo <= clipped_hi:
+            out.append((clipped_lo, clipped_hi))
+    return out
+
+
+def shift(a: Sequence[Pair], delta: int) -> Pairs:
+    """Translate every period by *delta* seconds (stays canonical)."""
+    return [(start + delta, end + delta) for start, end in a]
+
+
+def total_length(a: Sequence[Pair]) -> int:
+    """Total number of chronons covered by a canonical list."""
+    return sum(end - start + 1 for start, end in a)
+
+
+def count_chronons_upto(a: Sequence[Pair], t: int) -> int:
+    """Number of covered chronons that are <= *t* (for window statistics)."""
+    total = 0
+    for start, end in a:
+        if start > t:
+            break
+        total += (end if end <= t else t) - start + 1
+    return total
+
+
+# ----------------------------------------------------------------------
+# Naive quadratic baselines (experiment E7 only).  They accept arbitrary
+# (even non-canonical) input and re-derive structure from scratch on
+# every operation, modeling an Element representation without the
+# canonical-form invariant.
+# ----------------------------------------------------------------------
+
+
+def union_naive(a: Sequence[Pair], b: Sequence[Pair]) -> Pairs:
+    """Quadratic union: repeatedly merge any pair that touches."""
+    items: Pairs = [pair for pair in a] + [pair for pair in b]
+    changed = True
+    while changed:
+        changed = False
+        out: Pairs = []
+        for start, end in items:
+            merged = False
+            for idx, (ostart, oend) in enumerate(out):
+                if start <= oend + 1 and ostart <= end + 1:
+                    out[idx] = (min(ostart, start), max(oend, end))
+                    merged = True
+                    changed = True
+                    break
+            if not merged:
+                out.append((start, end))
+        items = out
+    return sorted(items)
+
+
+def intersect_naive(a: Sequence[Pair], b: Sequence[Pair]) -> Pairs:
+    """Quadratic intersection: all-pairs clipping, then normalize."""
+    raw: Pairs = []
+    for astart, aend in a:
+        for bstart, bend in b:
+            lo = max(astart, bstart)
+            hi = min(aend, bend)
+            if lo <= hi:
+                raw.append((lo, hi))
+    return normalize(raw)
+
+
+def difference_naive(a: Sequence[Pair], b: Sequence[Pair]) -> Pairs:
+    """Quadratic difference: subtract every b-period from every fragment."""
+    fragments: Pairs = list(a)
+    for bstart, bend in b:
+        next_fragments: Pairs = []
+        for start, end in fragments:
+            if bend < start or bstart > end:
+                next_fragments.append((start, end))
+                continue
+            if start < bstart:
+                next_fragments.append((start, bstart - 1))
+            if end > bend:
+                next_fragments.append((bend + 1, end))
+        fragments = next_fragments
+    return normalize(fragments)

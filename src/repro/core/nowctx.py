@@ -1,0 +1,73 @@
+"""Ambient transaction-time context: the interpretation of ``NOW``.
+
+The paper (following Clifford et al., "On the semantics of NOW in
+databases") interprets ``NOW`` as the *current transaction time*: every
+``NOW``-relative value observed during one statement evaluation is
+grounded against a single consistent time.  In Informix that binding is
+performed by the server; here it is an ambient context that the client
+library (:mod:`repro.client`) establishes once per statement and that
+the TIP Browser can override for what-if analysis.
+
+Outside any context, ``NOW`` falls back to the wall clock, exactly as an
+interactive query against a live server would.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.core import granularity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.chronon import Chronon
+
+_CURRENT_NOW: ContextVar[Optional[int]] = ContextVar("tip_current_now", default=None)
+
+
+def current_now_seconds() -> int:
+    """The ambient ``NOW`` as raw chronon seconds."""
+    bound = _CURRENT_NOW.get()
+    if bound is not None:
+        return bound
+    return granularity.wall_clock_seconds()
+
+
+def current_now() -> "Chronon":
+    """The ambient ``NOW`` as a :class:`~repro.core.chronon.Chronon`."""
+    from repro.core.chronon import Chronon
+
+    return Chronon(current_now_seconds())
+
+
+def now_is_bound() -> bool:
+    """True when running inside a :func:`use_now` context."""
+    return _CURRENT_NOW.get() is not None
+
+
+@contextmanager
+def use_now(value: "Chronon | int | str") -> Iterator[None]:
+    """Bind the interpretation of ``NOW`` for the duration of the block.
+
+    *value* may be a :class:`Chronon`, raw chronon seconds, or a chronon
+    literal string.  Contexts nest; the innermost binding wins.
+
+    >>> from repro.core import Chronon, use_now, current_now
+    >>> with use_now("1999-12-31"):
+    ...     current_now() == Chronon.parse("1999-12-31")
+    True
+    """
+    from repro.core.chronon import Chronon
+
+    if isinstance(value, str):
+        seconds = Chronon.parse(value).seconds
+    elif isinstance(value, Chronon):
+        seconds = value.seconds
+    else:
+        seconds = granularity.check_chronon_seconds(value)
+    token = _CURRENT_NOW.set(seconds)
+    try:
+        yield
+    finally:
+        _CURRENT_NOW.reset(token)

@@ -1,0 +1,166 @@
+"""Parsing of TIP literal syntax.
+
+These parsers implement the string-to-type casts the paper registers in
+the engine, so SQL statements can write temporal constants as plain
+strings: ``INSERT INTO Prescription VALUES (..., '{[1999-10-01, NOW]}')``.
+
+The grammar is the paper's notation (see :mod:`repro.core.formatter`),
+parsed leniently with respect to whitespace and strictly with respect to
+calendar validity.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.instant import Instant
+from repro.core.period import Period
+from repro.core.span import Span
+from repro.errors import TipParseError, TipValueError
+
+__all__ = [
+    "parse_chronon",
+    "parse_span",
+    "parse_instant",
+    "parse_period",
+    "parse_element",
+]
+
+_CHRONON_RE = re.compile(
+    r"""^\s*
+        (?P<year>\d{1,4})-(?P<month>\d{1,2})-(?P<day>\d{1,2})
+        (?:\s+(?P<hour>\d{1,2}):(?P<minute>\d{1,2}):(?P<second>\d{1,2}))?
+        \s*$""",
+    re.VERBOSE,
+)
+
+_SPAN_RE = re.compile(
+    r"""^\s*
+        (?P<sign>[+-])?
+        (?P<days>\d+)
+        (?:\s+(?P<hours>\d{1,2}):(?P<minutes>\d{1,2}):(?P<seconds>\d{1,2}))?
+        \s*$""",
+    re.VERBOSE,
+)
+
+_NOW_RE = re.compile(
+    r"""^\s*NOW\s*
+        (?:(?P<sign>[+-])\s*(?P<span>.+?))?
+        \s*$""",
+    re.VERBOSE | re.IGNORECASE,
+)
+
+
+def parse_chronon(text: str) -> Chronon:
+    """Parse ``year-month-day[ hour:minute:second]`` into a chronon."""
+    if not isinstance(text, str):
+        raise TipParseError(f"expected a string, got {type(text).__name__}")
+    match = _CHRONON_RE.match(text)
+    if not match:
+        raise TipParseError(f"not a chronon literal: {text!r}")
+    try:
+        return Chronon.of(
+            int(match["year"]),
+            int(match["month"]),
+            int(match["day"]),
+            int(match["hour"] or 0),
+            int(match["minute"] or 0),
+            int(match["second"] or 0),
+        )
+    except TipValueError as exc:
+        raise TipParseError(f"invalid chronon {text!r}: {exc}") from exc
+
+
+def parse_span(text: str) -> Span:
+    """Parse ``[+|-]days[ hours:minutes:seconds]`` into a span."""
+    if not isinstance(text, str):
+        raise TipParseError(f"expected a string, got {type(text).__name__}")
+    match = _SPAN_RE.match(text)
+    if not match:
+        raise TipParseError(f"not a span literal: {text!r}")
+    hours = int(match["hours"] or 0)
+    minutes = int(match["minutes"] or 0)
+    seconds = int(match["seconds"] or 0)
+    if hours > 23 or minutes > 59 or seconds > 59:
+        raise TipParseError(f"span time-of-day part out of range in {text!r}")
+    magnitude = Span.of(days=int(match["days"]), hours=hours, minutes=minutes, seconds=seconds)
+    if match["sign"] == "-":
+        return -magnitude
+    return magnitude
+
+
+def parse_instant(text: str) -> Instant:
+    """Parse a chronon literal or ``NOW[±span]`` into an instant."""
+    if not isinstance(text, str):
+        raise TipParseError(f"expected a string, got {type(text).__name__}")
+    now_match = _NOW_RE.match(text)
+    if now_match:
+        if not now_match["sign"]:
+            return Instant.now_relative(Span(0))
+        magnitude = now_match["span"].strip()
+        if magnitude.startswith(("+", "-")):
+            raise TipParseError(f"offset after NOW± must be unsigned: {text!r}")
+        offset = parse_span(magnitude)
+        if now_match["sign"] == "-":
+            offset = -offset
+        return Instant.now_relative(offset)
+    return Instant.at(parse_chronon(text))
+
+
+def _split_top_level(text: str, sep: str = ",") -> List[str]:
+    """Split on *sep* outside any bracket nesting."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in text:
+        if ch in "[{":
+            depth += 1
+        elif ch in "]}":
+            depth -= 1
+            if depth < 0:
+                raise TipParseError(f"unbalanced brackets in {text!r}")
+        if ch == sep and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return parts
+
+
+def parse_period(text: str) -> Period:
+    """Parse ``[start, end]`` into a period."""
+    if not isinstance(text, str):
+        raise TipParseError(f"expected a string, got {type(text).__name__}")
+    stripped = text.strip()
+    if not (stripped.startswith("[") and stripped.endswith("]")):
+        raise TipParseError(f"not a period literal: {text!r}")
+    body = stripped[1:-1]
+    parts = _split_top_level(body)
+    if len(parts) != 2:
+        raise TipParseError(f"period needs exactly two endpoints: {text!r}")
+    start = parse_instant(parts[0])
+    end = parse_instant(parts[1])
+    try:
+        return Period(start, end)
+    except TipValueError as exc:
+        raise TipParseError(f"invalid period {text!r}: {exc}") from exc
+
+
+def parse_element(text: str) -> Element:
+    """Parse ``{period, ...}`` (or ``{}``) into an element."""
+    if not isinstance(text, str):
+        raise TipParseError(f"expected a string, got {type(text).__name__}")
+    stripped = text.strip()
+    if not (stripped.startswith("{") and stripped.endswith("}")):
+        raise TipParseError(f"not an element literal: {text!r}")
+    body = stripped[1:-1].strip()
+    if not body:
+        return Element.empty()
+    periods: List[Period] = []
+    for part in _split_top_level(body):
+        periods.append(parse_period(part))
+    return Element(periods)

@@ -1,0 +1,213 @@
+"""The ``Period`` datatype: a pair of instants marking a time period.
+
+Periods are closed on both ends at chronon granularity: ``[1999-01-01,
+NOW]`` denotes "since 1999", including both endpoints.  Either endpoint
+may be ``NOW``-relative, so a period's extent — and even whether it is
+empty — can depend on the transaction time.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Optional, Tuple
+
+from repro.core.chronon import Chronon
+from repro.core.instant import Instant, _coerce_now_seconds
+from repro.core.nowctx import current_now_seconds
+from repro.core.span import Span
+from repro.errors import TipEmptyPeriodError, TipTypeError, TipValueError
+
+__all__ = ["Period"]
+
+EmptyPolicy = Literal["raise", "none"]
+
+
+class Period:
+    """A closed period ``[start, end]`` between two instants.
+
+    When both endpoints are determinate the constructor enforces
+    ``start <= end``.  A period with ``NOW``-relative endpoints is
+    validated at *grounding* time instead: ``[NOW, 1990-01-01]`` is a
+    legal value that simply denotes the empty set once ``NOW`` passes
+    1990 (see :meth:`ground`).
+    """
+
+    __slots__ = ("_start", "_end")
+
+    def __init__(self, start: "Instant | Chronon", end: "Instant | Chronon") -> None:
+        self._start = Instant.at(start)
+        self._end = Instant.at(end)
+        if self._start.is_determinate and self._end.is_determinate:
+            if self._start.ground_seconds(0) > self._end.ground_seconds(0):
+                raise TipValueError(f"period start after end: [{self._start}, {self._end}]")
+
+    # -- constructors ------------------------------------------------
+
+    @classmethod
+    def at(cls, when: "Chronon | Instant") -> "Period":
+        """The degenerate period containing only *when*.
+
+        This is the paper's ``Chronon -> Period`` cast: ``1999-01-01``
+        becomes ``[1999-01-01, 1999-01-01]``.
+        """
+        instant = Instant.at(when)
+        return cls(instant, instant)
+
+    @staticmethod
+    def parse(text: str) -> "Period":
+        """Parse a period literal, e.g. ``'[1999-01-01, NOW]'``."""
+        from repro.core.parser import parse_period
+
+        return parse_period(text)
+
+    # -- accessors ---------------------------------------------------
+
+    @property
+    def start(self) -> Instant:
+        return self._start
+
+    @property
+    def end(self) -> Instant:
+        return self._end
+
+    @property
+    def is_determinate(self) -> bool:
+        """True when neither endpoint involves ``NOW``."""
+        return self._start.is_determinate and self._end.is_determinate
+
+    def key(self) -> Tuple[Tuple[str, int], Tuple[str, int]]:
+        """Structural identity, independent of time."""
+        return (self._start.key(), self._end.key())
+
+    def identical(self, other: "Period") -> bool:
+        """Structural (time-independent) identity."""
+        return isinstance(other, Period) and self.key() == other.key()
+
+    # -- grounding ---------------------------------------------------
+
+    def ground_pair(self, now_seconds: Optional[int] = None) -> Optional[Tuple[int, int]]:
+        """Grounded ``(start, end)`` seconds, or None when empty at *now*."""
+        if now_seconds is None:
+            now_seconds = current_now_seconds()
+        start = self._start.ground_seconds(now_seconds)
+        end = self._end.ground_seconds(now_seconds)
+        if start > end:
+            return None
+        return (start, end)
+
+    def ground(
+        self,
+        now: "Chronon | int | None" = None,
+        *,
+        empty: EmptyPolicy = "raise",
+    ) -> Optional["Period"]:
+        """Substitute the transaction time for ``NOW`` in both endpoints.
+
+        Returns a determinate period.  When the grounded endpoints are
+        inverted the period is empty at *now*; the *empty* policy picks
+        between raising :class:`TipEmptyPeriodError` (default, matching
+        a strict cast) and returning None (used by element grounding,
+        which silently drops empty periods).
+        """
+        pair = self.ground_pair(_coerce_now_seconds(now))
+        if pair is None:
+            if empty == "none":
+                return None
+            raise TipEmptyPeriodError(f"period [{self._start}, {self._end}] is empty at the given NOW")
+        return Period(Chronon(pair[0]), Chronon(pair[1]))
+
+    def is_empty_at(self, now: "Chronon | int | None" = None) -> bool:
+        """True when the period grounds to the empty set at *now*."""
+        return self.ground_pair(_coerce_now_seconds(now)) is None
+
+    # -- derived quantities ------------------------------------------
+
+    def length(self, now: "Chronon | int | None" = None) -> Span:
+        """Number of chronons covered, as a span.
+
+        Closed-closed at one-second granularity, so the degenerate
+        period has length one second.  Empty-at-now periods raise.
+        """
+        pair = self.ground_pair(_coerce_now_seconds(now))
+        if pair is None:
+            raise TipEmptyPeriodError("cannot take the length of an empty period")
+        return Span(pair[1] - pair[0] + 1)
+
+    def contains(
+        self,
+        other: "Period | Instant | Chronon",
+        now: "Chronon | int | None" = None,
+    ) -> bool:
+        """True when *other* lies entirely within this period at *now*."""
+        now_seconds = _coerce_now_seconds(now)
+        pair = self.ground_pair(now_seconds)
+        if pair is None:
+            return False
+        if isinstance(other, Period):
+            other_pair = other.ground_pair(now_seconds)
+            if other_pair is None:
+                return False
+            return pair[0] <= other_pair[0] and other_pair[1] <= pair[1]
+        if isinstance(other, Chronon):
+            point = other.seconds
+        elif isinstance(other, Instant):
+            point = other.ground_seconds(
+                now_seconds if now_seconds is not None else current_now_seconds()
+            )
+        else:
+            raise TipTypeError(f"contains() does not accept {type(other).__name__}")
+        return pair[0] <= point <= pair[1]
+
+    def overlaps(self, other: "Period", now: "Chronon | int | None" = None) -> bool:
+        """True when the two periods share at least one chronon at *now*."""
+        now_seconds = _coerce_now_seconds(now)
+        a = self.ground_pair(now_seconds)
+        b = other.ground_pair(now_seconds)
+        if a is None or b is None:
+            return False
+        return a[0] <= b[1] and b[0] <= a[1]
+
+    def intersect(self, other: "Period", now: "Chronon | int | None" = None) -> Optional["Period"]:
+        """The shared sub-period at *now*, or None when disjoint."""
+        now_seconds = _coerce_now_seconds(now)
+        a = self.ground_pair(now_seconds)
+        b = other.ground_pair(now_seconds)
+        if a is None or b is None:
+            return None
+        lo = max(a[0], b[0])
+        hi = min(a[1], b[1])
+        if lo > hi:
+            return None
+        return Period(Chronon(lo), Chronon(hi))
+
+    def shift(self, delta: Span) -> "Period":
+        """Translate both endpoints by *delta* (NOW-relativity preserved)."""
+        if not isinstance(delta, Span):
+            raise TipTypeError(f"shift expects a Span, got {type(delta).__name__}")
+        return Period(self._start + delta, self._end + delta)
+
+    def allen_relation(self, other: "Period", now: "Chronon | int | None" = None) -> str:
+        """The unique Allen relation between the two periods at *now*."""
+        from repro.core import allen
+
+        return allen.relation(self, other, now=now)
+
+    # -- temporal comparisons ----------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Period):
+            return NotImplemented
+        now_seconds = current_now_seconds()
+        return self.ground_pair(now_seconds) == other.ground_pair(now_seconds)
+
+    #: Temporal equality is time-dependent, so periods are unhashable.
+    __hash__ = None  # type: ignore[assignment]
+
+    # -- rendering ---------------------------------------------------
+
+    def __str__(self) -> str:
+        from repro.core.formatter import format_period
+
+        return format_period(self)
+
+    def __repr__(self) -> str:
+        return f"Period('{self}')"

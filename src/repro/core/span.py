@@ -1,0 +1,187 @@
+"""The ``Span`` datatype: a signed duration of time.
+
+A span is the distance between two chronons, positive or negative, at
+second granularity.  Its literal syntax, from the paper, is
+``[+|-]days[ hours:minutes:seconds]``: ``7 12:00:00`` is seven and a
+half days, ``-7`` is seven days back.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Tuple
+
+from repro.core import granularity
+from repro.errors import TipTypeError, TipValueError
+
+__all__ = ["Span"]
+
+
+class Span:
+    """A signed duration, stored as an integer number of seconds.
+
+    Spans support the arithmetic the paper overloads in the engine:
+
+    * ``Span + Span`` and ``Span - Span`` yield ``Span``;
+    * ``Span * number`` and ``number * Span`` scale a span (used in the
+      paper's "less than *w* weeks old" query);
+    * ``Span / number`` yields ``Span``; ``Span / Span`` yields a float
+      ratio;
+    * comparisons order spans by signed length.
+
+    ``Span + Chronon`` is handled by :class:`~repro.core.chronon.Chronon`
+    via the reflected operator.
+    """
+
+    __slots__ = ("_seconds",)
+
+    def __init__(self, seconds: int) -> None:
+        self._seconds = granularity.check_span_seconds(seconds)
+
+    # -- constructors ------------------------------------------------
+
+    @classmethod
+    def of(
+        cls,
+        days: int = 0,
+        hours: int = 0,
+        minutes: int = 0,
+        seconds: int = 0,
+        *,
+        weeks: int = 0,
+    ) -> "Span":
+        """Build a span from calendar-free components (each may be negative)."""
+        total = (
+            (weeks * 7 + days) * granularity.SECONDS_PER_DAY
+            + hours * granularity.SECONDS_PER_HOUR
+            + minutes * granularity.SECONDS_PER_MINUTE
+            + seconds
+        )
+        return cls(total)
+
+    @staticmethod
+    def parse(text: str) -> "Span":
+        """Parse the paper's span literal syntax, e.g. ``'7 12:00:00'``."""
+        from repro.core.parser import parse_span
+
+        return parse_span(text)
+
+    # -- accessors ---------------------------------------------------
+
+    @property
+    def seconds(self) -> int:
+        """Total signed length in seconds."""
+        return self._seconds
+
+    @property
+    def is_negative(self) -> bool:
+        return self._seconds < 0
+
+    @property
+    def is_zero(self) -> bool:
+        return self._seconds == 0
+
+    def components(self) -> Tuple[int, int, int, int, int]:
+        """Decompose into ``(sign, days, hours, minutes, seconds)``.
+
+        The sign applies to the whole decomposition, matching the
+        literal syntax (``-7 12:00:00`` is *minus* seven and a half
+        days).
+        """
+        sign = -1 if self._seconds < 0 else 1
+        magnitude = abs(self._seconds)
+        days, rem = divmod(magnitude, granularity.SECONDS_PER_DAY)
+        hours, rem = divmod(rem, granularity.SECONDS_PER_HOUR)
+        minutes, secs = divmod(rem, granularity.SECONDS_PER_MINUTE)
+        return sign, days, hours, minutes, secs
+
+    # -- arithmetic --------------------------------------------------
+
+    def __add__(self, other: object) -> "Span":
+        if isinstance(other, Span):
+            return Span(self._seconds + other._seconds)
+        return NotImplemented
+
+    def __sub__(self, other: object) -> "Span":
+        if isinstance(other, Span):
+            return Span(self._seconds - other._seconds)
+        return NotImplemented
+
+    def __mul__(self, other: object) -> "Span":
+        if isinstance(other, bool):
+            raise TipTypeError("cannot multiply Span by bool")
+        if isinstance(other, numbers.Real):
+            scaled = self._seconds * other
+            return Span(round(scaled))
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: object):
+        if isinstance(other, Span):
+            if other._seconds == 0:
+                raise TipValueError("division by zero-length Span")
+            return self._seconds / other._seconds
+        if isinstance(other, bool):
+            raise TipTypeError("cannot divide Span by bool")
+        if isinstance(other, numbers.Real):
+            if other == 0:
+                raise TipValueError("division of Span by zero")
+            return Span(round(self._seconds / other))
+        return NotImplemented
+
+    def __neg__(self) -> "Span":
+        return Span(-self._seconds)
+
+    def __pos__(self) -> "Span":
+        return self
+
+    def __abs__(self) -> "Span":
+        return Span(abs(self._seconds))
+
+    # -- comparisons and hashing -------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Span):
+            return self._seconds == other._seconds
+        return NotImplemented
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, Span):
+            return self._seconds < other._seconds
+        return NotImplemented
+
+    def __le__(self, other: object) -> bool:
+        if isinstance(other, Span):
+            return self._seconds <= other._seconds
+        return NotImplemented
+
+    def __gt__(self, other: object) -> bool:
+        if isinstance(other, Span):
+            return self._seconds > other._seconds
+        return NotImplemented
+
+    def __ge__(self, other: object) -> bool:
+        if isinstance(other, Span):
+            return self._seconds >= other._seconds
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Span", self._seconds))
+
+    def __bool__(self) -> bool:
+        return self._seconds != 0
+
+    # -- rendering ---------------------------------------------------
+
+    def __str__(self) -> str:
+        from repro.core.formatter import format_span
+
+        return format_span(self)
+
+    def __repr__(self) -> str:
+        return f"Span('{self}')"
+
+
+#: A zero-length span, convenient as an additive identity.
+Span.ZERO = Span(0)  # type: ignore[attr-defined]

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the TIP reproduction.
+
+All library errors derive from :class:`TipError` so applications can catch
+one base class.  The subclasses mirror the error categories an Informix
+DataBlade reports back through the server: type errors from operator
+dispatch, parse errors from literal casts, value errors from constructor
+invariants, and registration errors from the blade framework itself.
+"""
+
+from __future__ import annotations
+
+
+class TipError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class TipTypeError(TipError, TypeError):
+    """An operator or routine was applied to unsupported operand types.
+
+    Example: ``Chronon + Chronon`` is a type error in the paper, while
+    ``Chronon - Chronon`` yields a ``Span``.
+    """
+
+
+class TipParseError(TipError, ValueError):
+    """A literal string could not be parsed as a TIP datatype."""
+
+
+class TipValueError(TipError, ValueError):
+    """A value violates a datatype invariant.
+
+    Example: a determinate ``Period`` whose start exceeds its end, or a
+    ``Chronon`` outside the supported calendar range.
+    """
+
+
+class TipOverflowError(TipValueError):
+    """Arithmetic moved a time value outside the supported range."""
+
+
+class TipEmptyPeriodError(TipValueError):
+    """Grounding produced an empty period where one is not permitted.
+
+    Raised when a ``NOW``-relative period such as ``[NOW, 1990-01-01]``
+    is grounded at a time that inverts its endpoints and the caller did
+    not opt into empty-as-``None`` handling.
+    """
+
+
+class BladeError(TipError):
+    """Errors from the DataBlade registration framework."""
+
+
+class DuplicateRegistrationError(BladeError):
+    """A type, routine, cast, or aggregate name was registered twice."""
+
+
+class UnknownTypeError(BladeError):
+    """A routine or cast referenced a type name that is not registered."""
+
+
+class CodecError(TipError, ValueError):
+    """Binary (de)serialization failed: bad tag, truncation, or version."""
+
+
+class TranslationError(TipError):
+    """The layered translator could not rewrite a temporal operation."""

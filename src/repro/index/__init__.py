@@ -1,0 +1,15 @@
+"""Temporal indexing for period-valued timestamps.
+
+The paper's related work (reference [2], Bliujute et al., ICDE 1999)
+built a DataBlade *index* for period-valued tuple timestamps.  This
+package is that substrate for our blade: a dynamic interval tree
+(:mod:`repro.index.interval_tree`), an element-level index mapping rows
+to their periods (:mod:`repro.index.table_index`), and an
+index-nested-loop temporal join that replaces the quadratic
+``overlaps()`` scan — measured as experiment E9.
+"""
+
+from repro.index.interval_tree import IntervalTree
+from repro.index.table_index import ElementIndex, IndexedTable, indexed_overlap_join
+
+__all__ = ["IntervalTree", "ElementIndex", "IndexedTable", "indexed_overlap_join"]

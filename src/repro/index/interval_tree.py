@@ -1,0 +1,207 @@
+"""A dynamic interval tree: the index structure under the blade.
+
+Implemented as a *treap* (randomized balanced BST) keyed by
+``(start, end, value)`` and augmented with the maximum interval end in
+each subtree, giving expected ``O(log n)`` insert/delete and
+``O(log n + k)`` overlap search for *k* hits — the standard
+interval-tree bounds (CLRS §14.3) without the bookkeeping of
+red-black rebalancing.
+
+Intervals are closed-closed integer pairs, matching chronon-granularity
+periods.  Duplicates (same interval, same value) are rejected; the same
+interval may carry many distinct values.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import TipValueError
+
+__all__ = ["IntervalTree"]
+
+Key = Tuple[int, int, object]
+
+
+class _Node:
+    __slots__ = ("start", "end", "value", "priority", "left", "right", "max_end", "size")
+
+    def __init__(self, start: int, end: int, value: object, priority: float) -> None:
+        self.start = start
+        self.end = end
+        self.value = value
+        self.priority = priority
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.max_end = end
+        self.size = 1
+
+
+def _pull(node: _Node) -> _Node:
+    """Recompute the augmented fields of *node* from its children."""
+    node.max_end = node.end
+    node.size = 1
+    if node.left is not None:
+        if node.left.max_end > node.max_end:
+            node.max_end = node.left.max_end
+        node.size += node.left.size
+    if node.right is not None:
+        if node.right.max_end > node.max_end:
+            node.max_end = node.right.max_end
+        node.size += node.right.size
+    return node
+
+
+def _key(node: _Node) -> Key:
+    return (node.start, node.end, _value_key(node.value))
+
+
+def _value_key(value: object):
+    """Total order for tie-breaking values of mixed types."""
+    return (type(value).__name__, repr(value))
+
+
+class IntervalTree:
+    """Dynamic set of (closed interval, value) pairs with overlap search."""
+
+    def __init__(self, seed: int = 0x7159) -> None:
+        self._root: Optional[_Node] = None
+        self._rng = random.Random(seed)
+
+    # -- size ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._root.size if self._root is not None else 0
+
+    def __bool__(self) -> bool:
+        return self._root is not None
+
+    # -- treap mechanics ------------------------------------------------
+
+    def _merge(self, a: Optional[_Node], b: Optional[_Node]) -> Optional[_Node]:
+        """Merge two treaps where every key in *a* precedes *b*."""
+        if a is None:
+            return b
+        if b is None:
+            return a
+        if a.priority >= b.priority:
+            a.right = self._merge(a.right, b)
+            return _pull(a)
+        b.left = self._merge(a, b.left)
+        return _pull(b)
+
+    def _split(self, node: Optional[_Node], key: Key) -> Tuple[Optional[_Node], Optional[_Node]]:
+        """Split into (< key, >= key)."""
+        if node is None:
+            return None, None
+        if _key(node) < key:
+            left, right = self._split(node.right, key)
+            node.right = left
+            return _pull(node), right
+        left, right = self._split(node.left, key)
+        node.left = right
+        return left, _pull(node)
+
+    # -- mutation ---------------------------------------------------------
+
+    def insert(self, start: int, end: int, value: object) -> None:
+        """Add one (interval, value) pair."""
+        if start > end:
+            raise TipValueError(f"inverted interval ({start}, {end})")
+        if self.contains(start, end, value):
+            raise TipValueError(f"duplicate index entry ({start}, {end}, {value!r})")
+        node = _Node(start, end, value, self._rng.random())
+        left, right = self._split(self._root, (start, end, _value_key(value)))
+        self._root = self._merge(self._merge(left, node), right)
+
+    def remove(self, start: int, end: int, value: object) -> bool:
+        """Remove one pair; returns False when absent."""
+        key = (start, end, _value_key(value))
+        left, rest = self._split(self._root, key)
+        mid, right = self._split(rest, (start, end, _value_key(value) + ("",)))
+        removed = mid is not None
+        # mid holds exactly the matching node (keys are unique).
+        self._root = self._merge(left, right)
+        return removed
+
+    def contains(self, start: int, end: int, value: object) -> bool:
+        node = self._root
+        key = (start, end, _value_key(value))
+        while node is not None:
+            node_key = _key(node)
+            if key == node_key:
+                return True
+            node = node.left if key < node_key else node.right
+        return False
+
+    # -- queries ------------------------------------------------------------
+
+    def search_overlap(self, lo: int, hi: int) -> List[object]:
+        """Values of all intervals sharing a point with [lo, hi].
+
+        ``O(log n + k)``: subtrees whose ``max_end`` is below *lo* are
+        pruned, and the BST order on starts prunes the right side.
+        """
+        if lo > hi:
+            raise TipValueError(f"inverted query range ({lo}, {hi})")
+        out: List[object] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None or node.max_end < lo:
+                continue
+            if node.left is not None:
+                stack.append(node.left)
+            if node.start <= hi:
+                if node.end >= lo:
+                    out.append(node.value)
+                if node.right is not None:
+                    stack.append(node.right)
+        return out
+
+    def stab(self, point: int) -> List[object]:
+        """Values of all intervals containing *point*."""
+        return self.search_overlap(point, point)
+
+    def any_overlap(self, lo: int, hi: int) -> bool:
+        """True when at least one interval intersects [lo, hi]."""
+        if lo > hi:
+            raise TipValueError(f"inverted query range ({lo}, {hi})")
+        node = self._root
+        stack = [node]
+        while stack:
+            node = stack.pop()
+            if node is None or node.max_end < lo:
+                continue
+            if node.start <= hi and node.end >= lo:
+                return True
+            if node.left is not None:
+                stack.append(node.left)
+            if node.start <= hi and node.right is not None:
+                stack.append(node.right)
+        return False
+
+    def items(self) -> Iterator[Tuple[int, int, object]]:
+        """All (start, end, value) triples in key order."""
+
+        def walk(node: Optional[_Node]) -> Iterator[Tuple[int, int, object]]:
+            if node is None:
+                return
+            yield from walk(node.left)
+            yield (node.start, node.end, node.value)
+            yield from walk(node.right)
+
+        yield from walk(self._root)
+
+    def height_is_logarithmic(self) -> bool:
+        """Sanity probe used by tests: height within 4 * log2(n) + 8."""
+        import math
+
+        def height(node: Optional[_Node]) -> int:
+            if node is None:
+                return 0
+            return 1 + max(height(node.left), height(node.right))
+
+        n = len(self)
+        return height(self._root) <= 4 * math.log2(n + 1) + 8

@@ -1,0 +1,206 @@
+"""Element-level and table-level temporal indexes.
+
+:class:`ElementIndex` maintains an interval tree over the periods of
+many elements (one entry per period, keyed by a caller-supplied row
+key).  :class:`IndexedTable` binds such an index to an ``ELEMENT``
+column of a TIP table, supports window queries without scanning, and
+powers :func:`indexed_overlap_join` — the index-nested-loop temporal
+join of experiment E9.
+
+Like the DataBlade index of the paper's reference [2], NOW-relative
+periods are supported by grounding at index-build time against a stated
+transaction time; the index must be refreshed when that time moves
+(`refresh()`), exactly as a NOW-dependent index in the literature.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.client.connection import TipConnection
+from repro.core import interval_algebra as ia
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.instant import _coerce_now_seconds
+from repro.core.period import Period
+from repro.errors import TipValueError
+from repro.index.interval_tree import IntervalTree
+
+__all__ = ["ElementIndex", "IndexedTable", "indexed_overlap_join"]
+
+Pair = Tuple[int, int]
+
+
+class ElementIndex:
+    """An interval tree over the periods of keyed elements."""
+
+    def __init__(self, now: "Chronon | int | None" = None) -> None:
+        self._now_seconds = _coerce_now_seconds(now)
+        self._tree = IntervalTree()
+        self._pairs_by_key: Dict[Hashable, List[Pair]] = {}
+
+    @property
+    def n_periods(self) -> int:
+        return len(self._tree)
+
+    def __len__(self) -> int:
+        return len(self._pairs_by_key)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._pairs_by_key
+
+    def add(self, key: Hashable, element: Element) -> None:
+        """Index *element* under *key* (grounded at the index's NOW)."""
+        if key in self._pairs_by_key:
+            raise TipValueError(f"key {key!r} already indexed; remove it first")
+        pairs = element.ground_pairs(self._now_seconds)
+        for start, end in pairs:
+            self._tree.insert(start, end, key)
+        self._pairs_by_key[key] = pairs
+
+    def discard(self, key: Hashable) -> bool:
+        """Remove *key*'s periods; returns False when absent."""
+        pairs = self._pairs_by_key.pop(key, None)
+        if pairs is None:
+            return False
+        for start, end in pairs:
+            self._tree.remove(start, end, key)
+        return True
+
+    def pairs(self, key: Hashable) -> List[Pair]:
+        """The indexed (grounded) periods of *key*."""
+        return list(self._pairs_by_key.get(key, []))
+
+    def overlapping(self, lo: int, hi: int) -> List[Hashable]:
+        """Distinct keys with at least one period intersecting [lo, hi]."""
+        seen = set()
+        out = []
+        for key in self._tree.search_overlap(lo, hi):
+            if key not in seen:
+                seen.add(key)
+                out.append(key)
+        return out
+
+    def stab(self, point: int) -> List[Hashable]:
+        """Distinct keys valid at *point* (a timeslice probe)."""
+        return self.overlapping(point, point)
+
+
+class IndexedTable:
+    """A temporal index over one ELEMENT column of a TIP table.
+
+    Built by scanning once; window queries afterwards touch only the
+    tree (``O(log n + k)``), not the table.  Call :meth:`refresh` after
+    the table or the transaction time changes — SQLite exposes no
+    update hooks to Python, so maintenance is explicit, like a
+    REFRESH-able index.
+    """
+
+    def __init__(
+        self,
+        connection: TipConnection,
+        table: str,
+        column: str,
+        *,
+        key_column: str = "rowid",
+    ) -> None:
+        self._connection = connection
+        self.table = table
+        self.column = column
+        self.key_column = key_column
+        self._index: Optional[ElementIndex] = None
+        self.refresh()
+
+    def refresh(self) -> None:
+        """(Re)build the index at the connection's current NOW."""
+        now_seconds = self._connection.statement_now_seconds()
+        index = ElementIndex(now=now_seconds)
+        rows = self._connection.query(
+            f"SELECT {self.key_column}, {self.column} FROM {self.table}"
+        )
+        for key, element in rows:
+            if element is not None:
+                index.add(key, element)
+        self._index = index
+
+    @property
+    def index(self) -> ElementIndex:
+        assert self._index is not None
+        return self._index
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.index)
+
+    def overlapping_keys(self, window: "Period | Tuple[int, int]") -> List[Hashable]:
+        """Row keys whose element intersects *window*."""
+        lo, hi = _window_pair(window, self._connection)
+        return self.index.overlapping(lo, hi)
+
+    def valid_at(self, when: "Chronon | int") -> List[Hashable]:
+        """Row keys valid at a time point."""
+        point = when.seconds if isinstance(when, Chronon) else when
+        return self.index.stab(point)
+
+    def timeslice_rows(self, window: "Period | Tuple[int, int]", columns: str = "*") -> List[Tuple]:
+        """Fetch only the rows the index says can match the window.
+
+        Keys are fetched in chunks below SQLite's bound-variable limit.
+        """
+        keys = self.overlapping_keys(window)
+        rows: List[Tuple] = []
+        chunk_size = 500  # safely below SQLITE_MAX_VARIABLE_NUMBER
+        for start in range(0, len(keys), chunk_size):
+            chunk = keys[start:start + chunk_size]
+            placeholders = ", ".join("?" for _ in chunk)
+            rows.extend(
+                self._connection.query(
+                    f"SELECT {columns} FROM {self.table} "
+                    f"WHERE {self.key_column} IN ({placeholders})",
+                    chunk,
+                )
+            )
+        return rows
+
+
+def _window_pair(window, connection: TipConnection) -> Pair:
+    if isinstance(window, Period):
+        pair = window.ground_pair(connection.statement_now_seconds())
+        if pair is None:
+            raise TipValueError("empty window")
+        return pair
+    lo, hi = window
+    if lo > hi:
+        raise TipValueError(f"inverted window ({lo}, {hi})")
+    return (lo, hi)
+
+
+def indexed_overlap_join(
+    left: IndexedTable,
+    right: IndexedTable,
+) -> List[Tuple[Hashable, Hashable, Element]]:
+    """Temporal join via the index: ``O(n_periods log m + pairs)``.
+
+    For every period of every left row, probe the right index for
+    overlapping rows; intersect the full elements once per candidate
+    pair.  Returns ``(left_key, right_key, shared Element)`` for every
+    pair of rows whose validities share time — the same answer as the
+    quadratic ``overlaps(p1.valid, p2.valid)`` scan (asserted in the
+    tests), at a fraction of the cost when matches are sparse.
+    """
+    out: List[Tuple[Hashable, Hashable, Element]] = []
+    seen: set = set()
+    left_index = left.index
+    right_index = right.index
+    for left_key, left_pairs in left_index._pairs_by_key.items():
+        for start, end in left_pairs:
+            for right_key in right_index.overlapping(start, end):
+                pair_key = (left_key, right_key)
+                if pair_key in seen:
+                    continue
+                seen.add(pair_key)
+                shared = ia.intersect(left_pairs, right_index.pairs(right_key))
+                if shared:
+                    out.append((left_key, right_key, Element.from_pairs(shared)))
+    out.sort(key=lambda item: (repr(item[0]), repr(item[1])))
+    return out

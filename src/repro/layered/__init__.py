@@ -1,0 +1,40 @@
+"""The layered-architecture baseline (TimeDB/Tiger style).
+
+The paper contrasts TIP's integrated approach with systems that put an
+external translation module *on top of* a stock DBMS: "temporal queries
+are translated by an external module into standard SQL queries ...
+generated queries may become very complex and potentially difficult to
+optimize" (Section 5).
+
+This package is that architecture, built from scratch so experiment E2
+can compare the two fairly on the same engine: temporal tables are
+flattened into data + period-row tables (:mod:`repro.layered.schema`),
+temporal operations are rewritten into pure standard SQL with **no
+temporal UDFs** (:mod:`repro.layered.translator` — including the classic
+doubly-nested ``NOT EXISTS`` coalescing query), and
+:mod:`repro.layered.engine` executes the rewrites and reassembles
+Element values client-side.
+"""
+
+from repro.layered.engine import LayeredEngine
+from repro.layered.migrate import flatten_from_tip, lift_to_tip
+from repro.layered.schema import FlatSchema
+from repro.layered.translator import (
+    sql_complexity,
+    translate_coalesce,
+    translate_overlap_join,
+    translate_snapshot,
+    translate_timeslice,
+)
+
+__all__ = [
+    "LayeredEngine",
+    "FlatSchema",
+    "lift_to_tip",
+    "flatten_from_tip",
+    "sql_complexity",
+    "translate_coalesce",
+    "translate_overlap_join",
+    "translate_snapshot",
+    "translate_timeslice",
+]

@@ -1,0 +1,197 @@
+"""Execution engine for the layered architecture.
+
+:class:`LayeredEngine` is the complete TimeDB-style stack: a stock
+SQLite connection (no TIP blade installed), the flat schema mapping,
+and the SQL translator.  Clients call temporal operations; the engine
+rewrites them to standard SQL, executes, and reassembles
+:class:`~repro.core.element.Element` values on the client side — the
+round trip the paper says "complicates the development of client
+applications".
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from itertools import groupby
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.granularity import wall_clock_seconds
+from repro.core.parser import parse_chronon
+from repro.errors import TranslationError
+from repro.layered import translator
+from repro.layered.schema import FlatSchema
+
+__all__ = ["LayeredEngine"]
+
+
+def _to_seconds(value: "Chronon | str | int") -> int:
+    if isinstance(value, Chronon):
+        return value.seconds
+    if isinstance(value, str):
+        return parse_chronon(value).seconds
+    if isinstance(value, int) and not isinstance(value, bool):
+        return value
+    raise TranslationError(f"expected a time point, got {type(value).__name__}")
+
+
+class LayeredEngine:
+    """A temporal database built *on top of* a stock SQL engine."""
+
+    def __init__(self, database: str = ":memory:", *, now: "Chronon | str | None" = None) -> None:
+        self._conn = sqlite3.connect(database)
+        self._now_override: Optional[int] = None
+        self._schemas: Dict[str, FlatSchema] = {}
+        if now is not None:
+            self.set_now(now)
+
+    # -- NOW control ---------------------------------------------------
+
+    def set_now(self, now: "Chronon | str | None") -> None:
+        """Override ``NOW`` (None reverts to the wall clock)."""
+        self._now_override = None if now is None else _to_seconds(now)
+
+    def now_seconds(self) -> int:
+        if self._now_override is not None:
+            return self._now_override
+        return wall_clock_seconds()
+
+    # -- schema and data -------------------------------------------------
+
+    def create_table(self, name: str, columns: Sequence[Tuple[str, str]]) -> FlatSchema:
+        """Create a temporal table (flattened into data + valid tables)."""
+        if name in self._schemas:
+            raise TranslationError(f"table {name!r} already exists")
+        schema = FlatSchema(name=name, columns=tuple(columns))
+        schema.create(self._conn)
+        self._schemas[name] = schema
+        return schema
+
+    def schema(self, name: str) -> FlatSchema:
+        if name not in self._schemas:
+            raise TranslationError(f"unknown temporal table {name!r}")
+        return self._schemas[name]
+
+    def insert(self, table: str, row: Sequence, valid: Element) -> int:
+        """Insert one tuple with its element timestamp."""
+        return self.schema(table).insert(self._conn, row, valid)
+
+    def commit(self) -> None:
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    @property
+    def raw(self) -> sqlite3.Connection:
+        return self._conn
+
+    # -- temporal operations -----------------------------------------------
+
+    def timeslice(
+        self,
+        table: str,
+        lo: "Chronon | str | int",
+        hi: "Chronon | str | int",
+    ) -> List[Tuple]:
+        """Tuples valid in ``[lo, hi]`` with their clipped elements.
+
+        Returns ``(payload..., Element)`` per tuple.
+        """
+        schema = self.schema(table)
+        payload = schema.column_names()
+        sql = translator.translate_timeslice(schema, payload)
+        params = {"now": self.now_seconds(), "lo": _to_seconds(lo), "hi": _to_seconds(hi)}
+        rows = self._conn.execute(sql, params).fetchall()
+        return self._assemble(rows, key_width=1 + len(payload), drop_leading=1)
+
+    def snapshot(self, table: str, at: "Chronon | str | int") -> List[Tuple]:
+        """Tuples valid at the instant *at*: ``(payload...)`` rows."""
+        schema = self.schema(table)
+        sql = translator.translate_snapshot(schema, schema.column_names())
+        params = {"now": self.now_seconds(), "at": _to_seconds(at)}
+        rows = self._conn.execute(sql, params).fetchall()
+        return [tuple(row[1:]) for row in rows]  # drop the rid
+
+    def coalesce(self, table: str, keys: Sequence[str]) -> List[Tuple]:
+        """Coalesced maximal periods per *keys* group.
+
+        Returns ``(keys..., Element)`` per group, via the translated
+        doubly-nested NOT EXISTS query.
+        """
+        schema = self.schema(table)
+        sql = translator.translate_coalesce(schema, keys)
+        params = {"now": self.now_seconds()}
+        rows = self._conn.execute(sql, params).fetchall()
+        rows.sort(key=lambda row: row[: len(keys) + 1])
+        return self._assemble(rows, key_width=len(keys))
+
+    def overlap_join(
+        self,
+        left_table: str,
+        right_table: str,
+        extra_where: str = "1 = 1",
+    ) -> List[Tuple]:
+        """Temporal join: pairs whose elements overlap, with the shared time.
+
+        Returns ``(left payload..., right payload..., Element)`` per
+        overlapping pair.  The translated join yields uncoalesced period
+        pairs; the client-side assembly normalizes them, mirroring the
+        extra pass layered systems need.
+        """
+        left = self.schema(left_table)
+        right = self.schema(right_table)
+        sql = translator.translate_overlap_join(
+            left, right, left.column_names(), right.column_names(), extra_where
+        )
+        params = {"now": self.now_seconds()}
+        rows = self._conn.execute(sql, params).fetchall()
+        key_width = 2 + len(left.columns) + len(right.columns)
+        return self._assemble(rows, key_width=key_width, drop_leading=2)
+
+    def total_length(self, table: str, keys: Sequence[str]) -> List[Tuple]:
+        """Coalesced total seconds per group: ``(keys..., seconds)``."""
+        schema = self.schema(table)
+        sql = translator.translate_total_length(schema, keys)
+        params = {"now": self.now_seconds()}
+        return self._conn.execute(sql, params).fetchall()
+
+    def complexity_report(self, table: str, keys: Sequence[str]) -> Dict[str, Dict[str, int]]:
+        """Static SQL complexity of each translated operation (E2)."""
+        schema = self.schema(table)
+        payload = schema.column_names()
+        return {
+            "timeslice": translator.sql_complexity(
+                translator.translate_timeslice(schema, payload)
+            ),
+            "coalesce": translator.sql_complexity(translator.translate_coalesce(schema, keys)),
+            "overlap_join": translator.sql_complexity(
+                translator.translate_overlap_join(schema, schema, payload, payload)
+            ),
+            "total_length": translator.sql_complexity(
+                translator.translate_total_length(schema, keys)
+            ),
+        }
+
+    # -- client-side reassembly ------------------------------------------
+
+    def _assemble(
+        self,
+        rows: Sequence[Tuple],
+        key_width: int,
+        drop_leading: int = 0,
+    ) -> List[Tuple]:
+        """Group ``(key..., start_s, end_s)`` rows into Elements.
+
+        *drop_leading* strips grouping-only columns (rids) from the
+        output payload after grouping.
+        """
+        out: List[Tuple] = []
+        for key, group in groupby(rows, key=lambda row: row[:key_width]):
+            pairs = [(row[key_width], row[key_width + 1]) for row in group]
+            element = Element.from_pairs(
+                (start_s, end_s) for start_s, end_s in pairs if start_s <= end_s
+            )
+            out.append((*key[drop_leading:], element))
+        return out

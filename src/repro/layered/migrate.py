@@ -1,0 +1,135 @@
+"""Migration between the layered and integrated architectures.
+
+The practical corollary of experiment E2: a site running a TimeDB-style
+layered system (flat data + period-row tables) can *lift* its data into
+TIP ELEMENT columns and retire the translation module; and a TIP table
+can be *flattened* back for tools that only understand plain rows.
+
+Lifting is lossless.  Flattening is lossy exactly where the layered
+encoding is weaker (general ``NOW ± span`` instants; see
+:mod:`repro.layered.schema`), and refuses rather than corrupts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.client.connection import TipConnection
+from repro.core.element import Element
+from repro.layered.engine import LayeredEngine
+from repro.layered.schema import element_to_period_rows
+from repro.errors import TranslationError
+
+__all__ = ["lift_to_tip", "flatten_from_tip"]
+
+_SQL_TYPES = {"TEXT", "INTEGER", "REAL", "BLOB", "NUMERIC"}
+
+
+def lift_to_tip(
+    engine: LayeredEngine,
+    table: str,
+    connection: TipConnection,
+    *,
+    target_table: str = "",
+    valid_column: str = "valid",
+    keep_now_open: bool = True,
+) -> int:
+    """Copy a layered temporal table into a TIP table.
+
+    Period rows per tuple become one ELEMENT value; NULL ends become
+    ``NOW`` endpoints when *keep_now_open* is set (recovering the open
+    semantics the layered schema approximated), otherwise they ground
+    at the engine's current NOW.  Returns the number of tuples lifted.
+    """
+    schema = engine.schema(table)
+    target = target_table or table
+    column_sql = ", ".join(f"{name} {sql_type}" for name, sql_type in schema.columns)
+    connection.execute(
+        f"CREATE TABLE {target} ({column_sql}, {valid_column} ELEMENT)"
+    )
+
+    payload = schema.column_names()
+    data_rows = engine.raw.execute(
+        f"SELECT rid, {', '.join(payload)} FROM {schema.data_table} ORDER BY rid"
+    ).fetchall()
+    placeholders = ", ".join("?" for _ in range(len(payload) + 1))
+    lifted = 0
+    for row in data_rows:
+        rid, values = row[0], row[1:]
+        period_rows = engine.raw.execute(
+            f"SELECT start_s, end_s FROM {schema.valid_table} WHERE rid = ?", (rid,)
+        ).fetchall()
+        element = _element_from_period_rows(period_rows, engine, keep_now_open)
+        connection.execute(
+            f"INSERT INTO {target} VALUES ({placeholders})",
+            (*values, element),
+        )
+        lifted += 1
+    connection.commit()
+    return lifted
+
+
+def _element_from_period_rows(
+    period_rows: Sequence[Tuple[int, object]],
+    engine: LayeredEngine,
+    keep_now_open: bool,
+) -> Element:
+    from repro.core.chronon import Chronon
+    from repro.core.instant import NOW
+    from repro.core.period import Period
+
+    periods: List[Period] = []
+    now_seconds = engine.now_seconds()
+    for start_s, end_s in period_rows:
+        if end_s is None:
+            if keep_now_open:
+                periods.append(Period(Chronon(start_s), NOW))
+                continue
+            end_s = now_seconds
+        if start_s <= end_s:  # type: ignore[operator]
+            periods.append(Period(Chronon(start_s), Chronon(end_s)))  # type: ignore[arg-type]
+    return Element(periods)
+
+
+def flatten_from_tip(
+    connection: TipConnection,
+    table: str,
+    engine: LayeredEngine,
+    *,
+    target_table: str = "",
+    valid_column: str = "valid",
+) -> int:
+    """Copy a TIP table into the layered flat schema.
+
+    Column types are taken from the TIP table's declared DDL; the
+    ELEMENT column becomes period rows.  Raises
+    :class:`~repro.errors.TranslationError` (without partial writes for
+    the offending tuple) when an element uses timestamps the layered
+    encoding cannot hold.  Returns the number of tuples flattened.
+    """
+    target = target_table or table
+    info = connection.execute(f"PRAGMA table_info({table})").fetchall()
+    if not info:
+        raise TranslationError(f"no such table {table!r}")
+    columns: List[Tuple[str, str]] = []
+    for _cid, name, decltype, *_rest in info:
+        if name == valid_column:
+            continue
+        sql_type = (decltype or "TEXT").upper()
+        columns.append((name, sql_type if sql_type in _SQL_TYPES else "TEXT"))
+    if len(columns) == len(info):
+        raise TranslationError(f"{table} has no column {valid_column!r}")
+
+    engine.create_table(target, columns)
+    names = ", ".join(name for name, _t in columns)
+    rows = connection.query(f"SELECT {names}, {valid_column} FROM {table}")
+    flattened = 0
+    for row in rows:
+        payload, element = row[:-1], row[-1]
+        if element is None:
+            element = Element.empty()
+        element_to_period_rows(element)  # validate expressibility first
+        engine.insert(target, payload, element)
+        flattened += 1
+    engine.commit()
+    return flattened

@@ -1,0 +1,140 @@
+"""Flat relational mapping of temporal tables (layered architecture).
+
+A temporal table ``T(c1, ..., valid ELEMENT)`` becomes two stock tables:
+
+* ``T__data(rid INTEGER PRIMARY KEY, c1, ...)`` — one row per tuple;
+* ``T__valid(rid INTEGER, start_s INTEGER, end_s INTEGER)`` — one row
+  per period of the tuple's element, closed-closed in epoch seconds,
+  with ``end_s IS NULL`` encoding an end of ``NOW``.
+
+This NULL-as-NOW encoding is what layered systems actually do (and it
+is strictly *less* expressive than TIP: general ``NOW ± span`` instants
+and NOW-relative starts cannot be represented — attempting to store one
+raises :class:`~repro.errors.TranslationError`, a limitation experiment
+E2 documents).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.element import Element
+from repro.errors import TranslationError
+
+__all__ = ["FlatSchema", "element_to_period_rows", "period_rows_to_element"]
+
+
+def element_to_period_rows(element: Element) -> List[Tuple[int, Optional[int]]]:
+    """Split an element into ``(start_s, end_s-or-None)`` period rows.
+
+    Only determinate endpoints and a bare ``NOW`` end survive the
+    flattening; anything else is beyond the layered encoding.
+    """
+    rows: List[Tuple[int, Optional[int]]] = []
+    for period in element.periods:
+        start = period.start
+        end = period.end
+        if not start.is_determinate:
+            raise TranslationError(
+                f"layered schema cannot store a NOW-relative period start: {period}"
+            )
+        start_s = start.ground_seconds(0)
+        if end.is_determinate:
+            rows.append((start_s, end.ground_seconds(0)))
+        elif end.offset is not None and end.offset.is_zero:
+            rows.append((start_s, None))
+        else:
+            raise TranslationError(
+                f"layered schema cannot store a general NOW-relative end: {period}"
+            )
+    return rows
+
+
+def period_rows_to_element(
+    rows: Sequence[Tuple[int, Optional[int]]],
+    now_seconds: int,
+) -> Element:
+    """Reassemble an element from period rows, grounding NULL ends."""
+    pairs = []
+    for start_s, end_s in rows:
+        grounded_end = now_seconds if end_s is None else end_s
+        if start_s <= grounded_end:
+            pairs.append((start_s, grounded_end))
+    return Element.from_pairs(pairs)
+
+
+@dataclass
+class FlatSchema:
+    """DDL and DML helpers for one flattened temporal table."""
+
+    name: str
+    #: Non-temporal columns as ``(name, sql_type)`` pairs.
+    columns: Sequence[Tuple[str, str]]
+
+    @property
+    def data_table(self) -> str:
+        return f"{self.name}__data"
+
+    @property
+    def valid_table(self) -> str:
+        return f"{self.name}__valid"
+
+    def ddl(self) -> List[str]:
+        """CREATE TABLE statements for the flat mapping."""
+        column_sql = ", ".join(f"{name} {sql_type}" for name, sql_type in self.columns)
+        return [
+            f"CREATE TABLE {self.data_table} (rid INTEGER PRIMARY KEY, {column_sql})",
+            (
+                f"CREATE TABLE {self.valid_table} ("
+                "rid INTEGER NOT NULL, start_s INTEGER NOT NULL, end_s INTEGER, "
+                f"FOREIGN KEY (rid) REFERENCES {self.data_table}(rid))"
+            ),
+            f"CREATE INDEX {self.valid_table}__rid ON {self.valid_table}(rid)",
+            f"CREATE INDEX {self.valid_table}__span ON {self.valid_table}(start_s, end_s)",
+        ]
+
+    def create(self, connection: sqlite3.Connection) -> None:
+        for statement in self.ddl():
+            connection.execute(statement)
+
+    def insert(
+        self,
+        connection: sqlite3.Connection,
+        row: Sequence,
+        valid: Element,
+    ) -> int:
+        """Insert one tuple with its element timestamp; returns the rid."""
+        if len(row) != len(self.columns):
+            raise TranslationError(
+                f"{self.name}: expected {len(self.columns)} columns, got {len(row)}"
+            )
+        placeholders = ", ".join("?" for _ in self.columns)
+        cursor = connection.execute(
+            f"INSERT INTO {self.data_table} ({', '.join(n for n, _ in self.columns)}) "
+            f"VALUES ({placeholders})",
+            tuple(row),
+        )
+        rid = cursor.lastrowid
+        assert rid is not None
+        connection.executemany(
+            f"INSERT INTO {self.valid_table} (rid, start_s, end_s) VALUES (?, ?, ?)",
+            [(rid, start_s, end_s) for start_s, end_s in element_to_period_rows(valid)],
+        )
+        return rid
+
+    def fetch_valid(
+        self,
+        connection: sqlite3.Connection,
+        rid: int,
+        now_seconds: int,
+    ) -> Element:
+        """Reload one tuple's element, grounded at *now_seconds*."""
+        rows = connection.execute(
+            f"SELECT start_s, end_s FROM {self.valid_table} WHERE rid = ?", (rid,)
+        ).fetchall()
+        return period_rows_to_element(rows, now_seconds)
+
+    def column_names(self) -> List[str]:
+        return [name for name, _ in self.columns]

@@ -1,0 +1,193 @@
+"""Rewriting temporal operations into pure standard SQL.
+
+This is the external translation module of the layered architecture.
+Every function returns a SQL string over the flat tables of
+:mod:`repro.layered.schema` that uses **no temporal UDFs** — only joins,
+scalar ``MAX``/``MIN``/``COALESCE``, and (for coalescing) the classic
+doubly-nested ``NOT EXISTS`` formulation from Böhlen, Snodgrass & Soo,
+*Coalescing in Temporal Databases* (VLDB 1996).
+
+``NOW`` appears as the named parameter ``:now``: the translator cannot
+push a moving point into stock SQL, so the caller substitutes a concrete
+transaction time at execution — one of the structural weaknesses of the
+layered approach the paper points out.
+
+:func:`sql_complexity` quantifies how complex the generated SQL is
+(experiment E2's static metrics).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Sequence
+
+from repro.layered.schema import FlatSchema
+
+__all__ = [
+    "grounded_view",
+    "translate_timeslice",
+    "translate_coalesce",
+    "translate_overlap_join",
+    "translate_total_length",
+    "sql_complexity",
+]
+
+
+def grounded_view(schema: FlatSchema, payload: Sequence[str]) -> str:
+    """Inline view exposing ``(payload..., s, e)`` with NOW grounded.
+
+    Every translated query is built over copies of this view — layered
+    translators inline it because the backend knows nothing about the
+    temporal schema, which is exactly why their output balloons.
+    """
+    cols = ", ".join(f"d.{name}" for name in payload)
+    prefix = f"{cols}, " if cols else ""
+    return (
+        f"(SELECT {prefix}v.start_s AS s, COALESCE(v.end_s, :now) AS e "
+        f"FROM {schema.data_table} d JOIN {schema.valid_table} v ON v.rid = d.rid "
+        f"WHERE v.start_s <= COALESCE(v.end_s, :now))"
+    )
+
+
+def _key_equality(left_alias: str, right_alias: str, keys: Sequence[str]) -> str:
+    if not keys:
+        return "1 = 1"
+    return " AND ".join(f"{left_alias}.{key} = {right_alias}.{key}" for key in keys)
+
+
+def translate_timeslice(schema: FlatSchema, payload: Sequence[str]) -> str:
+    """Rows valid in the window ``[:lo, :hi]``, with clipped periods."""
+    cols = ", ".join(f"d.{name}" for name in payload)
+    prefix = f"{cols}, " if cols else ""
+    return (
+        f"SELECT d.rid, {prefix}"
+        "MAX(v.start_s, :lo) AS start_s, "
+        "MIN(COALESCE(v.end_s, :now), :hi) AS end_s "
+        f"FROM {schema.data_table} d JOIN {schema.valid_table} v ON v.rid = d.rid "
+        "WHERE v.start_s <= :hi "
+        "AND COALESCE(v.end_s, :now) >= :lo "
+        "AND v.start_s <= COALESCE(v.end_s, :now) "
+        "ORDER BY d.rid, start_s"
+    )
+
+
+def translate_snapshot(schema: FlatSchema, payload: Sequence[str]) -> str:
+    """Rows valid at the instant ``:at`` (snapshot semantics).
+
+    The layered counterpart of TSQL2's ``SNAPSHOT AT`` — a flat
+    stabbing query over the period rows.
+    """
+    cols = ", ".join(f"d.{name}" for name in payload)
+    prefix = f", {cols}" if cols else ""
+    return (
+        f"SELECT DISTINCT d.rid{prefix} "
+        f"FROM {schema.data_table} d JOIN {schema.valid_table} v ON v.rid = d.rid "
+        "WHERE v.start_s <= :at AND COALESCE(v.end_s, :now) >= :at "
+        "ORDER BY d.rid"
+    )
+
+
+def translate_coalesce(schema: FlatSchema, keys: Sequence[str]) -> str:
+    """Temporal coalescing in stock SQL (Böhlen et al.'s formulation).
+
+    Produces maximal periods per *keys* group: a pair of period rows
+    (F, L) survives when nothing extends it on either side and no gap
+    hides between them — three correlated ``NOT EXISTS`` subqueries, two
+    of them nested.  This single operation is a built-in one-liner
+    (``group_union``) in the integrated approach.
+    """
+    view = grounded_view(schema, keys)
+    key_cols = ", ".join(f"F.{key}" for key in keys)
+    key_prefix = f"{key_cols}, " if keys else ""
+    fl = _key_equality("F", "L", keys)
+    fm = _key_equality("M", "F", keys)
+    ft = _key_equality("T", "F", keys)
+    mt = _key_equality("T2", "M", keys)
+    return (
+        f"SELECT DISTINCT {key_prefix}F.s AS start_s, L.e AS end_s "
+        f"FROM {view} F, {view} L "
+        f"WHERE {fl} AND F.s <= L.e "
+        f"AND NOT EXISTS (SELECT 1 FROM {view} M "
+        f"WHERE {fm} AND M.s > F.s AND M.s <= L.e + 1 "
+        f"AND NOT EXISTS (SELECT 1 FROM {view} T2 "
+        f"WHERE {mt} AND T2.s < M.s AND M.s <= T2.e + 1)) "
+        f"AND NOT EXISTS (SELECT 1 FROM {view} T "
+        f"WHERE {ft} AND ((T.s < F.s AND F.s <= T.e + 1) "
+        f"OR (T.s <= L.e + 1 AND L.e < T.e)))"
+    )
+
+
+def translate_overlap_join(
+    left: FlatSchema,
+    right: FlatSchema,
+    left_payload: Sequence[str],
+    right_payload: Sequence[str],
+    extra_where: str = "1 = 1",
+) -> str:
+    """Temporal join: pairs whose elements share time, with the shared
+    periods.
+
+    The result is one row per overlapping *period pair* — uncoalesced,
+    so a faithful layered pipeline must run the coalescing query on top
+    (see :meth:`repro.layered.engine.LayeredEngine.overlap_join`).
+    In the integrated approach this whole pipeline is the paper's
+    ``overlaps(p1.valid, p2.valid)`` + ``intersect(p1.valid, p2.valid)``.
+    """
+    left_cols = ", ".join(f"d1.{name} AS l_{name}" for name in left_payload)
+    right_cols = ", ".join(f"d2.{name} AS r_{name}" for name in right_payload)
+    payload = ", ".join(part for part in (left_cols, right_cols) if part)
+    payload_prefix = f"{payload}, " if payload else ""
+    return (
+        f"SELECT d1.rid AS rid1, d2.rid AS rid2, {payload_prefix}"
+        "MAX(v1.start_s, v2.start_s) AS start_s, "
+        "MIN(COALESCE(v1.end_s, :now), COALESCE(v2.end_s, :now)) AS end_s "
+        f"FROM {left.data_table} d1 "
+        f"JOIN {left.valid_table} v1 ON v1.rid = d1.rid, "
+        f"{right.data_table} d2 "
+        f"JOIN {right.valid_table} v2 ON v2.rid = d2.rid "
+        f"WHERE ({extra_where}) "
+        "AND v1.start_s <= COALESCE(v2.end_s, :now) "
+        "AND v2.start_s <= COALESCE(v1.end_s, :now) "
+        "AND v1.start_s <= COALESCE(v1.end_s, :now) "
+        "AND v2.start_s <= COALESCE(v2.end_s, :now) "
+        "ORDER BY rid1, rid2, start_s"
+    )
+
+
+def translate_total_length(schema: FlatSchema, keys: Sequence[str]) -> str:
+    """Coalesced total time per group: coalesce, then sum period lengths.
+
+    The integrated one-liner is ``length(group_union(valid))``.
+    """
+    inner = translate_coalesce(schema, keys)
+    key_cols = ", ".join(keys)
+    key_prefix = f"{key_cols}, " if keys else ""
+    group_by = f" GROUP BY {key_cols}" if keys else ""
+    return (
+        f"SELECT {key_prefix}SUM(end_s - start_s + 1) AS total_seconds "
+        f"FROM ({inner}){group_by}"
+    )
+
+
+_SELECT_RE = re.compile(r"\bSELECT\b", re.IGNORECASE)
+_JOIN_RE = re.compile(r"\bJOIN\b", re.IGNORECASE)
+_NOT_EXISTS_RE = re.compile(r"\bNOT\s+EXISTS\b", re.IGNORECASE)
+_AND_OR_RE = re.compile(r"\b(AND|OR)\b", re.IGNORECASE)
+_FROM_COMMA_RE = re.compile(r"\bFROM\b[^()]*?,", re.IGNORECASE)
+
+
+def sql_complexity(sql: str) -> Dict[str, int]:
+    """Static complexity metrics of a SQL string (experiment E2).
+
+    ``selects`` counts SELECT keywords (1 = flat query), ``joins``
+    counts explicit JOINs plus comma joins, ``not_exists`` counts
+    correlated anti-joins, ``predicates`` counts AND/OR connectives,
+    and ``chars`` is the raw query length.
+    """
+    return {
+        "chars": len(sql),
+        "selects": len(_SELECT_RE.findall(sql)),
+        "joins": len(_JOIN_RE.findall(sql)) + len(_FROM_COMMA_RE.findall(sql)),
+        "not_exists": len(_NOT_EXISTS_RE.findall(sql)),
+        "predicates": len(_AND_OR_RE.findall(sql)),
+    }

@@ -1,0 +1,107 @@
+"""The network client driver.
+
+:class:`RemoteTipConnection` speaks the JSON-line protocol to a
+:class:`~repro.server.server.TipServer` and exposes the familiar query
+surface: ``execute`` / ``query`` / ``query_one`` returning TIP datatype
+objects, plus a per-session ``set_now`` override.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.chronon import Chronon
+from repro.errors import TipError
+from repro.server import protocol
+
+__all__ = ["RemoteTipConnection", "RemoteError"]
+
+
+class RemoteError(TipError):
+    """The server reported a failure for the last request."""
+
+    def __init__(self, message: str, kind: str) -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+class RemoteResult:
+    """One statement's outcome."""
+
+    def __init__(self, frame: dict) -> None:
+        self.columns: List[str] = frame.get("columns", [])
+        self.rows: List[Tuple] = [protocol.load_row(row) for row in frame.get("rows", [])]
+        self.rowcount: int = frame.get("rowcount", -1)
+        self.statement_now: Optional[str] = frame.get("statement_now")
+
+
+class RemoteTipConnection:
+    """A TIP session over TCP."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._socket.makefile("rb")
+        self._closed = False
+
+    # -- plumbing ------------------------------------------------------
+
+    def _round_trip(self, frame: dict) -> dict:
+        if self._closed:
+            raise TipError("connection is closed")
+        self._socket.sendall(protocol.dump_frame(frame))
+        line = self._reader.readline()
+        if not line:
+            self._closed = True
+            raise TipError("server closed the connection")
+        response = protocol.load_frame(line)
+        if not response.get("ok"):
+            raise RemoteError(
+                response.get("error", "unknown server error"),
+                response.get("kind", "Error"),
+            )
+        return response
+
+    # -- the query surface -----------------------------------------------
+
+    def execute(self, sql: str, params: Sequence = ()) -> RemoteResult:
+        """Run one statement; TIP parameters travel in binary form."""
+        frame = {
+            "op": "execute",
+            "sql": sql,
+            "params": [protocol.dump_value(value) for value in params],
+        }
+        return RemoteResult(self._round_trip(frame))
+
+    def query(self, sql: str, params: Sequence = ()) -> List[Tuple]:
+        return self.execute(sql, params).rows
+
+    def query_one(self, sql: str, params: Sequence = ()) -> Optional[Tuple]:
+        rows = self.query(sql, params)
+        return rows[0] if rows else None
+
+    def set_now(self, now: "Chronon | str | None") -> None:
+        """Override NOW for this session only."""
+        text = str(now) if isinstance(now, Chronon) else now
+        self._round_trip({"op": "set_now", "now": text})
+
+    def ping(self) -> bool:
+        return bool(self._round_trip({"op": "ping"}).get("pong"))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        try:
+            self._round_trip({"op": "close"})
+        except TipError:
+            pass
+        finally:
+            self._closed = True
+            self._reader.close()
+            self._socket.close()
+
+    def __enter__(self) -> "RemoteTipConnection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,82 @@
+"""The wire protocol: newline-delimited JSON frames.
+
+Requests::
+
+    {"op": "execute", "sql": "...", "params": [...]}
+    {"op": "set_now", "now": "1999-09-01"}     # null clears the override
+    {"op": "ping"}
+    {"op": "close"}
+
+Responses::
+
+    {"ok": true, "rows": [...], "columns": [...], "rowcount": n,
+     "statement_now": "..."}
+    {"ok": false, "error": "message", "kind": "OperationalError"}
+
+TIP values (in params and in result rows) are framed as
+``{"$tip": "<base64 of the binary encoding>"}``; byte strings as
+``{"$bytes": ...}``; everything else is plain JSON.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any, List, Sequence
+
+from repro import codec
+from repro.errors import TipError
+
+__all__ = ["dump_value", "load_value", "dump_frame", "load_frame", "ProtocolError"]
+
+_TIP_TYPES = tuple(codec.binary.TAG_BY_TYPE)
+
+
+class ProtocolError(TipError):
+    """A malformed frame arrived on the wire."""
+
+
+def dump_value(value: Any) -> Any:
+    """Encode one value for a JSON frame."""
+    if isinstance(value, _TIP_TYPES):
+        return {"$tip": base64.b64encode(codec.encode(value)).decode("ascii")}
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return {"$bytes": base64.b64encode(bytes(value)).decode("ascii")}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ProtocolError(f"value of type {type(value).__name__} is not transportable")
+
+
+def load_value(value: Any) -> Any:
+    """Decode one value from a JSON frame."""
+    if isinstance(value, dict):
+        if "$tip" in value:
+            return codec.decode(base64.b64decode(value["$tip"]))
+        if "$bytes" in value:
+            return base64.b64decode(value["$bytes"])
+        raise ProtocolError(f"unknown value envelope: {sorted(value)}")
+    return value
+
+
+def dump_row(row: Sequence) -> List[Any]:
+    return [dump_value(value) for value in row]
+
+
+def load_row(row: Sequence) -> tuple:
+    return tuple(load_value(value) for value in row)
+
+
+def dump_frame(frame: dict) -> bytes:
+    """Serialize one frame to its wire form (JSON + newline)."""
+    return (json.dumps(frame, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def load_frame(line: bytes) -> dict:
+    """Parse one wire line into a frame."""
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return frame

@@ -1,0 +1,166 @@
+"""The TIP database server.
+
+A threading TCP server over one shared TIP-enabled connection.  SQLite
+serializes writers anyway, so a single engine connection guarded by a
+lock is the honest concurrency model; per-session state (the ``NOW``
+override) is applied under that lock before each statement, so remote
+sessions get independent temporal contexts — the Browser's what-if
+override works per client.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from typing import Optional, Tuple
+
+import repro
+from repro.core.chronon import Chronon
+from repro.core.parser import parse_chronon
+from repro.errors import TipError
+from repro.server import protocol
+
+__all__ = ["TipServer"]
+
+
+class _SessionHandler(socketserver.StreamRequestHandler):
+    """One connected client: a loop of frames until close/EOF."""
+
+    server: "_InnerServer"
+
+    def handle(self) -> None:
+        session_now: Optional[int] = None
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                return
+            if not line.strip():
+                continue
+            try:
+                frame = protocol.load_frame(line)
+                response, session_now, done = self._dispatch(frame, session_now)
+            except protocol.ProtocolError as exc:
+                response, done = {"ok": False, "error": str(exc), "kind": "ProtocolError"}, False
+            except Exception as exc:  # never kill the session thread silently
+                response, done = {"ok": False, "error": str(exc), "kind": type(exc).__name__}, False
+            self.wfile.write(protocol.dump_frame(response))
+            self.wfile.flush()
+            if done:
+                return
+
+    def _dispatch(self, frame: dict, session_now: Optional[int]):
+        op = frame.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}, session_now, False
+        if op == "close":
+            return {"ok": True, "closed": True}, session_now, True
+        if op == "set_now":
+            raw = frame.get("now")
+            if raw is None:
+                return {"ok": True, "now": None}, None, False
+            try:
+                seconds = parse_chronon(raw).seconds
+            except TipError as exc:
+                return {"ok": False, "error": str(exc), "kind": type(exc).__name__}, \
+                    session_now, False
+            return {"ok": True, "now": raw}, seconds, False
+        if op == "execute":
+            return self._execute(frame, session_now), session_now, False
+        return (
+            {"ok": False, "error": f"unknown op {op!r}", "kind": "ProtocolError"},
+            session_now,
+            False,
+        )
+
+    def _execute(self, frame: dict, session_now: Optional[int]) -> dict:
+        sql = frame.get("sql")
+        if not isinstance(sql, str):
+            return {"ok": False, "error": "execute needs a sql string", "kind": "ProtocolError"}
+        try:
+            params = tuple(protocol.load_value(v) for v in frame.get("params", []))
+        except protocol.ProtocolError as exc:
+            return {"ok": False, "error": str(exc), "kind": "ProtocolError"}
+        owner = self.server.owner
+        with owner.lock:
+            connection = owner.connection
+            try:
+                connection.set_now(None if session_now is None else Chronon(session_now))
+                cursor = connection.execute(sql, params)
+                if cursor.description is None:
+                    connection.commit()
+                    return {
+                        "ok": True,
+                        "rows": [],
+                        "columns": [],
+                        "rowcount": cursor.rowcount,
+                        "statement_now": str(cursor.statement_now),
+                    }
+                rows = cursor.fetchall()
+                return {
+                    "ok": True,
+                    "rows": [protocol.dump_row(row) for row in rows],
+                    "columns": [entry[0] for entry in cursor.description],
+                    "rowcount": len(rows),
+                    "statement_now": str(cursor.statement_now),
+                }
+            except Exception as exc:  # surface engine errors to the client
+                connection.rollback()
+                return {"ok": False, "error": str(exc), "kind": type(exc).__name__}
+
+
+class _InnerServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], owner: "TipServer") -> None:
+        super().__init__(address, _SessionHandler)
+        self.owner = owner
+
+
+class TipServer:
+    """Serve one TIP-enabled database over TCP.
+
+    >>> server = TipServer(":memory:")         # port 0 = pick a free one
+    >>> server.start()
+    >>> host, port = server.address
+    >>> ... RemoteTipConnection(host, port) ...
+    >>> server.stop()
+
+    Also usable as a context manager.
+    """
+
+    def __init__(self, database: str = ":memory:", host: str = "127.0.0.1", port: int = 0) -> None:
+        # Handler threads share this one engine connection under the
+        # lock, so SQLite's same-thread check must be relaxed here.
+        self.connection = repro.connect(database, check_same_thread=False)
+        self.lock = threading.Lock()
+        self._inner = _InnerServer((host, port), self)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port)."""
+        return self._inner.server_address[:2]
+
+    def start(self) -> "TipServer":
+        """Serve in a background thread; returns self."""
+        if self._thread is not None:
+            raise TipError("server already started")
+        self._thread = threading.Thread(target=self._inner.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down the listener and the engine connection."""
+        self._inner.shutdown()
+        self._inner.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.connection.close()
+
+    def __enter__(self) -> "TipServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -1,0 +1,32 @@
+"""Temporal aggregation: time-varying COUNT/SUM over elements.
+
+TIP's `group_union` collapses a group's time into one element; *temporal
+aggregation* asks the finer question the authors address in their
+companion work (Yang & Widom, "Incremental Computation and Maintenance
+of Temporal Aggregates", ICDE 2001): *how many tuples are valid at each
+instant?* / *what is the sum of a measure at each instant?*
+
+* :mod:`repro.tempagg.stepfn` — the result representation, a step
+  function over the time line;
+* :mod:`repro.tempagg.sweep` — one-shot computation by boundary sweep
+  (``O(n log n)``);
+* :mod:`repro.tempagg.aggtree` — an incrementally maintainable
+  aggregate index with the SB-tree's interface and bounds
+  (``O(log n)`` insert, ``O(log n)`` instant query), experiment E10.
+"""
+
+from repro.tempagg.aggtree import AggregateTree
+from repro.tempagg.query import render_stepfn, temporal_count_table, temporal_sum_table
+from repro.tempagg.stepfn import StepFunction
+from repro.tempagg.sweep import temporal_avg, temporal_count, temporal_sum
+
+__all__ = [
+    "StepFunction",
+    "temporal_count",
+    "temporal_sum",
+    "temporal_avg",
+    "AggregateTree",
+    "temporal_count_table",
+    "temporal_sum_table",
+    "render_stepfn",
+]

@@ -1,0 +1,162 @@
+"""An incrementally maintainable temporal aggregate index.
+
+Provides the SB-tree's interface and bounds (Yang & Widom, ICDE 2001):
+intervals carrying values are inserted (or retracted) one at a time in
+``O(log n)``, and the aggregate value at any instant is answered in
+``O(log n)`` — no matter how many intervals overlap the probe, which is
+where the naive "stab an interval index and sum the hits" approach
+degrades.
+
+Implementation: each interval ``[s, e]`` with value *v* becomes two
+*boundary deltas* (+v at ``s``, −v at ``e + 1``) stored in a treap keyed
+by time and augmented with subtree delta sums, so ``value_at(t)`` is a
+prefix-sum walk.  Works for the distributive aggregates SUM and COUNT
+(the SB-tree's primary targets); MAX-style aggregates need different
+machinery and are out of scope.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import TipValueError
+from repro.tempagg.stepfn import StepFunction
+
+__all__ = ["AggregateTree"]
+
+
+class _Node:
+    __slots__ = ("key", "delta", "priority", "left", "right", "subtotal")
+
+    def __init__(self, key: int, delta: float, priority: float) -> None:
+        self.key = key
+        self.delta = delta
+        self.priority = priority
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.subtotal = delta
+
+
+def _pull(node: _Node) -> _Node:
+    node.subtotal = node.delta
+    if node.left is not None:
+        node.subtotal += node.left.subtotal
+    if node.right is not None:
+        node.subtotal += node.right.subtotal
+    return node
+
+
+class AggregateTree:
+    """Time-varying SUM/COUNT with O(log n) inserts and instant probes."""
+
+    def __init__(self, seed: int = 0x5B17) -> None:
+        self._root: Optional[_Node] = None
+        self._rng = random.Random(seed)
+        self._n_intervals = 0
+
+    # -- treap plumbing -------------------------------------------------
+
+    def _merge(self, a: Optional[_Node], b: Optional[_Node]) -> Optional[_Node]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        if a.priority >= b.priority:
+            a.right = self._merge(a.right, b)
+            return _pull(a)
+        b.left = self._merge(a, b.left)
+        return _pull(b)
+
+    def _split(self, node: Optional[_Node], key: int) -> Tuple[Optional[_Node], Optional[_Node]]:
+        """Split into (keys <= key, keys > key)."""
+        if node is None:
+            return None, None
+        if node.key <= key:
+            left, right = self._split(node.right, key)
+            node.right = left
+            return _pull(node), right
+        left, right = self._split(node.left, key)
+        node.left = right
+        return left, _pull(node)
+
+    def _add_delta(self, key: int, delta: float) -> None:
+        if delta == 0:
+            return
+        node = self._root
+        while node is not None:
+            if node.key == key:
+                node.delta += delta
+                # Fix subtotals along the root path.
+                self._refresh_path(key)
+                return
+            node = node.left if key < node.key else node.right
+        fresh = _Node(key, delta, self._rng.random())
+        left, right = self._split(self._root, key)
+        self._root = self._merge(self._merge(left, fresh), right)
+
+    def _refresh_path(self, key: int) -> None:
+        """Recompute subtotals on the search path to *key* (bottom-up)."""
+        path: List[_Node] = []
+        node = self._root
+        while node is not None:
+            path.append(node)
+            if node.key == key:
+                break
+            node = node.left if key < node.key else node.right
+        for entry in reversed(path):
+            _pull(entry)
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def n_intervals(self) -> int:
+        """Number of (insert - retract) intervals currently reflected."""
+        return self._n_intervals
+
+    def insert(self, start: int, end: int, value: float = 1) -> None:
+        """Add an interval's contribution (value defaults to COUNT's 1)."""
+        if start > end:
+            raise TipValueError(f"inverted interval ({start}, {end})")
+        self._add_delta(start, value)
+        self._add_delta(end + 1, -value)
+        self._n_intervals += 1
+
+    def retract(self, start: int, end: int, value: float = 1) -> None:
+        """Remove a previously inserted interval's contribution."""
+        if start > end:
+            raise TipValueError(f"inverted interval ({start}, {end})")
+        self._add_delta(start, -value)
+        self._add_delta(end + 1, value)
+        self._n_intervals -= 1
+
+    def value_at(self, t: int) -> float:
+        """The aggregate at instant *t* — an O(log n) prefix sum."""
+        total = 0.0
+        node = self._root
+        while node is not None:
+            if node.key <= t:
+                total += node.delta
+                if node.left is not None:
+                    total += node.left.subtotal
+                node = node.right
+            else:
+                node = node.left
+        return total
+
+    def deltas(self) -> Iterator[Tuple[int, float]]:
+        """All (time, delta) boundaries in time order."""
+
+        def walk(node: Optional[_Node]) -> Iterator[Tuple[int, float]]:
+            if node is None:
+                return
+            yield from walk(node.left)
+            if node.delta != 0:
+                yield (node.key, node.delta)
+            yield from walk(node.right)
+
+        yield from walk(self._root)
+
+    def to_step_function(self) -> StepFunction:
+        """Materialize the full time-varying aggregate."""
+        return StepFunction.from_deltas(self.deltas())

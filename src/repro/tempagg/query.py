@@ -1,0 +1,99 @@
+"""Temporal aggregation over TIP tables (the SQL-facing helpers).
+
+Bridges :mod:`repro.tempagg`'s algorithms to data stored in a
+TIP-enabled database: fetch the element column (optionally with a
+measure), aggregate, and return the time-varying result as a
+:class:`~repro.tempagg.stepfn.StepFunction`.  ``render_stepfn`` draws
+the result as an ASCII profile, matching the Browser's rendering
+conventions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.client.connection import TipConnection
+from repro.errors import TipValueError
+from repro.tempagg.stepfn import StepFunction
+from repro.tempagg.sweep import temporal_count, temporal_sum
+
+__all__ = ["temporal_count_table", "temporal_sum_table", "render_stepfn"]
+
+
+def temporal_count_table(
+    connection: TipConnection,
+    table: str,
+    element_column: str = "valid",
+    where: str = "1 = 1",
+    params: Sequence = (),
+) -> StepFunction:
+    """How many of *table*'s rows are valid at each instant."""
+    rows = connection.query(
+        f"SELECT {element_column} FROM {table} "
+        f"WHERE ({where}) AND {element_column} IS NOT NULL",
+        params,
+    )
+    now_seconds = connection.statement_now_seconds()
+    return temporal_count((row[0] for row in rows), now=now_seconds)
+
+
+def temporal_sum_table(
+    connection: TipConnection,
+    table: str,
+    measure_column: str,
+    element_column: str = "valid",
+    where: str = "1 = 1",
+    params: Sequence = (),
+) -> StepFunction:
+    """Time-varying SUM of *measure_column* over the valid rows."""
+    rows = connection.query(
+        f"SELECT {element_column}, {measure_column} FROM {table} "
+        f"WHERE ({where}) AND {element_column} IS NOT NULL "
+        f"AND {measure_column} IS NOT NULL",
+        params,
+    )
+    now_seconds = connection.statement_now_seconds()
+    return temporal_sum(
+        ((element, float(measure)) for element, measure in rows),
+        now=now_seconds,
+    )
+
+
+_LEVELS = " .:-=+*#%@"
+
+
+def render_stepfn(
+    fn: StepFunction,
+    width: int = 60,
+    lo: Optional[int] = None,
+    hi: Optional[int] = None,
+) -> str:
+    """One-line ASCII profile of a step function.
+
+    Each character cell shows the (time-weighted) average value of its
+    slice of ``[lo, hi]``, scaled against the function's maximum.  The
+    bounds default to the function's support.
+    """
+    if not fn:
+        return " " * width
+    segments = fn.segments
+    if lo is None:
+        lo = segments[0][0]
+    if hi is None:
+        hi = segments[-1][1]
+    if lo > hi:
+        raise TipValueError(f"inverted render range ({lo}, {hi})")
+    peak = fn.max_value()
+    if peak <= 0:
+        return " " * width
+    total = hi - lo + 1
+    cells: List[str] = []
+    for index in range(width):
+        cell_lo = lo + (index * total) // width
+        cell_hi = lo + ((index + 1) * total) // width - 1
+        cell_hi = max(cell_lo, cell_hi)
+        window = fn.restrict(cell_lo, cell_hi)
+        average = window.integral() / (cell_hi - cell_lo + 1)
+        level = 0 if average <= 0 else 1 + int((average / peak) * (len(_LEVELS) - 2))
+        cells.append(_LEVELS[min(level, len(_LEVELS) - 1)])
+    return "".join(cells)

@@ -1,0 +1,126 @@
+"""Step functions over the time line: temporal aggregation results.
+
+A :class:`StepFunction` is a finite list of disjoint, ordered,
+closed-closed segments ``(start, end, value)``; outside every segment
+the function is the *default* (0 for COUNT/SUM).  Adjacent segments
+with equal values are merged, so two equal functions always have equal
+segment lists (a canonical form, like elements).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.errors import TipValueError
+
+__all__ = ["StepFunction"]
+
+Segment = Tuple[int, int, float]
+
+
+class StepFunction:
+    """An immutable, canonical step function (default value 0)."""
+
+    __slots__ = ("_segments",)
+
+    def __init__(self, segments: Iterable[Segment] = ()) -> None:
+        cleaned: List[Segment] = []
+        for start, end, value in sorted(segments):
+            if start > end:
+                raise TipValueError(f"inverted segment ({start}, {end})")
+            if value == 0:
+                continue  # indistinguishable from the default
+            if cleaned:
+                prev_start, prev_end, prev_value = cleaned[-1]
+                if start <= prev_end:
+                    raise TipValueError(
+                        f"overlapping segments at {start} (previous ends {prev_end})"
+                    )
+                if start == prev_end + 1 and value == prev_value:
+                    cleaned[-1] = (prev_start, end, prev_value)
+                    continue
+            cleaned.append((start, end, value))
+        self._segments = tuple(cleaned)
+
+    # -- accessors ------------------------------------------------------
+
+    @property
+    def segments(self) -> Tuple[Segment, ...]:
+        return self._segments
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __iter__(self) -> Iterator[Segment]:
+        return iter(self._segments)
+
+    def __bool__(self) -> bool:
+        return bool(self._segments)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StepFunction):
+            return NotImplemented
+        return self._segments == other._segments
+
+    def __hash__(self) -> int:
+        return hash(self._segments)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"[{s}..{e}]={v}" for s, e, v in self._segments)
+        return f"StepFunction({inner})"
+
+    # -- evaluation --------------------------------------------------------
+
+    def value_at(self, t: int) -> float:
+        """The function's value at time *t* (0 outside all segments)."""
+        index = bisect_right(self._segments, (t, float("inf"), float("inf"))) - 1
+        if index >= 0:
+            start, end, value = self._segments[index]
+            if start <= t <= end:
+                return value
+        return 0
+
+    def max_value(self) -> float:
+        """Largest value attained (0 for the empty function)."""
+        return max((value for _s, _e, value in self._segments), default=0)
+
+    def support_length(self) -> int:
+        """Total chronons where the function is nonzero."""
+        return sum(end - start + 1 for start, end, _v in self._segments)
+
+    def integral(self) -> float:
+        """Sum of value x duration over all segments (value-seconds)."""
+        return sum(value * (end - start + 1) for start, end, value in self._segments)
+
+    def restrict(self, lo: int, hi: int) -> "StepFunction":
+        """Clip to the window [lo, hi]."""
+        if lo > hi:
+            raise TipValueError(f"inverted window ({lo}, {hi})")
+        out = []
+        for start, end, value in self._segments:
+            if end < lo or start > hi:
+                continue
+            out.append((max(start, lo), min(end, hi), value))
+        return StepFunction(out)
+
+    @staticmethod
+    def from_deltas(deltas: Iterable[Tuple[int, float]]) -> "StepFunction":
+        """Build from ``(time, +delta)`` events (closed-closed segments).
+
+        A delta at time *t* takes effect at *t*; each segment runs from
+        one boundary to just before the next.
+        """
+        merged: dict = {}
+        for time, delta in deltas:
+            merged[time] = merged.get(time, 0) + delta
+        boundaries = sorted(time for time, delta in merged.items() if delta != 0)
+        segments: List[Segment] = []
+        running = 0.0
+        for index, time in enumerate(boundaries):
+            running += merged[time]
+            if index + 1 < len(boundaries):
+                segments.append((time, boundaries[index + 1] - 1, running))
+            elif running != 0:
+                raise TipValueError("deltas do not cancel: function unbounded on the right")
+        return StepFunction(segments)

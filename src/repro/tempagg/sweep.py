@@ -1,0 +1,77 @@
+"""One-shot temporal aggregation by boundary sweep.
+
+Each period ``[s, e]`` of a tuple's element contributes ``+value`` at
+``s`` and ``-value`` at ``e + 1``; sorting the events and accumulating
+yields the time-varying aggregate in ``O(n log n)`` for *n* periods —
+the classical evaluation the incremental structure of
+:mod:`repro.tempagg.aggtree` is measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.element import Element
+from repro.core.instant import _coerce_now_seconds
+from repro.errors import TipTypeError
+from repro.tempagg.stepfn import StepFunction
+
+__all__ = ["temporal_count", "temporal_sum", "temporal_avg"]
+
+
+def _deltas(
+    items: Iterable[Tuple[Element, float]],
+    now_seconds: Optional[int],
+) -> List[Tuple[int, float]]:
+    deltas: List[Tuple[int, float]] = []
+    for element, value in items:
+        if not isinstance(element, Element):
+            raise TipTypeError(f"expected Element, got {type(element).__name__}")
+        for start, end in element.ground_pairs(now_seconds):
+            deltas.append((start, value))
+            deltas.append((end + 1, -value))
+    return deltas
+
+
+def temporal_count(
+    elements: Iterable[Element],
+    now: "Chronon | int | None" = None,
+) -> StepFunction:
+    """How many tuples are valid at each instant."""
+    now_seconds = _coerce_now_seconds(now)
+    return StepFunction.from_deltas(
+        _deltas(((element, 1) for element in elements), now_seconds)
+    )
+
+
+def temporal_sum(
+    items: Iterable[Tuple[Element, float]],
+    now: "Chronon | int | None" = None,
+) -> StepFunction:
+    """Time-varying SUM of a measure over the tuples valid at each instant."""
+    now_seconds = _coerce_now_seconds(now)
+    return StepFunction.from_deltas(_deltas(items, now_seconds))
+
+
+def temporal_avg(
+    items: List[Tuple[Element, float]],
+    now: "Chronon | int | None" = None,
+) -> StepFunction:
+    """Time-varying AVG: SUM / COUNT wherever COUNT is nonzero."""
+    now_seconds = _coerce_now_seconds(now)
+    total = temporal_sum(items, now_seconds)
+    count = temporal_count((element for element, _v in items), now_seconds)
+    # Merge the two step functions over the union of their boundaries.
+    boundaries = sorted(
+        {s for s, _e, _v in total.segments}
+        | {e + 1 for _s, e, _v in total.segments}
+        | {s for s, _e, _v in count.segments}
+        | {e + 1 for _s, e, _v in count.segments}
+    )
+    segments = []
+    for index in range(len(boundaries) - 1):
+        lo, hi = boundaries[index], boundaries[index + 1] - 1
+        tuples_valid = count.value_at(lo)
+        if tuples_valid:
+            segments.append((lo, hi, total.value_at(lo) / tuples_valid))
+    return StepFunction(segments)

@@ -1,0 +1,13 @@
+"""TSQL2-style statement modifiers over TIP SQL (paper §5 future work).
+
+"As future work, we will investigate how closely TIP can approach a
+full-featured temporal query language like TSQL2 in expressive power"
+— this package is that investigation: a small preprocessor that
+rewrites TSQL2's statement modifiers (``SNAPSHOT [AT t]``,
+``VALIDTIME [PERIOD p]``, ``NONSEQUENCED VALIDTIME``) into plain SQL
+over the TIP routines, without touching the engine.
+"""
+
+from repro.tsql.preprocessor import TsqlSession, translate_tsql
+
+__all__ = ["TsqlSession", "translate_tsql"]

@@ -1,0 +1,280 @@
+"""The TSQL2 statement-modifier preprocessor.
+
+Supported statement forms (a documented, restricted subset — enough to
+express TSQL2's three evaluation modes over select-from-where blocks):
+
+* ``SNAPSHOT [AT '<instant>'] SELECT ... FROM ... [WHERE ...]`` —
+  *snapshot* semantics: the query sees the database as of one time
+  point (default ``NOW``); timestamps disappear from the result.
+* ``VALIDTIME [PERIOD '[a, b]'] SELECT ... FROM ... [WHERE ...]`` —
+  *sequenced* semantics: the result holds wherever **all** operand
+  tuples hold simultaneously, and carries that time as a trailing
+  ``valid`` column (optionally clipped to the stated period).
+* ``NONSEQUENCED VALIDTIME SELECT ...`` — timestamps are ordinary
+  attributes; the statement passes through unchanged.
+
+Restrictions (violations raise :class:`TranslationError`): the FROM
+list must be plain ``table [AS] alias`` items (no subqueries or JOIN
+syntax), and sequenced (``VALIDTIME``) statements cannot use GROUP BY —
+sequenced aggregation needs instant-by-instant group semantics that
+plain SQL cannot express (use TIP's ``group_union`` family directly).
+
+Temporal tables are detected from the schema: any column declared with
+type ``ELEMENT`` is a validity column (the first one per table is
+used); non-temporal tables in the FROM list simply contribute no
+validity.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.client.connection import TipConnection
+from repro.errors import TranslationError
+
+__all__ = ["TsqlSession", "translate_tsql", "split_select"]
+
+_MODIFIER_RE = re.compile(
+    r"""^\s*
+        (?:
+            (?P<nonseq>NONSEQUENCED\s+VALIDTIME)
+          | (?P<validtime>VALIDTIME)(?:\s+PERIOD\s+'(?P<period>[^']*)')?
+          | (?P<snapshot>SNAPSHOT)(?:\s+AT\s+'(?P<at>[^']*)')?
+        )
+        \s+(?P<rest>SELECT\b.*)$""",
+    re.IGNORECASE | re.DOTALL | re.VERBOSE,
+)
+
+_CLAUSE_KEYWORDS = ("FROM", "WHERE", "GROUP BY", "ORDER BY", "HAVING", "LIMIT")
+
+
+def _find_top_level(sql: str, keyword: str) -> int:
+    """Index of *keyword* at paren/quote depth zero, or -1."""
+    upper = sql.upper()
+    target = keyword.upper()
+    depth = 0
+    in_string = False
+    index = 0
+    while index < len(sql):
+        char = sql[index]
+        if in_string:
+            if char == "'":
+                in_string = False
+        elif char == "'":
+            in_string = True
+        elif char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        elif depth == 0 and upper.startswith(target, index):
+            before_ok = index == 0 or not (sql[index - 1].isalnum() or sql[index - 1] == "_")
+            after = index + len(target)
+            after_ok = after >= len(sql) or not (sql[after].isalnum() or sql[after] == "_")
+            if before_ok and after_ok:
+                return index
+        index += 1
+    return -1
+
+
+@dataclass
+class SelectParts:
+    """A SELECT statement split into its top-level clauses."""
+
+    select_list: str
+    from_list: str
+    where: Optional[str]
+    tail: str  # GROUP BY / ORDER BY / ... onwards, verbatim
+
+
+def split_select(sql: str) -> SelectParts:
+    """Split a single SELECT into clauses at top level."""
+    stripped = sql.strip().rstrip(";")
+    if not stripped.upper().startswith("SELECT"):
+        raise TranslationError("statement must start with SELECT")
+    from_at = _find_top_level(stripped, "FROM")
+    if from_at < 0:
+        raise TranslationError("statement has no FROM clause")
+    select_list = stripped[len("SELECT"):from_at].strip()
+    remainder = stripped[from_at + len("FROM"):]
+
+    boundaries: List[Tuple[int, str]] = []
+    for keyword in ("WHERE", "GROUP BY", "ORDER BY", "HAVING", "LIMIT"):
+        at = _find_top_level(remainder, keyword)
+        if at >= 0:
+            boundaries.append((at, keyword))
+    boundaries.sort()
+
+    from_end = boundaries[0][0] if boundaries else len(remainder)
+    from_list = remainder[:from_end].strip()
+
+    where = None
+    tail_start = from_end
+    if boundaries and boundaries[0][1] == "WHERE":
+        where_start = boundaries[0][0] + len("WHERE")
+        where_end = boundaries[1][0] if len(boundaries) > 1 else len(remainder)
+        where = remainder[where_start:where_end].strip()
+        tail_start = where_end
+    tail = remainder[tail_start:].strip()
+    return SelectParts(select_list, from_list, where, tail)
+
+
+def _split_top_level_commas(text: str) -> List[str]:
+    parts: List[str] = []
+    depth = 0
+    in_string = False
+    current: List[str] = []
+    for char in text:
+        if in_string:
+            current.append(char)
+            if char == "'":
+                in_string = False
+            continue
+        if char == "'":
+            in_string = True
+        elif char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    parts.append("".join(current).strip())
+    return [part for part in parts if part]
+
+
+_FROM_ITEM_RE = re.compile(
+    r"^(?P<table>[A-Za-z_][A-Za-z0-9_]*)(?:\s+(?:AS\s+)?(?P<alias>[A-Za-z_][A-Za-z0-9_]*))?$",
+    re.IGNORECASE,
+)
+
+
+def _parse_from_items(from_list: str) -> List[Tuple[str, str]]:
+    """``(table, alias)`` pairs; alias defaults to the table name."""
+    items = []
+    for part in _split_top_level_commas(from_list):
+        match = _FROM_ITEM_RE.match(part)
+        if not match:
+            raise TranslationError(
+                f"unsupported FROM item {part!r} (plain 'table [AS] alias' only)"
+            )
+        table = match["table"]
+        alias = match["alias"] or table
+        items.append((table, alias))
+    return items
+
+
+def translate_tsql(
+    statement: str,
+    valid_columns: Dict[str, str],
+) -> str:
+    """Rewrite one TSQL2-modified statement into TIP SQL.
+
+    *valid_columns* maps (lower-cased) temporal table names to their
+    validity column.  A statement without a modifier passes through
+    unchanged.
+    """
+    match = _MODIFIER_RE.match(statement)
+    if not match:
+        return statement.strip()
+    if match["nonseq"]:
+        return match["rest"].strip()
+
+    parts = split_select(match["rest"])
+    from_items = _parse_from_items(parts.from_list)
+    validities = [
+        f"{alias}.{valid_columns[table.lower()]}"
+        for table, alias in from_items
+        if table.lower() in valid_columns
+    ]
+
+    if match["snapshot"]:
+        at = match["at"] or "NOW"
+        conjuncts = [f"contains_instant({v}, instant('{at}'))" for v in validities]
+        return _reassemble(parts, parts.select_list, conjuncts)
+
+    # VALIDTIME (sequenced).
+    if "GROUP BY" in parts.tail.upper() or "HAVING" in parts.tail.upper():
+        raise TranslationError(
+            "sequenced (VALIDTIME) aggregation is not expressible in this subset; "
+            "use TIP's group_union/group_intersect aggregates directly"
+        )
+    if not validities:
+        raise TranslationError("VALIDTIME requires at least one temporal table in FROM")
+
+    validity_expr = validities[0]
+    for v in validities[1:]:
+        validity_expr = f"tintersect({validity_expr}, {v})"
+    conjuncts = [
+        f"overlaps({a}, {b})"
+        for i, a in enumerate(validities)
+        for b in validities[i + 1:]
+    ]
+    if match["period"]:
+        validity_expr = f"restrict({validity_expr}, period('[{match['period']}]'))"
+        conjuncts.extend(
+            f"overlaps({v}, to_element(period('[{match['period']}]')))" for v in validities
+        )
+    select_list = f"{parts.select_list}, {validity_expr} AS valid"
+    return _reassemble(parts, select_list, conjuncts)
+
+
+def _reassemble(parts: SelectParts, select_list: str, conjuncts: Sequence[str]) -> str:
+    where = parts.where
+    if conjuncts:
+        extra = " AND ".join(conjuncts)
+        where = f"({where}) AND {extra}" if where else extra
+    sql = f"SELECT {select_list} FROM {parts.from_list}"
+    if where:
+        sql += f" WHERE {where}"
+    if parts.tail:
+        sql += f" {parts.tail}"
+    return sql
+
+
+_ELEMENT_COLUMN_RE = re.compile(
+    r"([A-Za-z_][A-Za-z0-9_]*)\s+ELEMENT\b", re.IGNORECASE
+)
+
+
+class TsqlSession:
+    """Execute TSQL2-modified statements on a TIP connection.
+
+    Validity columns are auto-discovered from the schema (first column
+    declared ``ELEMENT`` per table); :meth:`register` overrides or adds
+    mappings explicitly.
+    """
+
+    def __init__(self, connection: TipConnection) -> None:
+        self._connection = connection
+        self._valid_columns: Dict[str, str] = {}
+        self.rescan()
+
+    def rescan(self) -> None:
+        """Re-discover temporal tables from sqlite_master."""
+        rows = self._connection.query(
+            "SELECT name, sql FROM sqlite_master WHERE type = 'table' AND sql IS NOT NULL"
+        )
+        for name, ddl in rows:
+            match = _ELEMENT_COLUMN_RE.search(ddl or "")
+            if match:
+                self._valid_columns.setdefault(name.lower(), match.group(1))
+
+    def register(self, table: str, valid_column: str) -> None:
+        """Explicitly declare *table*'s validity column."""
+        self._valid_columns[table.lower()] = valid_column
+
+    @property
+    def temporal_tables(self) -> Dict[str, str]:
+        return dict(self._valid_columns)
+
+    def translate(self, statement: str) -> str:
+        """Rewrite without executing (for inspection and tests)."""
+        return translate_tsql(statement, self._valid_columns)
+
+    def query(self, statement: str, parameters: Sequence = ()) -> List[Tuple]:
+        """Translate and execute, returning type-mapped rows."""
+        return self._connection.query(self.translate(statement), parameters)

@@ -1,0 +1,43 @@
+"""Temporal data warehousing — the application TIP was built for.
+
+The authors' stated motivation (Section 1 and references [9, 10]) is a
+temporal data warehouse: maintaining *temporal views* over sources, with
+incremental (self-)maintenance.  This package implements that layer on
+top of the TIP type system:
+
+* :mod:`repro.warehouse.relation` — in-memory temporal relations
+  (rows timestamped with canonical elements);
+* :mod:`repro.warehouse.tracker` — derive a temporal relation from a
+  stream of changes to a *non-temporal* source (open versions end at
+  ``NOW``);
+* :mod:`repro.warehouse.views` — temporal selection / projection /
+  join views with full recomputation;
+* :mod:`repro.warehouse.maintenance` — materialized views maintained
+  incrementally from base-table deltas, with the invariant
+  ``incremental == recompute`` (experiment E8).
+"""
+
+from repro.warehouse.maintenance import (
+    Change,
+    MaterializedDifference,
+    MaterializedJoin,
+    MaterializedProjection,
+    MaterializedSelection,
+)
+from repro.warehouse.relation import TemporalRelation
+from repro.warehouse.tracker import ChangeTracker
+from repro.warehouse.views import DifferenceView, JoinView, ProjectionView, SelectionView
+
+__all__ = [
+    "TemporalRelation",
+    "ChangeTracker",
+    "SelectionView",
+    "ProjectionView",
+    "JoinView",
+    "DifferenceView",
+    "Change",
+    "MaterializedSelection",
+    "MaterializedProjection",
+    "MaterializedJoin",
+    "MaterializedDifference",
+]

@@ -1,0 +1,150 @@
+"""In-memory temporal relations for the warehouse layer.
+
+A :class:`TemporalRelation` maps each distinct row (a tuple of hashable
+scalars) to a canonical validity — internally raw ``(start, end)``
+second pairs, exposed as :class:`~repro.core.element.Element`.  Two
+tuples with the same values are the *same* fact observed over more
+time, so inserting merges validities (set semantics with temporal
+coalescing, the snapshot-equivalence model of the temporal view
+maintenance papers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.core import interval_algebra as ia
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.errors import TipValueError
+
+__all__ = ["TemporalRelation"]
+
+Pair = Tuple[int, int]
+Row = Tuple
+
+
+class TemporalRelation:
+    """A set of rows, each timestamped with a canonical element."""
+
+    def __init__(self, columns: Sequence[str]) -> None:
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self._data: Dict[Row, List[Pair]] = {}
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_items(
+        cls,
+        columns: Sequence[str],
+        items: Iterable[Tuple[Row, Element]],
+    ) -> "TemporalRelation":
+        relation = cls(columns)
+        for row, element in items:
+            relation.insert(row, element)
+        return relation
+
+    def copy(self) -> "TemporalRelation":
+        clone = TemporalRelation(self.columns)
+        clone._data = {row: list(pairs) for row, pairs in self._data.items()}
+        return clone
+
+    # -- mutation ----------------------------------------------------------
+
+    def _check_row(self, row: Row) -> Row:
+        row = tuple(row)
+        if len(row) != len(self.columns):
+            raise TipValueError(
+                f"row has {len(row)} values, relation has {len(self.columns)} columns"
+            )
+        return row
+
+    def insert(self, row: Row, validity: "Element | Sequence[Pair]") -> None:
+        """Add validity for *row* (unions with any existing validity)."""
+        row = self._check_row(row)
+        pairs = self._to_pairs(validity)
+        if not pairs:
+            return
+        existing = self._data.get(row)
+        if existing is None:
+            self._data[row] = list(pairs)
+        else:
+            self._data[row] = ia.union(existing, pairs)
+
+    def remove(self, row: Row, validity: "Element | Sequence[Pair]") -> None:
+        """Subtract validity from *row* (drops the row when empty)."""
+        row = self._check_row(row)
+        existing = self._data.get(row)
+        if existing is None:
+            return
+        remaining = ia.difference(existing, self._to_pairs(validity))
+        if remaining:
+            self._data[row] = remaining
+        else:
+            del self._data[row]
+
+    @staticmethod
+    def _to_pairs(validity: "Element | Sequence[Pair]") -> List[Pair]:
+        if isinstance(validity, Element):
+            if not validity.is_determinate:
+                raise TipValueError("warehouse relations store determinate validities")
+            return validity.ground_pairs(0)
+        return ia.normalize(validity)
+
+    # -- access ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, row: Row) -> bool:
+        return tuple(row) in self._data
+
+    def rows(self) -> Iterator[Row]:
+        return iter(self._data)
+
+    def pairs(self, row: Row) -> List[Pair]:
+        """Raw validity pairs (empty list when the row is absent)."""
+        return list(self._data.get(tuple(row), []))
+
+    def element(self, row: Row) -> Element:
+        """Validity of *row* as an element (empty when absent)."""
+        return Element.from_pairs(self._data.get(tuple(row), []))
+
+    def items(self) -> Iterator[Tuple[Row, List[Pair]]]:
+        for row, pairs in self._data.items():
+            yield row, list(pairs)
+
+    def as_elements(self) -> List[Tuple[Row, Element]]:
+        """Materialize as ``(row, Element)`` pairs, sorted for stability."""
+        return [
+            (row, Element.from_pairs(pairs))
+            for row, pairs in sorted(self._data.items(), key=lambda item: repr(item[0]))
+        ]
+
+    # -- temporal queries ----------------------------------------------------------
+
+    def snapshot(self, at: "Chronon | int") -> List[Row]:
+        """Rows valid at the given time point (sorted for stability)."""
+        point = at.seconds if isinstance(at, Chronon) else at
+        return sorted(
+            (row for row, pairs in self._data.items() if ia.contains_point(pairs, point)),
+            key=repr,
+        )
+
+    def total_rows_seconds(self) -> int:
+        """Sum of validity lengths over all rows (a size diagnostic)."""
+        return sum(ia.total_length(pairs) for pairs in self._data.values())
+
+    # -- comparison --------------------------------------------------------------------
+
+    def same_contents(self, other: "TemporalRelation") -> bool:
+        """Equality of rows and validities (the E8 invariant check)."""
+        if self.columns != other.columns or len(self._data) != len(other._data):
+            return False
+        for row, pairs in self._data.items():
+            if other._data.get(row) != pairs:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"TemporalRelation(columns={self.columns}, rows={len(self._data)})"

@@ -1,0 +1,153 @@
+"""Deriving temporal relations from non-temporal sources.
+
+Reference [9] of the paper (Yang & Widom, EDBT 1998) maintains temporal
+views over *non-temporal* information sources: the source only ever
+shows its current state, and the warehouse timestamps what it observes.
+:class:`ChangeTracker` is that observation layer — it consumes a stream
+of ``insert`` / ``update`` / ``delete`` events, each carrying its
+observation time, and produces a temporal relation in which every
+observed version of a row carries its validity element.  Versions that
+are still live end at ``NOW`` — exactly the timestamps TIP's ``Element``
+with ``NOW``-relative periods was designed to hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.instant import NOW
+from repro.core.period import Period
+from repro.errors import TipValueError
+from repro.warehouse.relation import TemporalRelation
+
+__all__ = ["ChangeTracker", "SourceEvent"]
+
+
+@dataclass(frozen=True)
+class SourceEvent:
+    """One observed source change."""
+
+    kind: str  # "insert" | "update" | "delete"
+    key: Hashable
+    attrs: Optional[Tuple]  # None for deletes
+    at_seconds: int
+
+
+def _to_seconds(at: "Chronon | int") -> int:
+    if isinstance(at, Chronon):
+        return at.seconds
+    if isinstance(at, int) and not isinstance(at, bool):
+        return at
+    raise TipValueError(f"event time must be a Chronon or seconds, got {type(at).__name__}")
+
+
+class ChangeTracker:
+    """Timestamps a stream of source changes into a temporal relation.
+
+    A version observed at time *t* is valid from *t*; the version it
+    replaces is closed at *t - 1* (closed-closed chronons).  Event times
+    must be non-decreasing, as observations of a live source are.
+    """
+
+    def __init__(self, key_column: str, attr_columns: Sequence[str]) -> None:
+        self.key_column = key_column
+        self.attr_columns: Tuple[str, ...] = tuple(attr_columns)
+        #: key -> (attrs, since_seconds) for currently-live versions.
+        self._live: Dict[Hashable, Tuple[Tuple, int]] = {}
+        #: Closed versions as (key, attrs, start_s, end_s).
+        self._closed: List[Tuple[Hashable, Tuple, int, int]] = []
+        self._log: List[SourceEvent] = []
+        self._last_seconds: Optional[int] = None
+
+    # -- event ingestion -------------------------------------------------
+
+    def _advance(self, at: "Chronon | int") -> int:
+        seconds = _to_seconds(at)
+        if self._last_seconds is not None and seconds < self._last_seconds:
+            raise TipValueError(
+                f"events must arrive in time order: {seconds} after {self._last_seconds}"
+            )
+        self._last_seconds = seconds
+        return seconds
+
+    def _check_attrs(self, attrs: Sequence) -> Tuple:
+        attrs = tuple(attrs)
+        if len(attrs) != len(self.attr_columns):
+            raise TipValueError(
+                f"expected {len(self.attr_columns)} attributes, got {len(attrs)}"
+            )
+        return attrs
+
+    def insert(self, key: Hashable, attrs: Sequence, at: "Chronon | int") -> None:
+        """The source gained a row for *key*."""
+        seconds = self._advance(at)
+        if key in self._live:
+            raise TipValueError(f"insert of live key {key!r}; use update")
+        attrs = self._check_attrs(attrs)
+        self._live[key] = (attrs, seconds)
+        self._log.append(SourceEvent("insert", key, attrs, seconds))
+
+    def update(self, key: Hashable, attrs: Sequence, at: "Chronon | int") -> None:
+        """The source's row for *key* changed to *attrs*."""
+        seconds = self._advance(at)
+        if key not in self._live:
+            raise TipValueError(f"update of unknown key {key!r}")
+        attrs = self._check_attrs(attrs)
+        old_attrs, since = self._live[key]
+        if attrs == old_attrs:
+            return  # no observable change
+        self._close(key, old_attrs, since, seconds - 1)
+        self._live[key] = (attrs, seconds)
+        self._log.append(SourceEvent("update", key, attrs, seconds))
+
+    def delete(self, key: Hashable, at: "Chronon | int") -> None:
+        """The source's row for *key* disappeared."""
+        seconds = self._advance(at)
+        if key not in self._live:
+            raise TipValueError(f"delete of unknown key {key!r}")
+        old_attrs, since = self._live.pop(key)
+        self._close(key, old_attrs, since, seconds - 1)
+        self._log.append(SourceEvent("delete", key, None, seconds))
+
+    def _close(self, key: Hashable, attrs: Tuple, start_s: int, end_s: int) -> None:
+        if start_s <= end_s:  # a version replaced in the same chronon vanishes
+            self._closed.append((key, attrs, start_s, end_s))
+
+    # -- views of the history -----------------------------------------------
+
+    @property
+    def events(self) -> List[SourceEvent]:
+        return list(self._log)
+
+    def live_keys(self) -> List[Hashable]:
+        return sorted(self._live, key=repr)
+
+    def as_temporal_rows(self) -> List[Tuple[Tuple, Element]]:
+        """Every version with its validity; live versions end at ``NOW``.
+
+        This is the TIP-native rendering: elements may contain
+        ``NOW``-relative periods and can be stored directly in an
+        ``ELEMENT`` column.
+        """
+        by_row: Dict[Tuple, List[Period]] = {}
+        for key, attrs, start_s, end_s in self._closed:
+            row = (key, *attrs)
+            by_row.setdefault(row, []).append(Period(Chronon(start_s), Chronon(end_s)))
+        for key, (attrs, since) in self._live.items():
+            row = (key, *attrs)
+            by_row.setdefault(row, []).append(Period(Chronon(since), NOW))
+        return [(row, Element(periods)) for row, periods in sorted(by_row.items(), key=lambda i: repr(i[0]))]
+
+    def as_relation(self, now: "Chronon | int") -> TemporalRelation:
+        """Determinate temporal relation with open versions grounded at *now*."""
+        now_seconds = _to_seconds(now)
+        relation = TemporalRelation((self.key_column, *self.attr_columns))
+        for key, attrs, start_s, end_s in self._closed:
+            relation.insert((key, *attrs), [(start_s, end_s)])
+        for key, (attrs, since) in self._live.items():
+            if since <= now_seconds:
+                relation.insert((key, *attrs), [(since, now_seconds)])
+        return relation

@@ -1,0 +1,135 @@
+"""Temporal view definitions (full recomputation semantics).
+
+The views follow the snapshot-reducible temporal algebra used in the
+temporal view maintenance literature [9, 10]:
+
+* **Selection** keeps rows satisfying a predicate, validity unchanged;
+* **Projection** keeps a subset of columns and *coalesces*: rows that
+  become identical contribute the union of their validities (this is
+  ``group_union`` at the algebra level);
+* **Join** pairs rows whose join attributes match, the result being
+  valid exactly when *both* inputs are (validity intersection).
+
+:func:`~repro.warehouse.views.View.evaluate` is the reference
+implementation that :mod:`repro.warehouse.maintenance` must agree with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.core import interval_algebra as ia
+from repro.errors import TipValueError
+from repro.warehouse.relation import TemporalRelation
+
+__all__ = ["View", "SelectionView", "ProjectionView", "JoinView", "DifferenceView"]
+
+Row = Tuple
+
+
+class View:
+    """Base class: a temporal query evaluable over base relations."""
+
+    def evaluate(self, *bases: TemporalRelation) -> TemporalRelation:
+        raise NotImplementedError
+
+
+def _column_indices(relation_columns: Sequence[str], wanted: Sequence[str]) -> List[int]:
+    indices = []
+    for name in wanted:
+        if name not in relation_columns:
+            raise TipValueError(f"unknown column {name!r} (have {list(relation_columns)})")
+        indices.append(list(relation_columns).index(name))
+    return indices
+
+
+@dataclass
+class SelectionView(View):
+    """``sigma_pred(R)`` — temporal selection."""
+
+    predicate: Callable[[Row], bool]
+
+    def evaluate(self, base: TemporalRelation) -> TemporalRelation:
+        out = TemporalRelation(base.columns)
+        for row, pairs in base.items():
+            if self.predicate(row):
+                out.insert(row, pairs)
+        return out
+
+
+@dataclass
+class ProjectionView(View):
+    """``pi_cols(R)`` — temporal projection with coalescing."""
+
+    columns: Sequence[str]
+
+    def evaluate(self, base: TemporalRelation) -> TemporalRelation:
+        indices = _column_indices(base.columns, self.columns)
+        out = TemporalRelation(tuple(self.columns))
+        for row, pairs in base.items():
+            projected = tuple(row[index] for index in indices)
+            out.insert(projected, pairs)  # insert unions = group_union
+        return out
+
+
+@dataclass
+class DifferenceView(View):
+    """``R - S`` — snapshot-reducible temporal difference.
+
+    A row is in the result at instant *t* when it is in *R* but not in
+    *S* at *t*; row matching is full value equality, so the result
+    validity of each row is ``validity_R(row) - validity_S(row)``.
+    Both relations must share the same columns.
+    """
+
+    def evaluate(self, left: TemporalRelation, right: TemporalRelation) -> TemporalRelation:
+        if left.columns != right.columns:
+            raise TipValueError(
+                f"difference needs identical columns: {left.columns} vs {right.columns}"
+            )
+        out = TemporalRelation(left.columns)
+        for row, pairs in left.items():
+            out.insert(row, ia.difference(pairs, right.pairs(row)))
+        return out
+
+
+@dataclass
+class JoinView(View):
+    """``R ⋈ S`` — temporal equijoin with validity intersection.
+
+    Output columns: all of the left relation, then the right relation's
+    non-join columns.
+    """
+
+    left_on: Sequence[str]
+    right_on: Sequence[str]
+
+    def output_columns(self, left: TemporalRelation, right: TemporalRelation) -> Tuple[str, ...]:
+        right_keep = [name for name in right.columns if name not in self.right_on]
+        return (*left.columns, *right_keep)
+
+    def evaluate(self, left: TemporalRelation, right: TemporalRelation) -> TemporalRelation:
+        if len(self.left_on) != len(self.right_on):
+            raise TipValueError("join column lists differ in length")
+        left_idx = _column_indices(left.columns, self.left_on)
+        right_idx = _column_indices(right.columns, self.right_on)
+        right_keep_idx = [
+            index for index, name in enumerate(right.columns) if name not in self.right_on
+        ]
+        out = TemporalRelation(self.output_columns(left, right))
+
+        # Hash the right side on its join key.
+        right_index: Dict[Tuple, List[Tuple[Row, List[ia.Pair]]]] = {}
+        for row, pairs in right.items():
+            key = tuple(row[index] for index in right_idx)
+            right_index.setdefault(key, []).append((row, pairs))
+
+        for lrow, lpairs in left.items():
+            key = tuple(lrow[index] for index in left_idx)
+            for rrow, rpairs in right_index.get(key, ()):
+                shared = ia.intersect(lpairs, rpairs)
+                if shared:
+                    combined = (*lrow, *(rrow[index] for index in right_keep_idx))
+                    out.insert(combined, shared)
+        return out

@@ -1,0 +1,26 @@
+"""Workload generators: synthetic temporal data, seeded and repeatable.
+
+:mod:`repro.workload.generator` builds elements with controlled shape
+(period count, coverage, NOW fraction) for micro-benchmarks;
+:mod:`repro.workload.medical` regenerates the synthetic medical
+database of the paper's demonstration (Section 4).
+"""
+
+from repro.workload.generator import random_element, striped_element
+from repro.workload.medical import (
+    MedicalConfig,
+    PrescriptionRow,
+    generate_prescriptions,
+    load_layered,
+    load_tip,
+)
+
+__all__ = [
+    "random_element",
+    "striped_element",
+    "MedicalConfig",
+    "PrescriptionRow",
+    "generate_prescriptions",
+    "load_tip",
+    "load_layered",
+]

@@ -1,0 +1,108 @@
+"""Generic element generators with controlled shape.
+
+Experiment E1 needs elements with an *exact* period count (to measure
+scaling in the number of periods); E3 needs controlled overlap between
+elements.  Everything is driven by an explicit :class:`random.Random`
+instance so workloads are reproducible by seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.instant import NOW
+from repro.core.period import Period
+from repro.errors import TipValueError
+
+__all__ = ["striped_element", "random_element", "random_subelement"]
+
+
+def striped_element(
+    n_periods: int,
+    start: "Chronon | int",
+    period_seconds: int = 3600,
+    gap_seconds: int = 3600,
+) -> Element:
+    """A deterministic element with exactly *n_periods* equal stripes.
+
+    ``striped_element(3, t)`` covers ``[t, t+p-1]``, ``[t+p+g, ...]``,
+    ... — canonical by construction (positive gaps prevent coalescing),
+    which makes it the unit of experiment E1's scaling measurements.
+    """
+    if n_periods < 0:
+        raise TipValueError("n_periods must be non-negative")
+    if period_seconds <= 0 or gap_seconds <= 0:
+        raise TipValueError("period and gap lengths must be positive")
+    base = start.seconds if isinstance(start, Chronon) else start
+    stride = period_seconds + gap_seconds
+    return Element.from_pairs(
+        (base + index * stride, base + index * stride + period_seconds - 1)
+        for index in range(n_periods)
+    )
+
+
+def random_element(
+    rng: random.Random,
+    n_periods: int,
+    lo: "Chronon | int",
+    hi: "Chronon | int",
+    *,
+    now_fraction: float = 0.0,
+) -> Element:
+    """A random element with exactly *n_periods* disjoint periods in
+    ``[lo, hi]``.
+
+    With probability *now_fraction* the final period's end becomes
+    ``NOW`` (an open, NOW-relative timestamp), modeling ongoing facts
+    like the paper's long-term prescriptions.
+    """
+    lo_s = lo.seconds if isinstance(lo, Chronon) else lo
+    hi_s = hi.seconds if isinstance(hi, Chronon) else hi
+    if n_periods < 0:
+        raise TipValueError("n_periods must be non-negative")
+    if n_periods == 0:
+        return Element.empty()
+    width = hi_s - lo_s + 1
+    # 2n+ boundaries are needed for n disjoint, non-adjacent periods.
+    if width < 3 * n_periods:
+        raise TipValueError(f"range too small for {n_periods} disjoint periods")
+    cuts = sorted(rng.sample(range(width), 2 * n_periods))
+    pairs: List[Tuple[int, int]] = []
+    for index in range(n_periods):
+        start = lo_s + cuts[2 * index]
+        end = lo_s + cuts[2 * index + 1]
+        if pairs and start <= pairs[-1][1] + 1:
+            start = pairs[-1][1] + 2
+        if start > end:
+            end = start
+        if end > hi_s:
+            break
+        pairs.append((start, end))
+    periods: List[Period] = [Period(Chronon(s), Chronon(e)) for s, e in pairs]
+    if periods and rng.random() < now_fraction:
+        last = periods[-1]
+        periods[-1] = Period(last.start, NOW)
+    return Element(periods)
+
+
+def random_subelement(rng: random.Random, base: Element, fraction: float) -> Element:
+    """A random sub-element covering roughly *fraction* of *base*.
+
+    Used to build overlapping pairs with known overlap for E3: the
+    result is fully contained in *base*.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise TipValueError("fraction must be within [0, 1]")
+    pairs = base.ground_pairs(0)
+    kept = []
+    for start, end in pairs:
+        if rng.random() > fraction:
+            continue
+        length = end - start + 1
+        keep = max(1, int(length * fraction))
+        offset = rng.randrange(0, length - keep + 1)
+        kept.append((start + offset, start + offset + keep - 1))
+    return Element.from_pairs(kept)

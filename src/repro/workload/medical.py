@@ -1,0 +1,210 @@
+"""The synthetic medical database of the paper's demonstration.
+
+"Our TIP demonstration ... is based on a synthetic medical database
+containing various types of temporal data" (Section 4).  This module
+regenerates an equivalent database, deterministically by seed, around
+the paper's running ``Prescription`` schema:
+
+    Prescription(doctor, patient, patientdob CHRONon, drug, dosage INT,
+                 frequency SPAN, valid ELEMENT)
+
+Knobs relevant to the experiments: *overlap_rate* controls how often a
+patient's prescriptions overlap in time (E3's coalescing overcount),
+*now_fraction* controls how many prescriptions are open-ended at ``NOW``
+(E4's drifting queries).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.client.connection import TipConnection
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.span import Span
+from repro.layered.engine import LayeredEngine
+from repro.workload.generator import random_element, random_subelement
+
+__all__ = [
+    "MedicalConfig",
+    "PrescriptionRow",
+    "generate_prescriptions",
+    "load_tip",
+    "load_layered",
+    "DOCTORS",
+    "DRUGS",
+]
+
+#: Name pools, seeded with the paper's own cast of characters.
+DOCTORS = (
+    "Dr.Pepper", "Dr.No", "Dr.Strange", "Dr.Who", "Dr.Livingstone",
+    "Dr.Jekyll", "Dr.Watson", "Dr.Quinn",
+)
+DRUGS = (
+    "Diabeta", "Aspirin", "Tylenol", "Prozac", "Ibuprofen",
+    "Amoxicillin", "Insulin", "Zantac", "Claritin", "Valium",
+)
+_FIRST = ("Mr", "Ms", "Mx")
+_LAST = (
+    "Showbiz", "Info", "Data", "Quarry", "Temporal", "Chronon",
+    "Span", "Period", "Element", "Widget", "Gadget", "Fact",
+)
+
+
+@dataclass(frozen=True)
+class MedicalConfig:
+    """Shape of the generated database."""
+
+    n_prescriptions: int = 200
+    n_patients: int = 40
+    seed: int = 42
+    start: str = "1990-01-01"
+    end: str = "1999-12-31"
+    #: Mean number of periods per prescription element.
+    mean_periods: int = 3
+    #: Probability that a prescription is deliberately overlapped with
+    #: an earlier one of the same patient (drives E3's overcount).
+    overlap_rate: float = 0.3
+    #: Probability that an element's last period is open-ended at NOW.
+    now_fraction: float = 0.15
+
+
+@dataclass(frozen=True)
+class PrescriptionRow:
+    """One row of the Prescription table."""
+
+    doctor: str
+    patient: str
+    patient_dob: Chronon
+    drug: str
+    dosage: int
+    frequency: Span
+    valid: Element
+
+    def as_params(self) -> tuple:
+        return (
+            self.doctor,
+            self.patient,
+            self.patient_dob,
+            self.drug,
+            self.dosage,
+            self.frequency,
+            self.valid,
+        )
+
+
+def _patient_names(rng: random.Random, count: int) -> List[str]:
+    names: List[str] = []
+    seen = set()
+    while len(names) < count:
+        name = f"{rng.choice(_FIRST)}.{rng.choice(_LAST)}{len(names)}"
+        if name not in seen:
+            seen.add(name)
+            names.append(name)
+    return names
+
+
+def generate_prescriptions(config: MedicalConfig = MedicalConfig()) -> List[PrescriptionRow]:
+    """Generate the synthetic Prescription table, deterministic by seed."""
+    rng = random.Random(config.seed)
+    lo = Chronon.parse(config.start)
+    hi = Chronon.parse(config.end)
+    patients = _patient_names(rng, config.n_patients)
+    dobs = {
+        patient: Chronon.of(rng.randint(1940, 1999), rng.randint(1, 12), rng.randint(1, 28))
+        for patient in patients
+    }
+    rows: List[PrescriptionRow] = []
+    last_valid_by_patient: dict = {}
+    for _ in range(config.n_prescriptions):
+        patient = rng.choice(patients)
+        n_periods = max(1, min(8, round(rng.gauss(config.mean_periods, 1.2))))
+        previous = last_valid_by_patient.get(patient)
+        if previous is not None and rng.random() < config.overlap_rate:
+            # Deliberately overlap the previous prescription so that
+            # SUM(length(valid)) double counts (experiment E3).
+            valid = random_subelement(rng, previous, fraction=0.8)
+            if valid.is_empty_at(0):
+                valid = previous
+        else:
+            valid = random_element(
+                rng, n_periods, lo, hi, now_fraction=config.now_fraction
+            )
+        grounded = valid.ground(hi)
+        if not grounded.is_empty_at(0):
+            last_valid_by_patient[patient] = grounded
+        rows.append(
+            PrescriptionRow(
+                doctor=rng.choice(DOCTORS),
+                patient=patient,
+                patient_dob=dobs[patient],
+                drug=rng.choice(DRUGS),
+                dosage=rng.choice((1, 1, 2, 2, 3, 4)),
+                frequency=Span.of(hours=rng.choice((4, 6, 8, 12, 24))),
+                valid=valid,
+            )
+        )
+    return rows
+
+
+PRESCRIPTION_DDL = (
+    "CREATE TABLE {table} (doctor TEXT, patient TEXT, patientdob CHRONON, "
+    "drug TEXT, dosage INTEGER, frequency SPAN, valid ELEMENT)"
+)
+
+
+def load_tip(
+    connection: TipConnection,
+    rows: Sequence[PrescriptionRow],
+    table: str = "Prescription",
+) -> None:
+    """Create and populate the Prescription table on a TIP connection."""
+    connection.execute(PRESCRIPTION_DDL.format(table=table))
+    connection.executemany(
+        f"INSERT INTO {table} VALUES (?, ?, ?, ?, ?, ?, ?)",
+        [row.as_params() for row in rows],
+    )
+    connection.commit()
+
+
+def load_layered(
+    engine: LayeredEngine,
+    rows: Sequence[PrescriptionRow],
+    table: str = "Prescription",
+    *,
+    ground_now_at: Optional[Chronon] = None,
+) -> None:
+    """Populate the layered engine with the same data.
+
+    The layered schema cannot hold general NOW-relative periods; bare
+    ``[x, NOW]`` ends map to its NULL encoding.  *ground_now_at*, when
+    given, grounds elements first (for strict apples-to-apples runs).
+    """
+    engine.create_table(
+        table,
+        [
+            ("doctor", "TEXT"),
+            ("patient", "TEXT"),
+            ("patientdob_s", "INTEGER"),
+            ("drug", "TEXT"),
+            ("dosage", "INTEGER"),
+            ("frequency_s", "INTEGER"),
+        ],
+    )
+    for row in rows:
+        valid = row.valid if ground_now_at is None else row.valid.ground(ground_now_at)
+        engine.insert(
+            table,
+            (
+                row.doctor,
+                row.patient,
+                row.patient_dob.seconds,
+                row.drug,
+                row.dosage,
+                row.frequency.seconds,
+            ),
+            valid,
+        )
+    engine.commit()

@@ -1,0 +1,65 @@
+"""Shared fixtures and helpers for the TIP test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.span import Span
+
+#: A convenient fixed "today" used across tests: the paper's demo era.
+DEMO_NOW = "1999-09-01"
+
+
+def C(text: str) -> Chronon:
+    """Shorthand chronon constructor for test readability."""
+    return Chronon.parse(text)
+
+
+def S(text: str) -> Span:
+    """Shorthand span constructor."""
+    return Span.parse(text)
+
+
+def E(text: str) -> Element:
+    """Shorthand element constructor."""
+    return Element.parse(text)
+
+
+def sec(text: str) -> int:
+    """Chronon literal -> epoch seconds."""
+    return Chronon.parse(text).seconds
+
+
+@pytest.fixture
+def conn():
+    """A TIP-enabled in-memory connection with NOW pinned to the demo era."""
+    connection = repro.connect(now=DEMO_NOW)
+    yield connection
+    connection.close()
+
+
+@pytest.fixture
+def demo_prescriptions(conn):
+    """The paper's running example rows, loaded into Prescription."""
+    conn.execute(
+        "CREATE TABLE Prescription (doctor TEXT, patient TEXT, patientdob CHRONON, "
+        "drug TEXT, dosage INTEGER, frequency SPAN, valid ELEMENT)"
+    )
+    rows = [
+        ("Dr.Pepper", "Mr.Showbiz", "1975-03-26", "Diabeta", 1, "0 08:00:00",
+         "{[1999-10-01, NOW]}"),
+        ("Dr.No", "Mr.Showbiz", "1975-03-26", "Aspirin", 2, "0 12:00:00",
+         "{[1999-11-01, 1999-12-15]}"),
+        ("Dr.Who", "Ms.Info", "1999-07-10", "Tylenol", 1, "0 06:00:00",
+         "{[1999-08-01, 1999-08-20]}"),
+        ("Dr.Who", "Ms.Info", "1999-07-10", "Prozac", 1, "1",
+         "{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}"),
+    ]
+    conn.executemany(
+        "INSERT INTO Prescription VALUES (?, ?, chronon(?), ?, ?, span(?), element(?))",
+        rows,
+    )
+    return conn

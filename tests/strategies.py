@@ -1,0 +1,100 @@
+"""Hypothesis strategies for TIP values.
+
+Times are drawn from a "safe" window (years ~1970-2030 by default) so
+that NOW-relative grounding never clamps at the calendar bounds, which
+keeps set-algebra properties exact.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core import interval_algebra as ia
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.instant import Instant
+from repro.core.period import Period
+from repro.core.span import Span
+
+#: Safe chronon-second bounds (approx. 1970..2033).
+SAFE_LO = 0
+SAFE_HI = 2_000_000_000
+
+safe_seconds = st.integers(min_value=SAFE_LO, max_value=SAFE_HI)
+
+#: Small coordinates for brute-force comparisons against chronon sets.
+tiny_seconds = st.integers(min_value=0, max_value=400)
+
+
+@st.composite
+def pairs_lists(draw, coords=tiny_seconds, max_size=12):
+    """Arbitrary (possibly overlapping, unsorted) period pair lists."""
+    raw = draw(
+        st.lists(st.tuples(coords, coords), max_size=max_size)
+    )
+    return [(min(a, b), max(a, b)) for a, b in raw]
+
+
+@st.composite
+def canonical_pairs(draw, coords=tiny_seconds, max_size=12):
+    """Canonical (sorted, disjoint, non-adjacent) pair lists."""
+    return ia.normalize(draw(pairs_lists(coords, max_size)))
+
+
+@st.composite
+def chronons(draw, seconds=safe_seconds):
+    return Chronon(draw(seconds))
+
+
+@st.composite
+def spans(draw, max_magnitude=10_000_000):
+    return Span(draw(st.integers(min_value=-max_magnitude, max_value=max_magnitude)))
+
+
+@st.composite
+def instants(draw, seconds=safe_seconds, offset_magnitude=1_000_000):
+    if draw(st.booleans()):
+        return Instant.at(Chronon(draw(seconds)))
+    offset = draw(st.integers(min_value=-offset_magnitude, max_value=offset_magnitude))
+    return Instant.now_relative(Span(offset))
+
+
+@st.composite
+def determinate_periods(draw, seconds=safe_seconds):
+    a = draw(seconds)
+    b = draw(seconds)
+    lo, hi = (a, b) if a <= b else (b, a)
+    return Period(Chronon(lo), Chronon(hi))
+
+
+@st.composite
+def periods(draw, seconds=safe_seconds):
+    """Periods that may have NOW-relative endpoints (kept orderable)."""
+    if draw(st.booleans()):
+        return draw(determinate_periods(seconds))
+    start = draw(instants(seconds))
+    # End at or after the start when both are the same flavor; mixing
+    # flavors is allowed (emptiness then depends on NOW).
+    end = draw(instants(seconds))
+    try:
+        return Period(start, end)
+    except Exception:
+        return Period(end, start)
+
+
+@st.composite
+def elements(draw, seconds=safe_seconds, max_periods=6):
+    return Element(draw(st.lists(periods(seconds), max_size=max_periods)))
+
+
+@st.composite
+def determinate_elements(draw, seconds=safe_seconds, max_periods=8):
+    return Element(draw(st.lists(determinate_periods(seconds), max_size=max_periods)))
+
+
+def brute_set(pairs) -> set:
+    """Reference model: a pair list as an explicit set of chronons."""
+    covered = set()
+    for start, end in pairs:
+        covered.update(range(start, end + 1))
+    return covered

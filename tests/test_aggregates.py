@@ -1,0 +1,141 @@
+"""Tests for the temporal aggregate functions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import interval_algebra as ia
+from repro.core.aggregates import (
+    ChrononMax,
+    ChrononMin,
+    GroupIntersect,
+    GroupUnion,
+    SpanAvg,
+    SpanSum,
+    coalesce,
+    group_intersect,
+    group_union,
+)
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.nowctx import use_now
+from repro.core.span import Span
+from repro.errors import TipTypeError
+from tests.conftest import C, E, S
+from tests.strategies import determinate_elements
+
+
+class TestGroupUnion:
+    def test_paper_coalescing_example(self):
+        """length(group_union(valid)) must not double count overlapped
+        prescriptions (Section 2)."""
+        elements = [
+            E("{[1999-01-01, 1999-03-01]}"),
+            E("{[1999-02-01, 1999-04-01]}"),  # overlaps the first
+        ]
+        coalesced = group_union(elements)
+        naive_sum = sum(e.length().seconds for e in elements)
+        assert coalesced.length().seconds < naive_sum
+        assert str(coalesced) == "{[1999-01-01, 1999-04-01]}"
+
+    def test_empty_group(self):
+        assert group_union([]).is_empty_at(0)
+
+    def test_coalesce_is_group_union(self):
+        assert coalesce is group_union
+
+    def test_rejects_non_elements(self):
+        agg = GroupUnion()
+        with pytest.raises(TipTypeError):
+            agg.step(S("7"))  # type: ignore[arg-type]
+
+    def test_consistent_now_across_group(self):
+        """All NOW-relative members must ground at one time."""
+        elements = [E("{[1999-01-01, NOW]}"), E("{[NOW-7, NOW]}")]
+        result = group_union(elements, now=C("1999-09-08"))
+        assert str(result) == "{[1999-01-01, 1999-09-08]}"
+
+    @given(st.lists(determinate_elements(), max_size=6))
+    def test_matches_pairwise_union(self, elements):
+        expected: list = []
+        for element in elements:
+            expected = ia.union(expected, element.ground_pairs(0))
+        assert group_union(elements).ground_pairs(0) == expected
+
+    @given(st.lists(determinate_elements(), max_size=6))
+    def test_order_independent(self, elements):
+        assert group_union(elements) == group_union(list(reversed(elements)))
+
+
+class TestGroupIntersect:
+    def test_simple(self):
+        elements = [
+            E("{[1999-01-01, 1999-06-01]}"),
+            E("{[1999-03-01, 1999-12-31]}"),
+            E("{[1999-01-01, 1999-04-01]}"),
+        ]
+        assert str(group_intersect(elements)) == "{[1999-03-01, 1999-04-01]}"
+
+    def test_empty_group_yields_empty(self):
+        assert group_intersect([]).is_empty_at(0)
+
+    def test_disjoint_yields_empty(self):
+        elements = [E("{[1999-01-01, 1999-02-01]}"), E("{[1999-03-01, 1999-04-01]}")]
+        assert group_intersect(elements).is_empty_at(0)
+
+    def test_rejects_non_elements(self):
+        agg = GroupIntersect()
+        with pytest.raises(TipTypeError):
+            agg.step("x")  # type: ignore[arg-type]
+
+    @given(st.lists(determinate_elements(), min_size=1, max_size=6))
+    def test_result_contained_in_every_member(self, elements):
+        result = group_intersect(elements)
+        for element in elements:
+            assert element.contains(result)
+
+
+class TestScalarAggregates:
+    def test_span_sum(self):
+        agg = SpanSum()
+        for span in (S("1"), S("2"), S("-1")):
+            agg.step(span)
+        assert agg.finish() == S("2")
+
+    def test_span_sum_empty_is_null(self):
+        assert SpanSum().finish() is None
+
+    def test_span_avg(self):
+        agg = SpanAvg()
+        for span in (S("1"), S("3")):
+            agg.step(span)
+        assert agg.finish() == S("2")
+
+    def test_span_avg_rounds(self):
+        agg = SpanAvg()
+        for span in (Span(1), Span(2)):
+            agg.step(span)
+        assert agg.finish() == Span(2)  # 1.5 rounds to even -> 2
+
+    def test_span_avg_empty_is_null(self):
+        assert SpanAvg().finish() is None
+
+    def test_chronon_min_max(self):
+        low, high = ChrononMin(), ChrononMax()
+        for text in ("1999-05-01", "1999-01-01", "1999-12-31"):
+            low.step(C(text))
+            high.step(C(text))
+        assert low.finish() == C("1999-01-01")
+        assert high.finish() == C("1999-12-31")
+
+    def test_chronon_min_max_empty_is_null(self):
+        assert ChrononMin().finish() is None
+        assert ChrononMax().finish() is None
+
+    @pytest.mark.parametrize("agg_class", [SpanSum, SpanAvg, ChrononMin, ChrononMax])
+    def test_type_checked(self, agg_class):
+        agg = agg_class()
+        with pytest.raises(TipTypeError):
+            agg.step("wrong")  # type: ignore[arg-type]

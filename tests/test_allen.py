@@ -1,0 +1,121 @@
+"""Tests for Allen's thirteen interval relations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core import allen
+from repro.core.chronon import Chronon
+from repro.core.instant import NOW
+from repro.core.period import Period
+from repro.errors import TipEmptyPeriodError
+from tests.conftest import C, S
+from tests.strategies import determinate_periods
+
+
+def P(start: str, end: str) -> Period:
+    return Period(C(start), C(end))
+
+
+class TestBaseRelations:
+    def test_before(self):
+        assert allen.before(P("1999-01-01", "1999-01-10"), P("1999-01-12", "1999-01-20"))
+
+    def test_meets_is_discrete_adjacency(self):
+        """meets <=> a.end + 1 chronon == b.start (closed-closed)."""
+        a = Period(C("1999-01-01"), C("1999-01-10 23:59:59"))
+        b = Period(C("1999-01-11"), C("1999-01-20"))
+        assert allen.meets(a, b)
+        assert not allen.before(a, b)
+
+    def test_a_gap_of_one_day_is_before_at_second_granularity(self):
+        assert allen.before(P("1999-01-01", "1999-01-10"), P("1999-01-11", "1999-01-20"))
+
+    def test_overlaps(self):
+        assert allen.overlaps(P("1999-01-01", "1999-01-15"), P("1999-01-10", "1999-01-20"))
+
+    def test_starts(self):
+        assert allen.starts(P("1999-01-01", "1999-01-10"), P("1999-01-01", "1999-01-20"))
+
+    def test_during(self):
+        assert allen.during(P("1999-01-05", "1999-01-10"), P("1999-01-01", "1999-01-20"))
+
+    def test_finishes(self):
+        assert allen.finishes(P("1999-01-10", "1999-01-20"), P("1999-01-01", "1999-01-20"))
+
+    def test_equals(self):
+        assert allen.equals(P("1999-01-01", "1999-01-20"), P("1999-01-01", "1999-01-20"))
+
+
+class TestInverseRelations:
+    @pytest.mark.parametrize(
+        "base,inverse",
+        [
+            (allen.before, allen.after),
+            (allen.meets, allen.met_by),
+            (allen.overlaps, allen.overlapped_by),
+            (allen.starts, allen.started_by),
+            (allen.during, allen.contains),
+            (allen.finishes, allen.finished_by),
+        ],
+    )
+    @given(determinate_periods(), determinate_periods())
+    def test_inverse_symmetry(self, base, inverse, a, b):
+        assert base(a, b) == inverse(b, a)
+
+    def test_contains_example(self):
+        assert allen.contains(P("1999-01-01", "1999-01-20"), P("1999-01-05", "1999-01-10"))
+
+
+class TestPartitionProperty:
+    @given(determinate_periods(), determinate_periods())
+    def test_exactly_one_relation_holds(self, a, b):
+        """Allen's relations partition all pairs of non-empty periods."""
+        holding = [
+            name
+            for name in allen.RELATION_NAMES
+            if getattr(allen, name)(a, b)
+        ]
+        assert len(holding) == 1
+        assert allen.relation(a, b) == holding[0]
+
+    @given(determinate_periods(), determinate_periods())
+    def test_classifier_matches_predicates(self, a, b):
+        name = allen.relation(a, b)
+        assert getattr(allen, name)(a, b)
+
+    @given(determinate_periods())
+    def test_every_period_equals_itself(self, a):
+        assert allen.relation(a, a) == "equals"
+
+
+class TestNowRelativePeriods:
+    def test_relation_changes_with_now(self):
+        recent = Period(NOW - S("7"), NOW)
+        fixed = P("1999-06-01", "1999-06-20")
+        assert allen.relation(recent, fixed, now=C("1999-05-01")) == "before"
+        assert allen.relation(recent, fixed, now=C("1999-06-10")) == "during"
+        assert allen.relation(recent, fixed, now=C("1999-06-22")) == "overlapped_by"
+        assert allen.relation(recent, fixed, now=C("2000-01-01")) == "after"
+
+    def test_empty_period_raises(self):
+        maybe_empty = Period(NOW, C("1990-01-01"))
+        fixed = P("1980-01-01", "1999-12-31")
+        with pytest.raises(TipEmptyPeriodError):
+            allen.relation(maybe_empty, fixed, now=C("1995-01-01"))
+
+    def test_method_on_period(self):
+        assert P("1999-01-01", "1999-01-10").allen_relation(
+            P("1999-02-01", "1999-02-10")
+        ) == "before"
+
+
+class TestRelationNames:
+    def test_thirteen_relations(self):
+        assert len(allen.RELATION_NAMES) == 13
+        assert len(set(allen.RELATION_NAMES)) == 13
+
+    def test_all_exported(self):
+        for name in allen.RELATION_NAMES:
+            assert callable(getattr(allen, name))

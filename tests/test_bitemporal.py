@@ -1,0 +1,166 @@
+"""Tests for the bitemporal version store."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.bitemporal import BitemporalTable, Version
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.errors import TipValueError
+from tests.conftest import C, E
+
+
+@pytest.fixture
+def conn():
+    connection = repro.connect(now="1999-01-01")
+    yield connection
+    connection.close()
+
+
+@pytest.fixture
+def table(conn):
+    return BitemporalTable(conn, "Stay", [("patient", "TEXT"), ("ward", "TEXT")])
+
+
+class TestInsertAndCurrent:
+    def test_insert_returns_vid(self, table):
+        vid = table.insert(("alice", "ICU"), "{[1999-01-01, 1999-01-10]}")
+        assert vid == 1
+        versions = table.current()
+        assert len(versions) == 1
+        assert versions[0].payload == ("alice", "ICU")
+        assert versions[0].is_current
+
+    def test_payload_width_checked(self, table):
+        with pytest.raises(TipValueError):
+            table.insert(("alice",), "{}")
+
+    def test_transaction_times_strictly_increase(self, table, conn):
+        """Even with NOW pinned, stamps stay monotonic."""
+        table.insert(("a", "w1"), "{[1999-01-01, 1999-01-02]}")
+        table.insert(("b", "w2"), "{[1999-01-01, 1999-01-02]}")
+        history = table.history()
+        assert history[0].tt_start < history[1].tt_start
+
+    def test_element_objects_accepted(self, table):
+        table.insert(("alice", "ICU"), E("{[1999-01-01, NOW]}"))
+        assert not table.current()[0].valid.is_determinate
+
+
+class TestLogicalDelete:
+    def test_delete_closes_but_keeps_history(self, table, conn):
+        table.insert(("alice", "ICU"), "{[1999-01-01, 1999-01-10]}")
+        conn.set_now("1999-02-01")
+        removed = table.logical_delete("patient = ?", ("alice",))
+        assert removed == 1
+        assert table.current() == []
+        history = table.history()
+        assert len(history) == 1
+        assert not history[0].is_current
+
+    def test_delete_only_matching(self, table):
+        table.insert(("alice", "ICU"), "{[1999-01-01, 1999-01-10]}")
+        table.insert(("bob", "ER"), "{[1999-01-05, 1999-01-15]}")
+        table.logical_delete("patient = 'alice'")
+        assert [v.payload[0] for v in table.current()] == ["bob"]
+
+
+class TestAsOf:
+    def test_audit_view_recovers_past_beliefs(self, table, conn):
+        table.insert(("alice", "ICU"), "{[1999-01-01, 1999-01-10]}")
+        conn.set_now("1999-03-01")
+        table.logical_delete("patient = 'alice'")
+        # At transaction time 1999-02-01 the row was still believed.
+        believed = table.as_of("1999-02-01")
+        assert len(believed) == 1
+        assert believed[0].payload == ("alice", "ICU")
+        # After the delete, nothing is believed.
+        assert table.as_of("1999-04-01") == []
+
+    def test_before_insertion_nothing_known(self, table):
+        table.insert(("alice", "ICU"), "{[1999-01-01, 1999-01-10]}")
+        assert table.as_of("1998-01-01") == []
+
+
+class TestSequencedUpdate:
+    def test_update_splits_valid_time(self, table, conn):
+        table.insert(("alice", "ICU"), "{[1999-01-01, 1999-01-31]}")
+        conn.set_now("1999-02-15")
+        superseded = table.sequenced_update(
+            {"ward": "Recovery"},
+            "[1999-01-10, 1999-01-31]",
+            "patient = 'alice'",
+        )
+        assert superseded == 1
+        current = {(v.payload, str(v.valid)) for v in table.current()}
+        assert current == {
+            (("alice", "ICU"), "{[1999-01-01, 1999-01-09 23:59:59]}"),
+            (("alice", "Recovery"), "{[1999-01-10, 1999-01-31]}"),
+        }
+
+    def test_update_preserves_total_valid_time(self, table, conn):
+        table.insert(("alice", "ICU"), "{[1999-01-01, 1999-01-31]}")
+        before = sum(v.valid.length(0).seconds for v in table.current())
+        table.sequenced_update({"ward": "ER"}, "[1999-01-10, 1999-01-20]")
+        after = sum(v.valid.length(0).seconds for v in table.current())
+        assert before == after
+
+    def test_no_overlap_is_noop(self, table):
+        table.insert(("alice", "ICU"), "{[1999-01-01, 1999-01-31]}")
+        assert table.sequenced_update({"ward": "ER"}, "[2005-01-01, 2005-02-01]") == 0
+        assert len(table.history()) == 1
+
+    def test_full_coverage_replaces_entirely(self, table, conn):
+        table.insert(("alice", "ICU"), "{[1999-01-01, 1999-01-31]}")
+        conn.set_now("1999-06-01")
+        table.sequenced_update({"ward": "ER"}, "[1998-01-01, 2000-01-01]")
+        current = table.current()
+        assert len(current) == 1
+        assert current[0].payload == ("alice", "ER")
+
+    def test_unknown_column_rejected(self, table):
+        table.insert(("alice", "ICU"), "{[1999-01-01, 1999-01-31]}")
+        with pytest.raises(TipValueError):
+            table.sequenced_update({"nope": 1}, "[1999-01-01, 1999-01-02]")
+
+    def test_old_beliefs_survive_update(self, table, conn):
+        """The bitemporal payoff: the pre-update belief is recoverable."""
+        table.insert(("alice", "ICU"), "{[1999-01-01, 1999-01-31]}")
+        conn.set_now("1999-02-15")
+        table.sequenced_update({"ward": "ER"}, "[1999-01-10, 1999-01-31]")
+        old_belief = table.as_of("1999-02-01")
+        assert len(old_belief) == 1
+        assert old_belief[0].payload == ("alice", "ICU")
+        assert str(old_belief[0].valid) == "{[1999-01-01, 1999-01-31]}"
+
+
+class TestValidSnapshot:
+    def test_bitemporal_probe(self, table, conn):
+        """'What did we believe at tt about vt?'"""
+        table.insert(("alice", "ICU"), "{[1999-01-01, 1999-01-31]}")
+        conn.set_now("1999-02-15")
+        table.sequenced_update({"ward": "ER"}, "[1999-01-10, 1999-01-31]")
+        # Current beliefs about 1999-01-15: alice was in ER.
+        assert table.valid_snapshot("1999-01-15") == [("alice", "ER")]
+        # Beliefs as of 1999-02-01 about the same instant: still ICU.
+        assert table.valid_snapshot("1999-01-15", tt="1999-02-01") == [("alice", "ICU")]
+        # Either belief agrees about 1999-01-05 (outside the update).
+        assert table.valid_snapshot("1999-01-05") == [("alice", "ICU")]
+
+    def test_now_relative_validity_grounds_at_belief_time(self, table, conn):
+        table.insert(("alice", "ICU"), "{[1999-01-01, NOW]}")
+        conn.set_now("1999-06-01")
+        # Believed now: valid through 1999-06-01, so 1999-05-01 is covered.
+        assert table.valid_snapshot("1999-05-01") == [("alice", "ICU")]
+        # Reconstructing 1999-02-01's beliefs: NOW meant 1999-02-01, so
+        # 1999-05-01 was NOT yet covered.
+        assert table.valid_snapshot("1999-05-01", tt="1999-02-01") == []
+
+    def test_where_filter(self, table):
+        table.insert(("alice", "ICU"), "{[1999-01-01, 1999-01-31]}")
+        table.insert(("bob", "ICU"), "{[1999-01-01, 1999-01-31]}")
+        assert table.valid_snapshot("1999-01-15", where="patient = 'bob'") == [
+            ("bob", "ICU")
+        ]

@@ -1,0 +1,143 @@
+"""Tests for the generic DataBlade registry framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blade.datablade import build_tip_blade
+from repro.blade.registry import AggregateDef, CastDef, DataBlade, RoutineDef, TypeDef
+from repro.errors import DuplicateRegistrationError, UnknownTypeError
+
+
+def _dummy_type(name: str = "Thing") -> TypeDef:
+    return TypeDef(
+        name=name,
+        python_type=object,
+        encode=lambda v: b"",
+        decode=lambda b: object(),
+        parse=lambda s: object(),
+        render=str,
+    )
+
+
+class TestRegistration:
+    def test_register_type(self):
+        blade = DataBlade("test")
+        blade.register_type(_dummy_type())
+        assert "Thing" in blade.types
+
+    def test_duplicate_type_rejected(self):
+        blade = DataBlade("test")
+        blade.register_type(_dummy_type())
+        with pytest.raises(DuplicateRegistrationError):
+            blade.register_type(_dummy_type())
+
+    def test_routine_with_unknown_type_rejected(self):
+        blade = DataBlade("test")
+        with pytest.raises(UnknownTypeError):
+            blade.register_routine(
+                RoutineDef("f", ("Missing",), "integer", lambda x: 1)
+            )
+
+    def test_routine_overloading_by_arity(self):
+        blade = DataBlade("test")
+        blade.register_type(_dummy_type())
+        blade.register_routine(RoutineDef("f", ("Thing",), "Thing", lambda x: x))
+        blade.register_routine(RoutineDef("f", ("Thing", "Thing"), "Thing", lambda x, y: x))
+        assert ("f", 1) in blade.routines
+        assert ("f", 2) in blade.routines
+
+    def test_duplicate_routine_same_arity_rejected(self):
+        blade = DataBlade("test")
+        blade.register_type(_dummy_type())
+        blade.register_routine(RoutineDef("f", ("Thing",), "Thing", lambda x: x))
+        with pytest.raises(DuplicateRegistrationError):
+            blade.register_routine(RoutineDef("f", ("Thing",), "Thing", lambda x: x))
+
+    def test_alias_conflict_rejected(self):
+        blade = DataBlade("test")
+        blade.register_type(_dummy_type())
+        blade.register_routine(RoutineDef("f", ("Thing",), "Thing", lambda x: x))
+        with pytest.raises(DuplicateRegistrationError):
+            blade.register_routine(
+                RoutineDef("g", ("Thing",), "Thing", lambda x: x, aliases=("f",))
+            )
+
+    def test_duplicate_cast_rejected(self):
+        blade = DataBlade("test")
+        blade.register_type(_dummy_type())
+        cast_def = CastDef("Thing", "text", True, str)
+        blade.register_cast(cast_def)
+        with pytest.raises(DuplicateRegistrationError):
+            blade.register_cast(cast_def)
+
+    def test_cast_with_unknown_type_rejected(self):
+        blade = DataBlade("test")
+        with pytest.raises(UnknownTypeError):
+            blade.register_cast(CastDef("Nope", "text", True, str))
+
+    def test_duplicate_aggregate_rejected(self):
+        blade = DataBlade("test")
+        blade.register_type(_dummy_type())
+        agg = AggregateDef("a", "Thing", "Thing", object)
+        blade.register_aggregate(agg)
+        with pytest.raises(DuplicateRegistrationError):
+            blade.register_aggregate(agg)
+
+    def test_aggregate_name_clashing_routine_rejected(self):
+        blade = DataBlade("test")
+        blade.register_type(_dummy_type())
+        blade.register_routine(RoutineDef("f", ("Thing",), "Thing", lambda x: x))
+        with pytest.raises(DuplicateRegistrationError):
+            blade.register_aggregate(AggregateDef("f", "Thing", "Thing", object))
+
+
+class TestLookup:
+    def test_type_for_class(self):
+        blade = build_tip_blade()
+        from repro.core.element import Element
+
+        assert blade.type_for_class(Element).name == "Element"
+        assert blade.type_for_class(dict) is None
+
+    def test_find_cast_implicit_flag(self):
+        blade = build_tip_blade()
+        assert blade.find_cast("Chronon", "Element") is not None
+        assert blade.find_cast("Instant", "Chronon") is not None
+        assert blade.find_cast("Instant", "Chronon", implicit_only=True) is None
+        assert blade.find_cast("Span", "Chronon") is None
+
+
+class TestTipBladeInventory:
+    def test_five_types(self):
+        blade = build_tip_blade()
+        assert sorted(blade.types) == ["Chronon", "Element", "Instant", "Period", "Span"]
+
+    def test_rich_routine_library(self):
+        blade = build_tip_blade()
+        names = {name for name, _arity in blade.routines}
+        # Paper-visible routines.
+        for required in ("start", "tunion", "tintersect", "tdifference",
+                         "overlaps", "contains", "length"):
+            assert required in names
+        # Allen's thirteen operators.
+        allen_names = {name for name in names if name.startswith("allen_")}
+        assert len(allen_names) == 14  # 13 relations + allen_relation
+        assert len(names) >= 45
+
+    def test_aggregates(self):
+        blade = build_tip_blade()
+        assert set(blade.aggregates) == {
+            "group_union", "group_intersect", "span_sum", "span_avg",
+            "chronon_min", "chronon_max",
+        }
+
+    def test_describe_renders(self):
+        text = build_tip_blade().describe()
+        assert "DataBlade TIP" in text
+        assert "group_union" in text
+
+    def test_every_routine_documented(self):
+        blade = build_tip_blade()
+        for routine in blade.routines.values():
+            assert routine.doc, f"{routine.name} lacks documentation"

@@ -1,0 +1,232 @@
+"""Integration tests: the TIP blade installed into a SQLite engine.
+
+These exercise the blade through plain SQL (via the client fixture
+`conn`, which pins NOW to 1999-09-01), mirroring how an application
+talks to a TIP-enabled Informix.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.instant import Instant
+from repro.core.period import Period
+from repro.core.span import Span
+from tests.conftest import C, E, S
+
+
+def one(conn, sql, params=()):
+    return conn.query_one(sql, params)[0]
+
+
+class TestConstructors:
+    def test_each_type_constructor(self, conn):
+        assert one(conn, "SELECT chronon('1999-09-01')") == C("1999-09-01")
+        assert one(conn, "SELECT span('7 12:00:00')") == S("7 12:00:00")
+        assert one(conn, "SELECT instant('NOW-1')").identical(Instant.parse("NOW-1"))
+        assert one(conn, "SELECT period('[1999-01-01, NOW]')").identical(
+            Period.parse("[1999-01-01, NOW]")
+        )
+        assert one(conn, "SELECT element('{[1999-10-01, NOW]}')").identical(
+            E("{[1999-10-01, NOW]}")
+        )
+
+    def test_two_argument_period_constructor(self, conn):
+        period = one(conn, "SELECT period(instant('1999-01-01'), instant('NOW'))")
+        assert str(period) == "[1999-01-01, NOW]"
+
+    def test_parse_error_surfaces_as_sql_error(self, conn):
+        with pytest.raises(sqlite3.OperationalError):
+            conn.query("SELECT chronon('bogus')")
+
+
+class TestImplicitCasts:
+    def test_string_argument_where_element_expected(self, conn):
+        assert one(conn, "SELECT length_seconds('{[1970-01-01, 1970-01-01 00:00:59]}')") == 60
+
+    def test_chronon_widens_to_element(self, conn):
+        assert one(conn, "SELECT length_seconds(chronon('1999-01-01'))") == 1
+
+    def test_period_widens_to_element(self, conn):
+        assert one(conn, "SELECT n_periods(period('[1999-01-01, 1999-02-01]'))") == 1
+
+    def test_no_implicit_narrowing(self, conn):
+        with pytest.raises(sqlite3.OperationalError):
+            conn.query("SELECT chronon_seconds(period('[1999-01-01, 1999-02-01]'))")
+
+
+class TestElementRoutines:
+    def test_start_and_end(self, conn):
+        element = "'{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}'"
+        assert one(conn, f"SELECT start({element})") == C("1999-01-01")
+        assert one(conn, f"SELECT end_time({element})") == C("1999-10-31")
+
+    def test_first_last_period(self, conn):
+        element = "'{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}'"
+        assert str(one(conn, f"SELECT first_period({element})")) == "[1999-01-01, 1999-04-30]"
+        assert str(one(conn, f"SELECT last_period({element})")) == "[1999-07-01, 1999-10-31]"
+
+    def test_set_operations(self, conn):
+        a = "'{[1999-01-01, 1999-04-30]}'"
+        b = "'{[1999-03-01, 1999-08-01]}'"
+        assert str(one(conn, f"SELECT tunion({a}, {b})")) == "{[1999-01-01, 1999-08-01]}"
+        assert str(one(conn, f"SELECT tintersect({a}, {b})")) == "{[1999-03-01, 1999-04-30]}"
+        diff = one(conn, f"SELECT tdifference({a}, {b})")
+        assert str(diff) == "{[1999-01-01, 1999-02-28 23:59:59]}"
+
+    def test_aliases(self, conn):
+        a = "'{[1999-01-01, 1999-02-01]}'"
+        assert one(conn, f"SELECT element_union({a}, {a})").identical(
+            one(conn, f"SELECT tunion({a}, {a})")
+        )
+        assert one(conn, f"SELECT difference({a}, {a})").is_empty_at(0)
+
+    def test_predicates(self, conn):
+        a = "'{[1999-01-01, 1999-04-30]}'"
+        b = "'{[1999-03-01, 1999-08-01]}'"
+        c = "'{[2001-01-01, 2001-02-01]}'"
+        assert one(conn, f"SELECT overlaps({a}, {b})") == 1
+        assert one(conn, f"SELECT overlaps({a}, {c})") == 0
+        assert one(conn, f"SELECT contains({a}, '{{[1999-02-01, 1999-03-01]}}')") == 1
+        assert one(conn, f"SELECT contains_instant({a}, instant('1999-02-01'))") == 1
+
+    def test_restrict_shift_complement(self, conn):
+        a = "'{[1999-01-01, 1999-04-30]}'"
+        clipped = one(conn, f"SELECT restrict({a}, period('[1999-02-01, 1999-03-01]'))")
+        assert str(clipped) == "{[1999-02-01, 1999-03-01]}"
+        shifted = one(conn, f"SELECT shift({a}, span('7'))")
+        assert shifted.start(0) == C("1999-01-08")
+        complement = one(conn, f"SELECT complement({a})")
+        assert complement.count(0) == 2
+
+    def test_is_empty_and_counts(self, conn):
+        assert one(conn, "SELECT is_empty(element('{}'))") == 1
+        assert one(conn, "SELECT n_periods('{[1999-01-01, 1999-02-01], [1999-03-01, 1999-04-01]}')") == 2
+
+
+class TestNowInSql:
+    def test_tip_now_is_statement_bound(self, conn):
+        assert one(conn, "SELECT tip_now()") == C("1999-09-01")
+
+    def test_ground_uses_statement_now(self, conn):
+        grounded = one(conn, "SELECT ground(element('{[1999-01-01, NOW]}'))")
+        assert str(grounded) == "{[1999-01-01, 1999-09-01]}"
+
+    def test_to_chronon_grounding_cast(self, conn):
+        assert one(conn, "SELECT to_chronon(instant('NOW-1'))") == C("1999-08-31")
+
+    def test_override_changes_results(self, conn):
+        conn.set_now("2005-06-07")
+        assert one(conn, "SELECT to_chronon(instant('NOW'))") == C("2005-06-07")
+
+
+class TestGenericOperators:
+    def test_arithmetic(self, conn):
+        assert one(conn, "SELECT tsub(chronon('1999-09-08'), chronon('1999-09-01'))") == S("7")
+        assert one(conn, "SELECT tadd(chronon('1999-09-01'), span('7'))") == C("1999-09-08")
+        assert one(conn, "SELECT tmul(span('7'), 2)") == S("14")
+        assert one(conn, "SELECT tdiv(span('14'), span('7'))") == 2.0
+
+    def test_type_error_surfaces(self, conn):
+        with pytest.raises(sqlite3.OperationalError):
+            conn.query("SELECT tadd(chronon('1999-09-01'), chronon('1999-09-01'))")
+
+    def test_comparisons(self, conn):
+        assert one(conn, "SELECT tlt(chronon('1999-01-01'), instant('NOW'))") == 1
+        assert one(conn, "SELECT tge(instant('NOW'), chronon('1999-09-01'))") == 1
+        assert one(conn, "SELECT teq(span('7'), span('7'))") == 1
+        assert one(conn, "SELECT tne(span('7'), span('8'))") == 1
+
+    def test_tcmp_for_ordering(self, conn):
+        conn.execute("CREATE TABLE t (c CHRONON)")
+        for text in ("1999-03-01", "1999-01-01", "1999-02-01"):
+            conn.execute("INSERT INTO t VALUES (chronon(?))", (text,))
+        rows = conn.query(
+            "SELECT tip_text(a.c) FROM t a ORDER BY chronon_seconds(a.c)"
+        )
+        assert [r[0] for r in rows] == ["1999-01-01", "1999-02-01", "1999-03-01"]
+        assert one(conn, "SELECT tcmp(chronon('1999-01-01'), chronon('1999-02-01'))") == -1
+        assert one(conn, "SELECT tcmp(span('7'), span('7'))") == 0
+        assert one(conn, "SELECT tcmp(chronon('1999-03-01'), chronon('1999-02-01'))") == 1
+
+
+class TestNullPropagation:
+    def test_routines_are_strict(self, conn):
+        assert conn.query_one("SELECT length(NULL)")[0] is None
+        assert conn.query_one("SELECT tunion(NULL, '{}')")[0] is None
+        assert conn.query_one("SELECT tadd(NULL, NULL)")[0] is None
+
+    def test_aggregates_skip_nulls(self, conn):
+        conn.execute("CREATE TABLE t (v ELEMENT)")
+        conn.execute("INSERT INTO t VALUES (element('{[1999-01-01, 1999-02-01]}'))")
+        conn.execute("INSERT INTO t VALUES (NULL)")
+        result = conn.query_one("SELECT group_union(v) FROM t")[0]
+        assert str(result) == "{[1999-01-01, 1999-02-01]}"
+
+    def test_aggregate_over_all_nulls(self, conn):
+        conn.execute("CREATE TABLE t (v ELEMENT)")
+        conn.execute("INSERT INTO t VALUES (NULL)")
+        assert conn.query_one("SELECT group_union(v) FROM t")[0].is_empty_at(0)
+
+
+class TestAggregatesInSql:
+    def test_group_union_per_group(self, conn):
+        conn.execute("CREATE TABLE t (k TEXT, v ELEMENT)")
+        rows = [
+            ("a", "{[1999-01-01, 1999-03-01]}"),
+            ("a", "{[1999-02-01, 1999-04-01]}"),
+            ("b", "{[1999-06-01, 1999-07-01]}"),
+        ]
+        conn.executemany("INSERT INTO t VALUES (?, element(?))", rows)
+        result = dict(conn.query("SELECT k, tip_text(group_union(v)) FROM t GROUP BY k"))
+        assert result == {
+            "a": "{[1999-01-01, 1999-04-01]}",
+            "b": "{[1999-06-01, 1999-07-01]}",
+        }
+
+    def test_group_intersect(self, conn):
+        conn.execute("CREATE TABLE t (v ELEMENT)")
+        conn.execute("INSERT INTO t VALUES (element('{[1999-01-01, 1999-06-01]}'))")
+        conn.execute("INSERT INTO t VALUES (element('{[1999-03-01, 1999-09-01]}'))")
+        result = conn.query_one("SELECT group_intersect(v) FROM t")[0]
+        assert str(result) == "{[1999-03-01, 1999-06-01]}"
+
+    def test_span_and_chronon_aggregates(self, conn):
+        conn.execute("CREATE TABLE t (s SPAN, c CHRONON)")
+        conn.executemany(
+            "INSERT INTO t VALUES (span(?), chronon(?))",
+            [("1", "1999-01-01"), ("3", "1999-06-01")],
+        )
+        assert conn.query_one("SELECT span_sum(s) FROM t")[0] == S("4")
+        assert conn.query_one("SELECT span_avg(s) FROM t")[0] == S("2")
+        assert conn.query_one("SELECT chronon_min(c) FROM t")[0] == C("1999-01-01")
+        assert conn.query_one("SELECT chronon_max(c) FROM t")[0] == C("1999-06-01")
+
+    def test_aggregate_type_error_surfaces(self, conn):
+        conn.execute("CREATE TABLE t (s SPAN)")
+        conn.execute("INSERT INTO t VALUES (span('1'))")
+        with pytest.raises(sqlite3.OperationalError):
+            conn.query("SELECT group_union(s) FROM t")
+
+
+class TestAllenInSql:
+    def test_relation_names(self, conn):
+        a = "period('[1999-01-01, 1999-01-10]')"
+        b = "period('[1999-02-01, 1999-02-10]')"
+        assert one(conn, f"SELECT allen_relation({a}, {b})") == "before"
+        assert one(conn, f"SELECT allen_before({a}, {b})") == 1
+        assert one(conn, f"SELECT allen_after({b}, {a})") == 1
+
+    def test_period_intersect_null_when_disjoint(self, conn):
+        a = "period('[1999-01-01, 1999-01-10]')"
+        b = "period('[1999-02-01, 1999-02-10]')"
+        assert conn.query_one(f"SELECT period_intersect({a}, {b})")[0] is None
+
+    def test_period_endpoints(self, conn):
+        p = "period('[1999-01-01, NOW]')"
+        assert str(one(conn, f"SELECT period_start({p})")) == "1999-01-01"
+        assert str(one(conn, f"SELECT period_end({p})")) == "NOW"

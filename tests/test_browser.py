@@ -1,0 +1,213 @@
+"""Tests for the TIP Browser model (Figure 2 behaviour)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.browser import TimeWindow, TipBrowser, render_axis, render_track
+from repro.browser.timeline import render_marker
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.span import Span
+from repro.errors import TipValueError
+from tests.conftest import C, E, S
+
+
+class TestTimeWindow:
+    def test_geometry(self):
+        window = TimeWindow(C("1999-01-01"), Span.of(days=10))
+        assert window.end == C("1999-01-10 23:59:59")
+        assert window.period.length() == Span.of(days=10)
+
+    def test_spanning(self):
+        window = TimeWindow.spanning(C("1999-01-01"), C("1999-01-31"))
+        assert window.start == C("1999-01-01")
+        assert window.end == C("1999-01-31")
+
+    def test_spanning_rejects_inverted(self):
+        with pytest.raises(TipValueError):
+            TimeWindow.spanning(C("1999-02-01"), C("1999-01-01"))
+
+    def test_positive_width_required(self):
+        with pytest.raises(TipValueError):
+            TimeWindow(C("1999-01-01"), Span(0))
+
+    def test_moved(self):
+        window = TimeWindow(C("1999-01-01"), Span.of(days=10))
+        assert window.moved(S("10")).start == C("1999-01-11")
+        assert window.moved(S("-10")).start == C("1998-12-22")
+
+    def test_moved_fraction(self):
+        window = TimeWindow(C("1999-01-01"), Span.of(days=10))
+        assert window.moved_fraction(0.5).start == C("1999-01-06")
+
+    def test_resized_and_zoomed(self):
+        window = TimeWindow(C("1999-01-01"), Span.of(days=10))
+        assert window.resized(Span.of(days=5)).width == Span.of(days=5)
+        zoomed = window.zoomed(0.5)
+        assert zoomed.width == Span.of(days=5)
+        # Center preserved (within rounding).
+        assert abs(
+            (zoomed.start.seconds + zoomed.width.seconds // 2)
+            - (window.start.seconds + window.width.seconds // 2)
+        ) <= 1
+
+    def test_zoom_factor_positive(self):
+        window = TimeWindow(C("1999-01-01"), Span.of(days=10))
+        with pytest.raises(TipValueError):
+            window.zoomed(0)
+
+
+class TestTrackRendering:
+    WINDOW = TimeWindow(C("1999-01-01"), Span.of(days=10))
+
+    def test_full_coverage(self):
+        track = render_track(E("{[1998-01-01, 2000-01-01]}"), self.WINDOW, width=10)
+        assert track == "##########"
+
+    def test_no_coverage(self):
+        track = render_track(E("{[2001-01-01, 2002-01-01]}"), self.WINDOW, width=10)
+        assert track == ".........."
+
+    def test_half_coverage(self):
+        track = render_track(E("{[1999-01-01, 1999-01-05 23:59:59]}"), self.WINDOW, width=10)
+        assert track == "#####....."
+
+    def test_gap_in_the_middle(self):
+        element = E("{[1999-01-01, 1999-01-02 23:59:59], [1999-01-09, 1999-01-10 23:59:59]}")
+        track = render_track(element, self.WINDOW, width=10)
+        assert track == "##......##"
+
+    def test_partial_cell(self):
+        # Covers 25% of the first (one-day) cell only.
+        element = E("{[1999-01-01, 1999-01-01 05:59:59]}")
+        track = render_track(element, self.WINDOW, width=10)
+        assert track == "+........."
+
+    def test_deterministic(self):
+        element = E("{[1999-01-03, 1999-01-07]}")
+        assert render_track(element, self.WINDOW) == render_track(element, self.WINDOW)
+
+    def test_axis_labels(self):
+        axis = render_axis(self.WINDOW, width=48)
+        assert axis.startswith("1999-01-01")
+        assert axis.endswith("1999-01-10 23:59:59")
+        assert len(axis) == 48
+
+    def test_marker_position(self):
+        marker = render_marker(self.WINDOW, C("1999-01-01"), width=10)
+        assert marker.index("v") == 0
+        marker = render_marker(self.WINDOW, C("1999-01-10"), width=10)
+        assert marker.index("v") == 9
+
+    def test_marker_outside_window_blank(self):
+        assert render_marker(self.WINDOW, C("2001-01-01"), width=10).strip() == ""
+
+
+@pytest.fixture
+def browser():
+    conn = repro.connect(now="2000-01-01")
+    conn.execute("CREATE TABLE Prescription (patient TEXT, drug TEXT, valid ELEMENT)")
+    rows = [
+        ("Mr.Showbiz", "Diabeta", "{[1999-10-01, NOW]}"),
+        ("Mr.Showbiz", "Aspirin", "{[1999-11-01, 1999-12-15]}"),
+        ("Ms.Info", "Tylenol", "{[1999-01-10, 1999-02-20], [1999-06-01, 1999-07-04]}"),
+    ]
+    conn.executemany("INSERT INTO Prescription VALUES (?, ?, element(?))", rows)
+    browser = TipBrowser(conn)
+    browser.load("SELECT patient, drug, valid FROM Prescription")
+    yield browser
+    conn.close()
+
+
+class TestBrowserModel:
+    def test_validity_auto_detected(self, browser):
+        assert browser.result.validity_column == "valid"
+
+    def test_validity_by_name(self, browser):
+        browser.load("SELECT patient, drug, valid FROM Prescription", validity="valid")
+        assert browser.result.validity_column == "valid"
+
+    def test_unknown_validity_rejected(self, browser):
+        with pytest.raises(TipValueError):
+            browser.load("SELECT patient, drug, valid FROM Prescription", validity="nope")
+
+    def test_no_temporal_column_rejected(self, browser):
+        with pytest.raises(TipValueError):
+            browser.load("SELECT patient, drug FROM Prescription")
+
+    def test_default_window_spans_extent(self, browser):
+        browser.reset_window()
+        assert browser.window.start == C("1999-01-10")
+        assert browser.window.end == C("2000-01-01")
+
+    def test_highlighting_follows_window(self, browser):
+        browser.set_window(TimeWindow(C("1999-06-01"), Span.of(days=30)))
+        assert browser.valid_row_indices() == [2]  # only Tylenol
+        browser.set_window(TimeWindow(C("1999-11-20"), Span.of(days=30)))
+        assert browser.valid_row_indices() == [0, 1]
+
+    def test_slider_moves_whole_window(self, browser):
+        browser.set_window(TimeWindow(C("1999-06-01"), Span.of(days=30)))
+        browser.slide(1)
+        assert browser.window.start == C("1999-07-01")
+        browser.slide(-2)
+        assert browser.window.start == C("1999-05-02")
+
+    def test_what_if_now_changes_results(self, browser):
+        """'The TIP Browser lets the user enter a different value for
+        NOW ... providing what-if analysis.'"""
+        browser.set_window(TimeWindow(C("1999-10-05"), Span.of(days=5)))
+        assert 0 in browser.valid_row_indices()
+        # Pretend it is still September: the Diabeta prescription has
+        # not started, so it vanishes from the window.
+        browser.set_now("1999-09-15")
+        assert 0 not in browser.valid_row_indices()
+
+    def test_render_is_deterministic_and_complete(self, browser):
+        browser.reset_window()
+        text = browser.render(track_width=40)
+        assert text == browser.render(track_width=40)
+        assert "TIP Browser — 3 rows" in text
+        assert "Mr.Showbiz" in text and "Tylenol" in text
+        assert "NOW = 2000-01-01" in text
+        assert "#" in text
+
+    def test_render_highlight_count_line(self, browser):
+        browser.set_window(TimeWindow(C("1999-06-01"), Span.of(days=30)))
+        assert "highlighted: 1/3" in browser.render()
+
+    def test_zoom(self, browser):
+        browser.set_window(TimeWindow(C("1999-06-01"), Span.of(days=30)))
+        browser.zoom(2.0)
+        assert browser.window.width == Span.of(days=60)
+
+    def test_requires_loaded_query(self):
+        conn = repro.connect()
+        fresh = TipBrowser(conn)
+        with pytest.raises(TipValueError):
+            fresh.window
+        with pytest.raises(TipValueError):
+            fresh.result
+        conn.close()
+
+    def test_empty_result_gets_default_window(self):
+        conn = repro.connect(now="2000-01-01")
+        conn.execute("CREATE TABLE t (v ELEMENT)")
+        browser = TipBrowser(conn)
+        with pytest.raises(TipValueError):
+            # No rows -> no temporal column detectable.
+            browser.load("SELECT v FROM t")
+        conn.close()
+
+    def test_browse_by_chronon_column(self):
+        """Any attribute of type Chronon/Instant/Period/Element works."""
+        conn = repro.connect(now="2000-01-01")
+        conn.execute("CREATE TABLE t (name TEXT, born CHRONON)")
+        conn.execute("INSERT INTO t VALUES ('x', chronon('1975-03-26'))")
+        browser = TipBrowser(conn)
+        browser.load("SELECT name, born FROM t")
+        assert browser.result.validity_column == "born"
+        assert browser.valid_row_indices() == [0]
+        conn.close()

@@ -1,0 +1,105 @@
+"""Tests for calendar-aware chronon arithmetic (core + SQL routines)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.calendar_arith import (
+    add_months,
+    add_years,
+    start_of_day,
+    start_of_month,
+    start_of_year,
+)
+from repro.core.chronon import Chronon
+from repro.errors import TipTypeError, TipValueError
+from tests.conftest import C
+
+
+class TestAddMonths:
+    def test_simple_shift(self):
+        assert add_months(C("1999-01-15"), 1) == C("1999-02-15")
+        assert add_months(C("1999-01-15"), 12) == C("2000-01-15")
+
+    def test_end_of_month_clamps(self):
+        assert add_months(C("1999-01-31"), 1) == C("1999-02-28")
+        assert add_months(C("2000-01-31"), 1) == C("2000-02-29")
+
+    def test_negative_shift(self):
+        assert add_months(C("1999-03-31"), -1) == C("1999-02-28")
+        assert add_months(C("1999-01-15"), -1) == C("1998-12-15")
+
+    def test_year_rollover(self):
+        assert add_months(C("1999-11-30"), 3) == C("2000-02-29")
+
+    def test_preserves_time_of_day(self):
+        assert add_months(C("1999-01-15 08:30:00"), 1) == C("1999-02-15 08:30:00")
+
+    def test_zero_is_identity(self):
+        assert add_months(C("1999-01-31"), 0) == C("1999-01-31")
+
+    def test_out_of_calendar_rejected(self):
+        with pytest.raises(TipValueError):
+            add_months(C("9999-12-01"), 1)
+
+    def test_type_checked(self):
+        with pytest.raises(TipTypeError):
+            add_months("1999-01-01", 1)  # type: ignore[arg-type]
+        with pytest.raises(TipTypeError):
+            add_months(C("1999-01-01"), 1.5)  # type: ignore[arg-type]
+
+    @given(st.integers(1800, 2200), st.integers(1, 12), st.integers(1, 28),
+           st.integers(-600, 600))
+    def test_round_trip_for_safe_days(self, year, month, day, months):
+        """Days <= 28 never clamp, so shifting back inverts exactly."""
+        chronon = Chronon.of(year, month, day)
+        assert add_months(add_months(chronon, months), -months) == chronon
+
+
+class TestAddYears:
+    def test_simple(self):
+        assert add_years(C("1999-06-15"), 2) == C("2001-06-15")
+
+    def test_leap_day_clamps(self):
+        assert add_years(C("2000-02-29"), 1) == C("2001-02-28")
+        assert add_years(C("2000-02-29"), 4) == C("2004-02-29")
+
+
+class TestTruncation:
+    def test_start_of_day(self):
+        assert start_of_day(C("1999-06-15 13:45:59")) == C("1999-06-15")
+
+    def test_start_of_month(self):
+        assert start_of_month(C("1999-06-15 13:45:59")) == C("1999-06-01")
+
+    def test_start_of_year(self):
+        assert start_of_year(C("1999-06-15 13:45:59")) == C("1999-01-01")
+
+
+class TestSqlRoutines:
+    def test_add_months_from_sql(self, conn):
+        row = conn.query_one("SELECT add_months(chronon('1999-01-31'), 1)")
+        assert row[0] == C("1999-02-28")
+
+    def test_add_years_from_sql(self, conn):
+        row = conn.query_one("SELECT add_years(chronon('2000-02-29'), 1)")
+        assert row[0] == C("2001-02-28")
+
+    def test_truncations_from_sql(self, conn):
+        row = conn.query_one(
+            "SELECT start_of_day(chronon('1999-06-15 13:45:59')), "
+            "start_of_month(chronon('1999-06-15')), "
+            "start_of_year(chronon('1999-06-15'))"
+        )
+        assert row == (C("1999-06-15"), C("1999-06-01"), C("1999-01-01"))
+
+    def test_monthly_report_query(self, demo_prescriptions):
+        """A realistic use: group prescriptions by start month."""
+        rows = demo_prescriptions.query(
+            "SELECT tip_text(start_of_month(start(valid))), COUNT(*) "
+            "FROM Prescription WHERE NOT is_empty(valid) "
+            "GROUP BY 1 ORDER BY 1"
+        )
+        assert ("1999-01-01", 1) in rows

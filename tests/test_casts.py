@@ -1,0 +1,92 @@
+"""Tests for the TIP cast system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.casts import CAST_RULES, can_cast, cast
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.instant import NOW, Instant
+from repro.core.period import Period
+from repro.core.span import Span
+from repro.errors import TipTypeError
+from tests.conftest import C, S
+
+
+class TestWideningCasts:
+    def test_chronon_to_period(self):
+        """'1999-01-01 becomes [1999-01-01, 1999-01-01]'."""
+        assert str(cast(C("1999-01-01"), Period)) == "[1999-01-01, 1999-01-01]"
+
+    def test_chronon_to_instant(self):
+        instant = cast(C("1999-01-01"), Instant)
+        assert instant.is_determinate
+
+    def test_chronon_to_element(self):
+        assert str(cast(C("1999-01-01"), Element)) == "{[1999-01-01, 1999-01-01]}"
+
+    def test_instant_to_period_and_element(self):
+        assert str(cast(NOW, Period)) == "[NOW, NOW]"
+        assert str(cast(NOW, Element)) == "{[NOW, NOW]}"
+
+    def test_period_to_element(self):
+        period = Period(C("1999-01-01"), NOW)
+        assert str(cast(period, Element)) == "{[1999-01-01, NOW]}"
+
+    def test_widening_casts_are_implicit(self):
+        assert can_cast(Chronon, Element, implicit_only=True)
+        assert can_cast(Period, Element, implicit_only=True)
+
+
+class TestGroundingCast:
+    def test_instant_to_chronon_grounds(self):
+        """'NOW-1 becomes 1999-08-31 if today's date is 1999-09-01'."""
+        assert cast(NOW - S("1"), Chronon, now=C("1999-09-01")) == C("1999-08-31")
+
+    def test_grounding_cast_is_explicit_only(self):
+        assert can_cast(Instant, Chronon)
+        assert not can_cast(Instant, Chronon, implicit_only=True)
+        with pytest.raises(TipTypeError):
+            cast(NOW, Chronon, implicit_only=True)
+
+
+class TestStringCasts:
+    @pytest.mark.parametrize(
+        "text,target",
+        [
+            ("1999-09-01", Chronon),
+            ("7 12:00:00", Span),
+            ("NOW-1", Instant),
+            ("[1999-01-01, NOW]", Period),
+            ("{[1999-10-01, NOW]}", Element),
+        ],
+    )
+    def test_parse_and_render_round_trip(self, text, target):
+        value = cast(text, target, implicit_only=True)
+        assert isinstance(value, target)
+        assert cast(value, str) == text
+
+
+class TestCastMechanics:
+    def test_identity_cast(self):
+        chronon = C("1999-01-01")
+        assert cast(chronon, Chronon) is chronon
+
+    def test_missing_cast_raises(self):
+        with pytest.raises(TipTypeError):
+            cast(S("7"), Chronon)
+        with pytest.raises(TipTypeError):
+            cast(Element.empty(), Period)
+
+    def test_narrowing_period_to_chronon_unavailable(self):
+        with pytest.raises(TipTypeError):
+            cast(Period.at(C("1999-01-01")), Chronon)
+
+    def test_rule_table_is_complete(self):
+        # 7 type-to-type rules + 5 parse + 5 render rules.
+        assert len(CAST_RULES) == 17
+
+    def test_every_rule_has_documentation(self):
+        for rule in CAST_RULES.values():
+            assert rule.doc

@@ -1,0 +1,120 @@
+"""Unit tests for the Chronon datatype."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core.chronon import Chronon
+from repro.core.span import Span
+from repro.errors import TipParseError, TipTypeError, TipValueError
+from tests.conftest import C, S
+from tests.strategies import chronons, spans
+
+
+class TestConstruction:
+    def test_of_fields(self):
+        chronon = Chronon.of(2000, 1, 1)
+        assert chronon.fields() == (2000, 1, 1, 0, 0, 0)
+
+    def test_of_with_time(self):
+        chronon = Chronon.of(1999, 9, 1, 12, 30, 45)
+        assert (chronon.hour, chronon.minute, chronon.second) == (12, 30, 45)
+
+    def test_field_properties(self):
+        chronon = C("1999-09-01 12:30:45")
+        assert (chronon.year, chronon.month, chronon.day) == (1999, 9, 1)
+
+    def test_invalid_date_rejected(self):
+        with pytest.raises(TipValueError):
+            Chronon.of(1999, 2, 29)
+
+    def test_min_max(self):
+        assert Chronon.min() < Chronon.max()
+        assert str(Chronon.min()) == "0001-01-01"
+        assert str(Chronon.max()) == "9999-12-31 23:59:59"
+
+    def test_next_prev(self):
+        chronon = C("1999-12-31 23:59:59")
+        assert chronon.next() == C("2000-01-01")
+        assert chronon.next().prev() == chronon
+
+
+class TestArithmetic:
+    def test_chronon_minus_chronon_is_span(self):
+        result = C("1999-09-08") - C("1999-09-01")
+        assert result == S("7")
+        assert isinstance(result, Span)
+
+    def test_chronon_minus_chronon_negative(self):
+        assert C("1999-09-01") - C("1999-09-08") == S("-7")
+
+    def test_chronon_plus_span(self):
+        assert C("1999-09-01") + S("7 12:00:00") == C("1999-09-08 12:00:00")
+
+    def test_span_plus_chronon(self):
+        assert S("1") + C("1999-12-31") == C("2000-01-01")
+
+    def test_chronon_minus_span(self):
+        assert C("2000-01-01") - S("1") == C("1999-12-31")
+
+    def test_chronon_plus_chronon_is_type_error(self):
+        """The paper: 'a Chronon plus a Chronon returns a type error'."""
+        with pytest.raises(TipTypeError):
+            C("1999-01-01") + C("1999-01-02")
+
+    def test_overflow_raises(self):
+        with pytest.raises(TipValueError):
+            Chronon.max() + S("1")
+
+    @given(chronons(), spans(max_magnitude=1_000_000))
+    def test_add_then_subtract_round_trips(self, chronon, span):
+        assert (chronon + span) - span == chronon
+
+    @given(chronons(), chronons())
+    def test_difference_then_add_recovers(self, a, b):
+        assert b + (a - b) == a
+
+
+class TestComparisons:
+    def test_ordering(self):
+        assert C("1999-01-01") < C("1999-01-02")
+        assert C("1999-01-02") > C("1999-01-01")
+        assert C("1999-01-01") <= C("1999-01-01")
+        assert C("1999-01-01") >= C("1999-01-01")
+
+    def test_equality_and_hash(self):
+        assert C("1999-01-01") == Chronon.of(1999, 1, 1)
+        assert hash(C("1999-01-01")) == hash(Chronon.of(1999, 1, 1))
+        assert C("1999-01-01") != C("1999-01-02")
+
+    def test_usable_in_sets(self):
+        dates = {C("1999-01-01"), C("1999-01-01"), C("1999-01-02")}
+        assert len(dates) == 2
+
+    def test_not_equal_to_other_types(self):
+        assert C("1999-01-01") != "1999-01-01"
+        assert C("1999-01-01") != 0
+
+    def test_comparison_with_non_time_raises(self):
+        with pytest.raises(TypeError):
+            C("1999-01-01") < 5
+
+
+class TestTextRepresentation:
+    def test_midnight_renders_date_only(self):
+        assert str(C("2000-01-01 00:00:00")) == "2000-01-01"
+
+    def test_time_part_rendered_when_nonzero(self):
+        assert str(C("2000-01-01 08:00:00")) == "2000-01-01 08:00:00"
+
+    def test_repr_is_constructor_like(self):
+        assert repr(C("2000-01-01")) == "Chronon('2000-01-01')"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(TipParseError):
+            Chronon.parse("not a date")
+
+    @given(chronons())
+    def test_parse_format_round_trip(self, chronon):
+        assert Chronon.parse(str(chronon)) == chronon

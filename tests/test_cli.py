@@ -1,0 +1,170 @@
+"""Tests for the interactive TIP shell."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import TipShell, _format_table
+
+
+@pytest.fixture
+def shell():
+    sh = TipShell()
+    sh.execute_line(".now 1999-09-01")
+    yield sh
+    sh.close()
+
+
+@pytest.fixture
+def loaded(shell):
+    shell.execute_line(
+        "CREATE TABLE Prescription (patient TEXT, drug TEXT, valid ELEMENT)"
+    )
+    shell.execute_line(
+        "INSERT INTO Prescription VALUES ('Mr.Showbiz', 'Diabeta', "
+        "element('{[1999-01-01, NOW]}'))"
+    )
+    shell.execute_line(
+        "INSERT INTO Prescription VALUES ('Ms.Info', 'Tylenol', "
+        "element('{[1999-08-01, 1999-08-20]}'))"
+    )
+    return shell
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        text = _format_table(["a", "long_header"], [(1, "x"), (22, "yyyy")])
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+
+class TestSqlExecution:
+    def test_select_renders_table(self, loaded):
+        output = loaded.execute_line("SELECT patient, drug FROM Prescription")
+        assert "Mr.Showbiz" in output
+        assert "(2 rows)" in output
+        assert "patient" in output.splitlines()[0]
+
+    def test_tip_values_render_in_literal_syntax(self, loaded):
+        output = loaded.execute_line("SELECT valid FROM Prescription WHERE drug='Diabeta'")
+        assert "{[1999-01-01, NOW]}" in output
+
+    def test_dml_reports_rowcount(self, loaded):
+        output = loaded.execute_line("DELETE FROM Prescription WHERE drug = 'Tylenol'")
+        assert output == "ok (1 row affected)"
+
+    def test_errors_are_text_not_exceptions(self, shell):
+        output = shell.execute_line("SELECT * FROM missing_table")
+        assert output.startswith("error:")
+
+    def test_empty_line_is_silent(self, shell):
+        assert shell.execute_line("   ") == ""
+
+    def test_tsql_modifiers_work(self, loaded):
+        output = loaded.execute_line(
+            "SNAPSHOT AT '1999-08-10' SELECT patient FROM Prescription"
+        )
+        assert "Mr.Showbiz" in output and "Ms.Info" in output
+        output = loaded.execute_line(
+            "VALIDTIME SELECT patient FROM Prescription WHERE drug = 'Tylenol'"
+        )
+        assert "valid" in output.splitlines()[0]
+        assert "{[1999-08-01, 1999-08-20]}" in output
+
+
+class TestCommands:
+    def test_unknown_command(self, shell):
+        assert "unknown command" in shell.execute_line(".frobnicate")
+
+    def test_help(self, shell):
+        assert ".browse" in shell.execute_line(".help")
+
+    def test_quit_sets_done(self, shell):
+        assert shell.execute_line(".quit") == "bye"
+        assert shell.done
+
+    def test_demo_loads_data(self, shell):
+        output = shell.execute_line(".demo 25")
+        assert "25 prescriptions" in output
+        count = shell.execute_line("SELECT COUNT(*) FROM Prescription")
+        assert "25" in count
+
+    def test_tables_marks_temporal(self, loaded):
+        output = loaded.execute_line(".tables")
+        assert "Prescription  [temporal: valid]" in output
+
+    def test_tables_empty(self, shell):
+        assert shell.execute_line(".tables") == "(no tables)"
+
+    def test_schema(self, loaded):
+        output = loaded.execute_line(".schema Prescription")
+        assert "valid ELEMENT" in output
+        assert "error" in loaded.execute_line(".schema nope")
+        assert "usage" in loaded.execute_line(".schema")
+
+    def test_now_show_set_clear(self, shell):
+        assert "NOW = 1999-09-01 (override)" in shell.execute_line(".now")
+        assert "NOW = 2001-06-07" in shell.execute_line(".now 2001-06-07")
+        assert "cleared" in shell.execute_line(".now clear")
+        assert "wall clock" in shell.execute_line(".now")
+
+    def test_now_affects_queries(self, loaded):
+        loaded.execute_line(".now 2000-01-01")
+        output = loaded.execute_line(
+            "SELECT tip_text(ground(valid)) FROM Prescription WHERE drug='Diabeta'"
+        )
+        assert "2000-01-01" in output
+
+    def test_blade_inventory(self, shell):
+        output = shell.execute_line(".blade")
+        assert "DataBlade TIP" in output
+
+
+class TestBrowserCommands:
+    def test_browse_renders(self, loaded):
+        output = loaded.execute_line(".browse SELECT patient, drug, valid FROM Prescription")
+        assert "TIP Browser — 2 rows" in output
+        assert "#" in output
+
+    def test_browser_requires_load(self, shell):
+        assert "no query loaded" in shell.execute_line(".slide 1")
+        assert "no query loaded" in shell.execute_line(".zoom 2")
+        assert "no query loaded" in shell.execute_line(".window 1999-01-01 30")
+
+    def test_window_and_slide(self, loaded):
+        loaded.execute_line(".browse SELECT patient, drug, valid FROM Prescription")
+        output = loaded.execute_line(".window 1999-08-01 10")
+        assert "window: [1999-08-01" in output
+        output = loaded.execute_line(".slide 1")
+        assert "window: [1999-08-11" in output
+
+    def test_zoom(self, loaded):
+        loaded.execute_line(".browse SELECT patient, drug, valid FROM Prescription")
+        loaded.execute_line(".window 1999-08-01 10")
+        output = loaded.execute_line(".zoom 2")
+        assert "width: 20" in output
+
+    def test_browse_usage(self, loaded):
+        assert "usage" in loaded.execute_line(".browse")
+
+
+class TestMainLoop:
+    def test_main_reads_stdin(self, monkeypatch, capsys, tmp_path):
+        lines = iter([".demo 5", "SELECT COUNT(*) FROM Prescription", ".quit"])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        from repro.cli import main
+
+        assert main([str(tmp_path / "shell.db")]) == 0
+        captured = capsys.readouterr().out
+        assert "loaded 5 prescriptions" in captured
+        assert "bye" in captured
+
+    def test_main_handles_eof(self, monkeypatch, capsys):
+        def raise_eof(prompt=""):
+            raise EOFError
+
+        monkeypatch.setattr("builtins.input", raise_eof)
+        from repro.cli import main
+
+        assert main([]) == 0

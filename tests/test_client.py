@@ -1,0 +1,204 @@
+"""Tests for the TIP client library (connection, type map, literals)."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+import repro
+from repro import codec
+from repro.client import TipConnection, TypeMap, connect, literal
+from repro.client.literals import quote_string
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.span import Span
+from repro.errors import TipTypeError
+from tests.conftest import C, E, S
+
+
+class TestConnect:
+    def test_repro_connect_shortcut(self):
+        conn = repro.connect()
+        assert isinstance(conn, TipConnection)
+        conn.close()
+
+    def test_context_manager_commits(self, tmp_path):
+        path = str(tmp_path / "demo.db")
+        with connect(path) as conn:
+            conn.execute("CREATE TABLE t (c CHRONON)")
+            conn.execute("INSERT INTO t VALUES (chronon('1999-09-01'))")
+        with connect(path) as conn:
+            assert conn.query_one("SELECT c FROM t")[0] == C("1999-09-01")
+
+    def test_context_manager_rolls_back_on_error(self, tmp_path):
+        path = str(tmp_path / "demo.db")
+        with connect(path) as conn:
+            conn.execute("CREATE TABLE t (c CHRONON)")
+        with pytest.raises(RuntimeError):
+            with connect(path) as conn:
+                conn.execute("INSERT INTO t VALUES (chronon('1999-09-01'))")
+                raise RuntimeError("abort")
+        with connect(path) as conn:
+            assert conn.query("SELECT * FROM t") == []
+
+    def test_raw_connection_accessible(self):
+        conn = connect()
+        assert isinstance(conn.raw, sqlite3.Connection)
+        conn.close()
+
+
+class TestParameterBinding:
+    def test_tip_objects_bind_directly(self, conn):
+        conn.execute("CREATE TABLE t (c CHRONON, s SPAN, e ELEMENT)")
+        conn.execute(
+            "INSERT INTO t VALUES (?, ?, ?)",
+            (C("1999-09-01"), S("7"), E("{[1999-01-01, NOW]}")),
+        )
+        row = conn.query_one("SELECT c, s, e FROM t")
+        assert row[0] == C("1999-09-01")
+        assert row[1] == S("7")
+        assert row[2].identical(E("{[1999-01-01, NOW]}"))
+
+    def test_executemany(self, conn):
+        conn.execute("CREATE TABLE t (c CHRONON)")
+        conn.executemany(
+            "INSERT INTO t VALUES (?)",
+            [(C("1999-01-01"),), (C("1999-02-01"),)],
+        )
+        assert conn.query_one("SELECT COUNT(*) FROM t")[0] == 2
+
+    def test_executescript(self, conn):
+        conn.executescript(
+            "CREATE TABLE a (x INTEGER); CREATE TABLE b (y INTEGER);"
+        )
+        conn.execute("INSERT INTO a VALUES (1)")
+        assert conn.query_one("SELECT COUNT(*) FROM a")[0] == 1
+
+
+class TestTypeMapping:
+    def test_declared_columns_decode(self, conn):
+        conn.execute("CREATE TABLE t (e ELEMENT)")
+        conn.execute("INSERT INTO t VALUES (element('{[1999-01-01, 1999-02-01]}'))")
+        value = conn.query_one("SELECT e FROM t")[0]
+        assert isinstance(value, Element)
+
+    def test_expression_results_decode(self, conn):
+        """JDBC-2.0-style custom mapping: expression outputs are raw
+        blobs to SQLite, but surface as TIP objects."""
+        conn.execute("CREATE TABLE t (e ELEMENT)")
+        conn.execute("INSERT INTO t VALUES (element('{[1999-01-01, 1999-02-01]}'))")
+        value = conn.query_one("SELECT tunion(e, e) FROM t")[0]
+        assert isinstance(value, Element)
+
+    def test_custom_decltype_mapper(self):
+        type_map = TypeMap()
+        type_map.register("MONEY", lambda cents: cents / 100)
+        assert type_map.map_value(250, "MONEY") == 2.5
+        assert type_map.map_value(250, "INTEGER") == 250
+
+    def test_blob_decoding_can_be_disabled(self):
+        type_map = TypeMap(decode_tip_blobs=False)
+        blob = codec.encode(C("1999-09-01"))
+        assert type_map.map_value(blob) == blob
+
+    def test_map_row_none_passthrough(self):
+        assert TypeMap().map_row(None) is None
+
+    def test_non_tip_blobs_untouched(self, conn):
+        conn.execute("CREATE TABLE t (b BLOB)")
+        conn.execute("INSERT INTO t VALUES (?)", (b"\x01\x02",))
+        assert conn.query_one("SELECT b FROM t")[0] == b"\x01\x02"
+
+
+class TestNowBinding:
+    def test_override_applies_per_statement(self, conn):
+        conn.set_now("1999-01-01")
+        assert conn.query_one("SELECT tip_now()")[0] == C("1999-01-01")
+        conn.set_now("2001-01-01")
+        assert conn.query_one("SELECT tip_now()")[0] == C("2001-01-01")
+
+    def test_clear_override_tracks_wall_clock(self, conn):
+        conn.set_now(None)
+        from repro.core.granularity import wall_clock_seconds
+
+        bound = conn.query_one("SELECT tip_now()")[0]
+        assert abs(bound.seconds - wall_clock_seconds()) < 10
+
+    def test_now_override_property(self, conn):
+        assert conn.now_override == C("1999-09-01")
+        conn.set_now(None)
+        assert conn.now_override is None
+
+    def test_set_now_accepts_chronon(self, conn):
+        conn.set_now(C("2001-01-01"))
+        assert conn.now_override == C("2001-01-01")
+
+    def test_set_now_rejects_other_types(self, conn):
+        with pytest.raises(TypeError):
+            conn.set_now(12.5)  # type: ignore[arg-type]
+
+    def test_lazy_fetch_sees_statement_now(self, conn):
+        """SQLite evaluates rows during fetch; the statement's NOW must
+        still apply then, even if the connection override has changed."""
+        conn.execute("CREATE TABLE t (e ELEMENT)")
+        for _ in range(3):
+            conn.execute("INSERT INTO t VALUES (element('{[1999-01-01, NOW]}'))")
+        cursor = conn.execute("SELECT tip_text(ground(e)) FROM t")
+        conn.set_now("2005-01-01")  # too late for the running statement
+        rows = cursor.fetchall()
+        assert all(text == "{[1999-01-01, 1999-09-01]}" for (text,) in rows)
+
+    def test_cursor_statement_now_exposed(self, conn):
+        cursor = conn.execute("SELECT 1")
+        assert cursor.statement_now == C("1999-09-01")
+
+
+class TestCursor:
+    def test_iteration(self, conn):
+        conn.execute("CREATE TABLE t (x INTEGER)")
+        conn.executemany("INSERT INTO t VALUES (?)", [(1,), (2,), (3,)])
+        cursor = conn.execute("SELECT x FROM t ORDER BY x")
+        assert [row[0] for row in cursor] == [1, 2, 3]
+
+    def test_fetchone_and_fetchmany(self, conn):
+        conn.execute("CREATE TABLE t (x INTEGER)")
+        conn.executemany("INSERT INTO t VALUES (?)", [(1,), (2,), (3,)])
+        cursor = conn.execute("SELECT x FROM t ORDER BY x")
+        assert cursor.fetchone() == (1,)
+        assert cursor.fetchmany(2) == [(2,), (3,)]
+        assert cursor.fetchone() is None
+
+    def test_metadata(self, conn):
+        conn.execute("CREATE TABLE t (x INTEGER)")
+        cursor = conn.execute("INSERT INTO t VALUES (1)")
+        assert cursor.rowcount == 1
+        assert cursor.lastrowid == 1
+        cursor = conn.execute("SELECT x AS col FROM t")
+        assert cursor.description[0][0] == "col"
+
+
+class TestLiterals:
+    def test_scalars(self):
+        assert literal(None) == "NULL"
+        assert literal(True) == "1"
+        assert literal(False) == "0"
+        assert literal(42) == "42"
+        assert literal(2.5) == "2.5"
+        assert literal("it's") == "'it''s'"
+
+    def test_tip_values(self):
+        assert literal(C("1999-09-01")) == "'1999-09-01'"
+        assert literal(E("{[1999-10-01, NOW]}")) == "'{[1999-10-01, NOW]}'"
+
+    def test_literals_round_trip_through_engine(self, conn):
+        element = E("{[1999-10-01, NOW]}")
+        value = conn.query_one(f"SELECT element({literal(element)})")[0]
+        assert value.identical(element)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TipTypeError):
+            literal(object())
+
+    def test_quote_string(self):
+        assert quote_string("a'b") == "'a''b'"

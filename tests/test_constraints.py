@@ -1,0 +1,138 @@
+"""Tests for in-engine temporal integrity constraints."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.blade.constraints import (
+    add_temporal_check,
+    drop_temporal_check,
+    require_contained_in,
+    require_no_future,
+    require_nonempty,
+)
+from repro.errors import TipValueError
+from tests.conftest import C, E
+
+
+@pytest.fixture
+def table(conn):
+    conn.execute(
+        "CREATE TABLE Prescription (patient TEXT, patientdob CHRONON, valid ELEMENT)"
+    )
+    return conn
+
+
+class TestAddTemporalCheck:
+    def test_violating_insert_aborts(self, table):
+        add_temporal_check(
+            table, "Prescription", "nonempty", "NOT is_empty(NEW.valid)"
+        )
+        with pytest.raises(sqlite3.IntegrityError, match="TIP constraint nonempty"):
+            table.execute(
+                "INSERT INTO Prescription VALUES ('p', chronon('1970-01-01'), element('{}'))"
+            )
+
+    def test_satisfying_insert_passes(self, table):
+        add_temporal_check(
+            table, "Prescription", "nonempty", "NOT is_empty(NEW.valid)"
+        )
+        table.execute(
+            "INSERT INTO Prescription VALUES ('p', chronon('1970-01-01'), "
+            "element('{[1999-01-01, 1999-02-01]}'))"
+        )
+        assert table.query_one("SELECT COUNT(*) FROM Prescription")[0] == 1
+
+    def test_update_also_checked(self, table):
+        add_temporal_check(
+            table, "Prescription", "nonempty", "NOT is_empty(NEW.valid)"
+        )
+        table.execute(
+            "INSERT INTO Prescription VALUES ('p', chronon('1970-01-01'), "
+            "element('{[1999-01-01, 1999-02-01]}'))"
+        )
+        with pytest.raises(sqlite3.IntegrityError):
+            table.execute("UPDATE Prescription SET valid = element('{}')")
+
+    def test_custom_message(self, table):
+        add_temporal_check(
+            table, "Prescription", "named", "NOT is_empty(NEW.valid)",
+            message="timestamps must cover time",
+        )
+        with pytest.raises(sqlite3.IntegrityError, match="timestamps must cover time"):
+            table.execute(
+                "INSERT INTO Prescription VALUES ('p', chronon('1970-01-01'), element('{}'))"
+            )
+
+    def test_drop_removes_enforcement(self, table):
+        add_temporal_check(
+            table, "Prescription", "nonempty", "NOT is_empty(NEW.valid)"
+        )
+        drop_temporal_check(table, "Prescription", "nonempty")
+        table.execute(
+            "INSERT INTO Prescription VALUES ('p', chronon('1970-01-01'), element('{}'))"
+        )
+        assert table.query_one("SELECT COUNT(*) FROM Prescription")[0] == 1
+
+    def test_bad_names_rejected(self, table):
+        with pytest.raises(TipValueError):
+            add_temporal_check(table, "bad table", "x", "1")
+        with pytest.raises(TipValueError):
+            add_temporal_check(table, "Prescription", "bad name", "1")
+
+
+class TestCannedConstraints:
+    def test_require_nonempty(self, table):
+        require_nonempty(table, "Prescription", "valid")
+        with pytest.raises(sqlite3.IntegrityError, match="must not be empty"):
+            table.execute(
+                "INSERT INTO Prescription VALUES ('p', chronon('1970-01-01'), element('{}'))"
+            )
+
+    def test_nonempty_judged_at_statement_now(self, table):
+        """{[1999-10-01, NOW]} is empty while NOW < 1999-10-01."""
+        require_nonempty(table, "Prescription", "valid")
+        table.set_now("1999-09-01")
+        with pytest.raises(sqlite3.IntegrityError):
+            table.execute(
+                "INSERT INTO Prescription VALUES ('p', chronon('1970-01-01'), "
+                "element('{[1999-10-01, NOW]}'))"
+            )
+        table.set_now("1999-12-01")
+        table.execute(
+            "INSERT INTO Prescription VALUES ('p', chronon('1970-01-01'), "
+            "element('{[1999-10-01, NOW]}'))"
+        )
+
+    def test_require_no_future(self, table):
+        require_no_future(table, "Prescription", "valid")
+        with pytest.raises(sqlite3.IntegrityError, match="must not extend past NOW"):
+            table.execute(
+                "INSERT INTO Prescription VALUES ('p', chronon('1970-01-01'), "
+                "element('{[2030-01-01, 2031-01-01]}'))"
+            )
+        table.execute(
+            "INSERT INTO Prescription VALUES ('p', chronon('1970-01-01'), "
+            "element('{[1999-01-01, NOW]}'))"
+        )
+
+    def test_require_contained_in(self, table):
+        """Prescriptions cannot predate the patient's birth."""
+        require_contained_in(
+            table,
+            "Prescription",
+            "valid",
+            "to_element(period(NEW.patientdob, instant('NOW')))",
+        )
+        with pytest.raises(sqlite3.IntegrityError, match="must lie within"):
+            table.execute(
+                "INSERT INTO Prescription VALUES ('p', chronon('1980-06-01'), "
+                "element('{[1979-01-01, 1981-01-01]}'))"
+            )
+        table.execute(
+            "INSERT INTO Prescription VALUES ('p', chronon('1980-06-01'), "
+            "element('{[1981-01-01, 1982-01-01]}'))"
+        )
+        assert table.query_one("SELECT COUNT(*) FROM Prescription")[0] == 1

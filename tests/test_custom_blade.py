@@ -1,0 +1,118 @@
+"""The blade framework is generic: build and install a *different* blade.
+
+The DataBlade machinery (registry + SQLite backend) must not be
+TIP-specific — this test defines a tiny user blade with its own type,
+routine, cast, and aggregate, installs it next to TIP, and uses both
+from one SQL statement.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+import repro
+from repro.blade import AggregateDef, CastDef, DataBlade, RoutineDef, TypeDef, install_blade
+
+
+class Money:
+    """A toy user-defined type: integer cents."""
+
+    def __init__(self, cents: int) -> None:
+        self.cents = int(cents)
+
+    def __eq__(self, other):
+        return isinstance(other, Money) and self.cents == other.cents
+
+    def __hash__(self):
+        return hash(("Money", self.cents))
+
+    def __str__(self):
+        return f"${self.cents / 100:.2f}"
+
+    @staticmethod
+    def parse(text: str) -> "Money":
+        return Money(round(float(text.lstrip("$")) * 100))
+
+
+def money_encode(value: Money) -> bytes:
+    return b"MNY" + value.cents.to_bytes(8, "big", signed=True)
+
+
+def money_decode(blob: bytes) -> Money:
+    return Money(int.from_bytes(blob[3:], "big", signed=True))
+
+
+def build_money_blade() -> DataBlade:
+    blade = DataBlade(name="MoneyBlade", version="0.1")
+    blade.register_type(
+        TypeDef("Money", Money, money_encode, money_decode, Money.parse, str)
+    )
+    blade.register_routine(
+        RoutineDef("money", ("text",), "Money", Money.parse, "parse a money literal", True)
+    )
+    blade.register_routine(
+        RoutineDef(
+            "money_add", ("Money", "Money"), "Money",
+            lambda a, b: Money(a.cents + b.cents), "add two amounts", True,
+        )
+    )
+    blade.register_routine(
+        RoutineDef("cents", ("Money",), "integer", lambda m: m.cents, "raw cents", True)
+    )
+    blade.register_cast(CastDef("text", "Money", True, lambda s, now=None: Money.parse(s)))
+
+    class CentsSum:
+        def __init__(self):
+            self.total = 0
+            self.any = False
+
+        def step(self, value: Money):
+            self.total += value.cents
+            self.any = True
+
+        def finish(self):
+            return Money(self.total) if self.any else None
+
+    blade.register_aggregate(AggregateDef("money_sum", "Money", "Money", CentsSum, "sum"))
+    return blade
+
+
+@pytest.fixture
+def dual_conn():
+    conn = repro.connect(now="2000-01-01")
+    install_blade(conn.raw, build_money_blade())
+    yield conn
+    conn.close()
+
+
+class TestCustomBlade:
+    def test_custom_routines_work(self, dual_conn):
+        row = dual_conn.query_one("SELECT cents(money_add(money('1.25'), money('2.50')))")
+        assert row[0] == 375
+
+    def test_string_cast_into_custom_routine(self, dual_conn):
+        # Implicit string cast via the blade's own cast graph.
+        assert dual_conn.query_one("SELECT cents('3.10')")[0] == 310
+
+    def test_custom_aggregate(self, dual_conn):
+        dual_conn.execute("CREATE TABLE bills (amount BLOB)")
+        for text in ("1.00", "2.25", "0.75"):
+            dual_conn.execute("INSERT INTO bills VALUES (money(?))", (text,))
+        blob = dual_conn.query_one("SELECT money_sum(amount) FROM bills")[0]
+        assert money_decode(blob) == Money(400)
+
+    def test_coexists_with_tip(self, dual_conn):
+        """Both blades answer in the same statement."""
+        row = dual_conn.query_one(
+            "SELECT cents(money('9.99')), length_seconds('{[1970-01-01, 1970-01-01]}')"
+        )
+        assert row == (999, 1)
+
+    def test_null_propagation_in_custom_routine(self, dual_conn):
+        assert dual_conn.query_one("SELECT money_add(NULL, money('1.00'))")[0] is None
+
+    def test_install_is_idempotent(self, dual_conn):
+        install_blade(dual_conn.raw, build_money_blade())
+        assert dual_conn.query_one("SELECT cents(money('1.00'))")[0] == 100

@@ -1,0 +1,98 @@
+"""Tests for the Browser's distribution-over-time view (paper §4)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.browser import TimeWindow, TipBrowser, distribution, render_distribution
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.span import Span
+from tests.conftest import C, E
+
+
+WINDOW = TimeWindow(C("1999-01-01"), Span.of(days=10))
+
+
+class TestDistributionCounts:
+    def test_empty(self):
+        assert distribution([], WINDOW, buckets=5) == [0] * 5
+
+    def test_single_full_coverage(self):
+        elements = [E("{[1998-01-01, 2000-01-01]}")]
+        assert distribution(elements, WINDOW, buckets=5, now_seconds=0) == [1] * 5
+
+    def test_two_disjoint_tuples(self):
+        elements = [
+            E("{[1999-01-01, 1999-01-02 23:59:59]}"),   # first fifth
+            E("{[1999-01-09, 1999-01-10 23:59:59]}"),   # last fifth
+        ]
+        assert distribution(elements, WINDOW, buckets=5, now_seconds=0) == [1, 0, 0, 0, 1]
+
+    def test_overlap_counts_tuples_not_periods(self):
+        elements = [
+            E("{[1999-01-01, 1999-01-10 23:59:59]}"),
+            E("{[1999-01-01, 1999-01-02], [1999-01-04, 1999-01-06]}"),
+        ]
+        counts = distribution(elements, WINDOW, buckets=5, now_seconds=0)
+        assert counts[0] == 2
+        assert max(counts) == 2
+
+    def test_out_of_window_ignored(self):
+        elements = [E("{[2001-01-01, 2001-02-01]}")]
+        assert distribution(elements, WINDOW, buckets=5, now_seconds=0) == [0] * 5
+
+
+class TestDistributionRendering:
+    def test_empty_renders_blank(self):
+        assert render_distribution([], WINDOW, width=10) == " " * 10
+
+    def test_full_coverage_renders_max_glyph(self):
+        elements = [E("{[1998-01-01, 2000-01-01]}")]
+        assert render_distribution(elements, WINDOW, width=10, now_seconds=0) == "@" * 10
+
+    def test_gradient(self):
+        elements = [
+            E("{[1999-01-01, 1999-01-10 23:59:59]}"),
+            E("{[1999-01-06, 1999-01-10 23:59:59]}"),
+        ]
+        text = render_distribution(elements, WINDOW, width=10, now_seconds=0)
+        assert len(set(text)) == 2  # two density levels
+        assert text[0] != text[-1]
+
+    def test_deterministic(self):
+        elements = [E("{[1999-01-03, 1999-01-07]}")]
+        assert render_distribution(elements, WINDOW, now_seconds=0) == render_distribution(
+            elements, WINDOW, now_seconds=0
+        )
+
+
+class TestBrowserIntegration:
+    @pytest.fixture
+    def browser(self):
+        conn = repro.connect(now="2000-01-01")
+        conn.execute("CREATE TABLE t (name TEXT, valid ELEMENT)")
+        rows = [
+            ("a", "{[1999-01-01, 1999-06-30]}"),
+            ("b", "{[1999-04-01, 1999-12-31]}"),
+            ("c", "{[1999-05-01, 1999-05-31]}"),
+        ]
+        conn.executemany("INSERT INTO t VALUES (?, element(?))", rows)
+        browser = TipBrowser(conn)
+        browser.load("SELECT name, valid FROM t")
+        yield browser
+        conn.close()
+
+    def test_distribution_peaks_where_all_overlap(self, browser):
+        browser.set_window(TimeWindow.spanning(C("1999-01-01"), C("1999-12-31")))
+        counts = browser.distribution(buckets=12)
+        assert max(counts) == 3  # May: all three valid
+        assert counts[0] == 1  # January: only 'a'
+        assert counts[-1] == 1  # December: only 'b'
+
+    def test_render_includes_distribution_line(self, browser):
+        text = browser.render(track_width=24)
+        lines = text.splitlines()
+        # rows + header + title + distribution + axis + marker + footer
+        assert len(lines) == 3 + 2 + 4

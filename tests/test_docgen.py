@@ -1,0 +1,59 @@
+"""Tests for the registry-driven documentation generator."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.blade import build_tip_blade
+from repro.blade.docgen import render_markdown
+
+DOCS_PATH = Path(__file__).resolve().parent.parent / "docs" / "sql_reference.md"
+
+
+class TestRenderMarkdown:
+    @pytest.fixture(scope="class")
+    def rendered(self):
+        return render_markdown(build_tip_blade())
+
+    def test_all_routines_present(self, rendered):
+        blade = build_tip_blade()
+        for name, _arity in blade.routines:
+            assert f"`{name}(" in rendered, f"{name} missing from reference"
+
+    def test_all_aggregates_present(self, rendered):
+        for name in build_tip_blade().aggregates:
+            assert f"`{name}(" in rendered
+
+    def test_all_types_present(self, rendered):
+        for name in build_tip_blade().types:
+            assert f"| `{name}` |" in rendered
+
+    def test_all_casts_present(self, rendered):
+        blade = build_tip_blade()
+        for cast_def in blade.casts:
+            assert f"`{cast_def.source} -> {cast_def.target}`" in rendered
+
+    def test_no_uncategorized_routines(self, rendered):
+        """Every routine should land in a named category; 'Other'
+        appearing means the category table needs updating."""
+        assert "Other routines" not in rendered
+
+    def test_grounding_cast_marked_explicit(self, rendered):
+        line = next(
+            line for line in rendered.splitlines()
+            if line.startswith("| `Instant -> Chronon`")
+        )
+        assert "explicit" in line
+
+    def test_deterministic(self, rendered):
+        assert rendered == render_markdown(build_tip_blade())
+
+
+class TestCheckedInReference:
+    def test_reference_file_is_up_to_date(self):
+        """docs/sql_reference.md must match the registry (regenerate
+        with examples/generate_reference.py)."""
+        assert DOCS_PATH.exists(), "docs/sql_reference.md missing"
+        assert DOCS_PATH.read_text() == render_markdown(build_tip_blade())

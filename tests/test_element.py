@@ -1,0 +1,298 @@
+"""Unit and property tests for the Element datatype."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.instant import NOW, Instant
+from repro.core.nowctx import use_now
+from repro.core.period import Period
+from repro.core.span import Span
+from repro.errors import TipTypeError, TipValueError
+from tests.conftest import C, E, S
+from tests.strategies import brute_set, determinate_elements, elements
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert str(Element.empty()) == "{}"
+        assert len(Element.empty()) == 0
+
+    def test_paper_example(self):
+        element = E("{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}")
+        assert len(element) == 2
+        assert element.is_determinate
+
+    def test_determinate_elements_canonicalize_immediately(self):
+        element = Element.of(
+            Period(C("1999-03-01"), C("1999-05-01")),
+            Period(C("1999-01-01"), C("1999-04-01")),
+        )
+        assert len(element) == 1
+        assert str(element) == "{[1999-01-01, 1999-05-01]}"
+
+    def test_chronons_widen_to_degenerate_periods(self):
+        element = Element.of(C("1999-01-01"))
+        assert str(element) == "{[1999-01-01, 1999-01-01]}"
+
+    def test_instants_widen(self):
+        element = Element.of(NOW)
+        assert not element.is_determinate
+
+    def test_now_relative_kept_symbolic(self):
+        element = E("{[1999-10-01, NOW]}")
+        assert not element.is_determinate
+        assert str(element) == "{[1999-10-01, NOW]}"
+
+    def test_rejects_non_temporal_members(self):
+        with pytest.raises(TipTypeError):
+            Element.of("1999-01-01")  # type: ignore[arg-type]
+
+    def test_from_pairs_normalizes(self):
+        element = Element.from_pairs([(100, 200), (150, 300), (400, 500)])
+        assert [p.ground_pair(0) for p in element.periods] == [(100, 300), (400, 500)]
+
+    def test_from_pairs_validates_range(self):
+        from repro.core.granularity import MAX_SECONDS
+
+        with pytest.raises(TipValueError):
+            Element.from_pairs([(0, MAX_SECONDS + 10)])
+
+
+class TestGrounding:
+    def test_ground_substitutes_now(self):
+        element = E("{[1999-10-01, NOW]}")
+        assert str(element.ground(C("2000-01-01"))) == "{[1999-10-01, 2000-01-01]}"
+
+    def test_ground_drops_empty_periods(self):
+        """A NOW-relative period that is inverted at NOW covers nothing."""
+        element = E("{[1999-10-01, NOW]}")
+        assert element.ground(C("1999-09-01")).is_empty_at(0)
+
+    def test_ground_coalesces_after_substitution(self):
+        element = Element.of(
+            Period(C("1999-01-01"), NOW),
+            Period(C("1999-03-01"), C("1999-12-31")),
+        )
+        grounded = element.ground(C("1999-06-01"))
+        assert len(grounded) == 1
+
+    def test_ground_of_determinate_is_self(self):
+        element = E("{[1999-01-01, 1999-02-01]}")
+        assert element.ground(C("2020-01-01")) is element
+
+    def test_is_empty_at(self):
+        assert Element.empty().is_empty_at(0)
+        assert not E("{[1999-01-01, 1999-02-01]}").is_empty_at(0)
+
+
+class TestSetAlgebra:
+    def test_union_example(self):
+        a = E("{[1999-01-01, 1999-04-30]}")
+        b = E("{[1999-03-01, 1999-08-01]}")
+        assert str(a.union(b)) == "{[1999-01-01, 1999-08-01]}"
+
+    def test_intersect_example(self):
+        a = E("{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}")
+        b = E("{[1999-03-01, 1999-08-01]}")
+        assert str(a.intersect(b)) == "{[1999-03-01, 1999-04-30], [1999-07-01, 1999-08-01]}"
+
+    def test_difference_example(self):
+        a = E("{[1999-01-01, 1999-04-30]}")
+        b = E("{[1999-03-01, 1999-08-01]}")
+        assert str(a.difference(b)) == "{[1999-01-01, 1999-02-28 23:59:59]}"
+
+    def test_operator_sugar(self):
+        a = E("{[1999-01-01, 1999-02-01]}")
+        b = E("{[1999-03-01, 1999-04-01]}")
+        assert (a | b).count(0) == 2
+        assert (a & b).is_empty_at(0)
+        assert (a - b) == a
+
+    def test_ops_ground_now_relative_operands(self):
+        a = E("{[1999-10-01, NOW]}")
+        b = E("{[1999-11-01, 1999-12-31]}")
+        result = a.intersect(b, now=C("1999-11-20"))
+        assert str(result) == "{[1999-11-01, 1999-11-20]}"
+
+    def test_ops_use_one_consistent_ambient_now(self):
+        a = E("{[NOW-7, NOW]}")
+        with use_now("1999-09-08"):
+            assert a.union(a) == E("{[1999-09-01, 1999-09-08]}")
+
+    def test_complement_within_period(self):
+        element = E("{[1999-02-01, 1999-02-10]}")
+        window = Period(C("1999-01-01"), C("1999-03-01"))
+        complement = element.complement(within=window)
+        assert complement.count(0) == 2
+        assert not complement.overlaps(element)
+        assert complement.union(element).contains(element)
+
+    def test_complement_of_empty_is_window(self):
+        window = Period(C("1999-01-01"), C("1999-03-01"))
+        assert Element.empty().complement(within=window) == Element.of(window)
+
+    def test_binary_op_rejects_non_elements(self):
+        with pytest.raises(TipTypeError):
+            E("{}").union("{}")  # type: ignore[arg-type]
+
+    @given(determinate_elements(), determinate_elements())
+    def test_union_delegates_to_kernel(self, a, b):
+        """Set semantics are property-tested at the kernel level
+        (test_interval_algebra.py); here we check the Element layer
+        plumbs through to it faithfully."""
+        from repro.core import interval_algebra as ia
+
+        expected = ia.union(a.ground_pairs(0), b.ground_pairs(0))
+        assert a.union(b).ground_pairs(0) == expected
+
+    @given(determinate_elements(), determinate_elements())
+    def test_intersect_delegates_to_kernel(self, a, b):
+        from repro.core import interval_algebra as ia
+
+        expected = ia.intersect(a.ground_pairs(0), b.ground_pairs(0))
+        assert a.intersect(b).ground_pairs(0) == expected
+
+    @given(determinate_elements(), determinate_elements())
+    def test_difference_delegates_to_kernel(self, a, b):
+        from repro.core import interval_algebra as ia
+
+        expected = ia.difference(a.ground_pairs(0), b.ground_pairs(0))
+        assert a.difference(b).ground_pairs(0) == expected
+
+
+class TestPredicates:
+    def test_overlaps_element(self):
+        a = E("{[1999-01-01, 1999-02-01]}")
+        b = E("{[1999-02-01, 1999-03-01]}")
+        c = E("{[1999-06-01, 1999-07-01]}")
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_overlaps_period(self):
+        a = E("{[1999-01-01, 1999-02-01]}")
+        assert a.overlaps(Period(C("1999-01-15"), C("1999-03-01")))
+
+    def test_contains_element(self):
+        outer = E("{[1999-01-01, 1999-12-31]}")
+        inner = E("{[1999-02-01, 1999-03-01], [1999-06-01, 1999-07-01]}")
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_contains_chronon_and_instant(self):
+        element = E("{[1999-01-01, 1999-02-01]}")
+        assert element.contains(C("1999-01-15"))
+        assert not element.contains(C("1999-03-01"))
+        assert element.contains(NOW, now=C("1999-01-15"))
+
+    def test_contains_rejects_strings(self):
+        with pytest.raises(TipTypeError):
+            E("{}").contains("1999-01-01")  # type: ignore[arg-type]
+
+    @given(determinate_elements())
+    def test_contains_reflexive(self, element):
+        assert element.contains(element)
+
+
+class TestAccessors:
+    def test_start_is_first_period_start(self):
+        """The paper's start routine."""
+        element = E("{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}")
+        assert element.start() == C("1999-01-01")
+        assert element.end() == C("1999-10-31")
+
+    def test_first_last(self):
+        element = E("{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}")
+        assert str(element.first()) == "[1999-01-01, 1999-04-30]"
+        assert str(element.last()) == "[1999-07-01, 1999-10-31]"
+
+    def test_start_of_empty_raises(self):
+        with pytest.raises(TipValueError):
+            Element.empty().start()
+        with pytest.raises(TipValueError):
+            Element.empty().first()
+        with pytest.raises(TipValueError):
+            Element.empty().last()
+        with pytest.raises(TipValueError):
+            Element.empty().end()
+
+    def test_count_after_grounding(self):
+        element = Element.of(
+            Period(C("1999-01-01"), NOW),
+            Period(C("1999-02-01"), C("1999-03-01")),
+        )
+        assert element.count(C("1999-06-01")) == 1
+        assert element.count(C("1998-06-01")) == 1  # first period empty
+
+    def test_length(self):
+        element = E("{[1999-01-01, 1999-01-02]}")
+        assert element.length() == Span(86401)
+
+    def test_length_of_empty_is_zero(self):
+        assert Element.empty().length() == Span(0)
+
+    def test_restrict(self):
+        element = E("{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}")
+        window = Period(C("1999-04-01"), C("1999-08-01"))
+        clipped = element.restrict(window)
+        assert str(clipped) == "{[1999-04-01, 1999-04-30], [1999-07-01, 1999-08-01]}"
+
+    def test_shift(self):
+        element = E("{[1999-01-01, NOW]}").shift(S("7"))
+        assert str(element) == "{[1999-01-08, NOW+7]}"
+
+    def test_iteration(self):
+        element = E("{[1999-01-01, 1999-02-01], [1999-03-01, 1999-04-01]}")
+        assert [str(p) for p in element] == [
+            "[1999-01-01, 1999-02-01]",
+            "[1999-03-01, 1999-04-01]",
+        ]
+
+
+class TestComparisonsAndIdentity:
+    def test_temporal_equality(self):
+        with use_now("2000-01-01"):
+            assert E("{[1999-10-01, NOW]}") == E("{[1999-10-01, 2000-01-01]}")
+        with use_now("2000-06-01"):
+            assert E("{[1999-10-01, NOW]}") != E("{[1999-10-01, 2000-01-01]}")
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(E("{}"))
+
+    def test_identical_is_structural(self):
+        assert E("{[1999-10-01, NOW]}").identical(E("{[1999-10-01, NOW]}"))
+        with use_now("2000-01-01"):
+            assert not E("{[1999-10-01, NOW]}").identical(E("{[1999-10-01, 2000-01-01]}"))
+
+    @given(elements())
+    def test_ground_is_idempotent(self, element):
+        with use_now("1999-09-01"):
+            once = element.ground()
+            assert once.ground() == once
+
+
+class TestTextRepresentation:
+    def test_paper_literal_round_trip(self):
+        for text in (
+            "{}",
+            "{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}",
+            "{[1999-10-01, NOW]}",
+            "{[NOW-7, NOW]}",
+        ):
+            assert str(Element.parse(text)) == text
+
+    def test_parse_rejects_malformed(self):
+        from repro.errors import TipParseError
+
+        with pytest.raises(TipParseError):
+            Element.parse("[1999-01-01, NOW]")
+        with pytest.raises(TipParseError):
+            Element.parse("{[1999-01-01]}")
+
+    @given(determinate_elements())
+    def test_parse_format_round_trip(self, element):
+        assert Element.parse(str(element)).identical(element)

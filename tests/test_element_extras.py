@@ -1,0 +1,112 @@
+"""Tests for the extended element routines (extent, gaps, point splits)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.instant import NOW
+from repro.errors import TipValueError
+from tests.conftest import C, E
+from tests.strategies import determinate_elements
+
+
+class TestExtent:
+    def test_bounding_period(self):
+        element = E("{[1999-01-01, 1999-02-01], [1999-06-01, 1999-07-01]}")
+        assert str(element.extent()) == "[1999-01-01, 1999-07-01]"
+
+    def test_single_period_extent_is_itself(self):
+        element = E("{[1999-01-01, 1999-02-01]}")
+        assert element.extent() == element.first()
+
+    def test_empty_raises(self):
+        with pytest.raises(TipValueError):
+            Element.empty().extent()
+
+    def test_now_relative(self):
+        element = E("{[1999-01-01, NOW]}")
+        assert str(element.extent(C("1999-06-01"))) == "[1999-01-01, 1999-06-01]"
+
+    @given(determinate_elements(max_periods=5))
+    def test_extent_contains_element(self, element):
+        if element.is_empty_at(0):
+            return
+        assert Element.of(element.extent(0)).contains(element)
+
+
+class TestGaps:
+    def test_between_periods(self):
+        element = E("{[1999-01-01, 1999-02-01], [1999-06-01, 1999-07-01]}")
+        gaps = element.gaps()
+        assert gaps.count(0) == 1
+        assert str(gaps) == "{[1999-02-01 00:00:01, 1999-05-31 23:59:59]}"
+
+    def test_single_period_has_no_gaps(self):
+        assert E("{[1999-01-01, 1999-02-01]}").gaps().is_empty_at(0)
+
+    def test_empty_has_no_gaps(self):
+        assert Element.empty().gaps().is_empty_at(0)
+
+    @given(determinate_elements(max_periods=6))
+    def test_gaps_partition_the_extent(self, element):
+        """element ∪ gaps == extent, and they are disjoint."""
+        if element.is_empty_at(0):
+            return
+        gaps = element.gaps(0)
+        assert not element.overlaps(gaps, now=0)
+        union = element.union(gaps, now=0)
+        assert union == Element.of(element.extent(0)).ground(0)
+
+
+class TestPointSplits:
+    ELEMENT = "{[1999-01-01, 1999-02-01], [1999-06-01, 1999-07-01]}"
+
+    def test_before_point(self):
+        part = E(self.ELEMENT).before_point(C("1999-06-15"))
+        assert str(part) == "{[1999-01-01, 1999-02-01], [1999-06-01, 1999-06-14 23:59:59]}"
+
+    def test_after_point(self):
+        part = E(self.ELEMENT).after_point(C("1999-06-15"))
+        assert str(part) == "{[1999-06-15 00:00:01, 1999-07-01]}"
+
+    def test_point_itself_excluded_from_both(self):
+        element = E(self.ELEMENT)
+        point = C("1999-06-15")
+        assert not element.before_point(point).contains(point)
+        assert not element.after_point(point).contains(point)
+
+    def test_splits_with_now(self):
+        element = E(self.ELEMENT)
+        with_now = element.before_point(NOW, now=C("1999-06-15"))
+        assert with_now == element.before_point(C("1999-06-15"), now=0)
+
+    @given(determinate_elements(max_periods=5))
+    def test_split_reassembles(self, element):
+        point = C("2000-01-01")
+        before = element.before_point(point, now=0)
+        after = element.after_point(point, now=0)
+        at = element.intersect(Element.of(point), now=0)
+        reunion = before.union(after, now=0).union(at, now=0)
+        assert reunion == element
+
+
+class TestSqlRoutines:
+    def test_extent_and_gaps_from_sql(self, conn):
+        element = "'{[1999-01-01, 1999-02-01], [1999-06-01, 1999-07-01]}'"
+        assert str(conn.query_one(f"SELECT extent({element})")[0]) == "[1999-01-01, 1999-07-01]"
+        gaps = conn.query_one(f"SELECT gaps({element})")[0]
+        assert gaps.count(0) == 1
+
+    def test_point_splits_from_sql(self, conn):
+        element = "'{[1999-01-01, 1999-12-31]}'"
+        before = conn.query_one(
+            f"SELECT before_point({element}, instant('1999-06-15'))"
+        )[0]
+        after = conn.query_one(
+            f"SELECT after_point({element}, instant('1999-06-15'))"
+        )[0]
+        assert before.end(0) == C("1999-06-14 23:59:59")
+        assert after.start(0) == C("1999-06-15 00:00:01")

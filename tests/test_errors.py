@@ -1,0 +1,63 @@
+"""Tests for the exception hierarchy contract.
+
+Applications catch ``TipError`` for everything, and the dual-inheritance
+classes must also satisfy stdlib ``except TypeError/ValueError`` blocks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            errors.TipTypeError,
+            errors.TipParseError,
+            errors.TipValueError,
+            errors.TipOverflowError,
+            errors.TipEmptyPeriodError,
+            errors.BladeError,
+            errors.DuplicateRegistrationError,
+            errors.UnknownTypeError,
+            errors.CodecError,
+            errors.TranslationError,
+        ],
+    )
+    def test_everything_is_a_tip_error(self, subclass):
+        assert issubclass(subclass, errors.TipError)
+
+    def test_type_error_duality(self):
+        assert issubclass(errors.TipTypeError, TypeError)
+
+    def test_value_error_duality(self):
+        for subclass in (errors.TipParseError, errors.TipValueError, errors.CodecError):
+            assert issubclass(subclass, ValueError)
+
+    def test_empty_period_is_a_value_error(self):
+        assert issubclass(errors.TipEmptyPeriodError, errors.TipValueError)
+
+    def test_registration_errors_are_blade_errors(self):
+        assert issubclass(errors.DuplicateRegistrationError, errors.BladeError)
+        assert issubclass(errors.UnknownTypeError, errors.BladeError)
+
+
+class TestCatchability:
+    def test_stdlib_style_catch(self):
+        from repro.core.chronon import Chronon
+
+        with pytest.raises(TypeError):
+            Chronon.parse("1999-01-01") + Chronon.parse("1999-01-02")
+        with pytest.raises(ValueError):
+            Chronon.parse("bogus")
+
+    def test_blanket_tip_error_catch(self):
+        from repro.core.element import Element
+
+        with pytest.raises(errors.TipError):
+            Element.parse("nonsense")
+        with pytest.raises(errors.TipError):
+            Element.empty().start()

@@ -1,0 +1,48 @@
+"""Smoke tests: every example script must run clean and say what it
+promises.  (run_experiments.py is excluded here — it is minutes long and
+exercised by the benchmark harness instead.)"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": ["Chronon + Chronon", "DataBlade TIP", "Mr.Showbiz"],
+    "medical_demo.py": ["Q1.", "Q2.", "Q3.", "NOW ="],
+    "browser_demo.py": ["TIP Browser", "What-if analysis", "#"],
+    "warehouse_demo.py": ["temporal relation", "incremental contents == full recompute"],
+    "integrated_vs_layered.py": ["ANSWERS AGREE: True", "NOT EXISTS", "speedup"],
+    "tsql_demo.py": ["SNAPSHOT", "VALIDTIME", "tintersect"],
+    "bitemporal_demo.py": ["audit trail", "Recovery", "ICU"],
+    "client_server_demo.py": ["TIP server listening", "NOW=1999-12-01", "NOW=2005-06-07"],
+    "generate_reference.py": ["sql_reference.md"],
+}
+
+
+def _run(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_example_runs_and_reports(name):
+    output = _run(name)
+    for expected in CASES[name]:
+        assert expected in output, f"{name}: {expected!r} missing from output"
+
+
+def test_every_example_is_covered():
+    on_disk = {path.name for path in EXAMPLES.glob("*.py")}
+    assert on_disk - set(CASES) == {"run_experiments.py"}

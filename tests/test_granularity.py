@@ -1,0 +1,150 @@
+"""Unit tests for the calendar/granularity substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import granularity as g
+from repro.errors import TipValueError
+
+
+class TestLeapYears:
+    def test_divisible_by_four(self):
+        assert g.is_leap_year(1996)
+        assert g.is_leap_year(2004)
+
+    def test_century_not_leap(self):
+        assert not g.is_leap_year(1900)
+        assert not g.is_leap_year(2100)
+
+    def test_quadricentennial_leap(self):
+        assert g.is_leap_year(2000)
+        assert g.is_leap_year(1600)
+
+    def test_ordinary_years(self):
+        assert not g.is_leap_year(1999)
+        assert not g.is_leap_year(2001)
+
+
+class TestDaysInMonth:
+    def test_standard_months(self):
+        assert g.days_in_month(1999, 1) == 31
+        assert g.days_in_month(1999, 4) == 30
+        assert g.days_in_month(1999, 12) == 31
+
+    def test_february(self):
+        assert g.days_in_month(1999, 2) == 28
+        assert g.days_in_month(2000, 2) == 29
+        assert g.days_in_month(1900, 2) == 28
+
+    def test_bad_month_rejected(self):
+        with pytest.raises(TipValueError):
+            g.days_in_month(1999, 0)
+        with pytest.raises(TipValueError):
+            g.days_in_month(1999, 13)
+
+
+class TestFieldConversion:
+    def test_epoch_is_zero(self):
+        assert g.fields_to_seconds(1970, 1, 1) == 0
+
+    def test_known_date(self):
+        # 2000-01-01 00:00:00 UTC is the well-known 946684800.
+        assert g.fields_to_seconds(2000, 1, 1) == 946684800
+
+    def test_time_of_day(self):
+        base = g.fields_to_seconds(2000, 1, 1)
+        assert g.fields_to_seconds(2000, 1, 1, 1, 2, 3) == base + 3723
+
+    def test_pre_epoch_date(self):
+        assert g.fields_to_seconds(1969, 12, 31) == -g.SECONDS_PER_DAY
+
+    def test_round_trip_paper_chronon(self):
+        seconds = g.fields_to_seconds(2000, 1, 1, 0, 0, 0)
+        assert g.seconds_to_fields(seconds) == (2000, 1, 1, 0, 0, 0)
+
+    def test_leap_day_round_trip(self):
+        seconds = g.fields_to_seconds(2000, 2, 29, 23, 59, 59)
+        assert g.seconds_to_fields(seconds) == (2000, 2, 29, 23, 59, 59)
+
+    @given(
+        st.integers(1, 9999),
+        st.integers(1, 12),
+        st.integers(1, 28),
+        st.integers(0, 23),
+        st.integers(0, 59),
+        st.integers(0, 59),
+    )
+    def test_round_trip_property(self, year, month, day, hour, minute, second):
+        seconds = g.fields_to_seconds(year, month, day, hour, minute, second)
+        assert g.seconds_to_fields(seconds) == (year, month, day, hour, minute, second)
+
+    @given(st.integers(g.MIN_SECONDS, g.MAX_SECONDS))
+    def test_inverse_round_trip_property(self, seconds):
+        fields = g.seconds_to_fields(seconds)
+        assert g.fields_to_seconds(*fields) == seconds
+
+    def test_consecutive_days_differ_by_86400(self):
+        a = g.fields_to_seconds(1999, 2, 28)
+        b = g.fields_to_seconds(1999, 3, 1)
+        assert b - a == g.SECONDS_PER_DAY
+
+    def test_leap_february_spans_29_days(self):
+        a = g.fields_to_seconds(2000, 2, 28)
+        b = g.fields_to_seconds(2000, 3, 1)
+        assert b - a == 2 * g.SECONDS_PER_DAY
+
+
+class TestFieldValidation:
+    @pytest.mark.parametrize(
+        "fields",
+        [
+            (0, 1, 1, 0, 0, 0),
+            (10000, 1, 1, 0, 0, 0),
+            (1999, 0, 1, 0, 0, 0),
+            (1999, 13, 1, 0, 0, 0),
+            (1999, 2, 29, 0, 0, 0),
+            (1999, 4, 31, 0, 0, 0),
+            (1999, 1, 1, 24, 0, 0),
+            (1999, 1, 1, 0, 60, 0),
+            (1999, 1, 1, 0, 0, 60),
+            (1999, 1, 0, 0, 0, 0),
+        ],
+    )
+    def test_invalid_fields_rejected(self, fields):
+        with pytest.raises(TipValueError):
+            g.fields_to_seconds(*fields)
+
+
+class TestBounds:
+    def test_min_is_year_one(self):
+        assert g.seconds_to_fields(g.MIN_SECONDS) == (1, 1, 1, 0, 0, 0)
+
+    def test_max_is_year_9999(self):
+        assert g.seconds_to_fields(g.MAX_SECONDS) == (9999, 12, 31, 23, 59, 59)
+
+    def test_check_chronon_seconds_bounds(self):
+        assert g.check_chronon_seconds(g.MIN_SECONDS) == g.MIN_SECONDS
+        assert g.check_chronon_seconds(g.MAX_SECONDS) == g.MAX_SECONDS
+        with pytest.raises(TipValueError):
+            g.check_chronon_seconds(g.MIN_SECONDS - 1)
+        with pytest.raises(TipValueError):
+            g.check_chronon_seconds(g.MAX_SECONDS + 1)
+
+    def test_check_rejects_non_int(self):
+        with pytest.raises(TipValueError):
+            g.check_chronon_seconds(1.5)
+        with pytest.raises(TipValueError):
+            g.check_chronon_seconds(True)
+
+    def test_span_bounds_cover_chronon_differences(self):
+        assert g.check_span_seconds(g.MAX_SECONDS - g.MIN_SECONDS)
+        assert g.check_span_seconds(-(g.MAX_SECONDS - g.MIN_SECONDS))
+        with pytest.raises(TipValueError):
+            g.check_span_seconds(g.MAX_SPAN_SECONDS + 1)
+
+    def test_wall_clock_is_in_range(self):
+        now = g.wall_clock_seconds()
+        assert g.MIN_SECONDS <= now <= g.MAX_SECONDS

@@ -1,0 +1,177 @@
+"""Unit tests for the Instant datatype and NOW semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core import granularity
+from repro.core.chronon import Chronon
+from repro.core.instant import NOW, Instant
+from repro.core.nowctx import use_now
+from repro.core.span import Span
+from repro.errors import TipParseError, TipTypeError, TipValueError
+from tests.conftest import C, S
+from tests.strategies import instants
+
+
+class TestConstruction:
+    def test_at_chronon_is_determinate(self):
+        instant = Instant.at(C("1999-09-01"))
+        assert instant.is_determinate
+        assert not instant.is_now_relative
+        assert instant.chronon == C("1999-09-01")
+        assert instant.offset is None
+
+    def test_at_instant_is_idempotent(self):
+        instant = Instant.at(C("1999-09-01"))
+        assert Instant.at(instant) is instant
+
+    def test_now_relative(self):
+        instant = Instant.now_relative(S("-1"))
+        assert instant.is_now_relative
+        assert instant.offset == S("-1")
+        assert instant.chronon is None
+
+    def test_now_constant_has_zero_offset(self):
+        assert NOW.is_now_relative
+        assert NOW.offset == Span(0)
+
+    def test_requires_exactly_one_flavor(self):
+        with pytest.raises(TipValueError):
+            Instant()
+        with pytest.raises(TipValueError):
+            Instant(abs_seconds=0, offset_seconds=0)
+
+    def test_now_relative_requires_span(self):
+        with pytest.raises(TipTypeError):
+            Instant.now_relative(86400)  # type: ignore[arg-type]
+
+    def test_at_rejects_other_types(self):
+        with pytest.raises(TipTypeError):
+            Instant.at("1999-09-01")  # type: ignore[arg-type]
+
+
+class TestGrounding:
+    def test_paper_example(self):
+        """'NOW-1 becomes 1999-08-31 if today's date is 1999-09-01'."""
+        yesterday = NOW - S("1")
+        assert yesterday.ground(C("1999-09-01")) == C("1999-08-31")
+
+    def test_ground_determinate_ignores_now(self):
+        instant = Instant.at(C("1999-09-01"))
+        assert instant.ground(C("2020-01-01")) == C("1999-09-01")
+
+    def test_ground_uses_ambient_now(self):
+        with use_now("1999-09-01"):
+            assert (NOW - S("7")).ground() == C("1999-08-25")
+
+    def test_ground_clamps_at_calendar_bounds(self):
+        far_future = NOW + Span.of(days=365 * 9000)
+        assert far_future.ground(C("9990-01-01")) == Chronon.max()
+        far_past = NOW - Span.of(days=365 * 9000)
+        assert far_past.ground(C("0005-01-01")) == Chronon.min()
+
+    def test_ground_with_seconds(self):
+        assert NOW.ground(0) == C("1970-01-01")
+
+
+class TestArithmetic:
+    def test_instant_plus_span_stays_relative(self):
+        shifted = (NOW - S("7")) + S("2")
+        assert shifted.is_now_relative
+        assert shifted.offset == S("-5")
+
+    def test_determinate_plus_span(self):
+        instant = Instant.at(C("1999-09-01")) + S("1")
+        assert instant.is_determinate
+        assert instant.chronon == C("1999-09-02")
+
+    def test_instant_minus_instant_is_span(self):
+        with use_now("1999-09-01"):
+            assert (NOW - (NOW - S("7"))) == S("7")
+
+    def test_instant_minus_chronon(self):
+        with use_now("1999-09-08"):
+            assert NOW - C("1999-09-01") == S("7")
+
+    def test_chronon_minus_instant(self):
+        with use_now("1999-09-01"):
+            assert C("1999-09-08") - NOW == S("7")
+
+    def test_instant_plus_chronon_is_type_error(self):
+        with pytest.raises(TipTypeError):
+            NOW + C("1999-09-01")
+
+
+class TestTemporalComparisons:
+    def test_comparison_changes_as_time_advances(self):
+        """The paper: comparing a Chronon to a NOW-relative Instant may
+        change as time advances."""
+        deadline = C("1999-09-15")
+        with use_now("1999-09-01"):
+            assert NOW < deadline
+        with use_now("1999-10-01"):
+            assert NOW > deadline
+
+    def test_equality_at_the_crossover(self):
+        with use_now("1999-09-15"):
+            assert NOW == C("1999-09-15")
+
+    def test_relative_vs_relative_is_time_invariant(self):
+        for today in ("1999-01-01", "2010-06-15"):
+            with use_now(today):
+                assert NOW - S("7") < NOW
+                assert NOW - S("7") <= NOW - S("7")
+
+    def test_le_ge(self):
+        with use_now("1999-09-01"):
+            assert NOW >= C("1999-09-01")
+            assert NOW <= C("1999-09-01")
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(NOW)
+
+    def test_identical_is_structural(self):
+        assert (NOW - S("1")).identical(NOW - S("1"))
+        assert not (NOW - S("1")).identical(NOW)
+        with use_now("1999-09-02"):
+            # temporally equal but structurally different:
+            assert (NOW - S("1")) == C("1999-09-01")
+            assert not (NOW - S("1")).identical(Instant.at(C("1999-09-01")))
+
+    def test_key_distinguishes_flavors(self):
+        assert Instant.at(C("1970-01-01")).key() == ("abs", 0)
+        assert NOW.key() == ("now", 0)
+
+    def test_incomparable_types(self):
+        assert NOW != "NOW"
+        with pytest.raises(TypeError):
+            NOW < 5
+
+
+class TestTextRepresentation:
+    def test_now_renders_bare(self):
+        assert str(NOW) == "NOW"
+
+    def test_negative_offset(self):
+        assert str(NOW - S("1")) == "NOW-1"
+
+    def test_positive_offset_with_time(self):
+        assert str(NOW + Span.of(hours=6)) == "NOW+0 06:00:00"
+
+    def test_determinate_renders_as_chronon(self):
+        assert str(Instant.at(C("1999-09-01"))) == "1999-09-01"
+
+    def test_parse_case_insensitive_now(self):
+        assert Instant.parse("now").identical(NOW)
+        assert Instant.parse("NOW - 7").identical(NOW - S("7"))
+
+    def test_parse_rejects_signed_offset_magnitude(self):
+        with pytest.raises(TipParseError):
+            Instant.parse("NOW--7")
+
+    @given(instants())
+    def test_parse_format_round_trip(self, instant):
+        assert Instant.parse(str(instant)).identical(instant)

@@ -1,0 +1,166 @@
+"""Full-stack integration scenarios across all subsystems.
+
+Each test tells one story that crosses package boundaries — workload ->
+blade -> client -> browser / warehouse / layered — the way a downstream
+user would actually combine them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.browser import TimeWindow, TipBrowser
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.span import Span
+from repro.layered import LayeredEngine
+from repro.warehouse import ChangeTracker, MaterializedSelection, SelectionView
+from repro.warehouse.maintenance import Change, apply_changes
+from repro.workload import MedicalConfig, generate_prescriptions, load_layered, load_tip
+from tests.conftest import C, E, sec
+
+
+class TestSourceToBrowser:
+    """Change stream -> temporal relation -> TIP table -> Browser."""
+
+    def test_tracked_history_is_browsable(self):
+        tracker = ChangeTracker("patient", ("drug",))
+        tracker.insert("showbiz", ("Diabeta",), sec("1999-10-01"))
+        tracker.insert("info", ("Prozac",), sec("1999-10-15"))
+        tracker.update("info", ("Zantac",), sec("1999-11-10"))
+        tracker.delete("showbiz", sec("1999-12-01"))
+
+        conn = repro.connect(now="2000-01-01")
+        conn.execute("CREATE TABLE History (patient TEXT, drug TEXT, valid ELEMENT)")
+        conn.executemany(
+            "INSERT INTO History VALUES (?, ?, ?)",
+            [(row[0], row[1], element) for row, element in tracker.as_temporal_rows()],
+        )
+
+        browser = TipBrowser(conn)
+        browser.load("SELECT patient, drug, valid FROM History")
+        browser.set_window(TimeWindow(C("1999-10-20"), Span.of(days=10)))
+        highlighted = {
+            browser.result.rows[i][:2] for i in browser.valid_row_indices()
+        }
+        assert highlighted == {("showbiz", "Diabeta"), ("info", "Prozac")}
+
+        # What-if: after the update, Prozac is replaced by Zantac.
+        browser.set_window(TimeWindow(C("1999-11-15"), Span.of(days=10)))
+        highlighted = {
+            browser.result.rows[i][:2] for i in browser.valid_row_indices()
+        }
+        assert highlighted == {("showbiz", "Diabeta"), ("info", "Zantac")}
+        conn.close()
+
+
+class TestThreeWayAgreement:
+    """Blade SQL, pure-Python algebra, and layered SQL must agree."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return generate_prescriptions(
+            MedicalConfig(n_prescriptions=80, n_patients=8, seed=23)
+        )
+
+    def test_coalesced_length_three_ways(self, workload):
+        now = C("2000-01-01")
+        # 1. Pure Python.
+        from repro.core.aggregates import group_union
+
+        by_patient: dict = {}
+        for row in workload:
+            by_patient.setdefault(row.patient, []).append(row.valid)
+        python_result = {
+            patient: group_union(elements, now=now).length(0).seconds
+            for patient, elements in by_patient.items()
+        }
+        # 2. Blade SQL.
+        conn = repro.connect(now="2000-01-01")
+        load_tip(conn, workload)
+        sql_result = dict(conn.query(
+            "SELECT patient, length_seconds(group_union(valid)) "
+            "FROM Prescription GROUP BY patient"
+        ))
+        # 3. Layered SQL.
+        layered = LayeredEngine(now="2000-01-01")
+        load_layered(layered, workload)
+        layered_result = dict(layered.total_length("Prescription", ["patient"]))
+
+        assert python_result == sql_result == layered_result
+        conn.close()
+        layered.close()
+
+
+class TestRoundTripPersistence:
+    def test_database_file_round_trip(self, tmp_path):
+        """TIP values written to a database file by one connection are
+        readable (with NOW still symbolic) by a fresh connection."""
+        path = str(tmp_path / "tip.db")
+        with repro.connect(path, now="1999-09-01") as conn:
+            conn.execute("CREATE TABLE t (v ELEMENT)")
+            conn.execute("INSERT INTO t VALUES (element('{[1999-01-01, NOW]}'))")
+
+        with repro.connect(path, now="2005-01-01") as conn:
+            (value,) = conn.query_one("SELECT v FROM t")
+            assert str(value) == "{[1999-01-01, NOW]}"  # stored symbolically
+            (grounded,) = conn.query_one("SELECT tip_text(ground(v)) FROM t")
+            assert grounded == "{[1999-01-01, 2005-01-01]}"
+
+
+class TestWarehouseOverBladeData:
+    def test_view_maintenance_tracks_sql_inserts(self):
+        """Feed deltas derived from SQL inserts into a materialized view."""
+        conn = repro.connect(now="2000-01-01")
+        conn.execute("CREATE TABLE Prescription (patient TEXT, drug TEXT, valid ELEMENT)")
+        from repro.warehouse import TemporalRelation
+
+        base = TemporalRelation(("patient", "drug"))
+        view = SelectionView(lambda row: row[1] == "Diabeta")
+        materialized = MaterializedSelection(view, base)
+
+        inserts = [
+            ("showbiz", "Diabeta", "{[1999-10-01, 1999-12-31]}"),
+            ("info", "Prozac", "{[1999-01-01, 1999-06-30]}"),
+            ("data", "Diabeta", "{[1999-03-01, 1999-04-01]}"),
+        ]
+        for patient, drug, element_text in inserts:
+            conn.execute(
+                "INSERT INTO Prescription VALUES (?, ?, element(?))",
+                (patient, drug, element_text),
+            )
+            element = Element.parse(element_text)
+            delta = [Change("+", (patient, drug), tuple(element.ground_pairs(0)))]
+            materialized.apply(delta)
+            apply_changes(base, delta)
+
+        assert len(materialized.contents) == 2
+        assert materialized.contents.same_contents(view.evaluate(base))
+        # And the view agrees with a SQL filter over the blade table.
+        sql_count = conn.query_one(
+            "SELECT COUNT(*) FROM Prescription WHERE drug = 'Diabeta'"
+        )[0]
+        assert sql_count == len(materialized.contents)
+        conn.close()
+
+
+class TestPublicApiSurface:
+    def test_top_level_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_every_public_module_documented(self):
+        import importlib
+        import pkgutil
+
+        import repro as package
+
+        for info in pkgutil.walk_packages(package.__path__, prefix="repro."):
+            if info.name == "repro.__main__":
+                continue  # importing it is reserved for `python -m repro`
+            module = importlib.import_module(info.name)
+            assert module.__doc__, f"{info.name} lacks a module docstring"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"

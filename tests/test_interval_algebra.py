@@ -1,0 +1,190 @@
+"""Unit and property tests for the linear-time interval algebra kernel.
+
+The property tests check every operation against a brute-force model:
+a pair list interpreted as an explicit set of integer chronons.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import interval_algebra as ia
+from repro.errors import TipValueError
+from tests.strategies import brute_set, canonical_pairs, pairs_lists, tiny_seconds
+
+
+class TestNormalize:
+    def test_empty(self):
+        assert ia.normalize([]) == []
+
+    def test_sorts(self):
+        assert ia.normalize([(10, 12), (1, 3)]) == [(1, 3), (10, 12)]
+
+    def test_merges_overlap(self):
+        assert ia.normalize([(1, 5), (3, 8)]) == [(1, 8)]
+
+    def test_merges_adjacent(self):
+        assert ia.normalize([(1, 5), (6, 8)]) == [(1, 8)]
+
+    def test_keeps_gap_of_one(self):
+        assert ia.normalize([(1, 5), (7, 8)]) == [(1, 5), (7, 8)]
+
+    def test_contained_period_absorbed(self):
+        assert ia.normalize([(1, 10), (3, 4)]) == [(1, 10)]
+
+    def test_rejects_inverted(self):
+        with pytest.raises(TipValueError):
+            ia.normalize([(5, 1)])
+
+    @given(pairs_lists())
+    def test_output_is_canonical(self, pairs):
+        assert ia.is_canonical(ia.normalize(pairs))
+
+    @given(pairs_lists())
+    def test_preserves_chronon_set(self, pairs):
+        assert brute_set(ia.normalize(pairs)) == brute_set(pairs)
+
+    @given(pairs_lists())
+    def test_idempotent(self, pairs):
+        once = ia.normalize(pairs)
+        assert ia.normalize(once) == once
+
+
+class TestIsCanonical:
+    def test_examples(self):
+        assert ia.is_canonical([])
+        assert ia.is_canonical([(1, 5), (7, 9)])
+        assert not ia.is_canonical([(1, 5), (6, 9)])  # adjacent
+        assert not ia.is_canonical([(7, 9), (1, 5)])  # unsorted
+        assert not ia.is_canonical([(5, 1)])  # inverted
+
+
+class TestSetOperations:
+    @given(canonical_pairs(), canonical_pairs())
+    def test_union_matches_brute_force(self, a, b):
+        assert brute_set(ia.union(a, b)) == brute_set(a) | brute_set(b)
+
+    @given(canonical_pairs(), canonical_pairs())
+    def test_intersect_matches_brute_force(self, a, b):
+        assert brute_set(ia.intersect(a, b)) == brute_set(a) & brute_set(b)
+
+    @given(canonical_pairs(), canonical_pairs())
+    def test_difference_matches_brute_force(self, a, b):
+        assert brute_set(ia.difference(a, b)) == brute_set(a) - brute_set(b)
+
+    @given(canonical_pairs(), canonical_pairs())
+    def test_results_are_canonical(self, a, b):
+        assert ia.is_canonical(ia.union(a, b))
+        assert ia.is_canonical(ia.intersect(a, b))
+        assert ia.is_canonical(ia.difference(a, b))
+
+    @given(canonical_pairs())
+    def test_union_identity_and_idempotence(self, a):
+        assert ia.union(a, []) == a
+        assert ia.union([], a) == a
+        assert ia.union(a, a) == a
+
+    @given(canonical_pairs())
+    def test_intersect_with_self_and_empty(self, a):
+        assert ia.intersect(a, a) == a
+        assert ia.intersect(a, []) == []
+
+    @given(canonical_pairs())
+    def test_difference_with_self_is_empty(self, a):
+        assert ia.difference(a, a) == []
+        assert ia.difference(a, []) == a
+
+    @given(canonical_pairs(), canonical_pairs(), canonical_pairs())
+    def test_distributivity(self, a, b, c):
+        left = ia.intersect(a, ia.union(b, c))
+        right = ia.union(ia.intersect(a, b), ia.intersect(a, c))
+        assert left == right
+
+    def test_union_adjacent_coalesces(self):
+        assert ia.union([(1, 5)], [(6, 9)]) == [(1, 9)]
+
+    def test_difference_splits_period(self):
+        assert ia.difference([(1, 10)], [(4, 6)]) == [(1, 3), (7, 10)]
+
+
+class TestComplement:
+    @given(canonical_pairs())
+    def test_matches_brute_force(self, a):
+        lo, hi = 0, 500
+        expected = set(range(lo, hi + 1)) - brute_set(a)
+        assert brute_set(ia.complement(a, lo, hi)) == expected
+
+    @given(canonical_pairs())
+    def test_double_complement_is_restriction(self, a):
+        lo, hi = 0, 500
+        twice = ia.complement(ia.complement(a, lo, hi), lo, hi)
+        assert twice == ia.restrict(a, lo, hi)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(TipValueError):
+            ia.complement([], 5, 1)
+
+
+class TestPredicates:
+    @given(canonical_pairs(), canonical_pairs())
+    def test_overlaps_matches_brute_force(self, a, b):
+        assert ia.overlaps(a, b) == bool(brute_set(a) & brute_set(b))
+
+    @given(canonical_pairs(), canonical_pairs())
+    def test_contains_matches_brute_force(self, a, b):
+        assert ia.contains(a, b) == (brute_set(b) <= brute_set(a))
+
+    @given(canonical_pairs(), tiny_seconds)
+    def test_contains_point_matches_brute_force(self, a, t):
+        assert ia.contains_point(a, t) == (t in brute_set(a))
+
+    @given(canonical_pairs())
+    def test_contains_is_reflexive(self, a):
+        assert ia.contains(a, a)
+
+
+class TestRestrictShiftLength:
+    @given(canonical_pairs(), tiny_seconds, tiny_seconds)
+    def test_restrict_matches_brute_force(self, a, x, y):
+        lo, hi = min(x, y), max(x, y)
+        expected = {t for t in brute_set(a) if lo <= t <= hi}
+        assert brute_set(ia.restrict(a, lo, hi)) == expected
+
+    def test_restrict_rejects_inverted(self):
+        with pytest.raises(TipValueError):
+            ia.restrict([], 5, 1)
+
+    @given(canonical_pairs(), st.integers(-100, 100))
+    def test_shift_translates(self, a, delta):
+        shifted = ia.shift(a, delta)
+        assert brute_set(shifted) == {t + delta for t in brute_set(a)}
+        assert ia.is_canonical(shifted)
+
+    @given(canonical_pairs())
+    def test_total_length_counts_chronons(self, a):
+        assert ia.total_length(a) == len(brute_set(a))
+
+    @given(canonical_pairs(), tiny_seconds)
+    def test_count_chronons_upto(self, a, t):
+        assert ia.count_chronons_upto(a, t) == len({x for x in brute_set(a) if x <= t})
+
+
+class TestNaiveBaselines:
+    """The quadratic baselines (E7 ablation) must agree with the sweeps."""
+
+    @given(pairs_lists(max_size=8), pairs_lists(max_size=8))
+    def test_union_naive_agrees(self, a, b):
+        ca, cb = ia.normalize(a), ia.normalize(b)
+        assert ia.union_naive(a, b) == ia.union(ca, cb)
+
+    @given(pairs_lists(max_size=8), pairs_lists(max_size=8))
+    def test_intersect_naive_agrees(self, a, b):
+        ca, cb = ia.normalize(a), ia.normalize(b)
+        assert ia.intersect_naive(a, b) == ia.intersect(ca, cb)
+
+    @given(pairs_lists(max_size=8), pairs_lists(max_size=8))
+    def test_difference_naive_agrees(self, a, b):
+        ca, cb = ia.normalize(a), ia.normalize(b)
+        assert ia.difference_naive(ia.normalize(a), ia.normalize(b)) == ia.difference(ca, cb)

@@ -1,0 +1,193 @@
+"""Unit and property tests for the interval tree index structure."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TipValueError
+from repro.index import IntervalTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = IntervalTree()
+        assert len(tree) == 0
+        assert not tree
+        assert tree.search_overlap(0, 100) == []
+        assert not tree.any_overlap(0, 100)
+
+    def test_insert_and_stab(self):
+        tree = IntervalTree()
+        tree.insert(10, 20, "a")
+        tree.insert(15, 30, "b")
+        tree.insert(40, 50, "c")
+        assert sorted(tree.stab(18)) == ["a", "b"]
+        assert tree.stab(35) == []
+        assert tree.stab(40) == ["c"]
+
+    def test_closed_endpoints(self):
+        tree = IntervalTree()
+        tree.insert(10, 20, "a")
+        assert tree.stab(10) == ["a"]
+        assert tree.stab(20) == ["a"]
+        assert tree.stab(9) == []
+        assert tree.stab(21) == []
+
+    def test_search_overlap(self):
+        tree = IntervalTree()
+        tree.insert(0, 5, 1)
+        tree.insert(10, 15, 2)
+        tree.insert(20, 25, 3)
+        assert sorted(tree.search_overlap(4, 11)) == [1, 2]
+        assert sorted(tree.search_overlap(0, 100)) == [1, 2, 3]
+        assert tree.search_overlap(6, 9) == []
+
+    def test_same_interval_many_values(self):
+        tree = IntervalTree()
+        for value in ("x", "y", "z"):
+            tree.insert(0, 10, value)
+        assert sorted(tree.stab(5)) == ["x", "y", "z"]
+
+    def test_duplicate_entry_rejected(self):
+        tree = IntervalTree()
+        tree.insert(0, 10, "x")
+        with pytest.raises(TipValueError):
+            tree.insert(0, 10, "x")
+
+    def test_inverted_interval_rejected(self):
+        tree = IntervalTree()
+        with pytest.raises(TipValueError):
+            tree.insert(10, 0, "x")
+        with pytest.raises(TipValueError):
+            tree.search_overlap(10, 0)
+        with pytest.raises(TipValueError):
+            tree.any_overlap(10, 0)
+
+    def test_remove(self):
+        tree = IntervalTree()
+        tree.insert(0, 10, "x")
+        tree.insert(0, 10, "y")
+        assert tree.remove(0, 10, "x")
+        assert tree.stab(5) == ["y"]
+        assert not tree.remove(0, 10, "x")  # already gone
+        assert len(tree) == 1
+
+    def test_contains(self):
+        tree = IntervalTree()
+        tree.insert(3, 7, 42)
+        assert tree.contains(3, 7, 42)
+        assert not tree.contains(3, 7, 43)
+        assert not tree.contains(3, 8, 42)
+
+    def test_items_in_key_order(self):
+        tree = IntervalTree()
+        tree.insert(20, 30, "b")
+        tree.insert(0, 5, "a")
+        tree.insert(10, 12, "c")
+        assert [item[2] for item in tree.items()] == ["a", "c", "b"]
+
+    def test_any_overlap(self):
+        tree = IntervalTree()
+        tree.insert(100, 200, "x")
+        assert tree.any_overlap(150, 160)
+        assert tree.any_overlap(200, 300)
+        assert not tree.any_overlap(0, 99)
+        assert not tree.any_overlap(201, 400)
+
+
+class BruteIndex:
+    """Reference model: a plain list."""
+
+    def __init__(self):
+        self.entries = []
+
+    def insert(self, start, end, value):
+        self.entries.append((start, end, value))
+
+    def remove(self, start, end, value):
+        try:
+            self.entries.remove((start, end, value))
+            return True
+        except ValueError:
+            return False
+
+    def search(self, lo, hi):
+        return sorted(
+            v for s, e, v in self.entries if s <= hi and e >= lo
+        )
+
+
+@st.composite
+def operations(draw):
+    ops = []
+    n = draw(st.integers(1, 40))
+    for i in range(n):
+        kind = draw(st.sampled_from(["insert", "insert", "insert", "remove", "search"]))
+        a = draw(st.integers(0, 200))
+        b = draw(st.integers(0, 200))
+        lo, hi = min(a, b), max(a, b)
+        value = draw(st.integers(0, 5))
+        ops.append((kind, lo, hi, value))
+    return ops
+
+
+class TestAgainstBruteForce:
+    @given(operations())
+    def test_mixed_operations_match_model(self, ops):
+        tree = IntervalTree()
+        model = BruteIndex()
+        for kind, lo, hi, value in ops:
+            if kind == "insert":
+                if (lo, hi, value) not in model.entries:
+                    tree.insert(lo, hi, value)
+                    model.insert(lo, hi, value)
+            elif kind == "remove":
+                assert tree.remove(lo, hi, value) == model.remove(lo, hi, value)
+            else:
+                assert sorted(tree.search_overlap(lo, hi)) == model.search(lo, hi)
+                assert tree.any_overlap(lo, hi) == bool(model.search(lo, hi))
+        assert len(tree) == len(model.entries)
+        assert sorted(tree.items()) == sorted(model.entries)
+
+    @given(st.lists(st.tuples(st.integers(0, 500), st.integers(0, 100)), max_size=60))
+    def test_stab_matches_model(self, raw):
+        tree = IntervalTree()
+        entries = []
+        for i, (start, length) in enumerate(raw):
+            tree.insert(start, start + length, i)
+            entries.append((start, start + length, i))
+        for point in (0, 50, 250, 600):
+            expected = sorted(i for s, e, i in entries if s <= point <= e)
+            assert sorted(tree.stab(point)) == expected
+
+
+class TestBalance:
+    def test_sorted_insertion_stays_balanced(self):
+        """Sequential (worst-case BST) insertion must not degenerate."""
+        tree = IntervalTree()
+        for i in range(4096):
+            tree.insert(i, i + 1, i)
+        assert len(tree) == 4096
+        assert tree.height_is_logarithmic()
+
+    def test_large_random_workload(self):
+        rng = random.Random(3)
+        tree = IntervalTree()
+        live = set()
+        for i in range(3000):
+            start = rng.randrange(0, 100_000)
+            end = start + rng.randrange(0, 1000)
+            tree.insert(start, end, i)
+            live.add((start, end, i))
+        for entry in rng.sample(sorted(live), 1500):
+            assert tree.remove(*entry)
+            live.remove(entry)
+        assert len(tree) == len(live)
+        assert tree.height_is_logarithmic()
+        lo, hi = 40_000, 41_000
+        expected = sorted(v for s, e, v in live if s <= hi and e >= lo)
+        assert sorted(tree.search_overlap(lo, hi)) == expected

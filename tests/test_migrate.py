@@ -1,0 +1,113 @@
+"""Tests for migration between the layered and integrated architectures."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.errors import TranslationError
+from repro.layered import LayeredEngine
+from repro.layered.migrate import flatten_from_tip, lift_to_tip
+from repro.workload import MedicalConfig, generate_prescriptions, load_layered, load_tip
+from tests.conftest import C, E
+
+NOW_TEXT = "2000-01-01"
+
+
+@pytest.fixture
+def engine():
+    engine = LayeredEngine(now=NOW_TEXT)
+    engine.create_table("presc", [("patient", "TEXT"), ("dosage", "INTEGER")])
+    engine.insert("presc", ("alice", 1), E("{[1999-01-01, 1999-03-01]}"))
+    engine.insert("presc", ("bob", 2), E("{[1999-02-01, NOW]}"))
+    return engine
+
+
+class TestLiftToTip:
+    def test_rows_and_elements_survive(self, engine):
+        conn = repro.connect(now=NOW_TEXT)
+        assert lift_to_tip(engine, "presc", conn) == 2
+        rows = {row[0]: row for row in conn.query("SELECT patient, dosage, valid FROM presc")}
+        assert rows["alice"][1] == 1
+        assert str(rows["alice"][2]) == "{[1999-01-01, 1999-03-01]}"
+        conn.close()
+
+    def test_null_ends_become_now_endpoints(self, engine):
+        """Lifting *recovers* open semantics the flat schema only
+        approximated: NULL -> a genuine NOW endpoint."""
+        conn = repro.connect(now=NOW_TEXT)
+        lift_to_tip(engine, "presc", conn)
+        (valid,) = conn.query_one("SELECT valid FROM presc WHERE patient = 'bob'")
+        assert not valid.is_determinate
+        assert str(valid) == "{[1999-02-01, NOW]}"
+        conn.close()
+
+    def test_grounding_option(self, engine):
+        conn = repro.connect(now=NOW_TEXT)
+        lift_to_tip(engine, "presc", conn, target_table="grounded", keep_now_open=False)
+        (valid,) = conn.query_one("SELECT valid FROM grounded WHERE patient = 'bob'")
+        assert valid.is_determinate
+        assert str(valid) == "{[1999-02-01, 2000-01-01]}"
+        conn.close()
+
+    def test_queries_agree_after_lift(self, engine):
+        conn = repro.connect(now=NOW_TEXT)
+        lift_to_tip(engine, "presc", conn)
+        integrated = dict(conn.query(
+            "SELECT patient, length_seconds(group_union(valid)) FROM presc GROUP BY patient"
+        ))
+        layered = dict(engine.total_length("presc", ["patient"]))
+        assert integrated == layered
+        conn.close()
+
+
+class TestFlattenFromTip:
+    def test_round_trip_through_both_architectures(self):
+        rows = generate_prescriptions(
+            MedicalConfig(n_prescriptions=40, n_patients=8, seed=77, now_fraction=0.2)
+        )
+        conn = repro.connect(now=NOW_TEXT)
+        load_tip(conn, rows)
+        engine = LayeredEngine(now=NOW_TEXT)
+        assert flatten_from_tip(conn, "Prescription", engine) == 40
+
+        integrated = dict(conn.query(
+            "SELECT patient, length_seconds(group_union(valid)) "
+            "FROM Prescription GROUP BY patient"
+        ))
+        layered = dict(engine.total_length("Prescription", ["patient"]))
+        assert integrated == layered
+        conn.close()
+        engine.close()
+
+    def test_inexpressible_timestamps_refused(self):
+        conn = repro.connect(now=NOW_TEXT)
+        conn.execute("CREATE TABLE t (name TEXT, valid ELEMENT)")
+        conn.execute("INSERT INTO t VALUES ('x', element('{[NOW-7, NOW]}'))")
+        engine = LayeredEngine(now=NOW_TEXT)
+        with pytest.raises(TranslationError):
+            flatten_from_tip(conn, "t", engine)
+        conn.close()
+
+    def test_unknown_table_or_column(self):
+        conn = repro.connect(now=NOW_TEXT)
+        engine = LayeredEngine(now=NOW_TEXT)
+        with pytest.raises(TranslationError):
+            flatten_from_tip(conn, "missing", engine)
+        conn.execute("CREATE TABLE plain (x INTEGER)")
+        with pytest.raises(TranslationError):
+            flatten_from_tip(conn, "plain", engine)
+        conn.close()
+
+    def test_lift_then_flatten_is_identity_on_flat_data(self, engine):
+        conn = repro.connect(now=NOW_TEXT)
+        lift_to_tip(engine, "presc", conn)
+        back = LayeredEngine(now=NOW_TEXT)
+        flatten_from_tip(conn, "presc", back)
+        assert dict(back.total_length("presc", ["patient"])) == dict(
+            engine.total_length("presc", ["patient"])
+        )
+        conn.close()
+        back.close()

@@ -1,0 +1,53 @@
+"""Unit tests for the ambient transaction-time (NOW) context."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import granularity
+from repro.core.chronon import Chronon
+from repro.core.nowctx import current_now, current_now_seconds, now_is_bound, use_now
+from repro.errors import TipValueError
+from tests.conftest import C
+
+
+class TestBinding:
+    def test_unbound_falls_back_to_wall_clock(self):
+        assert not now_is_bound()
+        wall = granularity.wall_clock_seconds()
+        assert abs(current_now_seconds() - wall) < 5
+
+    def test_bind_with_string(self):
+        with use_now("1999-09-01"):
+            assert now_is_bound()
+            assert current_now() == C("1999-09-01")
+        assert not now_is_bound()
+
+    def test_bind_with_chronon(self):
+        with use_now(C("2000-01-01")):
+            assert current_now() == C("2000-01-01")
+
+    def test_bind_with_seconds(self):
+        with use_now(0):
+            assert current_now() == C("1970-01-01")
+
+    def test_nesting_innermost_wins(self):
+        with use_now("1999-01-01"):
+            with use_now("2000-01-01"):
+                assert current_now() == C("2000-01-01")
+            assert current_now() == C("1999-01-01")
+
+    def test_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_now("1999-01-01"):
+                raise RuntimeError("boom")
+        assert not now_is_bound()
+
+    def test_invalid_seconds_rejected(self):
+        with pytest.raises(TipValueError):
+            with use_now(granularity.MAX_SECONDS + 1):
+                pass  # pragma: no cover
+
+    def test_current_now_returns_chronon(self):
+        with use_now("1999-09-01"):
+            assert isinstance(current_now(), Chronon)

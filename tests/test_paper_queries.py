@@ -1,0 +1,158 @@
+"""End-to-end reproduction of every SQL scenario in the paper (Section 2).
+
+Each test carries the paper's original query in its docstring and runs
+our equivalent against a TIP-enabled engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.span import Span
+from tests.conftest import C, E, S
+
+
+class TestSchemaAndInsert:
+    def test_create_table_with_tip_types(self, demo_prescriptions):
+        """CREATE TABLE Prescription (doctor CHAR(20), ..., patientdob
+        Chronon, ..., frequency Span, valid Element)."""
+        conn = demo_prescriptions
+        row = conn.query_one(
+            "SELECT patientdob, frequency, valid FROM Prescription WHERE drug = 'Diabeta'"
+        )
+        assert isinstance(row[0], Chronon)
+        assert isinstance(row[1], Span)
+        assert isinstance(row[2], Element)
+
+    def test_paper_insert_with_string_literals(self, conn):
+        """INSERT INTO Prescription VALUES ('Dr.Pepper', 'Mr.Showbiz',
+        '1975-03-26', 'Diabeta', 1, '0 08:00:00', '{[1999-10-01, NOW]}')
+
+        — string constants convert via implicit casts."""
+        conn.execute(
+            "CREATE TABLE Prescription (doctor TEXT, patient TEXT, patientdob CHRONON, "
+            "drug TEXT, dosage INTEGER, frequency SPAN, valid ELEMENT)"
+        )
+        conn.execute(
+            "INSERT INTO Prescription VALUES ('Dr.Pepper', 'Mr.Showbiz', "
+            "chronon('1975-03-26'), 'Diabeta', 1, span('0 08:00:00'), "
+            "element('{[1999-10-01, NOW]}'))"
+        )
+        row = conn.query_one("SELECT patientdob, frequency, tip_text(valid) FROM Prescription")
+        assert row[0] == C("1975-03-26")
+        assert row[1] == Span.of(hours=8)
+        assert row[2] == "{[1999-10-01, NOW]}"
+
+
+class TestInfantTylenolQuery:
+    """SELECT patient FROM Prescription WHERE drug = 'Tylenol' AND
+    start(valid) - patientdob < '7 00:00:00'::Span * :w"""
+
+    QUERY = (
+        "SELECT patient FROM Prescription WHERE drug = 'Tylenol' "
+        "AND tlt(tsub(start(valid), patientdob), tmul(span('7'), ?))"
+    )
+
+    def test_finds_infants(self, demo_prescriptions):
+        # Ms.Info born 1999-07-10, Tylenol starts 1999-08-01 -> 22 days old.
+        rows = demo_prescriptions.query(self.QUERY, (4,))  # under 4 weeks
+        assert [r[0] for r in rows] == ["Ms.Info"]
+
+    def test_parameter_narrows(self, demo_prescriptions):
+        rows = demo_prescriptions.query(self.QUERY, (3,))  # under 3 weeks
+        assert rows == []
+
+    def test_parameter_widens(self, demo_prescriptions):
+        rows = demo_prescriptions.query(self.QUERY, (1000,))
+        assert [r[0] for r in rows] == ["Ms.Info"]
+
+
+class TestTemporalSelfJoin:
+    """SELECT p1.*, p2.*, intersect(p1.valid, p2.valid)
+    FROM Prescription p1, Prescription p2
+    WHERE p1.drug = 'Diabeta' AND p2.drug = 'Aspirin'
+      AND overlaps(p1.valid, p2.valid)"""
+
+    QUERY = (
+        "SELECT p1.patient, p2.patient, tintersect(p1.valid, p2.valid) "
+        "FROM Prescription p1, Prescription p2 "
+        "WHERE p1.drug = 'Diabeta' AND p2.drug = 'Aspirin' "
+        "AND overlaps(p1.valid, p2.valid)"
+    )
+
+    def test_no_overlap_before_diabeta_starts(self, demo_prescriptions):
+        """At NOW=1999-09-01 the Diabeta element {[1999-10-01, NOW]} is
+        empty, so nothing overlaps — a NOW-sensitive answer."""
+        assert demo_prescriptions.query(self.QUERY) == []
+
+    def test_overlap_appears_as_time_advances(self, demo_prescriptions):
+        conn = demo_prescriptions
+        conn.set_now("1999-12-01")
+        rows = conn.query(self.QUERY)
+        assert len(rows) == 1
+        patient1, patient2, shared = rows[0]
+        assert patient1 == patient2 == "Mr.Showbiz"
+        assert str(shared) == "{[1999-11-01, 1999-12-01]}"
+
+    def test_overlap_caps_at_aspirin_end(self, demo_prescriptions):
+        conn = demo_prescriptions
+        conn.set_now("2000-06-01")
+        rows = conn.query(self.QUERY)
+        assert str(rows[0][2]) == "{[1999-11-01, 1999-12-15]}"
+
+
+class TestCoalescingAggregate:
+    """SELECT patient, length(group_union(valid)) FROM Prescription
+    GROUP BY patient"""
+
+    def test_group_union_length(self, demo_prescriptions):
+        conn = demo_prescriptions
+        rows = dict(
+            conn.query(
+                "SELECT patient, length_seconds(group_union(valid)) "
+                "FROM Prescription GROUP BY patient"
+            )
+        )
+        # Ms.Info: Tylenol [08-01, 08-20] inside Prozac's second period
+        # [07-01, 10-31]; union = [01-01, 04-30] + [07-01, 10-31].
+        expected_info = (
+            (C("1999-04-30") - C("1999-01-01")).seconds + 1
+            + (C("1999-10-31") - C("1999-07-01")).seconds + 1
+        )
+        assert rows["Ms.Info"] == expected_info
+
+    def test_sum_length_overcounts(self, demo_prescriptions):
+        """The paper's warning: SUM(length(valid)) counts overlapped
+        periods multiple times, so it must exceed the coalesced total."""
+        conn = demo_prescriptions
+        coalesced = dict(
+            conn.query(
+                "SELECT patient, length_seconds(group_union(valid)) "
+                "FROM Prescription GROUP BY patient"
+            )
+        )
+        summed = dict(
+            conn.query(
+                "SELECT patient, SUM(length_seconds(valid)) "
+                "FROM Prescription GROUP BY patient"
+            )
+        )
+        assert summed["Ms.Info"] > coalesced["Ms.Info"]
+        for patient, total in coalesced.items():
+            assert summed[patient] >= total
+
+
+class TestNowSensitivity:
+    def test_same_data_different_answers(self, demo_prescriptions):
+        """'a temporal query may return different results when asked at
+        different times, even if the underlying data remains unchanged'."""
+        conn = demo_prescriptions
+        query = "SELECT length_seconds(ground(valid)) FROM Prescription WHERE drug = 'Diabeta'"
+        conn.set_now("1999-10-15")
+        early = conn.query_one(query)[0]
+        conn.set_now("1999-12-15")
+        late = conn.query_one(query)[0]
+        assert late > early
+        assert late - early == (C("1999-12-15") - C("1999-10-15")).seconds

@@ -1,0 +1,134 @@
+"""Tests for the literal syntax layer (parser + formatter)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import parser
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.instant import NOW, Instant
+from repro.core.period import Period
+from repro.core.span import Span
+from repro.errors import TipParseError
+from tests.conftest import C, S
+
+
+class TestChrononParsing:
+    def test_date_only(self):
+        assert parser.parse_chronon("1999-09-01") == Chronon.of(1999, 9, 1)
+
+    def test_date_and_time(self):
+        assert parser.parse_chronon("2000-01-01 00:00:00") == Chronon.of(2000, 1, 1)
+
+    def test_whitespace_tolerant(self):
+        assert parser.parse_chronon("  1999-09-01  ") == Chronon.of(1999, 9, 1)
+
+    def test_single_digit_fields(self):
+        assert parser.parse_chronon("1999-9-1 8:5:3") == Chronon.of(1999, 9, 1, 8, 5, 3)
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "1999", "1999-13-01", "1999-02-30", "1999-01-01 25:00:00",
+         "1999/01/01", "99-01-01 blah", "1999-01-01 10:00"],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(TipParseError):
+            parser.parse_chronon(bad)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TipParseError):
+            parser.parse_chronon(19990901)  # type: ignore[arg-type]
+
+
+class TestSpanParsing:
+    def test_days_only(self):
+        assert parser.parse_span("7") == Span.of(days=7)
+
+    def test_negative(self):
+        assert parser.parse_span("-7") == Span.of(days=-7)
+
+    def test_paper_half_day(self):
+        assert parser.parse_span("7 12:00:00") == Span.of(days=7, hours=12)
+
+    def test_zero_days_with_time(self):
+        assert parser.parse_span("0 08:00:00") == Span.of(hours=8)
+
+    @pytest.mark.parametrize("bad", ["", "7 24:00:00", "7 00:60:00", "seven", "7.5"])
+    def test_rejects(self, bad):
+        with pytest.raises(TipParseError):
+            parser.parse_span(bad)
+
+
+class TestInstantParsing:
+    def test_bare_now(self):
+        assert parser.parse_instant("NOW").identical(NOW)
+
+    def test_now_minus_days(self):
+        assert parser.parse_instant("NOW-1").identical(NOW - S("1"))
+
+    def test_now_plus_span_with_time(self):
+        assert parser.parse_instant("NOW+3 12:00:00").identical(
+            NOW + Span.of(days=3, hours=12)
+        )
+
+    def test_chronon_fallback(self):
+        assert parser.parse_instant("1999-09-01").identical(Instant.at(C("1999-09-01")))
+
+    def test_spaces_around_operator(self):
+        assert parser.parse_instant("NOW - 7").identical(NOW - S("7"))
+
+    @pytest.mark.parametrize("bad", ["NOWHERE", "NOW-", "NOW++1", "NOW-+1"])
+    def test_rejects(self, bad):
+        with pytest.raises(TipParseError):
+            parser.parse_instant(bad)
+
+
+class TestPeriodParsing:
+    def test_paper_examples(self):
+        assert str(parser.parse_period("[1999-01-01, NOW]")) == "[1999-01-01, NOW]"
+        assert str(parser.parse_period("[NOW-7, NOW]")) == "[NOW-7, NOW]"
+
+    def test_nested_whitespace(self):
+        period = parser.parse_period("[ 1999-01-01 ,  1999-04-30 ]")
+        assert period.identical(Period(C("1999-01-01"), C("1999-04-30")))
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["1999-01-01, NOW", "[1999-01-01]", "[a, b]", "[1999-01-01, 1999-02-01, 1999-03-01]",
+         "[1999-02-01, 1999-01-01]"],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(TipParseError):
+            parser.parse_period(bad)
+
+
+class TestElementParsing:
+    def test_empty(self):
+        assert parser.parse_element("{}").is_empty_at(0)
+        assert parser.parse_element("{   }").is_empty_at(0)
+
+    def test_paper_example(self):
+        element = parser.parse_element(
+            "{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}"
+        )
+        assert len(element) == 2
+
+    def test_commas_inside_periods_handled(self):
+        element = parser.parse_element("{[NOW-7, NOW], [1999-01-01, 1999-02-01]}")
+        assert len(element) == 2
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["[1999-01-01, NOW]", "{[1999-01-01]}", "{[1999-01-01, NOW]", "{]1999[}",
+         "{[1999-01-01, 1999-02-01],}"],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(TipParseError):
+            parser.parse_element(bad)
+
+
+class TestSplitTopLevel:
+    def test_balanced_check(self):
+        with pytest.raises(TipParseError):
+            parser._split_top_level("a]b")

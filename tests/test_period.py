@@ -1,0 +1,190 @@
+"""Unit tests for the Period datatype."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core.chronon import Chronon
+from repro.core.instant import NOW, Instant
+from repro.core.nowctx import use_now
+from repro.core.period import Period
+from repro.core.span import Span
+from repro.errors import TipEmptyPeriodError, TipParseError, TipTypeError, TipValueError
+from tests.conftest import C, S
+from tests.strategies import determinate_periods
+
+
+class TestConstruction:
+    def test_from_chronons(self):
+        period = Period(C("1999-01-01"), C("1999-04-30"))
+        assert period.is_determinate
+        assert period.start.chronon == C("1999-01-01")
+
+    def test_at_is_the_chronon_cast(self):
+        """'1999-01-01 becomes [1999-01-01, 1999-01-01]'."""
+        assert str(Period.at(C("1999-01-01"))) == "[1999-01-01, 1999-01-01]"
+
+    def test_inverted_determinate_rejected(self):
+        with pytest.raises(TipValueError):
+            Period(C("1999-02-01"), C("1999-01-01"))
+
+    def test_now_relative_endpoints_accepted(self):
+        since_1999 = Period(C("1999-01-01"), NOW)
+        assert not since_1999.is_determinate
+        past_week = Period(NOW - S("7"), NOW)
+        assert not past_week.is_determinate
+
+    def test_potentially_empty_period_constructible(self):
+        """[NOW, 1990-01-01] is legal; emptiness depends on NOW."""
+        period = Period(NOW, C("1990-01-01"))
+        assert period.is_empty_at(C("1995-06-01"))
+        assert not period.is_empty_at(C("1980-06-01"))
+
+
+class TestGrounding:
+    def test_ground_substitutes_now(self):
+        period = Period(NOW - S("7"), NOW)
+        grounded = period.ground(C("1999-09-08"))
+        assert grounded.is_determinate
+        assert str(grounded) == "[1999-09-01, 1999-09-08]"
+
+    def test_ground_uses_ambient_now(self):
+        with use_now("1999-09-08"):
+            assert Period(NOW - S("7"), NOW).ground() == Period(
+                C("1999-09-01"), C("1999-09-08")
+            )
+
+    def test_ground_empty_raises_by_default(self):
+        period = Period(NOW, C("1990-01-01"))
+        with pytest.raises(TipEmptyPeriodError):
+            period.ground(C("1999-01-01"))
+
+    def test_ground_empty_none_policy(self):
+        period = Period(NOW, C("1990-01-01"))
+        assert period.ground(C("1999-01-01"), empty="none") is None
+
+    def test_ground_pair(self):
+        assert Period(C("1970-01-01"), C("1970-01-02")).ground_pair(0) == (0, 86400)
+
+
+class TestDerivedQuantities:
+    def test_length_is_closed_closed(self):
+        """A degenerate period covers exactly one chronon."""
+        assert Period.at(C("1999-01-01")).length() == Span(1)
+
+    def test_length_of_a_day_range(self):
+        period = Period(C("1999-01-01"), C("1999-01-02"))
+        assert period.length() == Span(86401)
+
+    def test_length_of_empty_raises(self):
+        with pytest.raises(TipEmptyPeriodError):
+            Period(NOW, C("1990-01-01")).length(C("1999-01-01"))
+
+    def test_contains_chronon(self):
+        period = Period(C("1999-01-01"), C("1999-12-31"))
+        assert period.contains(C("1999-06-15"))
+        assert not period.contains(C("2000-01-01"))
+
+    def test_contains_endpoints(self):
+        period = Period(C("1999-01-01"), C("1999-12-31"))
+        assert period.contains(C("1999-01-01"))
+        assert period.contains(C("1999-12-31"))
+
+    def test_contains_period(self):
+        outer = Period(C("1999-01-01"), C("1999-12-31"))
+        assert outer.contains(Period(C("1999-03-01"), C("1999-04-01")))
+        assert not outer.contains(Period(C("1999-03-01"), C("2000-04-01")))
+
+    def test_contains_now_relative(self):
+        period = Period(C("1999-01-01"), NOW)
+        assert period.contains(C("1999-06-15"), now=C("1999-09-01"))
+        assert not period.contains(C("1999-06-15"), now=C("1999-03-01"))
+
+    def test_contains_rejects_strings(self):
+        with pytest.raises(TipTypeError):
+            Period(C("1999-01-01"), NOW).contains("1999-06-15")  # type: ignore[arg-type]
+
+    def test_overlaps(self):
+        a = Period(C("1999-01-01"), C("1999-06-30"))
+        b = Period(C("1999-06-01"), C("1999-12-31"))
+        c = Period(C("2000-01-01"), C("2000-12-31"))
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_overlaps_shared_endpoint(self):
+        a = Period(C("1999-01-01"), C("1999-06-30"))
+        b = Period(C("1999-06-30"), C("1999-12-31"))
+        assert a.overlaps(b)
+
+    def test_empty_period_overlaps_nothing(self):
+        maybe_empty = Period(NOW, C("1990-01-01"))
+        anything = Period(C("1980-01-01"), C("1999-12-31"))
+        assert not maybe_empty.overlaps(anything, now=C("1995-01-01"))
+
+    def test_intersect(self):
+        a = Period(C("1999-01-01"), C("1999-06-30"))
+        b = Period(C("1999-06-01"), C("1999-12-31"))
+        assert a.intersect(b) == Period(C("1999-06-01"), C("1999-06-30"))
+
+    def test_intersect_disjoint_is_none(self):
+        a = Period(C("1999-01-01"), C("1999-02-01"))
+        b = Period(C("1999-03-01"), C("1999-04-01"))
+        assert a.intersect(b) is None
+
+    def test_shift_preserves_now_relativity(self):
+        period = Period(C("1999-01-01"), NOW).shift(S("7"))
+        assert str(period) == "[1999-01-08, NOW+7]"
+
+    def test_shift_requires_span(self):
+        with pytest.raises(TipTypeError):
+            Period(C("1999-01-01"), NOW).shift(7)  # type: ignore[arg-type]
+
+
+class TestComparisonsAndIdentity:
+    def test_temporal_equality(self):
+        with use_now("1999-09-08"):
+            assert Period(NOW - S("7"), NOW) == Period(C("1999-09-01"), C("1999-09-08"))
+        with use_now("2000-01-08"):
+            assert Period(NOW - S("7"), NOW) != Period(C("1999-09-01"), C("1999-09-08"))
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Period(C("1999-01-01"), NOW))
+
+    def test_identical_is_structural(self):
+        a = Period(C("1999-01-01"), NOW)
+        b = Period(C("1999-01-01"), NOW)
+        assert a.identical(b)
+        with use_now("1999-09-01"):
+            c = Period(C("1999-01-01"), C("1999-09-01"))
+            assert a == c
+            assert not a.identical(c)
+
+    @given(determinate_periods())
+    def test_determinate_period_equals_itself_always(self, period):
+        assert period == period
+        assert period.identical(period)
+
+
+class TestTextRepresentation:
+    def test_paper_examples(self):
+        assert str(Period(C("1999-01-01"), NOW)) == "[1999-01-01, NOW]"
+        assert str(Period(NOW - S("7"), NOW)) == "[NOW-7, NOW]"
+
+    def test_parse_round_trip(self):
+        for text in ("[1999-01-01, NOW]", "[NOW-7, NOW]", "[1999-01-01, 1999-04-30]"):
+            assert str(Period.parse(text)) == text
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(TipParseError):
+            Period.parse("1999-01-01, NOW")
+        with pytest.raises(TipParseError):
+            Period.parse("[1999-01-01]")
+        with pytest.raises(TipParseError):
+            Period.parse("[1999-02-01, 1999-01-01]")
+
+    @given(determinate_periods())
+    def test_parse_format_round_trip(self, period):
+        assert Period.parse(str(period)).identical(period)

@@ -1,0 +1,67 @@
+"""Shape checks for the paper's Section 3 performance claim (E1/E7).
+
+Timing assertions are notoriously flaky, so the checks here use large
+size ratios and generous bounds: growing the input 16x must grow the
+runtime far less than quadratically would (256x).  The precise series
+lives in benchmarks/bench_e1_element_scaling.py.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import interval_algebra as ia
+from repro.workload import striped_element
+
+
+def _measure(fn, *args, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _operands(n: int):
+    a = striped_element(n, 0, period_seconds=3600, gap_seconds=3600).ground_pairs(0)
+    b = striped_element(n, 1800, period_seconds=3600, gap_seconds=3600).ground_pairs(0)
+    return a, b
+
+
+@pytest.mark.parametrize("op", [ia.union, ia.intersect, ia.difference])
+def test_sweep_ops_grow_subquadratically(op):
+    small = _operands(1_000)
+    large = _operands(16_000)
+    t_small = _measure(op, *small)
+    t_large = _measure(op, *large)
+    ratio = t_large / max(t_small, 1e-9)
+    # Linear predicts ~16x; quadratic predicts ~256x.  Allow generous
+    # noise headroom while still rejecting quadratic behaviour.
+    assert ratio < 80, f"{op.__name__} grew {ratio:.1f}x for a 16x input"
+
+
+def test_naive_union_is_much_slower_at_scale():
+    """The ablation's direction: at n=1000 the quadratic baseline must
+    already lose to the sweep by a wide margin."""
+    a, b = _operands(1_000)
+    t_sweep = _measure(ia.union, a, b, repeats=3)
+    t_naive = _measure(ia.union_naive, a, b, repeats=1)
+    assert t_naive > 5 * t_sweep
+
+
+def test_group_union_near_linear():
+    from repro.core.aggregates import group_union
+
+    def build(n):
+        return [
+            striped_element(n // 16, i * 500_000_000, period_seconds=3600, gap_seconds=3600)
+            for i in range(16)
+        ]
+
+    small, large = build(1_600), build(25_600)
+    t_small = _measure(group_union, small, repeats=3)
+    t_large = _measure(group_union, large, repeats=3)
+    assert t_large / max(t_small, 1e-9) < 80

@@ -1,0 +1,143 @@
+"""Unit tests for the Span datatype."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.span import Span
+from repro.errors import TipParseError, TipTypeError, TipValueError
+from tests.conftest import S
+from tests.strategies import spans
+
+
+class TestConstruction:
+    def test_of_components(self):
+        assert Span.of(days=7, hours=12) == S("7 12:00:00")
+
+    def test_of_weeks(self):
+        assert Span.of(weeks=2) == S("14")
+
+    def test_of_negative_components(self):
+        assert Span.of(days=-7) == S("-7")
+
+    def test_zero(self):
+        assert Span.ZERO.is_zero
+        assert not Span.ZERO.is_negative
+
+    def test_out_of_range_rejected(self):
+        from repro.core.granularity import MAX_SPAN_SECONDS
+
+        with pytest.raises(TipValueError):
+            Span(MAX_SPAN_SECONDS + 1)
+
+
+class TestComponents:
+    def test_positive_decomposition(self):
+        assert S("7 12:30:15").components() == (1, 7, 12, 30, 15)
+
+    def test_negative_sign_applies_to_whole(self):
+        """The paper: '-7' denotes seven days back."""
+        assert S("-7 12:00:00").components() == (-1, 7, 12, 0, 0)
+
+    def test_zero_components(self):
+        assert Span(0).components() == (1, 0, 0, 0, 0)
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert S("3") + S("4") == S("7")
+
+    def test_subtraction(self):
+        assert S("3") - S("4") == S("-1")
+
+    def test_negation_and_abs(self):
+        assert -S("7") == S("-7")
+        assert abs(S("-7")) == S("7")
+        assert +S("7") == S("7")
+
+    def test_scaling_by_int(self):
+        """The paper's query: '7 00:00:00'::Span * :w (weeks-old check)."""
+        assert S("7") * 2 == S("14")
+        assert 3 * S("1") == S("3")
+
+    def test_scaling_by_float_rounds_to_seconds(self):
+        assert S("1") * 0.5 == Span(43200)
+
+    def test_scaling_by_bool_is_type_error(self):
+        with pytest.raises(TipTypeError):
+            S("1") * True
+
+    def test_division_by_number(self):
+        assert S("14") / 2 == S("7")
+
+    def test_division_by_span_is_ratio(self):
+        assert S("14") / S("7") == 2.0
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(TipValueError):
+            S("1") / 0
+        with pytest.raises(TipValueError):
+            S("1") / Span(0)
+
+    def test_add_non_span_unsupported(self):
+        with pytest.raises(TypeError):
+            S("1") + 5
+
+    @given(spans(), spans())
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(spans())
+    def test_double_negation(self, span):
+        assert -(-span) == span
+
+
+class TestComparisons:
+    def test_ordering_by_signed_length(self):
+        assert S("-7") < Span(0) < S("7")
+        assert S("7") <= S("7")
+        assert S("8") > S("7")
+        assert S("8") >= S("8")
+
+    def test_hashable(self):
+        assert len({S("7"), Span.of(days=7), S("8")}) == 2
+
+    def test_bool_is_nonzero(self):
+        assert S("1")
+        assert not Span(0)
+
+
+class TestTextRepresentation:
+    def test_days_only(self):
+        assert str(S("7")) == "7"
+        assert str(S("-7")) == "-7"
+
+    def test_with_time_part(self):
+        assert str(Span.of(days=7, hours=12)) == "7 12:00:00"
+        assert str(Span.of(days=0, hours=8)) == "0 08:00:00"
+
+    def test_parse_plus_sign(self):
+        assert Span.parse("+7") == S("7")
+
+    def test_parse_rejects_out_of_range_time(self):
+        with pytest.raises(TipParseError):
+            Span.parse("1 25:00:00")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(TipParseError):
+            Span.parse("seven days")
+
+    def test_repr(self):
+        assert repr(S("-7")) == "Span('-7')"
+
+    @given(spans())
+    def test_parse_format_round_trip(self, span):
+        assert Span.parse(str(span)) == span
+
+    @given(spans())
+    def test_components_reconstruct(self, span):
+        sign, days, hours, minutes, seconds = span.components()
+        rebuilt = Span.of(days=days, hours=hours, minutes=minutes, seconds=seconds)
+        assert rebuilt * sign == span

@@ -1,0 +1,166 @@
+"""Tests for the element/table-level temporal indexes and indexed join."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.period import Period
+from repro.errors import TipValueError
+from repro.index import ElementIndex, IndexedTable, indexed_overlap_join
+from repro.workload import MedicalConfig, generate_prescriptions, load_tip
+from tests.conftest import C, E, sec
+
+
+class TestElementIndex:
+    def test_add_and_query(self):
+        index = ElementIndex(now=0)
+        index.add("a", E("{[1999-01-01, 1999-03-01], [1999-06-01, 1999-07-01]}"))
+        index.add("b", E("{[1999-02-01, 1999-04-01]}"))
+        hit = index.overlapping(sec("1999-02-15"), sec("1999-02-20"))
+        assert sorted(hit) == ["a", "b"]
+        assert index.overlapping(sec("1999-05-01"), sec("1999-05-10")) == []
+
+    def test_multi_period_rows_deduplicated(self):
+        index = ElementIndex(now=0)
+        index.add("a", E("{[1999-01-01, 1999-02-01], [1999-03-01, 1999-04-01]}"))
+        hits = index.overlapping(sec("1999-01-15"), sec("1999-03-15"))
+        assert hits == ["a"]
+
+    def test_stab(self):
+        index = ElementIndex(now=0)
+        index.add(1, E("{[1999-01-01, 1999-02-01]}"))
+        assert index.stab(sec("1999-01-15")) == [1]
+        assert index.stab(sec("1999-03-15")) == []
+
+    def test_now_relative_grounded_at_index_now(self):
+        index = ElementIndex(now=C("1999-06-01"))
+        index.add("open", E("{[1999-01-01, NOW]}"))
+        assert index.stab(sec("1999-05-01")) == ["open"]
+        assert index.stab(sec("1999-07-01")) == []  # beyond the index's NOW
+
+    def test_duplicate_key_rejected(self):
+        index = ElementIndex(now=0)
+        index.add("a", E("{[1999-01-01, 1999-02-01]}"))
+        with pytest.raises(TipValueError):
+            index.add("a", E("{}"))
+
+    def test_discard(self):
+        index = ElementIndex(now=0)
+        index.add("a", E("{[1999-01-01, 1999-02-01]}"))
+        assert index.discard("a")
+        assert not index.discard("a")
+        assert index.stab(sec("1999-01-15")) == []
+        assert len(index) == 0 and index.n_periods == 0
+
+    def test_empty_element_indexable(self):
+        index = ElementIndex(now=0)
+        index.add("never", Element.empty())
+        assert "never" in index
+        assert index.n_periods == 0
+
+
+@pytest.fixture
+def indexed_db():
+    conn = repro.connect(now="2000-01-01")
+    rows = generate_prescriptions(MedicalConfig(n_prescriptions=120, n_patients=20, seed=3))
+    load_tip(conn, rows)
+    table = IndexedTable(conn, "Prescription", "valid")
+    yield conn, table
+    conn.close()
+
+
+class TestIndexedTable:
+    def test_index_covers_all_rows(self, indexed_db):
+        conn, table = indexed_db
+        assert table.n_rows == conn.query_one("SELECT COUNT(*) FROM Prescription")[0]
+
+    def test_window_query_matches_scan(self, indexed_db):
+        conn, table = indexed_db
+        window = Period(C("1994-01-01"), C("1995-12-31"))
+        indexed = sorted(table.overlapping_keys(window))
+        scan = sorted(
+            rowid
+            for (rowid,) in conn.query(
+                "SELECT rowid FROM Prescription "
+                "WHERE overlaps(valid, element('{[1994-01-01, 1995-12-31]}'))"
+            )
+        )
+        assert indexed == scan
+
+    def test_valid_at_matches_scan(self, indexed_db):
+        conn, table = indexed_db
+        when = C("1996-06-15")
+        indexed = sorted(table.valid_at(when))
+        scan = sorted(
+            rowid
+            for (rowid,) in conn.query(
+                "SELECT rowid FROM Prescription "
+                "WHERE contains_instant(valid, instant('1996-06-15'))"
+            )
+        )
+        assert indexed == scan
+
+    def test_timeslice_rows_fetches_payload(self, indexed_db):
+        conn, table = indexed_db
+        window = Period(C("1994-01-01"), C("1994-03-31"))
+        rows = table.timeslice_rows(window, columns="patient, drug")
+        assert rows
+        assert all(len(row) == 2 for row in rows)
+
+    def test_empty_window_result(self, indexed_db):
+        _conn, table = indexed_db
+        assert table.overlapping_keys((0, 10)) == []
+        assert table.timeslice_rows((0, 10)) == []
+
+    def test_refresh_tracks_new_rows_and_new_now(self, indexed_db):
+        conn, table = indexed_db
+        before = table.n_rows
+        conn.execute(
+            "INSERT INTO Prescription VALUES ('d', 'p', chronon('1970-01-01'), "
+            "'X', 1, span('1'), element('{[2000-06-01, 2000-07-01]}'))"
+        )
+        table.refresh()
+        assert table.n_rows == before + 1
+        assert table.overlapping_keys((sec("2000-06-10"), sec("2000-06-11")))
+
+    def test_inverted_window_rejected(self, indexed_db):
+        _conn, table = indexed_db
+        with pytest.raises(TipValueError):
+            table.overlapping_keys((10, 0))
+
+
+class TestIndexedJoin:
+    def test_matches_udf_scan_join(self, indexed_db):
+        """The indexed join returns exactly the pairs (and shared time)
+        of the paper's quadratic overlaps() formulation."""
+        conn, _table = indexed_db
+        left = IndexedTable(conn, "Prescription", "valid")
+        right = IndexedTable(conn, "Prescription", "valid")
+        indexed = {
+            (lk, rk): str(element)
+            for lk, rk, element in indexed_overlap_join(left, right)
+        }
+        scan = {
+            (lk, rk): str(element.ground(C("2000-01-01")))
+            for lk, rk, element in conn.query(
+                "SELECT p1.rowid, p2.rowid, tintersect(p1.valid, p2.valid) "
+                "FROM Prescription p1, Prescription p2 "
+                "WHERE overlaps(p1.valid, p2.valid)"
+            )
+        }
+        assert indexed == scan
+
+    def test_disjoint_tables_join_empty(self):
+        conn = repro.connect(now="2000-01-01")
+        conn.execute("CREATE TABLE a (v ELEMENT)")
+        conn.execute("CREATE TABLE b (v ELEMENT)")
+        conn.execute("INSERT INTO a VALUES (element('{[1999-01-01, 1999-02-01]}'))")
+        conn.execute("INSERT INTO b VALUES (element('{[1999-06-01, 1999-07-01]}'))")
+        result = indexed_overlap_join(
+            IndexedTable(conn, "a", "v"), IndexedTable(conn, "b", "v")
+        )
+        assert result == []
+        conn.close()

@@ -1,0 +1,235 @@
+"""Tests for temporal aggregation (step functions, sweep, aggregate tree)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.element import Element
+from repro.errors import TipTypeError, TipValueError
+from repro.tempagg import AggregateTree, StepFunction, temporal_avg, temporal_count, temporal_sum
+from tests.conftest import E, sec
+
+
+class TestStepFunction:
+    def test_empty(self):
+        fn = StepFunction()
+        assert not fn
+        assert fn.value_at(0) == 0
+        assert fn.max_value() == 0
+        assert fn.support_length() == 0
+        assert fn.integral() == 0
+
+    def test_evaluation(self):
+        fn = StepFunction([(0, 9, 1), (10, 19, 3)])
+        assert fn.value_at(-1) == 0
+        assert fn.value_at(0) == 1
+        assert fn.value_at(9) == 1
+        assert fn.value_at(10) == 3
+        assert fn.value_at(19) == 3
+        assert fn.value_at(20) == 0
+
+    def test_canonical_merging(self):
+        fn = StepFunction([(0, 4, 2), (5, 9, 2)])
+        assert fn.segments == ((0, 9, 2),)
+
+    def test_zero_segments_dropped(self):
+        fn = StepFunction([(0, 4, 0), (5, 9, 1)])
+        assert fn.segments == ((5, 9, 1),)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(TipValueError):
+            StepFunction([(0, 5, 1), (3, 9, 2)])
+
+    def test_inverted_rejected(self):
+        with pytest.raises(TipValueError):
+            StepFunction([(5, 0, 1)])
+
+    def test_equality_and_hash(self):
+        a = StepFunction([(0, 4, 2), (5, 9, 2)])
+        b = StepFunction([(0, 9, 2)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_statistics(self):
+        fn = StepFunction([(0, 9, 2), (20, 24, 4)])
+        assert fn.max_value() == 4
+        assert fn.support_length() == 15
+        assert fn.integral() == 2 * 10 + 4 * 5
+
+    def test_restrict(self):
+        fn = StepFunction([(0, 9, 1), (20, 29, 2)])
+        assert fn.restrict(5, 24).segments == ((5, 9, 1), (20, 24, 2))
+        with pytest.raises(TipValueError):
+            fn.restrict(5, 0)
+
+    def test_from_deltas(self):
+        fn = StepFunction.from_deltas([(0, 1), (10, -1), (5, 2), (8, -2)])
+        assert fn.segments == ((0, 4, 1), (5, 7, 3), (8, 9, 1))
+
+    def test_from_deltas_unbalanced_rejected(self):
+        with pytest.raises(TipValueError):
+            StepFunction.from_deltas([(0, 1)])
+
+
+class TestSweepAggregates:
+    def test_temporal_count_basic(self):
+        fn = temporal_count(
+            [E("{[1970-01-01, 1970-01-03]}"), E("{[1970-01-02, 1970-01-05]}")],
+            now=0,
+        )
+        day = 86400
+        # Closed-closed: [0, day*2], [day, day*4] at second granularity.
+        assert fn.value_at(0) == 1
+        assert fn.value_at(day) == 2
+        assert fn.value_at(2 * day) == 2
+        assert fn.value_at(2 * day + 1) == 1
+        assert fn.value_at(4 * day + 1) == 0
+        assert fn.max_value() == 2
+
+    def test_count_with_multi_period_elements(self):
+        fn = temporal_count([E("{[1970-01-01, 1970-01-01], [1970-01-03, 1970-01-03]}")], now=0)
+        assert len(fn) == 2
+
+    def test_count_of_empty_collection(self):
+        assert temporal_count([]) == StepFunction()
+
+    def test_now_relative_elements_ground(self):
+        fn = temporal_count([E("{[1970-01-01, NOW]}")], now=sec("1970-01-10"))
+        assert fn.value_at(sec("1970-01-05")) == 1
+        assert fn.value_at(sec("1970-01-11")) == 0
+
+    def test_temporal_sum(self):
+        fn = temporal_sum(
+            [(E("{[1970-01-01, 1970-01-02]}"), 10.0), (E("{[1970-01-02, 1970-01-03]}"), 5.0)],
+            now=0,
+        )
+        day = 86400
+        assert fn.value_at(0) == 10
+        assert fn.value_at(day) == 15
+        assert fn.value_at(2 * day) == 5
+
+    def test_temporal_avg(self):
+        fn = temporal_avg(
+            [(E("{[1970-01-01, 1970-01-02]}"), 10.0), (E("{[1970-01-02, 1970-01-03]}"), 20.0)],
+            now=0,
+        )
+        day = 86400
+        assert fn.value_at(0) == 10
+        # Closed-closed: the two elements share exactly the boundary second.
+        assert fn.value_at(day) == 15
+        assert fn.value_at(day + 1) == 20
+        assert fn.value_at(2 * day) == 20
+        assert fn.value_at(2 * day + 1) == 0
+
+    def test_type_checked(self):
+        with pytest.raises(TipTypeError):
+            temporal_count(["not-an-element"])  # type: ignore[list-item]
+
+    def test_count_integral_equals_sum_of_lengths(self):
+        """Integral of COUNT == total valid-time — the SUM(length)
+        identity underlying E3's overcount analysis."""
+        elements = [E("{[1970-01-01, 1970-02-01]}"), E("{[1970-01-15, 1970-03-01]}")]
+        fn = temporal_count(elements, now=0)
+        assert fn.integral() == sum(e.length(0).seconds for e in elements)
+
+
+@st.composite
+def interval_sets(draw):
+    n = draw(st.integers(0, 25))
+    intervals = []
+    for _ in range(n):
+        start = draw(st.integers(0, 300))
+        end = start + draw(st.integers(0, 60))
+        value = draw(st.integers(-3, 5).filter(lambda v: v != 0))
+        intervals.append((start, end, value))
+    return intervals
+
+
+class TestAggregateTree:
+    def test_empty(self):
+        tree = AggregateTree()
+        assert tree.value_at(0) == 0
+        assert tree.to_step_function() == StepFunction()
+        assert tree.n_intervals == 0
+
+    def test_single_interval(self):
+        tree = AggregateTree()
+        tree.insert(10, 20, 5)
+        assert tree.value_at(9) == 0
+        assert tree.value_at(10) == 5
+        assert tree.value_at(20) == 5
+        assert tree.value_at(21) == 0
+
+    def test_overlapping_intervals_sum(self):
+        tree = AggregateTree()
+        tree.insert(0, 10, 1)
+        tree.insert(5, 15, 1)
+        tree.insert(5, 7, 1)
+        assert tree.value_at(6) == 3
+        assert tree.value_at(12) == 1
+
+    def test_retract(self):
+        tree = AggregateTree()
+        tree.insert(0, 10, 2)
+        tree.insert(5, 15, 3)
+        tree.retract(0, 10, 2)
+        assert tree.value_at(3) == 0
+        assert tree.value_at(7) == 3
+        assert tree.n_intervals == 1
+
+    def test_inverted_rejected(self):
+        tree = AggregateTree()
+        with pytest.raises(TipValueError):
+            tree.insert(5, 0)
+        with pytest.raises(TipValueError):
+            tree.retract(5, 0)
+
+    @given(interval_sets())
+    def test_matches_sweep(self, intervals):
+        """Incremental tree == one-shot sweep, for any insertion set."""
+        tree = AggregateTree()
+        deltas = []
+        for start, end, value in intervals:
+            tree.insert(start, end, value)
+            deltas.append((start, value))
+            deltas.append((end + 1, -value))
+        assert tree.to_step_function() == StepFunction.from_deltas(deltas)
+
+    @given(interval_sets(), st.integers(0, 400))
+    def test_point_queries_match_brute_force(self, intervals, t):
+        tree = AggregateTree()
+        for start, end, value in intervals:
+            tree.insert(start, end, value)
+        expected = sum(v for s, e, v in intervals if s <= t <= e)
+        assert tree.value_at(t) == expected
+
+    @given(interval_sets(), st.data())
+    def test_insert_retract_interleaving(self, intervals, data):
+        tree = AggregateTree()
+        live = []
+        for start, end, value in intervals:
+            if live and data.draw(st.booleans()):
+                victim = live.pop(data.draw(st.integers(0, len(live) - 1)))
+                tree.retract(*victim)
+            tree.insert(start, end, value)
+            live.append((start, end, value))
+        for t in (0, 100, 250, 400):
+            expected = sum(v for s, e, v in live if s <= t <= e)
+            assert tree.value_at(t) == expected
+
+    def test_large_sequential_workload(self):
+        rng = random.Random(9)
+        tree = AggregateTree()
+        intervals = []
+        for _ in range(2000):
+            start = rng.randrange(0, 1_000_000)
+            end = start + rng.randrange(0, 10_000)
+            tree.insert(start, end)
+            intervals.append((start, end))
+        for t in rng.sample(range(1_010_000), 50):
+            expected = sum(1 for s, e in intervals if s <= t <= e)
+            assert tree.value_at(t) == expected

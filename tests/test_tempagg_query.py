@@ -1,0 +1,98 @@
+"""Tests for the SQL-facing temporal aggregation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TipValueError
+from repro.tempagg import (
+    StepFunction,
+    render_stepfn,
+    temporal_count_table,
+    temporal_sum_table,
+)
+from tests.conftest import C, sec
+
+
+@pytest.fixture
+def table(conn):
+    conn.execute("CREATE TABLE t (drug TEXT, dosage INTEGER, valid ELEMENT)")
+    rows = [
+        ("Prozac", 10, "{[1999-01-01, 1999-03-31]}"),
+        ("Zantac", 5, "{[1999-02-01, 1999-04-30]}"),
+        ("Tylenol", 2, "{[1999-06-01, 1999-06-30]}"),
+    ]
+    conn.executemany("INSERT INTO t VALUES (?, ?, element(?))", rows)
+    return conn
+
+
+class TestCountTable:
+    def test_counts_valid_rows_per_instant(self, table):
+        fn = temporal_count_table(table, "t")
+        assert fn.value_at(sec("1999-01-15")) == 1
+        assert fn.value_at(sec("1999-03-01")) == 2
+        assert fn.value_at(sec("1999-05-15")) == 0
+        assert fn.value_at(sec("1999-06-15")) == 1
+        assert fn.max_value() == 2
+
+    def test_where_filter(self, table):
+        fn = temporal_count_table(table, "t", where="drug = ?", params=("Prozac",))
+        assert fn.value_at(sec("1999-03-01")) == 1
+        assert fn.value_at(sec("1999-04-15")) == 0
+
+    def test_null_elements_skipped(self, table):
+        table.execute("INSERT INTO t VALUES ('X', 1, NULL)")
+        fn = temporal_count_table(table, "t")
+        assert fn.max_value() == 2
+
+    def test_empty_table(self, conn):
+        conn.execute("CREATE TABLE empty_t (valid ELEMENT)")
+        assert temporal_count_table(conn, "empty_t") == StepFunction()
+
+    def test_now_relative_grounds_at_connection_now(self, table):
+        table.execute("INSERT INTO t VALUES ('Open', 1, element('{[1999-08-01, NOW]}'))")
+        fn = temporal_count_table(table, "t")  # conn NOW = 1999-09-01
+        assert fn.value_at(sec("1999-08-15")) == 1
+        assert fn.value_at(sec("1999-09-02")) == 0
+
+
+class TestSumTable:
+    def test_time_varying_dosage_sum(self, table):
+        fn = temporal_sum_table(table, "t", "dosage")
+        assert fn.value_at(sec("1999-01-15")) == 10
+        assert fn.value_at(sec("1999-03-01")) == 15
+        assert fn.value_at(sec("1999-04-15")) == 5
+        assert fn.value_at(sec("1999-06-15")) == 2
+
+    def test_integral_equals_dose_seconds(self, table):
+        fn = temporal_sum_table(table, "t", "dosage")
+        rows = table.query("SELECT dosage, length_seconds(valid) FROM t")
+        assert fn.integral() == sum(dosage * seconds for dosage, seconds in rows)
+
+
+class TestRenderStepfn:
+    def test_empty_renders_blank(self):
+        assert render_stepfn(StepFunction(), width=10) == " " * 10
+
+    def test_peak_renders_darkest(self):
+        fn = StepFunction([(0, 49, 1), (50, 99, 4)])
+        text = render_stepfn(fn, width=10)
+        assert text[-1] == "@"
+        assert text[0] != "@"
+        assert len(text) == 10
+
+    def test_zero_region_renders_blank_cell(self):
+        fn = StepFunction([(0, 9, 2), (90, 99, 2)])
+        text = render_stepfn(fn, width=10)
+        assert text[5] == " "
+        assert text[0] == "@" and text[-1] == "@"
+
+    def test_explicit_bounds(self):
+        fn = StepFunction([(100, 199, 3)])
+        assert render_stepfn(fn, width=4, lo=0, hi=99) == "    "
+        with pytest.raises(TipValueError):
+            render_stepfn(fn, width=4, lo=10, hi=0)
+
+    def test_deterministic(self, table):
+        fn = temporal_count_table(table, "t")
+        assert render_stepfn(fn) == render_stepfn(fn)

@@ -1,0 +1,166 @@
+"""Tests for sequenced temporal DML (UPDATE/DELETE for a period)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.temporal_dml import coalesce_table, temporal_delete, temporal_update
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.period import Period
+from repro.errors import TipValueError
+from tests.conftest import C, E
+
+
+@pytest.fixture
+def table(conn):
+    conn.execute("CREATE TABLE t (patient TEXT, dosage INTEGER, valid ELEMENT)")
+    conn.execute(
+        "INSERT INTO t VALUES ('alice', 1, element('{[1999-01-01, 1999-06-30]}'))"
+    )
+    conn.execute(
+        "INSERT INTO t VALUES ('bob', 2, element('{[1999-03-01, 1999-04-30]}'))"
+    )
+    return conn
+
+
+def contents(conn):
+    return sorted(
+        (patient, dosage, str(element))
+        for patient, dosage, element in conn.query("SELECT * FROM t")
+    )
+
+
+class TestTemporalDelete:
+    def test_removes_period_from_matching_rows(self, table):
+        affected = temporal_delete(
+            table, "t", "[1999-02-01, 1999-02-28 23:59:59]", "patient = 'alice'"
+        )
+        assert affected == 1
+        assert contents(table) == [
+            ("alice", 1, "{[1999-01-01, 1999-01-31 23:59:59], [1999-03-01, 1999-06-30]}"),
+            ("bob", 2, "{[1999-03-01, 1999-04-30]}"),
+        ]
+
+    def test_row_vanishes_when_fully_deleted(self, table):
+        temporal_delete(table, "t", "[1999-01-01, 1999-12-31]", "patient = 'bob'")
+        assert [row[0] for row in table.query("SELECT patient FROM t")] == ["alice"]
+
+    def test_non_overlapping_rows_untouched(self, table):
+        affected = temporal_delete(table, "t", "[2005-01-01, 2005-12-31]")
+        assert affected == 0
+        assert len(contents(table)) == 2
+
+    def test_where_with_params(self, table):
+        affected = temporal_delete(
+            table, "t", "[1999-01-01, 1999-12-31]", "dosage = ?", (2,)
+        )
+        assert affected == 1
+        assert [row[0] for row in table.query("SELECT patient FROM t")] == ["alice"]
+
+    def test_accepts_period_object(self, table):
+        period = Period(C("1999-01-01"), C("1999-12-31"))
+        assert temporal_delete(table, "t", period) == 2
+        assert table.query("SELECT * FROM t") == []
+
+    def test_validates_names(self, table):
+        with pytest.raises(TipValueError):
+            temporal_delete(table, "bad table", "[1999-01-01, 1999-02-01]")
+
+
+class TestTemporalUpdate:
+    def test_splits_row_around_period(self, table):
+        affected = temporal_update(
+            table,
+            "t",
+            {"dosage": 9},
+            "[1999-02-01, 1999-02-28 23:59:59]",
+            "patient = 'alice'",
+        )
+        assert affected == 1
+        rows = contents(table)
+        assert ("alice", 9, "{[1999-02-01, 1999-02-28 23:59:59]}") in rows
+        assert (
+            "alice", 1,
+            "{[1999-01-01, 1999-01-31 23:59:59], [1999-03-01, 1999-06-30]}",
+        ) in rows
+
+    def test_update_covering_whole_validity_replaces(self, table):
+        temporal_update(
+            table, "t", {"dosage": 5}, "[1999-01-01, 1999-12-31]", "patient = 'bob'"
+        )
+        rows = [row for row in contents(table) if row[0] == "bob"]
+        assert rows == [("bob", 5, "{[1999-03-01, 1999-04-30]}")]
+
+    def test_no_matching_time_is_noop(self, table):
+        affected = temporal_update(
+            table, "t", {"dosage": 5}, "[2010-01-01, 2010-12-31]"
+        )
+        assert affected == 0
+        assert len(contents(table)) == 2
+
+    def test_snapshot_totals_preserved(self, table):
+        """A sequenced update must not change *when* facts hold, only
+        their attribute values: per-patient validity is invariant."""
+        before = dict(
+            table.query("SELECT patient, length_seconds(group_union(valid)) "
+                        "FROM t GROUP BY patient")
+        )
+        temporal_update(table, "t", {"dosage": 7}, "[1999-02-01, 1999-03-31]")
+        after = dict(
+            table.query("SELECT patient, length_seconds(group_union(valid)) "
+                        "FROM t GROUP BY patient")
+        )
+        assert before == after
+
+    def test_assigning_validity_rejected(self, table):
+        with pytest.raises(TipValueError):
+            temporal_update(table, "t", {"valid": E("{}")}, "[1999-01-01, 1999-02-01]")
+
+    def test_empty_assignments_rejected(self, table):
+        with pytest.raises(TipValueError):
+            temporal_update(table, "t", {}, "[1999-01-01, 1999-02-01]")
+
+    def test_string_values_quoted(self, table):
+        temporal_update(
+            table, "t", {"patient": "al'ice"}, "[1999-01-01, 1999-01-31]",
+            "patient = 'alice'",
+        )
+        assert ("al'ice",) in table.query("SELECT DISTINCT patient FROM t")
+
+
+class TestCoalesceTable:
+    def test_merges_value_equivalent_rows(self, table):
+        # Adjacent at second granularity: starts one chronon after the
+        # existing element's end, so the union coalesces to one period.
+        table.execute(
+            "INSERT INTO t VALUES ('alice', 1, "
+            "element('{[1999-06-30 00:00:01, 1999-08-31]}'))"
+        )
+        removed = coalesce_table(table, "t", ["patient", "dosage"])
+        assert removed == 1
+        rows = contents(table)
+        assert ("alice", 1, "{[1999-01-01, 1999-08-31]}") in rows
+
+    def test_distinct_rows_kept(self, table):
+        assert coalesce_table(table, "t", ["patient", "dosage"]) == 0
+        assert len(contents(table)) == 2
+
+    def test_update_then_coalesce_round_trip(self, table):
+        """Updating back to the original value and coalescing restores
+        one row per fact."""
+        temporal_update(table, "t", {"dosage": 9},
+                        "[1999-02-01, 1999-02-28 23:59:59]", "patient = 'alice'")
+        temporal_update(table, "t", {"dosage": 1},
+                        "[1999-02-01, 1999-02-28 23:59:59]", "patient = 'alice'")
+        coalesce_table(table, "t", ["patient", "dosage"])
+        rows = [row for row in contents(table) if row[0] == "alice"]
+        assert rows == [("alice", 1, "{[1999-01-01, 1999-06-30]}")]
+
+    def test_requires_all_columns(self, table):
+        with pytest.raises(TipValueError):
+            coalesce_table(table, "t", ["patient"])  # dosage missing
+
+    def test_requires_key_columns(self, table):
+        with pytest.raises(TipValueError):
+            coalesce_table(table, "t", [])

@@ -1,0 +1,98 @@
+"""Fuzz/property tests for the TSQL2 preprocessor's SQL handling.
+
+The clause splitter and FROM-list parser see arbitrary user SQL, so
+they must never mis-split on keywords hiding inside strings or
+parentheses, and must reject (not mangle) what they cannot handle.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TranslationError
+from repro.tsql import translate_tsql
+from repro.tsql.preprocessor import _parse_from_items, split_select
+
+_KEYWORDS = {"select", "from", "where", "group", "order", "by", "having",
+             "limit", "as", "and", "or", "not", "join", "on"}
+identifiers = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda name: name.lower() not in _KEYWORDS
+)
+string_bodies = st.text(
+    alphabet=st.sampled_from(list("abc WHERE FROM GROUP BY () ,")), max_size=20
+)
+
+
+@st.composite
+def select_statements(draw):
+    """Structured random SELECTs with strings/parens in tricky places."""
+    cols = draw(st.lists(identifiers, min_size=1, max_size=3))
+    select_list = ", ".join(cols)
+    if draw(st.booleans()):
+        body = draw(string_bodies).replace("'", "")
+        select_list += f", '{body}'"
+    if draw(st.booleans()):
+        select_list += f", f({draw(identifiers)})"
+    tables = draw(st.lists(identifiers, min_size=1, max_size=2))
+    from_list = ", ".join(tables)
+    where = None
+    if draw(st.booleans()):
+        body = draw(string_bodies).replace("'", "")
+        where = f"{draw(identifiers)} = '{body}'"
+    tail = draw(st.sampled_from(["", "ORDER BY 1", "LIMIT 5"]))
+    sql = f"SELECT {select_list} FROM {from_list}"
+    if where:
+        sql += f" WHERE {where}"
+    if tail:
+        sql += f" {tail}"
+    return sql, select_list, from_list, where, tail
+
+
+class TestSplitterProperties:
+    @given(select_statements())
+    def test_split_recovers_the_clauses(self, parts):
+        sql, select_list, from_list, where, tail = parts
+        split = split_select(sql)
+        assert split.select_list == select_list
+        assert split.from_list == from_list
+        assert split.where == where
+        assert split.tail == tail
+
+    @given(select_statements())
+    def test_translation_is_idempotent_for_plain_sql(self, parts):
+        sql = parts[0]
+        assert translate_tsql(sql, {}) == sql.strip()
+
+    @given(st.text(max_size=40))
+    def test_splitter_never_crashes_unexpectedly(self, text):
+        """Arbitrary input either splits or raises TranslationError."""
+        try:
+            split_select("SELECT x FROM t WHERE " + text.replace("'", ""))
+        except TranslationError:
+            pass
+
+    def test_semicolon_stripped(self):
+        assert split_select("SELECT a FROM t;").from_list == "t"
+
+
+class TestFromListParsing:
+    def test_alias_forms(self):
+        assert _parse_from_items("t") == [("t", "t")]
+        assert _parse_from_items("t a") == [("t", "a")]
+        assert _parse_from_items("t AS a") == [("t", "a")]
+        assert _parse_from_items("t1 a, t2 AS b") == [("t1", "a"), ("t2", "b")]
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["(SELECT 1) x", "t JOIN u ON 1", "t1 a b c", "123tbl"],
+    )
+    def test_unsupported_items_rejected(self, bad):
+        with pytest.raises(TranslationError):
+            _parse_from_items(bad)
+
+    @given(st.lists(st.tuples(identifiers, identifiers), min_size=1, max_size=4))
+    def test_round_trip_property(self, items):
+        text = ", ".join(f"{table} AS {alias}" for table, alias in items)
+        assert _parse_from_items(text) == list(items)

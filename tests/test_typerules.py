@@ -1,0 +1,102 @@
+"""Tests for the declarative operator type rules and dispatcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.instant import NOW, Instant
+from repro.core.nowctx import use_now
+from repro.core.period import Period
+from repro.core.span import Span
+from repro.core.typerules import (
+    BOOL,
+    COMPARABLE,
+    ERROR,
+    NUMBER,
+    RESULT_TYPES,
+    apply_operator,
+    result_type,
+)
+from repro.errors import TipTypeError
+from tests.conftest import C, S
+
+_SAMPLES = {
+    "Chronon": lambda: C("1999-09-01"),
+    "Span": lambda: S("7"),
+    "Instant": lambda: NOW - S("1"),
+    "Period": lambda: Period(C("1999-01-01"), C("1999-02-01")),
+    "Element": lambda: Element.parse("{[1999-01-01, 1999-02-01]}"),
+    NUMBER: lambda: 2,
+}
+
+_TYPE_NAME_OF = {
+    Chronon: "Chronon",
+    Span: "Span",
+    Instant: "Instant",
+    Period: "Period",
+    Element: "Element",
+    int: NUMBER,
+    float: NUMBER,
+    bool: BOOL,
+}
+
+
+class TestRuleTableAgreement:
+    """Every table entry must match the runtime operator behaviour."""
+
+    @pytest.mark.parametrize("rule", sorted(RESULT_TYPES.items()), ids=str)
+    def test_table_entry_matches_runtime(self, rule):
+        (op, left_name, right_name), expected = rule
+        left = _SAMPLES[left_name]()
+        right = _SAMPLES[right_name]()
+        with use_now("1999-09-01"):
+            if expected == ERROR:
+                with pytest.raises(TipTypeError):
+                    apply_operator(op, left, right)
+            else:
+                result = apply_operator(op, left, right)
+                assert _TYPE_NAME_OF[type(result)] == expected
+
+    def test_paper_headline_rules(self):
+        """'A Chronon minus a Chronon returns a Span, but a Chronon plus
+        a Chronon returns a type error.'"""
+        assert result_type("-", C("1999-09-01"), C("1999-08-01")) == "Span"
+        assert result_type("+", C("1999-09-01"), C("1999-08-01")) == ERROR
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("pair", sorted(COMPARABLE), ids=str)
+    @pytest.mark.parametrize("op", ["=", "<>", "<", "<=", ">", ">="])
+    def test_comparable_pairs_yield_bool(self, pair, op):
+        left = _SAMPLES[pair[0]]()
+        right = _SAMPLES[pair[1]]()
+        with use_now("1999-09-01"):
+            assert isinstance(apply_operator(op, left, right), bool)
+
+    def test_span_vs_chronon_comparison_is_error(self):
+        with pytest.raises(TipTypeError):
+            apply_operator("<", S("7"), C("1999-09-01"))
+
+    def test_comparison_values(self):
+        with use_now("1999-09-01"):
+            assert apply_operator("<", C("1999-08-01"), NOW) is True
+            assert apply_operator(">=", NOW, NOW) is True
+            assert apply_operator("<>", S("7"), S("8")) is True
+
+
+class TestDispatcher:
+    def test_unknown_operator(self):
+        with pytest.raises(TipTypeError):
+            apply_operator("%", S("7"), S("7"))
+
+    def test_non_tip_operand(self):
+        with pytest.raises(TipTypeError):
+            apply_operator("+", "x", S("7"))
+
+    def test_arithmetic_examples(self):
+        assert apply_operator("-", C("1999-09-08"), C("1999-09-01")) == S("7")
+        assert apply_operator("*", S("7"), 2) == S("14")
+        assert apply_operator("*", 2, S("7")) == S("14")
+        assert apply_operator("/", S("14"), S("7")) == 2.0

@@ -1,0 +1,322 @@
+"""Tests for the temporal warehouse layer (tracker, views, maintenance)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.errors import TipValueError
+from repro.warehouse import (
+    Change,
+    ChangeTracker,
+    JoinView,
+    MaterializedJoin,
+    MaterializedProjection,
+    MaterializedSelection,
+    ProjectionView,
+    SelectionView,
+    TemporalRelation,
+)
+from repro.warehouse.maintenance import apply_changes
+from tests.conftest import C, E, sec
+
+
+class TestTemporalRelation:
+    def test_insert_unions(self):
+        relation = TemporalRelation(("k",))
+        relation.insert(("a",), [(0, 10)])
+        relation.insert(("a",), [(5, 20)])
+        assert relation.pairs(("a",)) == [(0, 20)]
+
+    def test_remove_subtracts_and_drops_empty(self):
+        relation = TemporalRelation(("k",))
+        relation.insert(("a",), [(0, 10)])
+        relation.remove(("a",), [(0, 4)])
+        assert relation.pairs(("a",)) == [(5, 10)]
+        relation.remove(("a",), [(0, 100)])
+        assert ("a",) not in relation
+        assert len(relation) == 0
+
+    def test_remove_absent_row_is_noop(self):
+        relation = TemporalRelation(("k",))
+        relation.remove(("ghost",), [(0, 10)])
+        assert len(relation) == 0
+
+    def test_insert_empty_validity_is_noop(self):
+        relation = TemporalRelation(("k",))
+        relation.insert(("a",), [])
+        assert ("a",) not in relation
+
+    def test_row_width_checked(self):
+        relation = TemporalRelation(("k", "v"))
+        with pytest.raises(TipValueError):
+            relation.insert(("only-one",), [(0, 1)])
+
+    def test_element_interface(self):
+        relation = TemporalRelation(("k",))
+        relation.insert(("a",), E("{[1970-01-01, 1970-01-02]}"))
+        assert isinstance(relation.element(("a",)), Element)
+        assert relation.element(("missing",)).is_empty_at(0)
+
+    def test_now_relative_elements_rejected(self):
+        relation = TemporalRelation(("k",))
+        with pytest.raises(TipValueError):
+            relation.insert(("a",), E("{[1999-01-01, NOW]}"))
+
+    def test_snapshot(self):
+        relation = TemporalRelation(("k",))
+        relation.insert(("a",), [(0, 10)])
+        relation.insert(("b",), [(5, 8)])
+        assert relation.snapshot(7) == [("a",), ("b",)]
+        assert relation.snapshot(9) == [("a",)]
+        assert relation.snapshot(11) == []
+
+    def test_same_contents(self):
+        a = TemporalRelation(("k",))
+        b = TemporalRelation(("k",))
+        a.insert(("x",), [(0, 5)])
+        b.insert(("x",), [(0, 5)])
+        assert a.same_contents(b)
+        b.insert(("x",), [(7, 9)])
+        assert not a.same_contents(b)
+
+    def test_copy_is_independent(self):
+        a = TemporalRelation(("k",))
+        a.insert(("x",), [(0, 5)])
+        b = a.copy()
+        b.insert(("x",), [(10, 20)])
+        assert a.pairs(("x",)) == [(0, 5)]
+
+
+class TestChangeTracker:
+    def test_versions_get_closed_on_update(self):
+        tracker = ChangeTracker("id", ("value",))
+        tracker.insert(1, ("v1",), sec("1999-01-01"))
+        tracker.update(1, ("v2",), sec("1999-02-01"))
+        rows = dict(tracker.as_temporal_rows())
+        assert str(rows[(1, "v1")]) == "{[1999-01-01, 1999-01-31 23:59:59]}"
+        assert str(rows[(1, "v2")]) == "{[1999-02-01, NOW]}"
+
+    def test_delete_closes_version(self):
+        tracker = ChangeTracker("id", ("value",))
+        tracker.insert(1, ("v1",), sec("1999-01-01"))
+        tracker.delete(1, sec("1999-03-01"))
+        rows = dict(tracker.as_temporal_rows())
+        assert str(rows[(1, "v1")]) == "{[1999-01-01, 1999-02-28 23:59:59]}"
+        assert tracker.live_keys() == []
+
+    def test_no_op_update_ignored(self):
+        tracker = ChangeTracker("id", ("value",))
+        tracker.insert(1, ("same",), sec("1999-01-01"))
+        tracker.update(1, ("same",), sec("1999-02-01"))
+        rows = tracker.as_temporal_rows()
+        assert len(rows) == 1
+
+    def test_reinsert_after_delete_accumulates_history(self):
+        tracker = ChangeTracker("id", ("value",))
+        tracker.insert(1, ("v",), sec("1999-01-01"))
+        tracker.delete(1, sec("1999-02-01"))
+        tracker.insert(1, ("v",), sec("1999-03-01"))
+        rows = dict(tracker.as_temporal_rows())
+        element = rows[(1, "v")]
+        assert len(element) == 2
+
+    def test_event_order_enforced(self):
+        tracker = ChangeTracker("id", ("value",))
+        tracker.insert(1, ("v",), sec("1999-02-01"))
+        with pytest.raises(TipValueError):
+            tracker.insert(2, ("w",), sec("1999-01-01"))
+
+    def test_protocol_errors(self):
+        tracker = ChangeTracker("id", ("value",))
+        with pytest.raises(TipValueError):
+            tracker.update(1, ("v",), sec("1999-01-01"))
+        with pytest.raises(TipValueError):
+            tracker.delete(1, sec("1999-01-01"))
+        tracker.insert(1, ("v",), sec("1999-01-01"))
+        with pytest.raises(TipValueError):
+            tracker.insert(1, ("v",), sec("1999-02-01"))
+
+    def test_attr_width_checked(self):
+        tracker = ChangeTracker("id", ("a", "b"))
+        with pytest.raises(TipValueError):
+            tracker.insert(1, ("only-one",), 0)
+
+    def test_as_relation_grounds_open_versions(self):
+        tracker = ChangeTracker("id", ("value",))
+        tracker.insert(1, ("v",), sec("1999-01-01"))
+        relation = tracker.as_relation(sec("1999-06-01"))
+        assert relation.pairs((1, "v")) == [(sec("1999-01-01"), sec("1999-06-01"))]
+
+    def test_event_log_kept(self):
+        tracker = ChangeTracker("id", ("value",))
+        tracker.insert(1, ("v",), 0)
+        tracker.update(1, ("w",), 10)
+        tracker.delete(1, 20)
+        assert [event.kind for event in tracker.events] == ["insert", "update", "delete"]
+
+
+def _example_base() -> TemporalRelation:
+    base = TemporalRelation(("id", "drug", "dose"))
+    base.insert((1, "Prozac", 10), [(0, 100)])
+    base.insert((2, "Aspirin", 5), [(50, 150)])
+    base.insert((3, "Prozac", 20), [(120, 200)])
+    return base
+
+
+class TestViews:
+    def test_selection(self):
+        view = SelectionView(lambda row: row[1] == "Prozac")
+        result = view.evaluate(_example_base())
+        assert len(result) == 2
+        assert (2, "Aspirin", 5) not in result
+
+    def test_projection_coalesces(self):
+        view = ProjectionView(("drug",))
+        result = view.evaluate(_example_base())
+        assert result.pairs(("Prozac",)) == [(0, 100), (120, 200)]
+        assert result.pairs(("Aspirin",)) == [(50, 150)]
+
+    def test_projection_unknown_column(self):
+        view = ProjectionView(("nope",))
+        with pytest.raises(TipValueError):
+            view.evaluate(_example_base())
+
+    def test_join_intersects_validities(self):
+        right = TemporalRelation(("drug", "class_"))
+        right.insert(("Prozac", "SSRI"), [(80, 130)])
+        view = JoinView(left_on=("drug",), right_on=("drug",))
+        result = view.evaluate(_example_base(), right)
+        assert result.pairs((1, "Prozac", 10, "SSRI")) == [(80, 100)]
+        assert result.pairs((3, "Prozac", 20, "SSRI")) == [(120, 130)]
+        assert len(result) == 2
+
+    def test_join_column_mismatch(self):
+        view = JoinView(left_on=("drug",), right_on=())
+        with pytest.raises(TipValueError):
+            view.evaluate(_example_base(), TemporalRelation(("x",)))
+
+
+class TestIncrementalMaintenance:
+    def test_selection_incremental(self):
+        base = _example_base()
+        view = SelectionView(lambda row: row[1] == "Prozac")
+        materialized = MaterializedSelection(view, base)
+        delta = [
+            Change("+", (4, "Prozac", 30), ((300, 400),)),
+            Change("-", (1, "Prozac", 10), ((0, 50),)),
+            Change("+", (5, "Zantac", 1), ((0, 10),)),
+        ]
+        out = materialized.apply(delta)
+        apply_changes(base, delta)
+        assert materialized.contents.same_contents(view.evaluate(base))
+        assert len(out) == 2  # Zantac filtered out
+
+    def test_projection_incremental_partial_removal(self):
+        """Removing one contributor must not remove time still covered
+        by another contributor of the same output row."""
+        base = _example_base()
+        view = ProjectionView(("drug",))
+        materialized = MaterializedProjection(view, base)
+        # Rows 1 and 3 are both Prozac; remove overlap-area from row 3.
+        delta = [Change("-", (3, "Prozac", 20), ((120, 200),))]
+        materialized.apply(delta)
+        apply_changes(base, delta)
+        assert materialized.contents.same_contents(view.evaluate(base))
+        assert materialized.contents.pairs(("Prozac",)) == [(0, 100)]
+
+    def test_projection_insert_overlapping_contributors(self):
+        base = _example_base()
+        view = ProjectionView(("drug",))
+        materialized = MaterializedProjection(view, base)
+        delta = [Change("+", (9, "Aspirin", 99), ((100, 300),))]
+        materialized.apply(delta)
+        apply_changes(base, delta)
+        assert materialized.contents.pairs(("Aspirin",)) == [(50, 300)]
+
+    def test_join_incremental_both_sides(self):
+        base = _example_base()
+        right = TemporalRelation(("drug", "class_"))
+        right.insert(("Prozac", "SSRI"), [(0, 500)])
+        view = JoinView(left_on=("drug",), right_on=("drug",))
+        materialized = MaterializedJoin(view, base, right)
+
+        left_delta = [Change("+", (7, "Prozac", 40), ((250, 260),))]
+        materialized.apply_left(left_delta)
+        apply_changes(base, left_delta)
+        assert materialized.contents.same_contents(view.evaluate(base, right))
+
+        right_delta = [
+            Change("-", ("Prozac", "SSRI"), ((0, 90),)),
+            Change("+", ("Aspirin", "NSAID"), ((0, 75),)),
+        ]
+        materialized.apply_right(right_delta)
+        apply_changes(right, right_delta)
+        assert materialized.contents.same_contents(view.evaluate(base, right))
+
+    def test_change_kind_validated(self):
+        with pytest.raises(TipValueError):
+            Change("x", ("a",), ((0, 1),))
+
+
+@st.composite
+def change_streams(draw):
+    """Random streams of +/- changes over a small row universe."""
+    rows = [(i, "drug%d" % (i % 3), i * 10) for i in range(4)]
+    n = draw(st.integers(0, 12))
+    changes = []
+    for _ in range(n):
+        row = draw(st.sampled_from(rows))
+        start = draw(st.integers(0, 300))
+        end = start + draw(st.integers(0, 80))
+        kind = draw(st.sampled_from("+-"))
+        changes.append(Change(kind, row, ((start, end),)))
+    return changes
+
+
+class TestMaintenanceProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(change_streams())
+    def test_selection_incremental_equals_recompute(self, stream):
+        base = TemporalRelation(("id", "drug", "dose"))
+        view = SelectionView(lambda row: row[1] != "drug1")
+        materialized = MaterializedSelection(view, base)
+        for change in stream:
+            materialized.apply([change])
+            apply_changes(base, [change])
+        assert materialized.contents.same_contents(view.evaluate(base))
+
+    @settings(max_examples=40, deadline=None)
+    @given(change_streams())
+    def test_projection_incremental_equals_recompute(self, stream):
+        base = TemporalRelation(("id", "drug", "dose"))
+        view = ProjectionView(("drug",))
+        materialized = MaterializedProjection(view, base)
+        for change in stream:
+            materialized.apply([change])
+            apply_changes(base, [change])
+        assert materialized.contents.same_contents(view.evaluate(base))
+
+    @settings(max_examples=40, deadline=None)
+    @given(change_streams(), change_streams())
+    def test_join_incremental_equals_recompute(self, left_stream, right_stream):
+        left = TemporalRelation(("id", "drug", "dose"))
+        right = TemporalRelation(("rid", "drug", "weight"))
+        view = JoinView(left_on=("drug",), right_on=("drug",))
+        materialized = MaterializedJoin(view, left, right)
+        rng = random.Random(0)
+        queue = [("L", c) for c in left_stream] + [("R", c) for c in right_stream]
+        rng.shuffle(queue)
+        for side, change in queue:
+            if side == "L":
+                materialized.apply_left([change])
+                apply_changes(left, [change])
+            else:
+                materialized.apply_right([change])
+                apply_changes(right, [change])
+        assert materialized.contents.same_contents(view.evaluate(left, right))

@@ -1,0 +1,169 @@
+"""Tests for the temporal difference view and snapshot operations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.element import Element
+from repro.errors import TipValueError
+from repro.layered import LayeredEngine
+from repro.tsql import TsqlSession
+from repro.warehouse import (
+    DifferenceView,
+    MaterializedDifference,
+    TemporalRelation,
+)
+from repro.warehouse.maintenance import Change, apply_changes
+from tests.conftest import C, E, sec
+
+
+def _relation(columns, items):
+    relation = TemporalRelation(columns)
+    for row, pairs in items:
+        relation.insert(row, pairs)
+    return relation
+
+
+class TestDifferenceView:
+    def test_subtracts_matching_rows(self):
+        left = _relation(("drug",), [(("Prozac",), [(0, 100)]), (("Aspirin",), [(0, 50)])])
+        right = _relation(("drug",), [(("Prozac",), [(40, 200)])])
+        result = DifferenceView().evaluate(left, right)
+        assert result.pairs(("Prozac",)) == [(0, 39)]
+        assert result.pairs(("Aspirin",)) == [(0, 50)]
+
+    def test_unmatched_right_rows_ignored(self):
+        left = _relation(("drug",), [(("Prozac",), [(0, 100)])])
+        right = _relation(("drug",), [(("Zantac",), [(0, 100)])])
+        result = DifferenceView().evaluate(left, right)
+        assert result.pairs(("Prozac",)) == [(0, 100)]
+
+    def test_fully_covered_row_disappears(self):
+        left = _relation(("drug",), [(("Prozac",), [(10, 20)])])
+        right = _relation(("drug",), [(("Prozac",), [(0, 100)])])
+        result = DifferenceView().evaluate(left, right)
+        assert len(result) == 0
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(TipValueError):
+            DifferenceView().evaluate(
+                TemporalRelation(("a",)), TemporalRelation(("b",))
+            )
+
+    def test_snapshot_reducibility(self):
+        """At every instant: rows(R - S) == rows(R) - rows(S)."""
+        rng = random.Random(5)
+        rows = [("d%d" % i,) for i in range(4)]
+        left = TemporalRelation(("drug",))
+        right = TemporalRelation(("drug",))
+        for _ in range(12):
+            start = rng.randrange(0, 400)
+            pair = [(start, start + rng.randrange(0, 100))]
+            (left if rng.random() < 0.6 else right).insert(rng.choice(rows), pair)
+        result = DifferenceView().evaluate(left, right)
+        for t in range(0, 520, 37):
+            expected = set(left.snapshot(t)) - set(right.snapshot(t))
+            assert set(result.snapshot(t)) == expected
+
+
+@st.composite
+def change_streams(draw):
+    rows = [(i % 3, "drug%d" % (i % 2)) for i in range(4)]
+    n = draw(st.integers(0, 10))
+    changes = []
+    for _ in range(n):
+        row = draw(st.sampled_from(rows))
+        start = draw(st.integers(0, 200))
+        end = start + draw(st.integers(0, 60))
+        changes.append(Change(draw(st.sampled_from("+-")), row, ((start, end),)))
+    return changes
+
+
+class TestMaterializedDifference:
+    def test_left_insert_outside_right(self):
+        left = _relation(("drug",), [(("Prozac",), [(0, 50)])])
+        right = _relation(("drug",), [(("Prozac",), [(20, 30)])])
+        materialized = MaterializedDifference(DifferenceView(), left, right)
+        out = materialized.apply_left([Change("+", ("Prozac",), ((60, 80),))])
+        apply_changes(left, [Change("+", ("Prozac",), ((60, 80),))])
+        assert materialized.contents.same_contents(DifferenceView().evaluate(left, right))
+        assert any(change.kind == "+" for change in out)
+
+    def test_right_retraction_restores_time(self):
+        left = _relation(("drug",), [(("Prozac",), [(0, 100)])])
+        right = _relation(("drug",), [(("Prozac",), [(40, 60)])])
+        materialized = MaterializedDifference(DifferenceView(), left, right)
+        assert materialized.contents.pairs(("Prozac",)) == [(0, 39), (61, 100)]
+        delta = [Change("-", ("Prozac",), ((40, 60),))]
+        materialized.apply_right(delta)
+        apply_changes(right, delta)
+        assert materialized.contents.pairs(("Prozac",)) == [(0, 100)]
+
+    @settings(max_examples=40, deadline=None)
+    @given(change_streams(), change_streams())
+    def test_incremental_equals_recompute(self, left_stream, right_stream):
+        left = TemporalRelation(("k", "drug"))
+        right = TemporalRelation(("k", "drug"))
+        view = DifferenceView()
+        materialized = MaterializedDifference(view, left, right)
+        rng = random.Random(1)
+        queue = [("L", c) for c in left_stream] + [("R", c) for c in right_stream]
+        rng.shuffle(queue)
+        for side, change in queue:
+            if side == "L":
+                materialized.apply_left([change])
+                apply_changes(left, [change])
+            else:
+                materialized.apply_right([change])
+                apply_changes(right, [change])
+        assert materialized.contents.same_contents(view.evaluate(left, right))
+
+
+class TestLayeredSnapshot:
+    @pytest.fixture
+    def engine(self):
+        engine = LayeredEngine(now="2000-01-01")
+        engine.create_table("t", [("patient", "TEXT"), ("drug", "TEXT")])
+        engine.insert("t", ("alice", "Prozac"), E("{[1999-01-01, 1999-06-30]}"))
+        engine.insert("t", ("bob", "Zantac"), E("{[1999-05-01, NOW]}"))
+        return engine
+
+    def test_snapshot_stabs_correctly(self, engine):
+        assert engine.snapshot("t", "1999-02-01") == [("alice", "Prozac")]
+        assert sorted(engine.snapshot("t", "1999-06-01")) == [
+            ("alice", "Prozac"), ("bob", "Zantac"),
+        ]
+        assert engine.snapshot("t", "1999-12-01") == [("bob", "Zantac")]
+
+    def test_now_grounds_open_periods(self, engine):
+        assert engine.snapshot("t", "1999-12-31") == [("bob", "Zantac")]
+        engine.set_now("1999-05-15")
+        assert engine.snapshot("t", "1999-12-31") == []
+
+    def test_multi_period_rows_not_duplicated(self, engine):
+        engine.insert(
+            "t", ("carol", "Tylenol"),
+            E("{[1999-02-01, 1999-02-10], [1999-02-05, 1999-02-20]}"),
+        )
+        result = engine.snapshot("t", "1999-02-07")
+        assert result.count(("carol", "Tylenol")) == 1
+
+    def test_agrees_with_tsql_snapshot(self, engine):
+        """Three-way check: layered snapshot == TSQL2 SNAPSHOT AT over
+        the blade == manual contains_instant query."""
+        import repro
+
+        conn = repro.connect(now="2000-01-01")
+        conn.execute("CREATE TABLE t (patient TEXT, drug TEXT, valid ELEMENT)")
+        conn.execute("INSERT INTO t VALUES ('alice', 'Prozac', element('{[1999-01-01, 1999-06-30]}'))")
+        conn.execute("INSERT INTO t VALUES ('bob', 'Zantac', element('{[1999-05-01, NOW]}'))")
+        session = TsqlSession(conn)
+        tsql = sorted(session.query(
+            "SNAPSHOT AT '1999-06-01' SELECT patient, drug FROM t"
+        ))
+        assert tsql == sorted(engine.snapshot("t", "1999-06-01"))
+        conn.close()

@@ -1,0 +1,158 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.errors import TipValueError
+from repro.workload import (
+    MedicalConfig,
+    generate_prescriptions,
+    random_element,
+    striped_element,
+)
+from repro.workload.generator import random_subelement
+from tests.conftest import C
+
+
+class TestStripedElement:
+    def test_exact_period_count(self):
+        for n in (0, 1, 5, 100):
+            assert len(striped_element(n, 0)) == n
+
+    def test_stays_canonical(self):
+        element = striped_element(50, 0, period_seconds=10, gap_seconds=5)
+        assert element.count(0) == 50
+
+    def test_structure(self):
+        element = striped_element(2, 0, period_seconds=10, gap_seconds=5)
+        assert element.ground_pairs(0) == [(0, 9), (15, 24)]
+
+    def test_accepts_chronon_start(self):
+        element = striped_element(1, C("1999-01-01"))
+        assert element.start() == C("1999-01-01")
+
+    def test_validates_arguments(self):
+        with pytest.raises(TipValueError):
+            striped_element(-1, 0)
+        with pytest.raises(TipValueError):
+            striped_element(1, 0, period_seconds=0)
+
+
+class TestRandomElement:
+    def test_exact_period_count_usually(self):
+        rng = random.Random(1)
+        element = random_element(rng, 10, 0, 10_000_000)
+        assert element.count(0) == 10
+
+    def test_bounds_respected(self):
+        rng = random.Random(2)
+        element = random_element(rng, 5, 1000, 2000_000)
+        pairs = element.ground_pairs(0)
+        assert pairs[0][0] >= 1000
+        assert pairs[-1][1] <= 2000_000
+
+    def test_zero_periods(self):
+        assert random_element(random.Random(0), 0, 0, 100).is_empty_at(0)
+
+    def test_deterministic_by_seed(self):
+        a = random_element(random.Random(7), 5, 0, 10_000_000)
+        b = random_element(random.Random(7), 5, 0, 10_000_000)
+        assert a.identical(b)
+
+    def test_now_fraction_one_makes_open_elements(self):
+        rng = random.Random(3)
+        element = random_element(rng, 3, 0, 10_000_000, now_fraction=1.0)
+        assert not element.is_determinate
+
+    def test_range_too_small_rejected(self):
+        with pytest.raises(TipValueError):
+            random_element(random.Random(0), 50, 0, 10)
+
+    @given(st.integers(0, 2**32), st.integers(1, 30))
+    def test_always_canonical(self, seed, n):
+        element = random_element(random.Random(seed), n, 0, 10_000_000)
+        from repro.core import interval_algebra as ia
+
+        assert ia.is_canonical(element.ground_pairs(0))
+
+
+class TestRandomSubelement:
+    def test_contained_in_base(self):
+        rng = random.Random(4)
+        base = random_element(rng, 8, 0, 10_000_000)
+        sub = random_subelement(rng, base, 0.7)
+        assert base.contains(sub)
+
+    def test_fraction_validated(self):
+        with pytest.raises(TipValueError):
+            random_subelement(random.Random(0), Element.empty(), 1.5)
+
+
+class TestMedicalWorkload:
+    def test_deterministic_by_seed(self):
+        a = generate_prescriptions(MedicalConfig(n_prescriptions=20, seed=5))
+        b = generate_prescriptions(MedicalConfig(n_prescriptions=20, seed=5))
+        assert [(r.patient, r.drug, str(r.valid)) for r in a] == [
+            (r.patient, r.drug, str(r.valid)) for r in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_prescriptions(MedicalConfig(n_prescriptions=20, seed=5))
+        b = generate_prescriptions(MedicalConfig(n_prescriptions=20, seed=6))
+        assert [str(r.valid) for r in a] != [str(r.valid) for r in b]
+
+    def test_row_count(self):
+        rows = generate_prescriptions(MedicalConfig(n_prescriptions=37))
+        assert len(rows) == 37
+
+    def test_patient_pool_respected(self):
+        rows = generate_prescriptions(MedicalConfig(n_prescriptions=100, n_patients=5))
+        assert len({row.patient for row in rows}) <= 5
+
+    def test_dob_consistent_per_patient(self):
+        rows = generate_prescriptions(MedicalConfig(n_prescriptions=100, n_patients=5))
+        dob = {}
+        for row in rows:
+            assert dob.setdefault(row.patient, row.patient_dob) == row.patient_dob
+
+    def test_overlap_rate_drives_overcount(self):
+        """Higher overlap -> bigger gap between SUM(length) and the
+        coalesced length (the E3 knob actually works)."""
+
+        def overcount(rate: float) -> float:
+            # Many patients with few prescriptions each, so accidental
+            # overlap stays small and the knob's effect is visible.
+            rows = generate_prescriptions(
+                MedicalConfig(n_prescriptions=120, n_patients=60, seed=11,
+                              overlap_rate=rate, now_fraction=0.0)
+            )
+            from repro.core.aggregates import group_union
+
+            by_patient: dict = {}
+            for row in rows:
+                by_patient.setdefault(row.patient, []).append(row.valid)
+            total_sum = sum(
+                element.length(0).seconds
+                for elements in by_patient.values()
+                for element in elements
+            )
+            total_coalesced = sum(
+                group_union(elements, now=0).length(0).seconds
+                for elements in by_patient.values()
+            )
+            return total_sum / total_coalesced
+
+        assert overcount(0.9) > overcount(0.0)
+
+    def test_now_fraction_zero_gives_determinate_data(self):
+        rows = generate_prescriptions(
+            MedicalConfig(n_prescriptions=50, seed=2, now_fraction=0.0)
+        )
+        assert all(row.valid.is_determinate for row in rows)
