@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Compare two pytest-benchmark JSON exports and fail on regressions.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks -q \\
+        --benchmark-json=BENCH_base.json            # on the base commit
+    ...
+    python benchmarks/check_regression.py BENCH_base.json BENCH_head.json
+
+Exits 1 if any benchmark present in both files got slower (mean time)
+by more than the threshold (default 20%), so CI can gate merges on it.
+Benchmarks that appear in only one file are reported but never fail
+the check — adding or retiring an experiment is not a regression.
+
+Stdlib only: runs on a bare CI runner without the test extras.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+DEFAULT_THRESHOLD = 0.20
+
+
+def load_means(path: str) -> Dict[str, float]:
+    """Map benchmark fullname -> mean seconds from a pytest-benchmark export."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    means: Dict[str, float] = {}
+    for entry in data.get("benchmarks", []):
+        name = entry.get("fullname") or entry.get("name")
+        stats = entry.get("stats") or {}
+        mean = stats.get("mean")
+        if name and isinstance(mean, (int, float)):
+            means[str(name)] = float(mean)
+    return means
+
+
+def compare(
+    base: Dict[str, float],
+    head: Dict[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+):
+    """Return (regressions, improvements, only_in_one) across shared names.
+
+    A regression/improvement is ``(name, base_mean, head_mean, ratio)``
+    with ratio = head/base; regressions are those with
+    ``ratio > 1 + threshold``.
+    """
+    shared = sorted(set(base) & set(head))
+    regressions = []
+    improvements = []
+    for name in shared:
+        base_mean, head_mean = base[name], head[name]
+        if base_mean <= 0.0:
+            continue  # degenerate timing; nothing meaningful to compare
+        ratio = head_mean / base_mean
+        if ratio > 1.0 + threshold:
+            regressions.append((name, base_mean, head_mean, ratio))
+        elif ratio < 1.0 - threshold:
+            improvements.append((name, base_mean, head_mean, ratio))
+    only_in_one = sorted(set(base) ^ set(head))
+    return regressions, improvements, only_in_one
+
+
+def _fmt(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("base", help="benchmark JSON from the base commit")
+    parser.add_argument("head", help="benchmark JSON from the head commit")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed slowdown fraction before failing (default 0.20)",
+    )
+    options = parser.parse_args(argv)
+
+    try:
+        base = load_means(options.base)
+        head = load_means(options.head)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    regressions, improvements, only_in_one = compare(
+        base, head, options.threshold
+    )
+
+    for name, base_mean, head_mean, ratio in improvements:
+        print(f"faster  {name}: {_fmt(base_mean)} -> {_fmt(head_mean)} "
+              f"({(1 - ratio) * 100:.1f}% faster)")
+    for name in only_in_one:
+        print(f"skipped {name}: present in only one run")
+    for name, base_mean, head_mean, ratio in regressions:
+        print(f"SLOWER  {name}: {_fmt(base_mean)} -> {_fmt(head_mean)} "
+              f"({(ratio - 1) * 100:.1f}% over the "
+              f"{options.threshold * 100:.0f}% budget)")
+
+    shared = len(set(base) & set(head))
+    if regressions:
+        print(f"{len(regressions)} of {shared} shared benchmarks regressed")
+        return 1
+    print(f"ok: no regression over {options.threshold * 100:.0f}% "
+          f"across {shared} shared benchmarks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

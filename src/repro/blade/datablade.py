@@ -8,7 +8,7 @@ connection with :func:`repro.blade.install_tip`.
 
 from __future__ import annotations
 
-from repro import codec
+from repro import codec, obs
 from repro.blade import routines as r
 from repro.blade.registry import AggregateDef, CastDef, DataBlade, RoutineDef, TypeDef
 from repro.core import aggregates as agg
@@ -195,13 +195,17 @@ def _doc_of(cls) -> str:
 
 def build_tip_blade() -> DataBlade:
     """Build the TIP DataBlade bundle (types, routines, casts, aggregates)."""
-    blade = DataBlade(name="TIP", version="1.0")
-    for type_def in _type_defs():
-        blade.register_type(type_def)
-    for routine in _routine_defs():
-        blade.register_routine(routine)
-    for cast_def in _cast_defs():
-        blade.register_cast(cast_def)
-    for aggregate in _aggregate_defs():
-        blade.register_aggregate(aggregate)
-    return blade
+    with obs.span("blade.build", blade="TIP"):
+        blade = DataBlade(name="TIP", version="1.0")
+        for type_def in _type_defs():
+            blade.register_type(type_def)
+        for routine in _routine_defs():
+            blade.register_routine(routine)
+        for cast_def in _cast_defs():
+            blade.register_cast(cast_def)
+        for aggregate in _aggregate_defs():
+            blade.register_aggregate(aggregate)
+        if obs.state.enabled:
+            obs.counter("blade.build.routines").add(len(blade.routines))
+            obs.counter("blade.build.casts").add(len(blade.casts))
+        return blade

@@ -95,5 +95,43 @@ def render_markdown(blade: DataBlade) -> str:
         lines.append(
             f"| `{cast_def.source} -> {cast_def.target}` | {implicit} | {cast_def.doc} |"
         )
+    lines += _CLI_SECTION
     lines.append("")
     return "\n".join(lines)
+
+
+#: The command-line / observability surface.  Static text, not derived
+#: from the registry, but kept here so docs/sql_reference.md remains a
+#: single generated artifact.
+_CLI_SECTION = [
+    "",
+    "## Command line and observability",
+    "",
+    "The interactive shell (`python -m repro [database]`) executes SQL and",
+    "TSQL2 statement modifiers; dot-commands drive the session (`.help`,",
+    "`.demo`, `.tables`, `.schema`, `.now`, `.blade`, `.browse`, `.window`,",
+    "`.slide`, `.zoom`, `.quit`).",
+    "",
+    "### `.metrics` — engine metrics from the shell",
+    "",
+    "| command | effect |",
+    "|---|---|",
+    "| `.metrics on` / `.metrics off` | toggle metrics collection (default off) |",
+    "| `.metrics` | print counters, latency histograms, recent spans as a table |",
+    "| `.metrics json` | the same snapshot as JSON |",
+    "| `.metrics reset` | clear all recorded metrics and traces |",
+    "",
+    "Every blade routine, cast, and aggregate is instrumented with",
+    "per-name call counts, latency histograms, and error counts",
+    "(`blade.routine.<name>.*`); the Element set algebra additionally",
+    "records the periods it processes (`element.periods_processed`,",
+    "`element.sweep.<op>.steps`), which is how the paper's linear-time",
+    "claim is asserted in the test suite.",
+    "",
+    "### `repro metrics` — remote snapshot over the wire",
+    "",
+    "`python -m repro metrics HOST:PORT [--json] [--reset]` connects to a",
+    "running TIP server, sends a `METRICS` protocol frame, and prints the",
+    "server's per-session ledger and process-wide snapshot (see the",
+    "`repro.server.protocol` docstring for the frame layout).",
+]

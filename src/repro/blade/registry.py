@@ -94,6 +94,23 @@ class DataBlade:
     routines: Dict[Tuple[str, int], RoutineDef] = field(default_factory=dict)
     casts: List[CastDef] = field(default_factory=list)
     aggregates: Dict[str, AggregateDef] = field(default_factory=dict)
+    #: Lookup indexes.  ``find_cast`` and ``type_for_class`` sit on the
+    #: argument-coercion path of every SQL routine call, so they must
+    #: be dict lookups, not scans over the declaration lists.
+    _casts_by_key: Dict[Tuple[str, str], CastDef] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _types_by_class: Dict[Type, TypeDef] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        # Blades may be constructed with pre-populated declaration
+        # containers; derive the indexes from whatever arrived.
+        for cast_def in self.casts:
+            self._casts_by_key[(cast_def.source, cast_def.target)] = cast_def
+        for type_def in self.types.values():
+            self._types_by_class.setdefault(type_def.python_type, type_def)
 
     # -- registration -------------------------------------------------
 
@@ -102,6 +119,9 @@ class DataBlade:
         if key in self.types:
             raise DuplicateRegistrationError(f"type {key!r} already registered in {self.name}")
         self.types[key] = type_def
+        # First registration wins when two types share a Python class,
+        # matching the old scan-in-declaration-order behaviour.
+        self._types_by_class.setdefault(type_def.python_type, type_def)
 
     def register_routine(self, routine: RoutineDef) -> None:
         arity = len(routine.arg_types)
@@ -118,12 +138,13 @@ class DataBlade:
     def register_cast(self, cast_def: CastDef) -> None:
         self._check_type_name(f"cast {cast_def.source}->{cast_def.target}", cast_def.source)
         self._check_type_name(f"cast {cast_def.source}->{cast_def.target}", cast_def.target)
-        for existing in self.casts:
-            if existing.source == cast_def.source and existing.target == cast_def.target:
-                raise DuplicateRegistrationError(
-                    f"cast {cast_def.source}->{cast_def.target} already registered"
-                )
+        key = (cast_def.source, cast_def.target)
+        if key in self._casts_by_key:
+            raise DuplicateRegistrationError(
+                f"cast {cast_def.source}->{cast_def.target} already registered"
+            )
         self.casts.append(cast_def)
+        self._casts_by_key[key] = cast_def
 
     def register_aggregate(self, aggregate: AggregateDef) -> None:
         routine_names = {name for name, _arity in self.routines}
@@ -137,17 +158,19 @@ class DataBlade:
     # -- lookup -------------------------------------------------------
 
     def type_for_class(self, python_type: Type) -> Optional[TypeDef]:
-        for type_def in self.types.values():
-            if type_def.python_type is python_type:
-                return type_def
-        return None
+        """The type registered for a Python class — a dict lookup.
+
+        This and :meth:`find_cast` run inside every instrumented SQL
+        routine call (argument coercion), so neither may scan.
+        """
+        return self._types_by_class.get(python_type)
 
     def find_cast(self, source: str, target: str, *, implicit_only: bool = False) -> Optional[CastDef]:
-        for cast_def in self.casts:
-            if cast_def.source == source and cast_def.target == target:
-                if cast_def.implicit or not implicit_only:
-                    return cast_def
-        return None
+        """The cast from *source* to *target*, keyed by the pair."""
+        cast_def = self._casts_by_key.get((source, target))
+        if cast_def is None or (implicit_only and not cast_def.implicit):
+            return None
+        return cast_def
 
     # -- validation ---------------------------------------------------
 

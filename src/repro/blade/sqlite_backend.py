@@ -22,7 +22,7 @@ from __future__ import annotations
 import sqlite3
 from typing import Callable, Optional
 
-from repro import codec
+from repro import codec, obs
 from repro.blade.datablade import TIP_TYPES, build_tip_blade
 from repro.blade.registry import AggregateDef, DataBlade, RoutineDef
 from repro.errors import TipError, TipTypeError
@@ -92,7 +92,13 @@ def _coerce_argument(value, type_name: str, blade: DataBlade):
     if source_def is not None:
         cast_def = blade.find_cast(source_def.name, type_name, implicit_only=True)
         if cast_def is not None:
-            return cast_def.implementation(value)
+            # Casts are resolved dynamically, so they are instrumented
+            # per call rather than wrapped once at install time.
+            return obs.call(
+                f"blade.cast.{cast_def.source}->{cast_def.target}",
+                cast_def.implementation,
+                value,
+            )
     raise TipTypeError(
         f"no implicit conversion from {type(value).__name__} to {type_name}"
     )
@@ -162,6 +168,7 @@ def _make_sql_function(routine: RoutineDef, blade: DataBlade) -> Callable:
 def _make_sql_aggregate(aggregate: AggregateDef, blade: DataBlade) -> type:
     factory = aggregate.factory
     arg_type = aggregate.arg_type
+    steps_name = f"blade.aggregate.{aggregate.name}.steps"
 
     class SqlAggregate:
         def __init__(self) -> None:
@@ -170,6 +177,8 @@ def _make_sql_aggregate(aggregate: AggregateDef, blade: DataBlade) -> type:
         def step(self, value) -> None:
             if value is None:
                 return  # SQL aggregates ignore NULLs
+            if obs.state.enabled:
+                obs.counter(steps_name).inc()
             try:
                 decoded = _coerce_argument(value, arg_type, blade)
             except _Null:  # pragma: no cover - None handled above
@@ -181,6 +190,10 @@ def _make_sql_aggregate(aggregate: AggregateDef, blade: DataBlade) -> type:
 
     SqlAggregate.__name__ = f"TipAggregate_{aggregate.name}"
     SqlAggregate.__doc__ = aggregate.doc
+    # Per-group call count, latency, and errors for the finalize step.
+    SqlAggregate.finalize = obs.instrumented(
+        f"blade.aggregate.{aggregate.name}", SqlAggregate.finalize
+    )
     return SqlAggregate
 
 
@@ -188,13 +201,18 @@ def install_blade(connection: sqlite3.Connection, blade: DataBlade) -> sqlite3.C
     """Install every routine and aggregate of *blade* into *connection*.
 
     Returns the connection for chaining.  Installation is idempotent
-    (re-creating a function replaces it).
+    (re-creating a function replaces it).  Every entry point is wrapped
+    with per-name call-count/latency/error instrumentation here, at
+    ``create_function`` time; the wrappers are inert pass-throughs
+    until :func:`repro.obs.enable` flips the process-wide switch.
     """
     for (name, arity), routine in blade.routines.items():
         connection.create_function(
             name,
             arity,
-            _make_sql_function(routine, blade),
+            obs.instrumented(
+                f"blade.routine.{name}", _make_sql_function(routine, blade)
+            ),
             deterministic=routine.deterministic,
         )
     for name, aggregate in blade.aggregates.items():

@@ -15,6 +15,9 @@ Dot-commands drive the session:
 ``.schema <table>``     show a table's DDL
 ``.now [t | clear]``    show/override/clear the interpretation of NOW
 ``.blade``              describe the installed TIP DataBlade
+``.metrics [...]``      engine metrics: ``on``/``off`` toggles
+                        collection, ``json`` dumps JSON, ``reset``
+                        clears, no argument prints the table
 ``.browse <sql>``       load a query into the Browser and render it
 ``.window <start> <days>``  set the Browser window
 ``.slide <n>``          move the Browser window by n window-widths
@@ -22,24 +25,31 @@ Dot-commands drive the session:
 ``.quit``               leave
 ======================  ==================================================
 
+There is also a non-interactive subcommand that fetches a METRICS
+frame from a running :class:`~repro.server.server.TipServer`::
+
+    python -m repro metrics HOST:PORT [--json] [--reset]
+
 Everything returns text, so the shell is scriptable and testable
 (:class:`TipShell` is the engine; ``main()`` is the stdin loop).
 """
 
 from __future__ import annotations
 
+import os
 import sqlite3
 import sys
 from typing import List, Optional, Sequence
 
 import repro
+from repro import obs
 from repro.browser import TimeWindow, TipBrowser
 from repro.core.chronon import Chronon
 from repro.core.span import Span
 from repro.errors import TipError
 from repro.tsql import TsqlSession
 
-__all__ = ["TipShell", "main"]
+__all__ = ["TipShell", "main", "metrics_main"]
 
 _MAX_ROWS = 40
 
@@ -172,6 +182,26 @@ class TipShell:
 
         return build_tip_blade().describe()
 
+    def _cmd_metrics(self, argument: str) -> str:
+        argument = argument.lower()
+        if argument == "on":
+            obs.enable()
+            return "metrics collection enabled"
+        if argument == "off":
+            obs.disable()
+            return "metrics collection disabled"
+        if argument == "reset":
+            obs.get_registry().reset()
+            obs.get_trace_buffer().clear()
+            return "metrics reset"
+        snapshot = obs.snapshot(trace_tail=10)
+        if argument == "json":
+            return obs.render_json(snapshot)
+        if argument:
+            return "usage: .metrics [on|off|json|reset]"
+        state = "on" if snapshot.get("enabled") else "off (enable with .metrics on)"
+        return f"collection: {state}\n\n{obs.render_text(snapshot)}"
+
     # -- browser commands -----------------------------------------------------------
 
     def _cmd_browse(self, argument: str) -> str:
@@ -217,9 +247,58 @@ class TipShell:
         self.connection.close()
 
 
+def metrics_main(argv: Sequence[str]) -> int:
+    """``python -m repro metrics HOST:PORT [--json] [--reset]``.
+
+    Fetches one METRICS frame from a running TIP server and prints the
+    snapshot as a table (default) or JSON.
+    """
+    from repro.server.client import RemoteTipConnection
+
+    as_json = "--json" in argv
+    reset = "--reset" in argv
+    targets = [arg for arg in argv if not arg.startswith("--")]
+    if len(targets) != 1 or ":" not in targets[0]:
+        print("usage: python -m repro metrics HOST:PORT [--json] [--reset]",
+              file=sys.stderr)
+        return 2
+    host, _, port_text = targets[0].rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"error: bad port {port_text!r}", file=sys.stderr)
+        return 2
+    try:
+        with RemoteTipConnection(host, port) as connection:
+            data = connection.metrics(reset=reset, trace_tail=10)
+    except (OSError, TipError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if as_json:
+        print(obs.render_json(data))
+        return 0
+    session = data.get("session", {})
+    print(f"session #{session.get('id', '?')}: "
+          f"{session.get('frames', 0)} frames, "
+          f"{session.get('execute', 0)} executes, "
+          f"{session.get('errors', 0)} errors")
+    print()
+    print(obs.render_text(data.get("metrics", {})))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """The stdin REPL loop."""
+    """The stdin REPL loop, or a one-shot subcommand (``metrics``)."""
     arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "metrics":
+        try:
+            return metrics_main(arguments[1:])
+        except BrokenPipeError:
+            # stdout went away (e.g. piped into `head`); not an error.
+            # Point the fd at devnull so interpreter shutdown doesn't
+            # trip over flushing the closed pipe.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return 0
     database = arguments[0] if arguments else ":memory:"
     shell = TipShell(database)
     print(f"TIP shell — database: {database}.  .help for help, .quit to leave.")

@@ -25,6 +25,8 @@ from repro.core.nowctx import current_now_seconds
 from repro.core.period import Period
 from repro.core.span import Span
 from repro.errors import TipTypeError, TipValueError
+from repro.obs.registry import get_registry as _obs_registry
+from repro.obs.registry import state as _obs_state
 
 __all__ = ["Element"]
 
@@ -146,27 +148,33 @@ class Element:
 
     # -- set algebra (linear-time; grounds at the ambient NOW) --------
 
-    def _binary(self, other: "Element", op, now) -> "Element":
+    def _binary(self, other: "Element", op, now, op_name: str) -> "Element":
         if not isinstance(other, Element):
             raise TipTypeError(f"expected Element, got {type(other).__name__}")
         now_seconds = _coerce_now_seconds(now)
         if now_seconds is None and not (self._canonical and other._canonical):
             now_seconds = current_now_seconds()
-        return Element.from_pairs(
-            op(self.ground_pairs(now_seconds), other.ground_pairs(now_seconds))
-        )
+        a = self.ground_pairs(now_seconds)
+        b = other.ground_pairs(now_seconds)
+        result = op(a, b)
+        if _obs_state.enabled:
+            registry = _obs_registry()
+            registry.counter(f"element.op.{op_name}.calls").inc()
+            registry.counter(f"element.op.{op_name}.periods_in").add(len(a) + len(b))
+            registry.counter(f"element.op.{op_name}.periods_out").add(len(result))
+        return Element.from_pairs(result)
 
     def union(self, other: "Element", now: "Chronon | int | None" = None) -> "Element":
         """Set union, in time linear in the total number of periods."""
-        return self._binary(other, ia.union, now)
+        return self._binary(other, ia.union, now, "union")
 
     def intersect(self, other: "Element", now: "Chronon | int | None" = None) -> "Element":
         """Set intersection, linear time."""
-        return self._binary(other, ia.intersect, now)
+        return self._binary(other, ia.intersect, now, "intersect")
 
     def difference(self, other: "Element", now: "Chronon | int | None" = None) -> "Element":
         """Set difference ``self - other``, linear time."""
-        return self._binary(other, ia.difference, now)
+        return self._binary(other, ia.difference, now, "difference")
 
     def complement(
         self,

@@ -1,0 +1,152 @@
+"""Observability: metrics and tracing for the TIP engine.
+
+The paper's central quantitative claim — in-engine temporal routines
+run in time linear in the number of periods (Sections 3–4, experiments
+E1/E2) — is only checkable if the engine can report the work it
+performs.  This package provides that report surface:
+
+* **counters** — call counts, error counts, periods-processed volumes;
+* **histograms** — per-routine latency distributions;
+* **spans** — ring-buffered trace events for coarse operations.
+
+Everything hangs off one process-wide switch (:func:`enable` /
+:func:`disable`, default *off*).  Hot paths guard on
+``registry.state.enabled`` — a single attribute load — and instruments
+are created lazily, so a disabled engine does no metric work and
+allocates nothing (asserted by ``tests/test_obs.py``).
+
+Call sites either wrap a callable once (:func:`instrumented`, used by
+the blade installer at ``create_function`` time) or record explicit
+counters under the guard (the interval-algebra sweeps).  Snapshots are
+plain data, safe to frame over the server protocol as a ``METRICS``
+response and to render via :mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict
+
+from repro.obs.export import render_json, render_text
+from repro.obs.instruments import Counter, Histogram
+from repro.obs.registry import (
+    MetricsRegistry,
+    disable,
+    enable,
+    get_registry,
+    is_enabled,
+    set_registry,
+    state,
+)
+from repro.obs.trace import (
+    TraceBuffer,
+    TraceEvent,
+    get_trace_buffer,
+    set_trace_buffer,
+    span,
+)
+
+__all__ = [
+    "Counter", "Histogram", "MetricsRegistry", "TraceBuffer", "TraceEvent",
+    "enable", "disable", "is_enabled", "state",
+    "get_registry", "set_registry", "get_trace_buffer", "set_trace_buffer",
+    "counter", "histogram", "span", "snapshot", "instrumented", "call", "capture",
+    "render_text", "render_json",
+]
+
+
+def counter(name: str) -> Counter:
+    """The named counter in the active registry (created on first use)."""
+    return get_registry().counter(name)
+
+
+def histogram(name: str) -> Histogram:
+    """The named histogram in the active registry (created on first use)."""
+    return get_registry().histogram(name)
+
+
+def snapshot(trace_tail: int = 0) -> Dict:
+    """The active registry as plain data, plus the switch position.
+
+    *trace_tail* > 0 appends the most recent trace events.
+    """
+    data = get_registry().snapshot()
+    data["enabled"] = state.enabled
+    if trace_tail:
+        data["trace"] = [
+            event.as_dict() for event in get_trace_buffer().events(last=trace_tail)
+        ]
+    return data
+
+
+def instrumented(name: str, fn):
+    """Wrap *fn* with ``<name>.calls`` / ``.seconds`` / ``.errors``.
+
+    The wrapper is a straight pass-through while observability is
+    disabled; the instruments only come into existence on the first
+    call with it enabled.
+    """
+    calls_name = name + ".calls"
+    errors_name = name + ".errors"
+    seconds_name = name + ".seconds"
+
+    def wrapper(*args, **kwargs):
+        if not state.enabled:
+            return fn(*args, **kwargs)
+        registry = get_registry()
+        started = perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        except Exception:
+            registry.counter(errors_name).inc()
+            raise
+        finally:
+            registry.counter(calls_name).inc()
+            registry.histogram(seconds_name).observe(perf_counter() - started)
+
+    wrapper.__name__ = getattr(fn, "__name__", name)
+    wrapper.__doc__ = getattr(fn, "__doc__", None)
+    wrapper.__wrapped__ = fn
+    return wrapper
+
+
+def call(name: str, fn, *args):
+    """One-shot :func:`instrumented`: run ``fn(*args)`` under *name*.
+
+    For call sites where the callable is looked up dynamically (the
+    blade's implicit cast graph) and wrapping once is not possible.
+    """
+    if not state.enabled:
+        return fn(*args)
+    registry = get_registry()
+    started = perf_counter()
+    try:
+        return fn(*args)
+    except Exception:
+        registry.counter(name + ".errors").inc()
+        raise
+    finally:
+        registry.counter(name + ".calls").inc()
+        registry.histogram(name + ".seconds").observe(perf_counter() - started)
+
+
+@contextmanager
+def capture(enabled: bool = True):
+    """Temporarily install a fresh registry + trace buffer; yield the registry.
+
+    The workhorse of the test suite: isolates metric assertions from
+    whatever the process accumulated before, and restores the previous
+    registry, buffer, and switch position on exit.
+    """
+    previous_enabled = state.enabled
+    registry = MetricsRegistry("capture")
+    previous_registry = set_registry(registry)
+    previous_buffer = set_trace_buffer(TraceBuffer())
+    state.enabled = enabled
+    try:
+        yield registry
+    finally:
+        state.enabled = previous_enabled
+        set_registry(previous_registry)
+        set_trace_buffer(previous_buffer)

@@ -1,0 +1,76 @@
+"""Render a metrics snapshot as a fixed-width table or JSON.
+
+Consumed by the shell's ``.metrics`` command, the ``python -m repro
+metrics`` subcommand, and anything that receives a ``METRICS`` frame
+from the server and wants it human-readable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+__all__ = ["render_text", "render_json"]
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> List[str]:
+    widths = [
+        max([len(header)] + [len(row[index]) for row in rows])
+        for index, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return lines
+
+
+def _seconds(value) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.3f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def render_text(snapshot: Dict) -> str:
+    """A snapshot (``{"counters": ..., "histograms": ...}``) as text."""
+    sections: List[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        rows = [(name, str(counters[name])) for name in sorted(counters)]
+        sections.append("\n".join(["counters:"] + _table(("name", "value"), rows)))
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        rows = []
+        for name in sorted(histograms):
+            h = histograms[name]
+            rows.append((
+                name, str(h.get("count", 0)),
+                _seconds(h.get("mean", 0.0)),
+                _seconds(h.get("min")), _seconds(h.get("max")),
+                _seconds(h.get("sum", 0.0)),
+            ))
+        sections.append("\n".join(
+            ["histograms:"] + _table(("name", "count", "mean", "min", "max", "total"), rows)
+        ))
+    trace = snapshot.get("trace", [])
+    if trace:
+        rows = [
+            (event.get("name", "?"), _seconds(event.get("seconds")),
+             "ok" if event.get("ok", True) else "ERROR")
+            for event in trace
+        ]
+        sections.append("\n".join(["recent spans:"] + _table(("span", "took", "status"), rows)))
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)
+
+
+def render_json(snapshot: Dict) -> str:
+    """A snapshot as pretty-printed, key-sorted JSON."""
+    return json.dumps(snapshot, indent=2, sort_keys=True)

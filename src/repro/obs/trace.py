@@ -1,0 +1,127 @@
+"""Span-style trace events in a bounded ring buffer.
+
+A span times one named operation (a temporal aggregate sweep, a server
+frame) and records a :class:`TraceEvent` into the process-wide
+:class:`TraceBuffer`; the buffer is a ``deque(maxlen=...)`` so tracing
+never grows without bound.  Each span also feeds a latency histogram
+named ``<name>.seconds`` in the active metrics registry, so traces and
+metrics stay consistent.
+
+When observability is disabled, :func:`span` returns a shared no-op
+context manager — no allocation, no clock read.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional
+
+from repro.obs.registry import get_registry, state
+
+__all__ = ["TraceEvent", "TraceBuffer", "span", "get_trace_buffer", "set_trace_buffer"]
+
+#: Default ring capacity; enough for a workload's tail without ever
+#: mattering for memory.
+DEFAULT_CAPACITY = 512
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One completed span."""
+
+    name: str
+    seconds: float
+    ok: bool = True
+    meta: Dict = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        return {"name": self.name, "seconds": self.seconds, "ok": self.ok, **(
+            {"meta": self.meta} if self.meta else {}
+        )}
+
+
+class TraceBuffer:
+    """A thread-safe ring buffer of the most recent trace events."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._events: deque = deque(maxlen=capacity)
+
+    def record(self, event: TraceEvent) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def events(self, last: Optional[int] = None) -> List[TraceEvent]:
+        """The buffered events, oldest first (optionally only the last *n*)."""
+        with self._lock:
+            items = list(self._events)
+        return items if last is None else items[-last:]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+_default_buffer = TraceBuffer()
+
+
+def get_trace_buffer() -> TraceBuffer:
+    return _default_buffer
+
+
+def set_trace_buffer(buffer: TraceBuffer) -> TraceBuffer:
+    """Swap the active trace buffer; returns the previous one."""
+    global _default_buffer
+    previous = _default_buffer
+    _default_buffer = buffer
+    return previous
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("name", "meta", "_start")
+
+    def __init__(self, name: str, meta: Dict) -> None:
+        self.name = name
+        self.meta = meta
+
+    def __enter__(self) -> "_Span":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = perf_counter() - self._start
+        get_trace_buffer().record(
+            TraceEvent(self.name, elapsed, ok=exc_type is None, meta=self.meta)
+        )
+        get_registry().histogram(f"{self.name}.seconds").observe(elapsed)
+        return False
+
+
+def span(name: str, **meta):
+    """Context manager timing one operation; inert when disabled."""
+    if not state.enabled:
+        return _NULL_SPAN
+    return _Span(name, meta)

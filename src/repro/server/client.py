@@ -85,6 +85,23 @@ class RemoteTipConnection:
         text = str(now) if isinstance(now, Chronon) else now
         self._round_trip({"op": "set_now", "now": text})
 
+    def metrics(self, *, reset: bool = False, trace_tail: int = 0) -> dict:
+        """The server's METRICS frame: session ledger + global snapshot.
+
+        Returns ``{"session": {...}, "metrics": {...}}`` (see
+        :mod:`repro.server.protocol`).  *reset* clears the server's
+        process-wide registry after the snapshot is taken (the
+        response carries the pre-reset state); *trace_tail* asks for
+        the last *n* trace spans.
+        """
+        frame = {"op": "metrics"}
+        if reset:
+            frame["reset"] = True
+        if trace_tail:
+            frame["trace_tail"] = trace_tail
+        response = self._round_trip(frame)
+        return {key: value for key, value in response.items() if key != "ok"}
+
     def ping(self) -> bool:
         return bool(self._round_trip({"op": "ping"}).get("pong"))
 

@@ -4,6 +4,7 @@ Requests::
 
     {"op": "execute", "sql": "...", "params": [...]}
     {"op": "set_now", "now": "1999-09-01"}     # null clears the override
+    {"op": "metrics"}                          # the METRICS frame
     {"op": "ping"}
     {"op": "close"}
 
@@ -12,6 +13,26 @@ Responses::
     {"ok": true, "rows": [...], "columns": [...], "rowcount": n,
      "statement_now": "..."}
     {"ok": false, "error": "message", "kind": "OperationalError"}
+
+The METRICS frame returns the observability state of the server
+process and of the requesting session::
+
+    {"ok": true,
+     "session": {"id": 3, "frames": n, "execute": n, "errors": n,
+                 "rows": n, "seconds": s},
+     "metrics": {"enabled": true,
+                 "counters": {"server.frame.execute.calls": n, ...},
+                 "histograms": {"blade.routine.tunion.seconds":
+                                {"count": n, "sum": s, "min": s,
+                                 "max": s, "mean": s, "buckets": {...}},
+                                ...}}}
+
+``session`` is the requesting session's own ledger (frames counted
+before this METRICS frame itself); ``metrics`` is the process-wide
+:mod:`repro.obs` snapshot, including per-routine blade call counts and
+latencies.  Optional request fields: ``"reset": true`` clears the
+process-wide registry first; ``"trace_tail": n`` appends the last *n*
+trace spans under ``metrics.trace``.
 
 TIP values (in params and in result rows) are framed as
 ``{"$tip": "<base64 of the binary encoding>"}``; byte strings as

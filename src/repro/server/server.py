@@ -6,21 +6,39 @@ lock is the honest concurrency model; per-session state (the ``NOW``
 override) is applied under that lock before each statement, so remote
 sessions get independent temporal contexts — the Browser's what-if
 override works per client.
+
+Observability: the server times every frame and keeps two ledgers —
+
+* **per-session counters** (frames, executes, errors, rows, seconds),
+  owned by the single handler thread of that session, so attribution
+  is exact by construction;
+* **process-wide metrics** in :mod:`repro.obs` (``server.frame.<op>``
+  call counts and latency histograms, session totals), shared across
+  sessions and lock-protected per instrument, so no update is lost
+  even while the engine lock is contended.
+
+Both are readable over the wire via the ``METRICS`` frame
+(``{"op": "metrics"}`` — see :mod:`repro.server.protocol`).
 """
 
 from __future__ import annotations
 
+import itertools
 import socketserver
 import threading
+from time import perf_counter
 from typing import Optional, Tuple
 
 import repro
+from repro import obs
 from repro.core.chronon import Chronon
 from repro.core.parser import parse_chronon
 from repro.errors import TipError
 from repro.server import protocol
 
 __all__ = ["TipServer"]
+
+_SESSION_IDS = itertools.count(1)
 
 
 class _SessionHandler(socketserver.StreamRequestHandler):
@@ -29,50 +47,96 @@ class _SessionHandler(socketserver.StreamRequestHandler):
     server: "_InnerServer"
 
     def handle(self) -> None:
-        session_now: Optional[int] = None
+        self.session_now: Optional[int] = None
+        self.session_id = next(_SESSION_IDS)
+        self.session_counters = {
+            "frames": 0, "execute": 0, "errors": 0, "rows": 0, "seconds": 0.0,
+        }
+        if obs.state.enabled:
+            obs.counter("server.sessions.opened").inc()
         while True:
             line = self.rfile.readline()
             if not line:
                 return
             if not line.strip():
                 continue
+            started = perf_counter()
+            op = "?"
             try:
                 frame = protocol.load_frame(line)
-                response, session_now, done = self._dispatch(frame, session_now)
+                op = str(frame.get("op"))
+                response, done = self._dispatch(frame)
             except protocol.ProtocolError as exc:
                 response, done = {"ok": False, "error": str(exc), "kind": "ProtocolError"}, False
             except Exception as exc:  # never kill the session thread silently
                 response, done = {"ok": False, "error": str(exc), "kind": type(exc).__name__}, False
+            self._account(op, response, perf_counter() - started)
             self.wfile.write(protocol.dump_frame(response))
             self.wfile.flush()
             if done:
                 return
 
-    def _dispatch(self, frame: dict, session_now: Optional[int]):
+    def _account(self, op: str, response: dict, seconds: float) -> None:
+        """Update both metric ledgers for one completed frame."""
+        counters = self.session_counters
+        counters["frames"] += 1
+        counters["seconds"] += seconds
+        ok = bool(response.get("ok"))
+        if not ok:
+            counters["errors"] += 1
+        # DDL reports rowcount -1; only count real row traffic.
+        rows = max(0, response.get("rowcount") or 0) if op == "execute" and ok else 0
+        if op == "execute":
+            counters["execute"] += 1
+            counters["rows"] += rows
+        if obs.state.enabled:
+            registry = obs.get_registry()
+            registry.counter(f"server.frame.{op}.calls").inc()
+            registry.histogram(f"server.frame.{op}.seconds").observe(seconds)
+            if not ok:
+                registry.counter(f"server.frame.{op}.errors").inc()
+            if rows:
+                registry.counter("server.rows_returned").add(rows)
+
+    def _dispatch(self, frame: dict) -> Tuple[dict, bool]:
         op = frame.get("op")
         if op == "ping":
-            return {"ok": True, "pong": True}, session_now, False
+            return {"ok": True, "pong": True}, False
         if op == "close":
-            return {"ok": True, "closed": True}, session_now, True
+            return {"ok": True, "closed": True}, True
+        if op == "metrics":
+            return self._metrics(frame), False
         if op == "set_now":
             raw = frame.get("now")
             if raw is None:
-                return {"ok": True, "now": None}, None, False
+                self.session_now = None
+                return {"ok": True, "now": None}, False
             try:
                 seconds = parse_chronon(raw).seconds
             except TipError as exc:
-                return {"ok": False, "error": str(exc), "kind": type(exc).__name__}, \
-                    session_now, False
-            return {"ok": True, "now": raw}, seconds, False
+                return {"ok": False, "error": str(exc), "kind": type(exc).__name__}, False
+            self.session_now = seconds
+            return {"ok": True, "now": raw}, False
         if op == "execute":
-            return self._execute(frame, session_now), session_now, False
+            return self._execute(frame), False
         return (
             {"ok": False, "error": f"unknown op {op!r}", "kind": "ProtocolError"},
-            session_now,
             False,
         )
 
-    def _execute(self, frame: dict, session_now: Optional[int]) -> dict:
+    def _metrics(self, frame: dict) -> dict:
+        """The METRICS frame: this session's ledger + the global snapshot."""
+        snapshot = obs.snapshot(trace_tail=int(frame.get("trace_tail", 0) or 0))
+        if frame.get("reset"):
+            # Read-and-reset: the response carries the pre-reset state.
+            obs.get_registry().reset()
+        return {
+            "ok": True,
+            "session": {"id": self.session_id, **self.session_counters},
+            "metrics": snapshot,
+        }
+
+    def _execute(self, frame: dict) -> dict:
         sql = frame.get("sql")
         if not isinstance(sql, str):
             return {"ok": False, "error": "execute needs a sql string", "kind": "ProtocolError"}
@@ -81,6 +145,7 @@ class _SessionHandler(socketserver.StreamRequestHandler):
         except protocol.ProtocolError as exc:
             return {"ok": False, "error": str(exc), "kind": "ProtocolError"}
         owner = self.server.owner
+        session_now = self.session_now
         with owner.lock:
             connection = owner.connection
             try:
@@ -129,13 +194,24 @@ class TipServer:
     Also usable as a context manager.
     """
 
-    def __init__(self, database: str = ":memory:", host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        database: str = ":memory:",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        observability: bool = True,
+    ) -> None:
         # Handler threads share this one engine connection under the
         # lock, so SQLite's same-thread check must be relaxed here.
         self.connection = repro.connect(database, check_same_thread=False)
         self.lock = threading.Lock()
         self._inner = _InnerServer((host, port), self)
         self._thread: Optional[threading.Thread] = None
+        # The server is the natural observability surface: it answers
+        # METRICS frames, so by default it flips the process-wide
+        # switch on.  Pass observability=False to leave it untouched.
+        if observability:
+            obs.enable()
 
     @property
     def address(self) -> Tuple[str, int]:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Tuple
 
+from repro import obs
 from repro.core.element import Element
 from repro.core.instant import _coerce_now_seconds
 from repro.errors import TipTypeError
@@ -24,12 +25,19 @@ def _deltas(
     now_seconds: Optional[int],
 ) -> List[Tuple[int, float]]:
     deltas: List[Tuple[int, float]] = []
+    tuples = 0
     for element, value in items:
         if not isinstance(element, Element):
             raise TipTypeError(f"expected Element, got {type(element).__name__}")
+        tuples += 1
         for start, end in element.ground_pairs(now_seconds):
             deltas.append((start, value))
             deltas.append((end + 1, -value))
+    if obs.state.enabled:
+        registry = obs.get_registry()
+        registry.counter("tempagg.sweep.tuples").add(tuples)
+        # Two deltas per period, so this is the periods-processed count.
+        registry.counter("tempagg.sweep.periods_processed").add(len(deltas) // 2)
     return deltas
 
 
@@ -39,9 +47,10 @@ def temporal_count(
 ) -> StepFunction:
     """How many tuples are valid at each instant."""
     now_seconds = _coerce_now_seconds(now)
-    return StepFunction.from_deltas(
-        _deltas(((element, 1) for element in elements), now_seconds)
-    )
+    with obs.span("tempagg.temporal_count"):
+        return StepFunction.from_deltas(
+            _deltas(((element, 1) for element in elements), now_seconds)
+        )
 
 
 def temporal_sum(
@@ -50,7 +59,8 @@ def temporal_sum(
 ) -> StepFunction:
     """Time-varying SUM of a measure over the tuples valid at each instant."""
     now_seconds = _coerce_now_seconds(now)
-    return StepFunction.from_deltas(_deltas(items, now_seconds))
+    with obs.span("tempagg.temporal_sum"):
+        return StepFunction.from_deltas(_deltas(items, now_seconds))
 
 
 def temporal_avg(
@@ -59,19 +69,20 @@ def temporal_avg(
 ) -> StepFunction:
     """Time-varying AVG: SUM / COUNT wherever COUNT is nonzero."""
     now_seconds = _coerce_now_seconds(now)
-    total = temporal_sum(items, now_seconds)
-    count = temporal_count((element for element, _v in items), now_seconds)
-    # Merge the two step functions over the union of their boundaries.
-    boundaries = sorted(
-        {s for s, _e, _v in total.segments}
-        | {e + 1 for _s, e, _v in total.segments}
-        | {s for s, _e, _v in count.segments}
-        | {e + 1 for _s, e, _v in count.segments}
-    )
-    segments = []
-    for index in range(len(boundaries) - 1):
-        lo, hi = boundaries[index], boundaries[index + 1] - 1
-        tuples_valid = count.value_at(lo)
-        if tuples_valid:
-            segments.append((lo, hi, total.value_at(lo) / tuples_valid))
-    return StepFunction(segments)
+    with obs.span("tempagg.temporal_avg"):
+        total = temporal_sum(items, now_seconds)
+        count = temporal_count((element for element, _v in items), now_seconds)
+        # Merge the two step functions over the union of their boundaries.
+        boundaries = sorted(
+            {s for s, _e, _v in total.segments}
+            | {e + 1 for _s, e, _v in total.segments}
+            | {s for s, _e, _v in count.segments}
+            | {e + 1 for _s, e, _v in count.segments}
+        )
+        segments = []
+        for index in range(len(boundaries) - 1):
+            lo, hi = boundaries[index], boundaries[index + 1] - 1
+            tuples_valid = count.value_at(lo)
+            if tuples_valid:
+                segments.append((lo, hi, total.value_at(lo) / tuples_valid))
+        return StepFunction(segments)

@@ -25,6 +25,11 @@ safe_seconds = st.integers(min_value=SAFE_LO, max_value=SAFE_HI)
 #: Small coordinates for brute-force comparisons against chronon sets.
 tiny_seconds = st.integers(min_value=0, max_value=400)
 
+#: Wider coordinates for work-bound properties: enough room that
+#: canonical pair lists can actually reach the requested size instead
+#: of coalescing away, without being brute-force-enumerable.
+wide_seconds = st.integers(min_value=0, max_value=500_000)
+
 
 @st.composite
 def pairs_lists(draw, coords=tiny_seconds, max_size=12):
@@ -90,6 +95,17 @@ def elements(draw, seconds=safe_seconds, max_periods=6):
 @st.composite
 def determinate_elements(draw, seconds=safe_seconds, max_periods=8):
     return Element(draw(st.lists(determinate_periods(seconds), max_size=max_periods)))
+
+
+@st.composite
+def canonical_elements(draw, coords=wide_seconds, max_size=32):
+    """Determinate elements built straight from canonical pair lists.
+
+    Unlike :func:`determinate_elements`, the number of stored periods
+    equals the number of drawn pairs (nothing coalesces), which is what
+    the work-per-input properties need for sharp operand sizes.
+    """
+    return Element.from_pairs(draw(canonical_pairs(coords, max_size)))
 
 
 def brute_set(pairs) -> set:

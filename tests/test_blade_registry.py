@@ -108,6 +108,61 @@ class TestLookup:
         assert blade.find_cast("Span", "Chronon") is None
 
 
+class _NoScanList(list):
+    """A cast list that fails the test if anything iterates it."""
+
+    def __iter__(self):
+        raise AssertionError("find_cast must use the (source, target) index, not scan")
+
+
+class TestLookupIndexes:
+    """Regression: find_cast / type_for_class are dict lookups, not scans.
+
+    Both sit on the argument-coercion path of every SQL routine call,
+    so a linear scan over ~20 casts per argument is a measurable cost
+    on an instrumented hot path.
+    """
+
+    def test_find_cast_does_not_scan_the_cast_list(self):
+        blade = build_tip_blade()
+        blade.casts = _NoScanList(blade.casts)
+        cast_def = blade.find_cast("Chronon", "Element")
+        assert cast_def is not None and cast_def.implicit
+        assert blade.find_cast("Span", "Chronon") is None
+        assert blade.find_cast("Instant", "Chronon", implicit_only=True) is None
+
+    def test_type_for_class_does_not_touch_the_name_table(self):
+        blade = build_tip_blade()
+        from repro.core.period import Period
+
+        blade.types = None  # lookups must survive without the name table
+        assert blade.type_for_class(Period).name == "Period"
+        assert blade.type_for_class(int) is None
+
+    def test_indexes_built_from_constructor_arguments(self):
+        source = DataBlade("seed")
+        source.register_type(_dummy_type())
+        source.register_cast(CastDef("Thing", "text", True, str))
+        rebuilt = DataBlade(
+            "copy", types=dict(source.types), casts=list(source.casts)
+        )
+        assert rebuilt.find_cast("Thing", "text") is source.casts[0]
+        assert rebuilt.type_for_class(object).name == "Thing"
+
+    def test_first_registered_type_wins_for_shared_class(self):
+        blade = DataBlade("test")
+        blade.register_type(_dummy_type("First"))
+        blade.register_type(_dummy_type("Second"))
+        assert blade.type_for_class(object).name == "First"
+
+    def test_duplicate_cast_still_rejected_via_index(self):
+        blade = DataBlade("test")
+        blade.register_type(_dummy_type())
+        blade.register_cast(CastDef("Thing", "text", True, str))
+        with pytest.raises(DuplicateRegistrationError):
+            blade.register_cast(CastDef("Thing", "text", False, repr))
+
+
 class TestTipBladeInventory:
     def test_five_types(self):
         blade = build_tip_blade()

@@ -1,0 +1,94 @@
+"""Tests for the CI benchmark-regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.check_regression import compare, load_means, main
+
+
+def bench_json(path, means):
+    payload = {
+        "benchmarks": [
+            {"fullname": name, "stats": {"mean": mean}}
+            for name, mean in means.items()
+        ]
+    }
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+@pytest.fixture
+def files(tmp_path):
+    def make(base_means, head_means):
+        return (
+            bench_json(tmp_path / "base.json", base_means),
+            bench_json(tmp_path / "head.json", head_means),
+        )
+
+    return make
+
+
+class TestCompare:
+    def test_within_budget_passes(self):
+        regressions, improvements, missing = compare(
+            {"a": 1.0, "b": 2.0}, {"a": 1.1, "b": 1.9}
+        )
+        assert regressions == [] and improvements == [] and missing == []
+
+    def test_regression_detected_with_ratio(self):
+        regressions, _, _ = compare({"a": 1.0}, {"a": 1.5})
+        assert regressions == [("a", 1.0, 1.5, 1.5)]
+
+    def test_custom_threshold(self):
+        regressions, _, _ = compare({"a": 1.0}, {"a": 1.5}, threshold=0.6)
+        assert regressions == []
+
+    def test_unshared_benchmarks_never_fail(self):
+        regressions, _, missing = compare({"old": 1.0}, {"new": 99.0})
+        assert regressions == [] and missing == ["new", "old"]
+
+    def test_zero_base_mean_skipped(self):
+        regressions, _, _ = compare({"a": 0.0}, {"a": 5.0})
+        assert regressions == []
+
+
+class TestMain:
+    def test_exit_zero_when_clean(self, files, capsys):
+        base, head = files({"e1": 0.010}, {"e1": 0.011})
+        assert main([base, head]) == 0
+        assert "ok: no regression" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, files, capsys):
+        base, head = files({"e1": 0.010, "e2": 0.5}, {"e1": 0.013, "e2": 0.5})
+        assert main([base, head]) == 1
+        output = capsys.readouterr().out
+        assert "SLOWER" in output and "e1" in output
+
+    def test_threshold_flag(self, files):
+        base, head = files({"e1": 0.010}, {"e1": 0.013})
+        assert main([base, head, "--threshold", "0.5"]) == 0
+
+    def test_improvements_reported_not_failing(self, files, capsys):
+        base, head = files({"e1": 0.010}, {"e1": 0.005})
+        assert main([base, head]) == 0
+        assert "faster" in capsys.readouterr().out
+
+    def test_missing_file_is_usage_error(self, tmp_path, files, capsys):
+        base, _ = files({"e1": 1.0}, {})
+        assert main([base, str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_load_means_prefers_fullname(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"benchmarks": [
+            {"fullname": "mod.py::test_x", "name": "test_x",
+             "stats": {"mean": 0.25}},
+            {"name": "bare", "stats": {"mean": 0.5}},
+            {"name": "broken", "stats": {}},
+        ]}))
+        assert load_means(str(path)) == {
+            "mod.py::test_x": 0.25, "bare": 0.5,
+        }

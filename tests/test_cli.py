@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.cli import TipShell, _format_table
 
 
@@ -119,6 +122,54 @@ class TestCommands:
     def test_blade_inventory(self, shell):
         output = shell.execute_line(".blade")
         assert "DataBlade TIP" in output
+
+
+class TestMetricsCommand:
+    @pytest.fixture(autouse=True)
+    def _isolated_obs(self):
+        # Start each test with collection off and a private registry.
+        with obs.capture(enabled=False):
+            yield
+
+    def test_on_off_toggle(self, shell):
+        assert "collection enabled" in shell.execute_line(".metrics on")
+        assert obs.is_enabled()
+        assert "collection disabled" in shell.execute_line(".metrics off")
+        assert not obs.is_enabled()
+
+    def test_table_shows_workload_counters(self, loaded):
+        loaded.execute_line(".metrics on")
+        loaded.execute_line(
+            "SELECT tip_text(tunion(valid, valid)) FROM Prescription"
+        )
+        output = loaded.execute_line(".metrics")
+        assert "collection: on" in output
+        assert "blade.routine.tunion.calls" in output
+        assert "element.periods_processed" in output
+
+    def test_disabled_table_is_empty(self, shell):
+        output = shell.execute_line(".metrics")
+        assert "collection: off" in output
+        assert "(no metrics recorded)" in output
+
+    def test_json_output_parses(self, loaded):
+        loaded.execute_line(".metrics on")
+        loaded.execute_line("SELECT COUNT(*) FROM Prescription")
+        parsed = json.loads(loaded.execute_line(".metrics json"))
+        assert parsed["enabled"] is True
+        assert "counters" in parsed and "histograms" in parsed
+
+    def test_reset_clears_counters(self, loaded):
+        loaded.execute_line(".metrics on")
+        loaded.execute_line("SELECT COUNT(*) FROM Prescription")
+        assert "reset" in loaded.execute_line(".metrics reset")
+        assert "(no metrics recorded)" in loaded.execute_line(".metrics")
+
+    def test_usage_error(self, shell):
+        assert "usage" in shell.execute_line(".metrics frobnicate")
+
+    def test_help_mentions_metrics(self, shell):
+        assert ".metrics" in shell.execute_line(".help")
 
 
 class TestBrowserCommands:

@@ -1,0 +1,122 @@
+"""Property tests for the periods-processed work counters.
+
+The paper's Section 3 claim — Element set operations run in time linear
+in the number of periods — is asserted here as a *work-per-input
+invariant* instead of a wall-clock benchmark: the instrumented merge
+sweeps report how many steps they actually took, and every property
+bounds that count by a constant factor of the operand sizes.  A
+quadratic implementation (see the ``*_naive`` baselines in
+``interval_algebra``) cannot satisfy these bounds.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro import obs
+from repro.core import interval_algebra as ia
+from tests.strategies import (
+    brute_set,
+    canonical_elements,
+    canonical_pairs,
+    tiny_seconds,
+    wide_seconds,
+)
+
+#: Work-bound slack for the difference sweep: outer pairs + total
+#: j-advances + inner scan, each linear (see the sweep accounting in
+#: ``interval_algebra.difference``).
+DIFFERENCE_FACTOR = 3
+
+pair_lists = canonical_pairs(coords=wide_seconds, max_size=48)
+
+
+def sweep_steps(registry: obs.MetricsRegistry, op: str) -> int:
+    return registry.counter_value(f"element.sweep.{op}.steps")
+
+
+class TestKernelWorkBounds:
+    @settings(deadline=None)
+    @given(a=pair_lists, b=pair_lists)
+    def test_union_steps_exactly_n_plus_m(self, a, b):
+        with obs.capture() as registry:
+            ia.union(a, b)
+        assert sweep_steps(registry, "union") == len(a) + len(b)
+
+    @settings(deadline=None)
+    @given(a=pair_lists, b=pair_lists)
+    def test_intersect_steps_at_most_n_plus_m(self, a, b):
+        with obs.capture() as registry:
+            ia.intersect(a, b)
+        assert sweep_steps(registry, "intersect") <= len(a) + len(b)
+
+    @settings(deadline=None)
+    @given(a=pair_lists, b=pair_lists)
+    def test_difference_steps_linear(self, a, b):
+        with obs.capture() as registry:
+            ia.difference(a, b)
+        assert sweep_steps(registry, "difference") \
+            <= DIFFERENCE_FACTOR * (len(a) + len(b)) + 1
+
+    @settings(deadline=None)
+    @given(a=pair_lists, b=pair_lists)
+    def test_instrumentation_does_not_change_results(self, a, b):
+        """The counters observe the sweep; they must not perturb it."""
+        with obs.capture(enabled=False):
+            plain = (ia.union(a, b), ia.intersect(a, b), ia.difference(a, b))
+        with obs.capture(enabled=True):
+            instrumented = (ia.union(a, b), ia.intersect(a, b), ia.difference(a, b))
+        assert plain == instrumented
+
+
+class TestElementWorkBounds:
+    """The same invariant at the Element layer, across all three ops."""
+
+    @settings(deadline=None)
+    @given(x=canonical_elements(), y=canonical_elements())
+    def test_periods_processed_linear_in_operands(self, x, y):
+        n, m = len(x.periods), len(y.periods)
+        for op in ("union", "intersect", "difference"):
+            with obs.capture() as registry:
+                result = getattr(x, op)(y)
+            processed = registry.counter_value("element.periods_processed")
+            assert processed <= DIFFERENCE_FACTOR * (n + m) + 1, (
+                f"{op} processed {processed} periods for operands of {n}+{m}"
+            )
+            # The op-level ledger agrees with the kernel's.
+            assert registry.counter_value(f"element.op.{op}.calls") == 1
+            assert registry.counter_value(f"element.op.{op}.periods_in") == n + m
+            assert registry.counter_value(f"element.op.{op}.periods_out") \
+                == len(result.periods)
+
+    @settings(deadline=None, max_examples=50)
+    @given(x=canonical_elements(coords=wide_seconds, max_size=10),
+           y=canonical_elements(coords=wide_seconds, max_size=10))
+    def test_counters_accumulate_across_operations(self, x, y):
+        with obs.capture() as registry:
+            x.union(y)
+            x.intersect(y)
+            x.difference(y)
+        total = registry.counter_value("element.periods_processed")
+        assert total == (
+            sweep_steps(registry, "union")
+            + sweep_steps(registry, "intersect")
+            + sweep_steps(registry, "difference")
+        )
+
+    @settings(deadline=None, max_examples=50)
+    @given(x=canonical_elements(coords=tiny_seconds, max_size=8),
+           y=canonical_elements(coords=tiny_seconds, max_size=8))
+    def test_results_identical_with_obs_on_and_off(self, x, y):
+        """Observability must be inert: same answers either way."""
+        with obs.capture(enabled=False) as registry_off:
+            off = [getattr(x, op)(y).ground_pairs() for op in
+                   ("union", "intersect", "difference")]
+        with obs.capture(enabled=True):
+            on = [getattr(x, op)(y).ground_pairs() for op in
+                  ("union", "intersect", "difference")]
+        assert off == on
+        assert len(registry_off) == 0, "disabled run must create no instruments"
+        # And the answers are the set-theoretic truth.
+        expected = brute_set(x.ground_pairs()) | brute_set(y.ground_pairs())
+        assert brute_set(on[0]) == expected
