@@ -9,6 +9,7 @@ Informix* (SIGMOD 2000).  The public API:
 * the TIP Browser — :mod:`repro.browser`;
 * the layered-architecture baseline — :mod:`repro.layered`;
 * temporal warehouse views — :mod:`repro.warehouse`;
+* deterministic fault injection — :mod:`repro.faults`;
 * workload generators — :mod:`repro.workload`;
 * the temporal index — :mod:`repro.index`;
 * TSQL2 statement modifiers — :mod:`repro.tsql`.

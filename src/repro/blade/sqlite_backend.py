@@ -24,6 +24,7 @@ from typing import Callable, Optional
 
 from repro import codec, obs
 from repro.blade.datablade import TIP_TYPES, build_tip_blade
+from repro.faults import state as _FAULTS
 from repro.blade.registry import AggregateDef, DataBlade, RoutineDef
 from repro.errors import TipError, TipTypeError
 
@@ -151,6 +152,11 @@ def _make_sql_function(routine: RoutineDef, blade: DataBlade) -> Callable:
     implementation = routine.implementation
 
     def sql_function(*raw_args):
+        if _FAULTS.plan is not None:
+            # Chaos hook: an injected routine failure must surface as a
+            # typed engine error on this statement, leaving the session
+            # and the connection usable.
+            _FAULTS.plan.apply("blade.routine")
         try:
             args = [
                 _coerce_argument(raw, type_name, blade)

@@ -18,6 +18,10 @@ Dot-commands drive the session:
 ``.metrics [...]``      engine metrics: ``on``/``off`` toggles
                         collection, ``json`` dumps JSON, ``reset``
                         clears, no argument prints the table
+``.faults [...]``       fault injection: ``<spec> [seed=N]`` arms a
+                        chaos plan, ``off`` disarms, ``points`` lists
+                        the injection points, no argument shows the
+                        armed plan
 ``.browse <sql>``       load a query into the Browser and render it
 ``.window <start> <days>``  set the Browser window
 ``.slide <n>``          move the Browser window by n window-widths
@@ -25,10 +29,12 @@ Dot-commands drive the session:
 ``.quit``               leave
 ======================  ==================================================
 
-There is also a non-interactive subcommand that fetches a METRICS
-frame from a running :class:`~repro.server.server.TipServer`::
+There are also non-interactive subcommands: one fetches a METRICS
+frame from a running :class:`~repro.server.server.TipServer`, one
+inspects and validates chaos plans::
 
     python -m repro metrics HOST:PORT [--json] [--reset]
+    python -m repro faults [SPEC] [--seed N] [--json]
 
 Everything returns text, so the shell is scriptable and testable
 (:class:`TipShell` is the engine; ``main()`` is the stdin loop).
@@ -42,14 +48,14 @@ import sys
 from typing import List, Optional, Sequence
 
 import repro
-from repro import obs
+from repro import faults, obs
 from repro.browser import TimeWindow, TipBrowser
 from repro.core.chronon import Chronon
 from repro.core.span import Span
 from repro.errors import TipError
 from repro.tsql import TsqlSession
 
-__all__ = ["TipShell", "main", "metrics_main"]
+__all__ = ["TipShell", "main", "metrics_main", "faults_main"]
 
 _MAX_ROWS = 40
 
@@ -91,7 +97,9 @@ class TipShell:
             if line.startswith("."):
                 return self._command(line)
             return self._run_sql(line)
-        except (TipError, sqlite3.Error, ValueError) as exc:
+        except (TipError, sqlite3.Error, ValueError, ConnectionError) as exc:
+            # ConnectionError covers InjectedFault: an armed .faults plan
+            # must fail the statement, never the shell.
             return f"error: {exc}"
 
     def _command(self, line: str) -> str:
@@ -202,6 +210,27 @@ class TipShell:
         state = "on" if snapshot.get("enabled") else "off (enable with .metrics on)"
         return f"collection: {state}\n\n{obs.render_text(snapshot)}"
 
+    def _cmd_faults(self, argument: str) -> str:
+        if not argument:
+            plan = faults.active_plan()
+            if plan is None:
+                return "fault injection: off (arm with .faults <spec> [seed=N])"
+            return (f"fault injection: armed (seed={plan.seed})\n"
+                    f"  spec: {plan.spec()}\n"
+                    + "\n".join(f"  {rule.as_dict()}" for rule in plan.rules))
+        if argument.lower() == "off":
+            return ("fault injection disarmed"
+                    if faults.disarm() is not None else "fault injection already off")
+        if argument.lower() == "points":
+            return faults.describe()
+        seed = 0
+        parts = argument.rsplit(None, 1)
+        if len(parts) == 2 and parts[1].startswith("seed="):
+            argument = parts[0]
+            seed = int(parts[1][len("seed="):])
+        plan = faults.arm(argument, seed=seed)
+        return f"fault injection armed (seed={seed}): {plan.spec()}"
+
     # -- browser commands -----------------------------------------------------------
 
     def _cmd_browse(self, argument: str) -> str:
@@ -287,9 +316,63 @@ def metrics_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def faults_main(argv: Sequence[str]) -> int:
+    """``python -m repro faults [SPEC] [--seed N] [--json]``.
+
+    With no SPEC, prints the injection-point catalogue.  With a SPEC,
+    validates it through :func:`repro.faults.parse_plan` and prints the
+    parsed plan — the dry-run companion to arming the same spec with
+    the ``.faults`` shell command or :func:`repro.faults.arm`.
+    """
+    as_json = "--json" in argv
+    seed = 0
+    positional: List[str] = []
+    arguments = iter(argv)
+    for arg in arguments:
+        if arg == "--json":
+            continue
+        if arg == "--seed":
+            try:
+                seed = int(next(arguments))
+            except (StopIteration, ValueError):
+                print("error: --seed needs an integer", file=sys.stderr)
+                return 2
+            continue
+        if arg.startswith("--"):
+            print(f"error: unknown option {arg!r}", file=sys.stderr)
+            return 2
+        positional.append(arg)
+    if not positional:
+        print("injection points (point:mode[:knob=value,...]; modes: "
+              + ", ".join(faults.MODES) + ")")
+        print()
+        print(faults.describe())
+        return 0
+    if len(positional) != 1:
+        print("usage: python -m repro faults [SPEC] [--seed N] [--json]",
+              file=sys.stderr)
+        return 2
+    try:
+        plan = faults.parse_plan(positional[0], seed=seed)
+    except faults.FaultPlanError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if as_json:
+        print(obs.render_json(plan.as_dict()))
+    else:
+        print(f"plan ok (seed={seed}): {plan.spec()}")
+        for rule in plan.rules:
+            print(f"  {rule.point}: {rule.mode} "
+                  f"(p={rule.probability:g}, times={rule.times}, "
+                  f"after={rule.after}, delay={rule.delay:g})")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """The stdin REPL loop, or a one-shot subcommand (``metrics``)."""
+    """The stdin REPL loop, or a one-shot subcommand (``metrics``, ``faults``)."""
     arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "faults":
+        return faults_main(arguments[1:])
     if arguments and arguments[0] == "metrics":
         try:
             return metrics_main(arguments[1:])

@@ -29,6 +29,7 @@ from repro.core.chronon import Chronon
 from repro.core.granularity import wall_clock_seconds
 from repro.core.nowctx import use_now
 from repro.core.parser import parse_chronon
+from repro.faults import state as _FAULTS
 
 __all__ = ["connect", "TipConnection", "TipCursor"]
 
@@ -160,6 +161,11 @@ class TipCursor:
     # -- execution -------------------------------------------------------
 
     def execute(self, sql: str, parameters: Sequence = ()) -> "TipCursor":
+        if _FAULTS.plan is not None:
+            # Chaos hook: a statement that fails before reaching the
+            # engine must leave the connection consistent (nothing ran,
+            # nothing to roll back).
+            _FAULTS.plan.apply("conn.execute")
         self._stmt_now = self._connection.statement_now_seconds()
         with use_now(self._stmt_now):
             self._raw.execute(sql, parameters)

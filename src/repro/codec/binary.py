@@ -44,6 +44,7 @@ from repro.core.instant import Instant
 from repro.core.period import Period
 from repro.core.span import Span
 from repro.errors import CodecError
+from repro.faults import state as _FAULTS
 
 __all__ = [
     "MAGIC",
@@ -158,6 +159,10 @@ def decode(data: bytes) -> TipValue:
         data = bytes(data)
     if not isinstance(data, bytes):
         raise CodecError(f"expected bytes, got {type(data).__name__}")
+    if _FAULTS.plan is not None:
+        # Chaos hook: a corrupted/truncated blob must fail as a typed
+        # CodecError below, never crash the decoder.
+        data = _FAULTS.plan.apply("codec.decode", data)
     if len(data) < 3:
         raise CodecError("blob too short for a TIP header")
     if data[0] != MAGIC:

@@ -1,0 +1,99 @@
+"""Deterministic fault injection for the TIP stack.
+
+The paper argues that pushing temporal support *into* the engine makes
+the whole system more dependable than layering it over an unmodified
+one.  Dependability is only demonstrable under failure, so this package
+gives the stack a controlled way to fail: named **injection points**
+threaded through the server frame loop, the remote client's socket I/O,
+local statement execution, blade routine evaluation, and codec decode
+(:mod:`repro.faults.points`), each driven by a seeded, replayable
+:class:`~repro.faults.plan.FaultPlan`.
+
+Arming follows the same inert-when-off discipline as :mod:`repro.obs`:
+the process-wide :data:`state` holds either ``None`` or the armed plan,
+and every instrumented call site pays exactly one attribute check
+(``state.plan is not None``) while disarmed — nothing else runs, nothing
+allocates.  Arm with :func:`arm` / :func:`disarm`, or scoped::
+
+    with faults.inject("client.recv:raise", seed=7):
+        ...  # the first response read raises; the client must recover
+
+Plans themselves are data (:func:`parse_plan`), so the ``.faults``
+shell command and the ``repro faults`` CLI expose the same mini-language
+the tests use, and a failing chaos run is reproduced by its
+``(spec, seed)`` pair alone.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+from repro.faults.plan import (
+    MODES,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    InjectedFault,
+    parse_plan,
+)
+from repro.faults.points import CATALOGUE, PAYLOAD_POINTS, describe
+
+__all__ = [
+    "CATALOGUE", "PAYLOAD_POINTS", "MODES",
+    "FaultPlan", "FaultPlanError", "FaultRule", "InjectedFault",
+    "parse_plan", "describe",
+    "state", "arm", "disarm", "inject", "active_plan",
+]
+
+
+class FaultState:
+    """The process-wide switch: ``plan`` is None (off) or the armed plan.
+
+    Hot paths read ``state.plan`` — one attribute load on this
+    singleton — and skip everything when it is None, mirroring
+    ``repro.obs.state.enabled``.
+    """
+
+    __slots__ = ("plan",)
+
+    def __init__(self) -> None:
+        self.plan: Optional[FaultPlan] = None
+
+
+state = FaultState()
+
+
+def arm(plan: Union[FaultPlan, str], seed: int = 0) -> FaultPlan:
+    """Arm *plan* process-wide (a spec string is parsed first); returns it."""
+    if isinstance(plan, str):
+        plan = parse_plan(plan, seed=seed)
+    state.plan = plan
+    return plan
+
+
+def disarm() -> Optional[FaultPlan]:
+    """Disarm fault injection; returns the previously armed plan, if any."""
+    previous = state.plan
+    state.plan = None
+    return previous
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The armed plan, or None when injection is off."""
+    return state.plan
+
+
+@contextmanager
+def inject(plan: Union[FaultPlan, str], seed: int = 0) -> Iterator[FaultPlan]:
+    """Arm *plan* for the duration of the block, restoring the previous state.
+
+    The workhorse of the chaos tests: scoped arming keeps one test's
+    faults from leaking into the next.
+    """
+    previous = state.plan
+    armed = arm(plan, seed=seed)
+    try:
+        yield armed
+    finally:
+        state.plan = previous

@@ -1,0 +1,249 @@
+"""Seeded fault plans: deterministic, replayable chaos.
+
+A :class:`FaultPlan` is a list of :class:`FaultRule` entries plus a
+seed.  Every rule owns a private :class:`random.Random` derived from
+``(plan seed, rule index)``, so the byte an injection corrupts, the
+probability draws, and therefore the entire observable failure sequence
+are a pure function of the plan — running the same plan against the
+same workload reproduces the same faults, which is what makes chaos
+test failures debuggable.
+
+Rules fire at named injection points (:mod:`repro.faults.points`) in
+one of four modes:
+
+``raise``
+    Raise :class:`InjectedFault` — a :class:`ConnectionError` subclass,
+    so socket-layer call sites see it as a peer failure and engine-layer
+    call sites surface it as a typed error.
+``delay``
+    Sleep ``delay`` seconds, then let the operation proceed (drives
+    timeout and slow-peer paths).
+``truncate``
+    Cut a byte payload in half (a partial frame / blob).  At action
+    points (no payload) this degrades to ``raise``.
+``corrupt``
+    Flip one byte chosen by the rule's RNG.  Degrades to ``raise`` at
+    action points.
+
+Firing is shaped by three optional knobs per rule: ``after`` skips the
+first N hits, ``times`` caps total firings (``None`` = unlimited), and
+``probability`` gates each eligible hit through the rule's RNG.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import List, Optional, Sequence
+
+from repro.errors import TipError
+from repro.faults.points import CATALOGUE, PAYLOAD_POINTS
+
+__all__ = ["InjectedFault", "FaultPlanError", "FaultRule", "FaultPlan", "parse_plan", "MODES"]
+
+MODES = ("raise", "delay", "truncate", "corrupt")
+
+
+class FaultPlanError(TipError):
+    """A fault plan or plan spec is invalid."""
+
+
+class InjectedFault(ConnectionError):
+    """A fault deliberately raised by an armed plan.
+
+    Subclasses :class:`ConnectionError` so the hardened client retries
+    it like any transport failure, while the server's frame loop treats
+    it as a vanished peer and closes the session cleanly.
+    """
+
+    def __init__(self, point: str, mode: str) -> None:
+        super().__init__(f"injected fault at {point} (mode={mode})")
+        self.point = point
+        self.mode = mode
+
+
+class FaultRule:
+    """One injection rule: where, what, and how often."""
+
+    __slots__ = ("point", "mode", "probability", "times", "after", "delay",
+                 "_hits", "_fired", "_rng")
+
+    def __init__(
+        self,
+        point: str,
+        mode: str,
+        *,
+        probability: float = 1.0,
+        times: Optional[int] = 1,
+        after: int = 0,
+        delay: float = 0.05,
+    ) -> None:
+        if point not in CATALOGUE:
+            raise FaultPlanError(
+                f"unknown injection point {point!r} (known: {', '.join(sorted(CATALOGUE))})"
+            )
+        if mode not in MODES:
+            raise FaultPlanError(f"unknown fault mode {mode!r} (known: {', '.join(MODES)})")
+        if not 0.0 <= probability <= 1.0:
+            raise FaultPlanError(f"probability must be in [0, 1], got {probability}")
+        if delay < 0:
+            raise FaultPlanError(f"delay must be >= 0, got {delay}")
+        self.point = point
+        self.mode = mode
+        self.probability = probability
+        self.times = times
+        self.after = after
+        self.delay = delay
+        self._hits = 0
+        self._fired = 0
+        self._rng: random.Random = random.Random(0)  # re-seeded by the plan
+
+    def as_dict(self) -> dict:
+        return {
+            "point": self.point, "mode": self.mode,
+            "probability": self.probability, "times": self.times,
+            "after": self.after, "delay": self.delay,
+            "hits": self._hits, "fired": self._fired,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultRule({self.point}:{self.mode})"
+
+
+class FaultPlan:
+    """A seeded set of rules, consulted at every armed injection point."""
+
+    def __init__(self, rules: Sequence[FaultRule], seed: int = 0) -> None:
+        self.seed = seed
+        self.rules: List[FaultRule] = list(rules)
+        self._lock = threading.Lock()
+        for index, rule in enumerate(self.rules):
+            rule._rng = random.Random(seed * 1_000_003 + index)
+            rule._hits = 0
+            rule._fired = 0
+
+    # -- the one entry point the instrumented stack calls -------------
+
+    def apply(self, point: str, data: Optional[bytes] = None) -> Optional[bytes]:
+        """Consult the plan at *point*; returns the (possibly rewritten) payload.
+
+        May raise :class:`InjectedFault` or sleep, per the matching
+        rules.  Rule bookkeeping is locked (plans are shared across
+        server handler threads); the actions themselves run unlocked so
+        an injected delay never serializes unrelated sessions.
+        """
+        triggered: List[FaultRule] = []
+        with self._lock:
+            for rule in self.rules:
+                if rule.point != point:
+                    continue
+                rule._hits += 1
+                if rule._hits <= rule.after:
+                    continue
+                if rule.times is not None and rule._fired >= rule.times:
+                    continue
+                if rule.probability < 1.0 and rule._rng.random() >= rule.probability:
+                    continue
+                rule._fired += 1
+                triggered.append(rule)
+        for rule in triggered:
+            self._note(point, rule.mode)
+            data = self._perform(rule, point, data)
+        return data
+
+    @staticmethod
+    def _note(point: str, mode: str) -> None:
+        from repro import obs
+
+        if obs.state.enabled:
+            obs.counter(f"faults.injected.{point}.{mode}").inc()
+            obs.counter("faults.injected.total").inc()
+
+    def _perform(self, rule: FaultRule, point: str, data: Optional[bytes]) -> Optional[bytes]:
+        mode = rule.mode
+        if mode == "delay":
+            time.sleep(rule.delay)
+            return data
+        payload = data if isinstance(data, (bytes, bytearray)) else None
+        if mode == "truncate" and payload is not None and len(payload) > 1:
+            return bytes(payload[: len(payload) // 2])
+        if mode == "corrupt" and payload is not None and len(payload) > 0:
+            with self._lock:
+                index = rule._rng.randrange(len(payload))
+            flipped = bytes(payload)
+            return flipped[:index] + bytes((flipped[index] ^ 0xFF,)) + flipped[index + 1:]
+        # 'raise', and 'truncate'/'corrupt' degraded at action points.
+        raise InjectedFault(point, mode)
+
+    # -- inspection ---------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {"seed": self.seed, "rules": [rule.as_dict() for rule in self.rules]}
+
+    def spec(self) -> str:
+        """The plan re-rendered in the mini-language :func:`parse_plan` reads."""
+        parts = []
+        for rule in self.rules:
+            knobs = []
+            if rule.probability != 1.0:
+                knobs.append(f"p={rule.probability:g}")
+            if rule.times != 1:
+                knobs.append(f"times={'inf' if rule.times is None else rule.times}")
+            if rule.after:
+                knobs.append(f"after={rule.after}")
+            if rule.mode == "delay":
+                knobs.append(f"delay={rule.delay:g}")
+            head = f"{rule.point}:{rule.mode}"
+            parts.append(head + (":" + ",".join(knobs) if knobs else ""))
+        return ";".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(seed={self.seed}, {self.spec()!r})"
+
+
+def parse_plan(spec: str, seed: int = 0) -> FaultPlan:
+    """Parse the plan mini-language into a :class:`FaultPlan`.
+
+    The spec is ``;``-separated rules of the form
+    ``point:mode[:knob=value,...]`` with knobs ``p`` (probability),
+    ``times`` (max firings, ``inf`` for unlimited), ``after`` (skip the
+    first N hits), and ``delay`` (seconds, for mode ``delay``)::
+
+        client.recv:raise
+        server.frame.read:corrupt:times=3,after=1;blade.routine:delay:delay=0.2
+
+    Every chaos run is then ``(spec, seed)`` — two small values that
+    replay the exact same fault sequence.
+    """
+    rules = []
+    for chunk in spec.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        head, _, tail = chunk.partition(":")
+        mode, _, knobtext = tail.partition(":")
+        kwargs = {}
+        if knobtext:
+            for pair in knobtext.split(","):
+                key, eq, value = pair.partition("=")
+                key = key.strip()
+                if not eq:
+                    raise FaultPlanError(f"bad knob {pair!r} in rule {chunk!r}")
+                try:
+                    if key == "p":
+                        kwargs["probability"] = float(value)
+                    elif key == "times":
+                        kwargs["times"] = None if value.strip() == "inf" else int(value)
+                    elif key == "after":
+                        kwargs["after"] = int(value)
+                    elif key == "delay":
+                        kwargs["delay"] = float(value)
+                    else:
+                        raise FaultPlanError(f"unknown knob {key!r} in rule {chunk!r}")
+                except ValueError as exc:
+                    raise FaultPlanError(f"bad value in knob {pair!r}: {exc}") from exc
+        rules.append(FaultRule(head.strip(), mode.strip(), **kwargs))
+    if not rules:
+        raise FaultPlanError("empty fault plan spec")
+    return FaultPlan(rules, seed=seed)

@@ -4,18 +4,47 @@
 :class:`~repro.server.server.TipServer` and exposes the familiar query
 surface: ``execute`` / ``query`` / ``query_one`` returning TIP datatype
 objects, plus a per-session ``set_now`` override.
+
+The driver is hardened against an imperfect network:
+
+* **per-request timeouts** — every round trip is bounded by
+  *request_timeout* (a slow or wedged server surfaces as a timeout,
+  never a hang);
+* **bounded retries** — transport failures (reset, EOF, timeout, a
+  response too garbled to parse, or a server-declared ``retry_safe``
+  error) are retried up to :class:`RetryPolicy` ``max_attempts`` times
+  with exponential backoff and jitter;
+* **idempotent reconnect** — each retry opens a fresh connection and
+  first *re-establishes the session's NOW override* (the server keeps
+  NOW per session, so a new session would otherwise silently revert to
+  the wall clock — exactly the inconsistency-across-retries the
+  NOW-semantics literature warns about), then replays the failed frame.
+
+Server-reported errors that are not marked ``retry_safe`` (engine
+errors, semantic protocol errors) are raised as :class:`RemoteError`
+immediately — the request reached the server, so replaying it could
+double-apply a write.
+
+Retries and reconnects are counted in :mod:`repro.obs`
+(``client.retries`` / ``client.reconnects``) when observability is on,
+and the socket paths carry the ``client.connect`` / ``client.send`` /
+``client.recv`` fault-injection points (:mod:`repro.faults`).
 """
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.chronon import Chronon
 from repro.errors import TipError
+from repro.faults import state as _FAULTS
 from repro.server import protocol
 
-__all__ = ["RemoteTipConnection", "RemoteError"]
+__all__ = ["RemoteTipConnection", "RemoteError", "RetryPolicy"]
 
 
 class RemoteError(TipError):
@@ -24,6 +53,40 @@ class RemoteError(TipError):
     def __init__(self, message: str, kind: str) -> None:
         super().__init__(message)
         self.kind = kind
+
+
+class RetryPolicy:
+    """Bounded exponential backoff with jitter.
+
+    Attempt *n* (counting from 0) sleeps
+    ``min(max_delay, base_delay * 2**n)`` scaled by a jitter factor
+    drawn uniformly from ``[1 - jitter, 1 + jitter]`` before retrying.
+    ``max_attempts`` bounds the total tries, including the first.
+    """
+
+    __slots__ = ("max_attempts", "base_delay", "max_delay", "jitter")
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        jitter: float = 0.5,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.jitter = jitter
+
+    def backoff_delay(self, attempt: int, rng: random.Random) -> float:
+        base = min(self.max_delay, self.base_delay * (2 ** attempt))
+        if self.jitter:
+            base *= 1.0 - self.jitter + 2.0 * self.jitter * rng.random()
+        return base
 
 
 class RemoteResult:
@@ -37,30 +100,155 @@ class RemoteResult:
 
 
 class RemoteTipConnection:
-    """A TIP session over TCP."""
+    """A TIP session over TCP, with retry, reconnect, and timeouts.
 
-    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
-        self._socket = socket.create_connection((host, port), timeout=timeout)
-        self._reader = self._socket.makefile("rb")
+    *timeout* bounds connection establishment; *request_timeout* (same
+    as *timeout* when omitted) bounds each round trip.  *retry* is the
+    :class:`RetryPolicy`; *seed* fixes the jitter RNG for reproducible
+    retry schedules (chaos tests pin it).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        *,
+        request_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._connect_timeout = timeout
+        self._request_timeout = timeout if request_timeout is None else request_timeout
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._rng = random.Random(seed)
+        self._session_now: Optional[str] = None
+        self._socket: Optional[socket.socket] = None
+        self._reader = None
         self._closed = False
+        self._connect_with_retry()
 
     # -- plumbing ------------------------------------------------------
 
-    def _round_trip(self, frame: dict) -> dict:
+    def _connect(self) -> None:
+        if _FAULTS.plan is not None:
+            _FAULTS.plan.apply("client.connect")
+        self._socket = socket.create_connection(
+            (self._host, self._port), timeout=self._connect_timeout
+        )
+        self._socket.settimeout(self._request_timeout)
+        self._reader = self._socket.makefile("rb")
+
+    def _connect_with_retry(self) -> None:
+        last_error: Optional[BaseException] = None
+        for attempt in range(self._retry.max_attempts):
+            if attempt:
+                time.sleep(self._retry.backoff_delay(attempt - 1, self._rng))
+                if obs.state.enabled:
+                    obs.counter("client.retries").inc()
+            try:
+                self._connect()
+                return
+            except OSError as exc:
+                last_error = exc
+        raise TipError(
+            f"could not connect to {self._host}:{self._port} after "
+            f"{self._retry.max_attempts} attempt(s): {last_error}"
+        )
+
+    def _drop_socket(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+        if self._socket is not None:
+            try:
+                self._socket.close()
+            except OSError:
+                pass
+        self._reader = None
+        self._socket = None
+
+    def _reconnect(self) -> None:
+        """Fresh connection + session state replay (the NOW override).
+
+        The server's NOW override lives in the session, so a plain
+        reconnect would silently change what ``NOW`` means for every
+        replayed and subsequent statement.  Re-establishing it *before*
+        the failed frame is replayed keeps retries semantically
+        idempotent.
+        """
+        self._drop_socket()
+        self._connect()
+        if obs.state.enabled:
+            obs.counter("client.reconnects").inc()
+        if self._session_now is not None:
+            self._send({"op": "set_now", "now": self._session_now})
+            response = self._recv()
+            if not response.get("ok"):
+                raise TipError(
+                    "could not re-establish NOW override after reconnect: "
+                    f"{response.get('error', 'unknown error')}"
+                )
+
+    def _send(self, frame: dict) -> None:
+        payload = protocol.dump_frame(frame)
+        if _FAULTS.plan is not None:
+            payload = _FAULTS.plan.apply("client.send", payload)
+        self._socket.sendall(payload)
+
+    def _recv(self) -> dict:
+        line = self._reader.readline()
+        if _FAULTS.plan is not None:
+            line = _FAULTS.plan.apply("client.recv", line)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        try:
+            return protocol.load_frame(line)
+        except protocol.ProtocolError as exc:
+            # An unparseable response is transport corruption, not a
+            # server verdict: retryable.
+            raise ConnectionError(f"garbled response frame: {exc}") from exc
+
+    def _round_trip(self, frame: dict, *, retryable: bool = True) -> dict:
         if self._closed:
             raise TipError("connection is closed")
-        self._socket.sendall(protocol.dump_frame(frame))
-        line = self._reader.readline()
-        if not line:
-            self._closed = True
-            raise TipError("server closed the connection")
-        response = protocol.load_frame(line)
-        if not response.get("ok"):
-            raise RemoteError(
-                response.get("error", "unknown server error"),
-                response.get("kind", "Error"),
-            )
-        return response
+        attempts = self._retry.max_attempts if retryable else 1
+        last_error: Optional[BaseException] = None
+        for attempt in range(attempts):
+            if attempt:
+                delay = self._retry.backoff_delay(attempt - 1, self._rng)
+                if delay:
+                    time.sleep(delay)
+                if obs.state.enabled:
+                    obs.counter("client.retries").inc()
+                try:
+                    self._reconnect()
+                except (OSError, TipError) as exc:
+                    last_error = exc
+                    continue
+            try:
+                self._send(frame)
+                response = self._recv()
+            except OSError as exc:
+                last_error = exc
+                continue
+            if not response.get("ok"):
+                error = RemoteError(
+                    response.get("error", "unknown server error"),
+                    response.get("kind", "Error"),
+                )
+                # retry_safe means the server never ran the request
+                # (e.g. it arrived corrupted); replaying is harmless.
+                if response.get("retry_safe") and attempt + 1 < attempts:
+                    last_error = error
+                    continue
+                raise error
+            return response
+        raise TipError(f"request failed after {attempts} attempt(s): {last_error}")
 
     # -- the query surface -----------------------------------------------
 
@@ -81,9 +269,10 @@ class RemoteTipConnection:
         return rows[0] if rows else None
 
     def set_now(self, now: "Chronon | str | None") -> None:
-        """Override NOW for this session only."""
+        """Override NOW for this session only (replayed on reconnect)."""
         text = str(now) if isinstance(now, Chronon) else now
         self._round_trip({"op": "set_now", "now": text})
+        self._session_now = text
 
     def metrics(self, *, reset: bool = False, trace_tail: int = 0) -> dict:
         """The server's METRICS frame: session ledger + global snapshot.
@@ -109,13 +298,12 @@ class RemoteTipConnection:
         if self._closed:
             return
         try:
-            self._round_trip({"op": "close"})
-        except TipError:
+            self._round_trip({"op": "close"}, retryable=False)
+        except (TipError, OSError):
             pass
         finally:
             self._closed = True
-            self._reader.close()
-            self._socket.close()
+            self._drop_socket()
 
     def __enter__(self) -> "RemoteTipConnection":
         return self

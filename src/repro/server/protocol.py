@@ -14,6 +14,15 @@ Responses::
      "statement_now": "..."}
     {"ok": false, "error": "message", "kind": "OperationalError"}
 
+Error responses may carry ``"retry_safe": true`` when the server can
+guarantee the request was **never executed** (it could not even be
+parsed), so a hardened client may replay it without risking a double
+apply.  Frames are bounded: a request line longer than the server's
+``max_frame_bytes`` yields ``{"ok": false, "kind": "FrameTooLarge",
+"retry_safe": false}`` after the server drains to the next newline, and
+the session stays usable.  A partial frame followed by EOF (a peer that
+died mid-send) closes the session cleanly — no response, no traceback.
+
 The METRICS frame returns the observability state of the server
 process and of the requesting session::
 
@@ -48,13 +57,23 @@ from typing import Any, List, Sequence
 from repro import codec
 from repro.errors import TipError
 
-__all__ = ["dump_value", "load_value", "dump_frame", "load_frame", "ProtocolError"]
+__all__ = [
+    "dump_value", "load_value", "dump_frame", "load_frame",
+    "read_frame_line", "ProtocolError", "FrameTooLarge", "MAX_FRAME_BYTES",
+]
 
 _TIP_TYPES = tuple(codec.binary.TAG_BY_TYPE)
+
+#: Default bound on one wire frame (requests and responses alike).
+MAX_FRAME_BYTES = 1 << 20
 
 
 class ProtocolError(TipError):
     """A malformed frame arrived on the wire."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame exceeded the configured size bound."""
 
 
 def dump_value(value: Any) -> Any:
@@ -101,3 +120,33 @@ def load_frame(line: bytes) -> dict:
     if not isinstance(frame, dict):
         raise ProtocolError("frame must be a JSON object")
     return frame
+
+
+def read_frame_line(rfile, limit: int = MAX_FRAME_BYTES):
+    """Read one bounded frame line; returns ``(status, payload)``.
+
+    Statuses:
+
+    * ``("frame", line)`` — a complete, in-bound line (newline included);
+    * ``("eof", b"")`` — clean end of stream between frames;
+    * ``("partial", data)`` — the peer disconnected mid-frame: bytes
+      arrived but the stream ended before the newline;
+    * ``("oversized", b"")`` — the line exceeded *limit* bytes.  The
+      stream has been drained up to the next newline (or EOF), so the
+      caller can answer with a typed error and keep the session.
+
+    Blank lines are skipped here so every returned frame is substantive.
+    """
+    while True:
+        line = rfile.readline(limit + 1)
+        if not line:
+            return "eof", b""
+        if len(line) > limit:
+            # Drain the rest of the oversized frame to resynchronize.
+            while line and not line.endswith(b"\n"):
+                line = rfile.readline(limit + 1)
+            return "oversized", b""
+        if not line.endswith(b"\n"):
+            return "partial", line
+        if line.strip():
+            return "frame", line

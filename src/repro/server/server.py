@@ -34,6 +34,7 @@ from repro import obs
 from repro.core.chronon import Chronon
 from repro.core.parser import parse_chronon
 from repro.errors import TipError
+from repro.faults import state as _FAULTS
 from repro.server import protocol
 
 __all__ = ["TipServer"]
@@ -42,7 +43,15 @@ _SESSION_IDS = itertools.count(1)
 
 
 class _SessionHandler(socketserver.StreamRequestHandler):
-    """One connected client: a loop of frames until close/EOF."""
+    """One connected client: a loop of frames until close/EOF.
+
+    The loop never lets a peer problem escape as an exception: partial
+    frames, oversized frames, undecodable bytes, and write failures all
+    end in either a typed error frame or a clean close, so a misbehaving
+    client cannot wedge its session, crash the handler thread, or leak a
+    session from the ledger (``server.sessions.closed`` always catches
+    up with ``server.sessions.opened``).
+    """
 
     server: "_InnerServer"
 
@@ -51,15 +60,44 @@ class _SessionHandler(socketserver.StreamRequestHandler):
         self.session_id = next(_SESSION_IDS)
         self.session_counters = {
             "frames": 0, "execute": 0, "errors": 0, "rows": 0, "seconds": 0.0,
+            "degraded": 0,
         }
         if obs.state.enabled:
             obs.counter("server.sessions.opened").inc()
+        try:
+            self._frame_loop()
+        finally:
+            if obs.state.enabled:
+                obs.counter("server.sessions.closed").inc()
+
+    def _frame_loop(self) -> None:
+        limit = self.server.owner.max_frame_bytes
         while True:
-            line = self.rfile.readline()
-            if not line:
+            try:
+                status, line = protocol.read_frame_line(self.rfile, limit)
+            except OSError:
+                return  # transport died mid-read: nothing to answer
+            if status == "eof":
                 return
-            if not line.strip():
+            if status == "partial":
+                # The peer vanished mid-frame; there is no one to answer.
+                self._degrade("server.frame.partial")
+                return
+            if status == "oversized":
+                self._degrade("server.frame.oversized")
+                if not self._respond({
+                    "ok": False,
+                    "error": f"frame exceeds the {limit}-byte bound",
+                    "kind": "FrameTooLarge",
+                    "retry_safe": False,
+                }):
+                    return
                 continue
+            if _FAULTS.plan is not None:
+                try:
+                    line = _FAULTS.plan.apply("server.frame.read", line)
+                except ConnectionError:
+                    return  # injected peer failure on the read path
             started = perf_counter()
             op = "?"
             try:
@@ -67,14 +105,35 @@ class _SessionHandler(socketserver.StreamRequestHandler):
                 op = str(frame.get("op"))
                 response, done = self._dispatch(frame)
             except protocol.ProtocolError as exc:
-                response, done = {"ok": False, "error": str(exc), "kind": "ProtocolError"}, False
+                # The frame never parsed, so it provably did not run:
+                # safe for the client to replay.
+                response, done = {
+                    "ok": False, "error": str(exc), "kind": "ProtocolError",
+                    "retry_safe": True,
+                }, False
             except Exception as exc:  # never kill the session thread silently
                 response, done = {"ok": False, "error": str(exc), "kind": type(exc).__name__}, False
             self._account(op, response, perf_counter() - started)
-            self.wfile.write(protocol.dump_frame(response))
-            self.wfile.flush()
-            if done:
+            if not self._respond(response) or done:
                 return
+
+    def _respond(self, response: dict) -> bool:
+        """Write one response frame; False when the peer is unreachable."""
+        payload = protocol.dump_frame(response)
+        try:
+            if _FAULTS.plan is not None:
+                payload = _FAULTS.plan.apply("server.frame.write", payload)
+            self.wfile.write(payload)
+            self.wfile.flush()
+        except OSError:
+            return False  # peer gone (or injected to be): close cleanly
+        return True
+
+    def _degrade(self, counter_name: str) -> None:
+        """Account one gracefully degraded frame in both ledgers."""
+        self.session_counters["degraded"] += 1
+        if obs.state.enabled:
+            obs.counter(counter_name).inc()
 
     def _account(self, op: str, response: dict, seconds: float) -> None:
         """Update both metric ledgers for one completed frame."""
@@ -200,11 +259,15 @@ class TipServer:
         host: str = "127.0.0.1",
         port: int = 0,
         observability: bool = True,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
     ) -> None:
         # Handler threads share this one engine connection under the
         # lock, so SQLite's same-thread check must be relaxed here.
         self.connection = repro.connect(database, check_same_thread=False)
         self.lock = threading.Lock()
+        # Bound on one request line; larger frames get a typed
+        # FrameTooLarge error instead of unbounded buffering.
+        self.max_frame_bytes = max_frame_bytes
         self._inner = _InnerServer((host, port), self)
         self._thread: Optional[threading.Thread] = None
         # The server is the natural observability surface: it answers
@@ -222,7 +285,11 @@ class TipServer:
         """Serve in a background thread; returns self."""
         if self._thread is not None:
             raise TipError("server already started")
-        self._thread = threading.Thread(target=self._inner.serve_forever, daemon=True)
+        # A tight poll interval keeps stop() prompt (the default 0.5s
+        # poll dominates short-lived servers, e.g. per-test instances).
+        self._thread = threading.Thread(
+            target=lambda: self._inner.serve_forever(poll_interval=0.05), daemon=True
+        )
         self._thread.start()
         return self
 

@@ -2,12 +2,22 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings as _hypothesis_settings
 
 import repro
 from repro.core.chronon import Chronon
 from repro.core.element import Element
 from repro.core.span import Span
+
+# Hypothesis profiles: "ci" prints the reproduction blob on every
+# failure, so a chaos/property failure seen in CI can be replayed
+# locally with @reproduce_failure (select via HYPOTHESIS_PROFILE=ci).
+_hypothesis_settings.register_profile("ci", print_blob=True)
+_hypothesis_settings.register_profile("dev")
+_hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 #: A convenient fixed "today" used across tests: the paper's demo era.
 DEMO_NOW = "1999-09-01"

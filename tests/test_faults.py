@@ -1,0 +1,280 @@
+"""Unit tests for the fault-injection framework (repro.faults).
+
+Covers the plan mini-language, rule firing semantics (times / after /
+probability), seeded determinism, the inert-when-disarmed discipline,
+observability wiring, and the CLI/shell surfaces.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+import repro
+from repro import faults, obs
+from repro.cli import TipShell, faults_main
+from repro.faults import FaultPlan, FaultPlanError, FaultRule, InjectedFault, parse_plan
+
+
+@pytest.fixture(autouse=True)
+def disarmed():
+    """Every test starts and ends with injection off."""
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+class TestPlanParsing:
+    def test_single_rule(self):
+        plan = parse_plan("client.recv:raise")
+        assert len(plan.rules) == 1
+        rule = plan.rules[0]
+        assert (rule.point, rule.mode) == ("client.recv", "raise")
+        assert rule.times == 1 and rule.after == 0 and rule.probability == 1.0
+
+    def test_knobs_and_multiple_rules(self):
+        plan = parse_plan(
+            "server.frame.read:corrupt:p=0.25,times=3,after=2;"
+            "blade.routine:delay:delay=0.5;codec.decode:truncate:times=inf"
+        )
+        first, second, third = plan.rules
+        assert first.probability == 0.25 and first.times == 3 and first.after == 2
+        assert second.mode == "delay" and second.delay == 0.5
+        assert third.times is None
+
+    def test_spec_round_trip(self):
+        spec = "server.frame.read:corrupt:p=0.25,times=3,after=2;blade.routine:delay:delay=0.5"
+        assert parse_plan(parse_plan(spec).spec()).spec() == parse_plan(spec).spec()
+
+    @pytest.mark.parametrize("bad", [
+        "", "nowhere:raise", "client.recv:explode", "client.recv:raise:p=2",
+        "client.recv:raise:volume=11", "client.recv:raise:times=x",
+        "client.recv:delay:delay=-1", "client.recv:raise:p",
+    ])
+    def test_rejects_bad_specs(self, bad):
+        with pytest.raises(FaultPlanError):
+            parse_plan(bad)
+
+    def test_catalogue_matches_described_points(self):
+        text = faults.describe()
+        for name in faults.CATALOGUE:
+            assert name in text
+
+
+class TestRuleFiring:
+    def test_times_caps_firings(self):
+        plan = FaultPlan([FaultRule("conn.execute", "raise", times=2)])
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                plan.apply("conn.execute")
+        plan.apply("conn.execute")  # exhausted: no fire
+
+    def test_after_skips_initial_hits(self):
+        plan = FaultPlan([FaultRule("conn.execute", "raise", after=2)])
+        plan.apply("conn.execute")
+        plan.apply("conn.execute")
+        with pytest.raises(InjectedFault):
+            plan.apply("conn.execute")
+
+    def test_other_points_unaffected(self):
+        plan = FaultPlan([FaultRule("conn.execute", "raise")])
+        assert plan.apply("client.recv", b"data") == b"data"
+
+    def test_truncate_halves_payload(self):
+        plan = FaultPlan([FaultRule("client.recv", "truncate")])
+        assert plan.apply("client.recv", b"12345678") == b"1234"
+
+    def test_corrupt_flips_exactly_one_byte(self):
+        plan = FaultPlan([FaultRule("client.recv", "corrupt")], seed=5)
+        original = bytes(range(64))
+        mutated = plan.apply("client.recv", original)
+        assert len(mutated) == len(original)
+        diffs = [i for i, (a, b) in enumerate(zip(original, mutated)) if a != b]
+        assert len(diffs) == 1
+        assert mutated[diffs[0]] == original[diffs[0]] ^ 0xFF
+
+    def test_payload_modes_degrade_to_raise_at_action_points(self):
+        for mode in ("truncate", "corrupt"):
+            plan = FaultPlan([FaultRule("blade.routine", mode)])
+            with pytest.raises(InjectedFault):
+                plan.apply("blade.routine")
+
+    def test_injected_fault_is_a_connection_error(self):
+        exc = InjectedFault("client.send", "raise")
+        assert isinstance(exc, ConnectionError)
+        assert exc.point == "client.send" and exc.mode == "raise"
+
+
+class TestDeterminism:
+    def test_same_seed_same_corruption(self):
+        payload = os.urandom(256)
+        first = FaultPlan([FaultRule("client.recv", "corrupt")], seed=42)
+        second = FaultPlan([FaultRule("client.recv", "corrupt")], seed=42)
+        assert first.apply("client.recv", payload) == second.apply("client.recv", payload)
+
+    def test_different_seed_different_corruption(self):
+        payload = bytes(256)
+        outputs = {
+            bytes(FaultPlan([FaultRule("client.recv", "corrupt")], seed=s)
+                  .apply("client.recv", payload))
+            for s in range(8)
+        }
+        assert len(outputs) > 1
+
+    def test_same_seed_same_probability_sequence(self):
+        def fire_pattern(seed):
+            plan = FaultPlan(
+                [FaultRule("conn.execute", "raise", probability=0.5, times=None)],
+                seed=seed,
+            )
+            pattern = []
+            for _ in range(100):
+                try:
+                    plan.apply("conn.execute")
+                    pattern.append(False)
+                except InjectedFault:
+                    pattern.append(True)
+            return pattern
+
+        assert fire_pattern(9) == fire_pattern(9)
+        assert fire_pattern(9) != fire_pattern(10)
+
+
+class TestArming:
+    def test_arm_disarm(self):
+        plan = faults.arm("client.recv:raise")
+        assert faults.active_plan() is plan
+        assert faults.disarm() is plan
+        assert faults.active_plan() is None
+
+    def test_inject_restores_previous_plan(self):
+        outer = faults.arm("client.recv:raise")
+        with faults.inject("blade.routine:raise") as inner:
+            assert faults.active_plan() is inner
+        assert faults.active_plan() is outer
+
+    def test_inject_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with faults.inject("client.recv:raise"):
+                raise RuntimeError("boom")
+        assert faults.active_plan() is None
+
+
+class TestInertWhenDisarmed:
+    def test_hot_paths_never_enter_the_faults_module(self):
+        """Disarmed, call sites pay one attribute check and no call.
+
+        Proven by tracing every function call during a workload that
+        crosses all local injection points (statement execution, blade
+        routines, codec decode, frame dump/load) and asserting nothing
+        from the faults package ever ran.
+        """
+        faults_dir = os.path.dirname(faults.__file__)
+        entered = []
+
+        def tracer(frame, event, arg):
+            if event == "call" and frame.f_code.co_filename.startswith(faults_dir):
+                entered.append(frame.f_code.co_qualname)
+            return None
+
+        from repro import codec
+        from repro.server import protocol
+
+        connection = repro.connect(now="1999-09-01")
+        sys.settrace(tracer)
+        try:
+            connection.execute("CREATE TABLE t (v ELEMENT)")
+            connection.execute("INSERT INTO t VALUES (element('{[1999-01-01, NOW]}'))")
+            rows = connection.query("SELECT tip_text(tunion(v, v)) FROM t")
+            codec.decode(codec.encode(repro.Chronon.parse("1999-09-01")))
+            protocol.load_frame(protocol.dump_frame({"op": "ping"}))
+        finally:
+            sys.settrace(None)
+            connection.close()
+        assert rows and entered == []
+
+    def test_every_call_site_guards_on_one_attribute_check(self):
+        """The source-level discipline: each instrumented module gates its
+        injection point behind ``_FAULTS.plan is not None``."""
+        import repro.blade.sqlite_backend
+        import repro.client.connection
+        import repro.codec.binary
+        import repro.server.client
+        import repro.server.server
+
+        import inspect
+
+        for module in (repro.blade.sqlite_backend, repro.client.connection,
+                       repro.codec.binary, repro.server.client, repro.server.server):
+            source = inspect.getsource(module)
+            assert "_FAULTS.plan is not None" in source, module.__name__
+
+
+class TestObservabilityWiring:
+    def test_fired_faults_are_counted(self):
+        with obs.capture(enabled=True) as registry:
+            with faults.inject("conn.execute:raise:times=2"):
+                connection = repro.connect()
+                for _ in range(2):
+                    with pytest.raises(InjectedFault):
+                        connection.execute("SELECT 1")
+                connection.execute("SELECT 1")  # plan exhausted
+                connection.close()
+            assert registry.counter_value("faults.injected.conn.execute.raise") == 2
+            assert registry.counter_value("faults.injected.total") == 2
+
+
+class TestCliSurfaces:
+    def test_faults_subcommand_lists_points(self, capsys):
+        assert faults_main([]) == 0
+        out = capsys.readouterr().out
+        for name in faults.CATALOGUE:
+            assert name in out
+
+    def test_faults_subcommand_validates_spec(self, capsys):
+        assert faults_main(["client.recv:raise;blade.routine:delay:delay=0.2",
+                            "--seed", "3"]) == 0
+        assert "plan ok (seed=3)" in capsys.readouterr().out
+        assert faults_main(["nowhere:raise"]) == 1
+        assert "unknown injection point" in capsys.readouterr().err
+        assert faults_main(["--seed", "x"]) == 2
+        assert faults_main(["--frobnicate"]) == 2
+
+    def test_faults_subcommand_json(self, capsys):
+        assert faults_main(["codec.decode:corrupt", "--json"]) == 0
+        assert '"codec.decode"' in capsys.readouterr().out
+
+    def test_shell_survives_armed_fault_firing(self):
+        """An injected fault fails the statement, never the shell
+        (InjectedFault is a ConnectionError, which execute_line must
+        swallow like any other statement error)."""
+        shell = TipShell()
+        try:
+            shell.execute_line(".faults conn.execute:raise:times=1 seed=9")
+            first = shell.execute_line("SELECT 1")
+            assert first.startswith("error: injected fault at conn.execute")
+            # The plan is exhausted; the same shell keeps working.
+            assert "1" in shell.execute_line("SELECT 1")
+        finally:
+            faults.disarm()
+            shell.close()
+
+    def test_shell_faults_command(self):
+        shell = TipShell()
+        try:
+            assert "off" in shell.execute_line(".faults")
+            armed = shell.execute_line(".faults client.recv:raise seed=5")
+            assert "armed" in armed and "seed=5" in armed
+            assert faults.active_plan() is not None
+            status = shell.execute_line(".faults")
+            assert "client.recv:raise" in status
+            assert "points" not in status  # sanity: status, not catalogue
+            assert "disarmed" in shell.execute_line(".faults off")
+            assert faults.active_plan() is None
+            assert "server.frame.read" in shell.execute_line(".faults points")
+            assert "error" in shell.execute_line(".faults nowhere:raise")
+        finally:
+            faults.disarm()
+            shell.close()

@@ -168,6 +168,124 @@ class TestWireRobustness:
             remote._round_trip({"op": "execute"})
 
 
+class TestFrameBounds:
+    """Partial and oversized frames: typed errors or clean closes,
+    never a traceback in the server log or a leaked session."""
+
+    @staticmethod
+    def _quiet_server(**kwargs):
+        """A server that records (instead of printing) handler errors."""
+        srv = TipServer(":memory:", **kwargs)
+        srv.handler_errors = []
+        srv._inner.handle_error = (
+            lambda request, address: srv.handler_errors.append(address)
+        )
+        return srv
+
+    @staticmethod
+    def _await_counter(registry, name, value, timeout=5.0):
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if registry.counter_value(name) >= value:
+                return
+            time.sleep(0.01)
+        raise AssertionError(
+            f"{name} never reached {value} "
+            f"(at {registry.counter_value(name)})"
+        )
+
+    def _await_ledger_settled(self, registry, timeout=5.0):
+        """Wait until every session opened in this capture has closed.
+
+        Sessions from *earlier* tests may close concurrently and land
+        their increment in this capture's registry, so the leak check
+        is ``closed >= opened``, polled (never-closing sessions fail
+        the timeout).
+        """
+        self._await_counter(registry, "server.sessions.opened", 1, timeout)
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            opened = registry.counter_value("server.sessions.opened")
+            closed = registry.counter_value("server.sessions.closed")
+            if closed >= opened:
+                return
+            time.sleep(0.01)
+        raise AssertionError("a session leaked: opened > closed after timeout")
+
+    def test_partial_frame_then_disconnect_closes_cleanly(self):
+        import socket
+
+        from repro import obs
+
+        with obs.capture(enabled=True) as registry:
+            with self._quiet_server() as srv:
+                with socket.create_connection(srv.address, timeout=5) as raw:
+                    raw.sendall(b'{"op": "pi')  # half a frame, no newline
+                self._await_counter(registry, "server.frame.partial", 1)
+                self._await_ledger_settled(registry)
+                assert srv.handler_errors == []
+
+    def test_oversized_frame_gets_typed_error_and_session_survives(self):
+        import socket
+
+        with self._quiet_server(max_frame_bytes=512, observability=False) as srv:
+            with socket.create_connection(srv.address, timeout=5) as raw:
+                reader = raw.makefile("rb")
+                big = protocol.dump_frame({"op": "ping", "pad": "x" * 2048})
+                assert len(big) > 512
+                raw.sendall(big)
+                response = protocol.load_frame(reader.readline())
+                assert response["ok"] is False
+                assert response["kind"] == "FrameTooLarge"
+                assert response["retry_safe"] is False
+                # The stream is resynchronized: the session still works.
+                raw.sendall(protocol.dump_frame({"op": "ping"}))
+                assert protocol.load_frame(reader.readline())["ok"] is True
+            assert srv.handler_errors == []
+
+    def test_oversized_frame_without_newline_then_disconnect(self):
+        """Worst case: an oversized frame whose sender dies mid-drain."""
+        import socket
+
+        from repro import obs
+
+        with obs.capture(enabled=True) as registry:
+            with self._quiet_server(max_frame_bytes=256) as srv:
+                with socket.create_connection(srv.address, timeout=5) as raw:
+                    raw.sendall(b"A" * 4096)  # oversized, never newline-terminated
+                self._await_ledger_settled(registry)
+                assert srv.handler_errors == []
+
+    def test_oversized_via_client_raises_typed_error_without_retry_storm(self):
+        from repro.server.client import RetryPolicy
+
+        with self._quiet_server(max_frame_bytes=2048, observability=False) as srv:
+            host, port = srv.address
+            with RemoteTipConnection(
+                host, port, retry=RetryPolicy(base_delay=0.0, jitter=0.0)
+            ) as remote:
+                with pytest.raises(RemoteError) as info:
+                    remote.execute("SELECT '" + "x" * 4096 + "'")
+                assert info.value.kind == "FrameTooLarge"
+                assert remote.query_one("SELECT 1") == (1,)
+
+    def test_session_degraded_counter_in_metrics_frame(self):
+        import socket
+
+        with self._quiet_server(max_frame_bytes=512, observability=False) as srv:
+            with socket.create_connection(srv.address, timeout=5) as raw:
+                reader = raw.makefile("rb")
+                raw.sendall(protocol.dump_frame({"op": "ping", "pad": "x" * 2048}))
+                assert protocol.load_frame(reader.readline())["kind"] == "FrameTooLarge"
+                raw.sendall(protocol.dump_frame({"op": "metrics"}))
+                response = protocol.load_frame(reader.readline())
+                assert response["session"]["degraded"] == 1
+
+
 class TestConcurrency:
     def test_parallel_clients(self, server, fresh_table):
         host, port = server.address
