@@ -13,17 +13,48 @@ by more than the threshold (default 20%), so CI can gate merges on it.
 Benchmarks that appear in only one file are reported but never fail
 the check — adding or retiring an experiment is not a regression.
 
-Stdlib only: runs on a bare CI runner without the test extras.
+There is also a self-contained smoke mode::
+
+    PYTHONPATH=src python benchmarks/check_regression.py --smoke \\
+        [--out BENCH_PR4.json] [--repeats 5] [--size 200]
+
+which runs a fixed set of representative temporal workloads in-process
+(no pytest-benchmark needed) and writes a machine-readable JSON report:
+per-benchmark median wall time plus the work counters
+(``element.periods_processed`` and friends) captured through
+:mod:`repro.obs`.  CI runs it on every push and uploads the report as
+an artifact, so perf *and* algorithmic-work trends are inspectable per
+commit.
+
+The compare path is stdlib only: it runs on a bare CI runner without
+the test extras.  Only ``--smoke`` imports :mod:`repro` (point
+``PYTHONPATH`` at ``src``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
+import time
 from typing import Dict
 
 DEFAULT_THRESHOLD = 0.20
+
+#: Fixed evaluation time for smoke runs — matches benchmarks/conftest.py,
+#: so counter values are machine- and wall-clock-independent.
+SMOKE_NOW = "2000-01-01"
+
+#: Counters worth carrying into the smoke report: the paper's
+#: algorithmic-work metrics, not latencies (those vary per machine).
+SMOKE_COUNTER_PREFIXES = (
+    "element.periods_processed",
+    "tempagg.sweep.periods_processed",
+    "index.probes",
+    "layered.op.",
+    "blade.aggregate.",
+)
 
 
 def load_means(path: str) -> Dict[str, float]:
@@ -67,6 +98,97 @@ def compare(
     return regressions, improvements, only_in_one
 
 
+def _smoke_cases(size: int):
+    """``(name, setup)`` pairs; each setup returns ``(run, teardown)``.
+
+    The cases mirror the flagship E1/E2 comparisons: the integrated
+    blade's coalescing aggregate and overlap join, and the layered
+    translation of the same coalescing query.
+    """
+    import repro
+    from repro.layered import LayeredEngine
+    from repro.workload import (
+        MedicalConfig, generate_prescriptions, load_layered, load_tip,
+    )
+
+    rows = generate_prescriptions(
+        MedicalConfig(n_prescriptions=size, n_patients=max(10, size // 10), seed=42)
+    )
+
+    def tip_setup(sql):
+        def setup():
+            conn = repro.connect(now=SMOKE_NOW)
+            load_tip(conn, rows)
+            return (lambda: conn.query(sql)), conn.close
+        return setup
+
+    def layered_setup():
+        engine = LayeredEngine(now=SMOKE_NOW)
+        load_layered(engine, rows)
+        return (
+            lambda: engine.total_length("Prescription", ["patient"]),
+            engine.close,
+        )
+
+    coalesce_sql = (
+        "SELECT patient, length_seconds(group_union(valid)) "
+        "FROM Prescription GROUP BY patient"
+    )
+    join_sql = (
+        "SELECT p1.patient, p2.patient, tintersect(p1.valid, p2.valid) "
+        "FROM Prescription p1, Prescription p2 "
+        "WHERE p1.drug = 'Diabeta' AND p2.drug = 'Aspirin' "
+        "AND overlaps(p1.valid, p2.valid)"
+    )
+    return [
+        ("e2.coalesce.integrated", tip_setup(coalesce_sql)),
+        ("e2.join.integrated", tip_setup(join_sql)),
+        ("e2.coalesce.layered", layered_setup),
+    ]
+
+
+def run_smoke(out: str, repeats: int = 5, size: int = 200) -> int:
+    """Run the smoke benchmarks and write the JSON report to *out*."""
+    from repro import obs
+
+    report = {
+        "schema": "tip-bench-smoke/1",
+        "now": SMOKE_NOW,
+        "repeats": repeats,
+        "size": size,
+        "benchmarks": {},
+    }
+    for name, setup in _smoke_cases(size):
+        with obs.capture():
+            run, teardown = setup()
+            try:
+                run()  # warm-up: exclude first-call setup from the timings
+                timings = []
+                for _ in range(repeats):
+                    started = time.perf_counter()
+                    run()
+                    timings.append(time.perf_counter() - started)
+                counters = {
+                    counter_name: value
+                    for counter_name, value in obs.snapshot()["counters"].items()
+                    if counter_name.startswith(SMOKE_COUNTER_PREFIXES)
+                }
+            finally:
+                teardown()
+        report["benchmarks"][name] = {
+            "median_seconds": statistics.median(timings),
+            "runs": timings,
+            "counters": counters,
+        }
+        print(f"{name}: median {_fmt(statistics.median(timings))} "
+              f"over {repeats} runs")
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {out} ({len(report['benchmarks'])} benchmarks)")
+    return 0
+
+
 def _fmt(seconds: float) -> str:
     if seconds < 1e-3:
         return f"{seconds * 1e6:.1f}us"
@@ -77,15 +199,42 @@ def _fmt(seconds: float) -> str:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("base", help="benchmark JSON from the base commit")
-    parser.add_argument("head", help="benchmark JSON from the head commit")
+    parser.add_argument("base", nargs="?",
+                        help="benchmark JSON from the base commit")
+    parser.add_argument("head", nargs="?",
+                        help="benchmark JSON from the head commit")
     parser.add_argument(
         "--threshold",
         type=float,
         default=DEFAULT_THRESHOLD,
         help="allowed slowdown fraction before failing (default 0.20)",
     )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the in-process smoke benchmarks instead of comparing",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_PR4.json",
+        help="smoke mode: report path (default BENCH_PR4.json)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="smoke mode: timed runs per benchmark (default 5)",
+    )
+    parser.add_argument(
+        "--size", type=int, default=200,
+        help="smoke mode: prescriptions in the workload (default 200)",
+    )
     options = parser.parse_args(argv)
+
+    if options.smoke:
+        try:
+            return run_smoke(options.out, options.repeats, options.size)
+        except ImportError as exc:
+            print(f"error: {exc} (run with PYTHONPATH=src)", file=sys.stderr)
+            return 2
+    if not options.base or not options.head:
+        parser.error("base and head are required unless --smoke is given")
 
     try:
         base = load_means(options.base)

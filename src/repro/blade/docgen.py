@@ -119,6 +119,7 @@ _CLI_SECTION = [
     "| `.metrics on` / `.metrics off` | toggle metrics collection (default off) |",
     "| `.metrics` | print counters, latency histograms, recent spans as a table |",
     "| `.metrics json` | the same snapshot as JSON |",
+    "| `.metrics prom` | the same snapshot as Prometheus text exposition |",
     "| `.metrics reset` | clear all recorded metrics and traces |",
     "",
     "Every blade routine, cast, and aggregate is instrumented with",
@@ -130,8 +131,46 @@ _CLI_SECTION = [
     "",
     "### `repro metrics` — remote snapshot over the wire",
     "",
-    "`python -m repro metrics HOST:PORT [--json] [--reset]` connects to a",
-    "running TIP server, sends a `METRICS` protocol frame, and prints the",
-    "server's per-session ledger and process-wide snapshot (see the",
-    "`repro.server.protocol` docstring for the frame layout).",
+    "`python -m repro metrics HOST:PORT [--json|--prom] [--reset]` connects",
+    "to a running TIP server, sends a `METRICS` protocol frame, and prints",
+    "the server's per-session ledger and process-wide snapshot (see the",
+    "`repro.server.protocol` docstring for the frame layout).  `--prom`",
+    "emits the snapshot in the Prometheus text exposition format.",
+    "",
+    "### `EXPLAIN TEMPORAL` — per-query blade-vs-layered cost report",
+    "",
+    "Syntax:",
+    "",
+    "```sql",
+    "EXPLAIN TEMPORAL <statement>",
+    "```",
+    "",
+    "where `<statement>` is any SELECT the shell accepts, TSQL2 statement",
+    "modifiers included.  The statement is executed twice — once on the",
+    "integrated blade, once as the translated TimeDB-style equivalent over",
+    "a flat mirror of the referenced temporal tables — and the report shows",
+    "wall/fetch time, rows, periods processed, index probes, per-routine",
+    "breakdowns, the translated SQL with its static complexity metrics",
+    "(chars / selects / joins / NOT EXISTS / predicates), and both SQLite",
+    "query plans side by side.",
+    "",
+    "Example:",
+    "",
+    "```sql",
+    "EXPLAIN TEMPORAL SELECT patient, length(group_union(valid))",
+    "FROM Prescription GROUP BY patient",
+    "```",
+    "",
+    "reports the blade running one `group_union` aggregate against the",
+    "layered side's ~1.4 kB doubly-nested `NOT EXISTS` coalescing query —",
+    "the Section 5 complexity argument, measured per statement.  Available",
+    "as plain shell input, as the `.explain` dot-command, and one-shot from",
+    "the command line:",
+    "",
+    "```",
+    "python -m repro explain [--db PATH] [--demo N] [--json] 'SELECT ...'",
+    "```",
+    "",
+    "(with `--demo`, the synthetic medical database is generated in memory",
+    "so `Prescription` is queryable out of the box).",
 ]

@@ -16,8 +16,13 @@ Dot-commands drive the session:
 ``.now [t | clear]``    show/override/clear the interpretation of NOW
 ``.blade``              describe the installed TIP DataBlade
 ``.metrics [...]``      engine metrics: ``on``/``off`` toggles
-                        collection, ``json`` dumps JSON, ``reset``
+                        collection, ``json`` dumps JSON, ``prom``
+                        emits Prometheus text exposition, ``reset``
                         clears, no argument prints the table
+``.explain <sql>``      run the statement under both the blade and a
+                        layered TimeDB-style mirror and print the
+                        side-by-side cost report (``EXPLAIN TEMPORAL
+                        <sql>`` as plain input does the same)
 ``.faults [...]``       fault injection: ``<spec> [seed=N]`` arms a
                         chaos plan, ``off`` disarms, ``points`` lists
                         the injection points, no argument shows the
@@ -31,10 +36,12 @@ Dot-commands drive the session:
 
 There are also non-interactive subcommands: one fetches a METRICS
 frame from a running :class:`~repro.server.server.TipServer`, one
-inspects and validates chaos plans::
+inspects and validates chaos plans, one runs the blade-vs-layered
+``EXPLAIN TEMPORAL`` comparison on a one-shot database::
 
-    python -m repro metrics HOST:PORT [--json] [--reset]
+    python -m repro metrics HOST:PORT [--json|--prom] [--reset]
     python -m repro faults [SPEC] [--seed N] [--json]
+    python -m repro explain [--db PATH] [--demo N] [--json] SQL
 
 Everything returns text, so the shell is scriptable and testable
 (:class:`TipShell` is the engine; ``main()`` is the stdin loop).
@@ -53,9 +60,9 @@ from repro.browser import TimeWindow, TipBrowser
 from repro.core.chronon import Chronon
 from repro.core.span import Span
 from repro.errors import TipError
-from repro.tsql import TsqlSession
+from repro.tsql import TsqlSession, strip_explain
 
-__all__ = ["TipShell", "main", "metrics_main", "faults_main"]
+__all__ = ["TipShell", "main", "metrics_main", "faults_main", "explain_main"]
 
 _MAX_ROWS = 40
 
@@ -114,6 +121,9 @@ class TipShell:
     # -- SQL ----------------------------------------------------------------
 
     def _run_sql(self, sql: str) -> str:
+        inner = strip_explain(sql)
+        if inner is not None:
+            return self._explain(inner)
         self.tsql.rescan()
         translated = self.tsql.translate(sql)
         cursor = self.connection.execute(translated)
@@ -190,6 +200,18 @@ class TipShell:
 
         return build_tip_blade().describe()
 
+    def _explain(self, statement: str) -> str:
+        from repro.tsql.explain import explain_temporal
+
+        return explain_temporal(
+            self.connection, statement, session=self.tsql
+        ).render()
+
+    def _cmd_explain(self, argument: str) -> str:
+        if not argument:
+            return "usage: .explain <statement>  (or: EXPLAIN TEMPORAL <statement>)"
+        return self._explain(argument)
+
     def _cmd_metrics(self, argument: str) -> str:
         argument = argument.lower()
         if argument == "on":
@@ -205,8 +227,10 @@ class TipShell:
         snapshot = obs.snapshot(trace_tail=10)
         if argument == "json":
             return obs.render_json(snapshot)
+        if argument == "prom":
+            return obs.render_prometheus(snapshot)
         if argument:
-            return "usage: .metrics [on|off|json|reset]"
+            return "usage: .metrics [on|off|json|prom|reset]"
         state = "on" if snapshot.get("enabled") else "off (enable with .metrics on)"
         return f"collection: {state}\n\n{obs.render_text(snapshot)}"
 
@@ -277,18 +301,20 @@ class TipShell:
 
 
 def metrics_main(argv: Sequence[str]) -> int:
-    """``python -m repro metrics HOST:PORT [--json] [--reset]``.
+    """``python -m repro metrics HOST:PORT [--json|--prom] [--reset]``.
 
     Fetches one METRICS frame from a running TIP server and prints the
-    snapshot as a table (default) or JSON.
+    snapshot as a table (default), JSON, or Prometheus text exposition
+    (``--prom``, ready for a scrape-to-file bridge).
     """
     from repro.server.client import RemoteTipConnection
 
     as_json = "--json" in argv
+    as_prom = "--prom" in argv
     reset = "--reset" in argv
     targets = [arg for arg in argv if not arg.startswith("--")]
     if len(targets) != 1 or ":" not in targets[0]:
-        print("usage: python -m repro metrics HOST:PORT [--json] [--reset]",
+        print("usage: python -m repro metrics HOST:PORT [--json|--prom] [--reset]",
               file=sys.stderr)
         return 2
     host, _, port_text = targets[0].rpartition(":")
@@ -305,6 +331,9 @@ def metrics_main(argv: Sequence[str]) -> int:
         return 1
     if as_json:
         print(obs.render_json(data))
+        return 0
+    if as_prom:
+        print(obs.render_prometheus(data.get("metrics", {})))
         return 0
     session = data.get("session", {})
     print(f"session #{session.get('id', '?')}: "
@@ -368,11 +397,75 @@ def faults_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def explain_main(argv: Sequence[str]) -> int:
+    """``python -m repro explain [--db PATH] [--demo N] [--json] SQL``.
+
+    Runs one statement (TSQL2 modifiers and the ``EXPLAIN TEMPORAL``
+    prefix both accepted) under the integrated blade engine and a
+    layered TimeDB-style mirror, and prints the side-by-side cost
+    report.  Without ``--db``, a synthetic medical database is
+    generated in memory (``--demo N`` prescriptions, default 50) so
+    ``Prescription`` is queryable out of the box.
+    """
+    from repro.tsql.explain import explain_temporal
+
+    as_json = "--json" in argv
+    database = ""
+    demo = 50
+    positional: List[str] = []
+    arguments = iter(argv)
+    for arg in arguments:
+        if arg == "--json":
+            continue
+        if arg in ("--db", "--demo"):
+            value = next(arguments, None)
+            if value is None:
+                print(f"error: {arg} needs a value", file=sys.stderr)
+                return 2
+            if arg == "--db":
+                database = value
+            else:
+                try:
+                    demo = int(value)
+                except ValueError:
+                    print("error: --demo needs an integer", file=sys.stderr)
+                    return 2
+            continue
+        if arg.startswith("--"):
+            print(f"error: unknown option {arg!r}", file=sys.stderr)
+            return 2
+        positional.append(arg)
+    if len(positional) != 1:
+        print("usage: python -m repro explain [--db PATH] [--demo N] [--json] SQL",
+              file=sys.stderr)
+        return 2
+    connection = repro.connect(database or ":memory:")
+    try:
+        if not database:
+            from repro.workload import MedicalConfig, generate_prescriptions, load_tip
+
+            rows = generate_prescriptions(
+                MedicalConfig(n_prescriptions=demo, seed=1999)
+            )
+            load_tip(connection, rows, table="Prescription")
+        try:
+            report = explain_temporal(connection, positional[0])
+        except (TipError, sqlite3.Error, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(obs.render_json(report.as_dict()) if as_json else report.render())
+    finally:
+        connection.close()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """The stdin REPL loop, or a one-shot subcommand (``metrics``, ``faults``)."""
+    """The stdin REPL loop, or a one-shot subcommand (``metrics``, ``faults``, ``explain``)."""
     arguments = list(sys.argv[1:] if argv is None else argv)
     if arguments and arguments[0] == "faults":
         return faults_main(arguments[1:])
+    if arguments and arguments[0] == "explain":
+        return explain_main(arguments[1:])
     if arguments and arguments[0] == "metrics":
         try:
             return metrics_main(arguments[1:])

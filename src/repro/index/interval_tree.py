@@ -18,8 +18,22 @@ import random
 from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import TipValueError
+from repro.obs.registry import get_registry as _obs_registry
+from repro.obs.registry import state as _obs_state
 
 __all__ = ["IntervalTree"]
+
+
+def _record_probes(probes: int) -> None:
+    """Publish one search's node visits (only called when obs is on).
+
+    ``index.probes`` is the work metric behind the ``O(log n + k)``
+    claim: nodes touched per overlap query, also surfaced per statement
+    by the query profiler (:mod:`repro.obs.profile`).
+    """
+    registry = _obs_registry()
+    registry.counter("index.probes").add(probes)
+    registry.counter("index.search.calls").inc()
 
 Key = Tuple[int, int, object]
 
@@ -146,11 +160,13 @@ class IntervalTree:
         if lo > hi:
             raise TipValueError(f"inverted query range ({lo}, {hi})")
         out: List[object] = []
+        probes = 0
         stack = [self._root]
         while stack:
             node = stack.pop()
             if node is None or node.max_end < lo:
                 continue
+            probes += 1
             if node.left is not None:
                 stack.append(node.left)
             if node.start <= hi:
@@ -158,6 +174,8 @@ class IntervalTree:
                     out.append(node.value)
                 if node.right is not None:
                     stack.append(node.right)
+        if _obs_state.enabled:
+            _record_probes(probes)
         return out
 
     def stab(self, point: int) -> List[object]:
@@ -169,18 +187,24 @@ class IntervalTree:
         if lo > hi:
             raise TipValueError(f"inverted query range ({lo}, {hi})")
         node = self._root
+        probes = 0
+        found = False
         stack = [node]
         while stack:
             node = stack.pop()
             if node is None or node.max_end < lo:
                 continue
+            probes += 1
             if node.start <= hi and node.end >= lo:
-                return True
+                found = True
+                break
             if node.left is not None:
                 stack.append(node.left)
             if node.start <= hi and node.right is not None:
                 stack.append(node.right)
-        return False
+        if _obs_state.enabled:
+            _record_probes(probes)
+        return found
 
     def items(self) -> Iterator[Tuple[int, int, object]]:
         """All (start, end, value) triples in key order."""

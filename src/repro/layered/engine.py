@@ -12,7 +12,9 @@ applications".
 from __future__ import annotations
 
 import sqlite3
+from functools import wraps
 from itertools import groupby
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.chronon import Chronon
@@ -22,8 +24,37 @@ from repro.core.parser import parse_chronon
 from repro.errors import TranslationError
 from repro.layered import translator
 from repro.layered.schema import FlatSchema
+from repro.obs.registry import get_registry as _obs_registry
+from repro.obs.registry import state as _obs_state
 
 __all__ = ["LayeredEngine"]
+
+
+def _timed_op(method):
+    """Record a temporal operation under ``layered.op.<name>``.
+
+    The same instrument shape as the blade's ``blade.routine.<name>``
+    (a ``.seconds`` latency histogram plus a volume counter), so the
+    query profiler's per-routine breakdown and the E2 comparison see
+    both architectures through one lens.  Off the observability switch
+    this is a single attribute load and a direct call.
+    """
+    name = method.__name__
+
+    @wraps(method)
+    def wrapper(self, *args, **kwargs):
+        if not _obs_state.enabled:
+            return method(self, *args, **kwargs)
+        started = perf_counter()
+        rows = method(self, *args, **kwargs)
+        registry = _obs_registry()
+        registry.histogram(f"layered.op.{name}.seconds").observe(
+            perf_counter() - started
+        )
+        registry.counter(f"layered.op.{name}.rows").add(len(rows))
+        return rows
+
+    return wrapper
 
 
 def _to_seconds(value: "Chronon | str | int") -> int:
@@ -89,6 +120,7 @@ class LayeredEngine:
 
     # -- temporal operations -----------------------------------------------
 
+    @_timed_op
     def timeslice(
         self,
         table: str,
@@ -106,6 +138,7 @@ class LayeredEngine:
         rows = self._conn.execute(sql, params).fetchall()
         return self._assemble(rows, key_width=1 + len(payload), drop_leading=1)
 
+    @_timed_op
     def snapshot(self, table: str, at: "Chronon | str | int") -> List[Tuple]:
         """Tuples valid at the instant *at*: ``(payload...)`` rows."""
         schema = self.schema(table)
@@ -114,6 +147,7 @@ class LayeredEngine:
         rows = self._conn.execute(sql, params).fetchall()
         return [tuple(row[1:]) for row in rows]  # drop the rid
 
+    @_timed_op
     def coalesce(self, table: str, keys: Sequence[str]) -> List[Tuple]:
         """Coalesced maximal periods per *keys* group.
 
@@ -127,6 +161,7 @@ class LayeredEngine:
         rows.sort(key=lambda row: row[: len(keys) + 1])
         return self._assemble(rows, key_width=len(keys))
 
+    @_timed_op
     def overlap_join(
         self,
         left_table: str,
@@ -150,6 +185,7 @@ class LayeredEngine:
         key_width = 2 + len(left.columns) + len(right.columns)
         return self._assemble(rows, key_width=key_width, drop_leading=2)
 
+    @_timed_op
     def total_length(self, table: str, keys: Sequence[str]) -> List[Tuple]:
         """Coalesced total seconds per group: ``(keys..., seconds)``."""
         schema = self.schema(table)

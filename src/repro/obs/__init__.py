@@ -25,10 +25,10 @@ response and to render via :mod:`repro.obs.export`.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from time import perf_counter
+from time import monotonic, perf_counter
 from typing import Dict
 
-from repro.obs.export import render_json, render_text
+from repro.obs.export import render_json, render_profile, render_prometheus, render_text
 from repro.obs.instruments import Counter, Histogram
 from repro.obs.registry import (
     MetricsRegistry,
@@ -46,14 +46,20 @@ from repro.obs.trace import (
     set_trace_buffer,
     span,
 )
+from repro.obs import profile
 
 __all__ = [
     "Counter", "Histogram", "MetricsRegistry", "TraceBuffer", "TraceEvent",
     "enable", "disable", "is_enabled", "state",
     "get_registry", "set_registry", "get_trace_buffer", "set_trace_buffer",
     "counter", "histogram", "span", "snapshot", "instrumented", "call", "capture",
-    "render_text", "render_json",
+    "render_text", "render_json", "render_prometheus", "render_profile",
+    "profile",
 ]
+
+#: Monotonic mark at import time — the uptime origin every snapshot
+#: reports against.
+_PROCESS_START = monotonic()
 
 
 def counter(name: str) -> Counter:
@@ -69,10 +75,37 @@ def histogram(name: str) -> Histogram:
 def snapshot(trace_tail: int = 0) -> Dict:
     """The active registry as plain data, plus the switch position.
 
-    *trace_tail* > 0 appends the most recent trace events.
+    *trace_tail* > 0 appends the most recent trace events.  Every
+    snapshot carries a monotonic timestamp and the process uptime, the
+    session open/close ledger derived from the server counters, and —
+    when a fault plan is armed — the plan's per-rule hit/fired ledger,
+    so a METRICS frame is self-describing about when it was taken and
+    what chaos was active.
     """
+    now = monotonic()
     data = get_registry().snapshot()
     data["enabled"] = state.enabled
+    data["ts_monotonic"] = now
+    data["uptime_seconds"] = now - _PROCESS_START
+    counters = data.get("counters", {})
+    opened = counters.get("server.sessions.opened", 0)
+    closed = counters.get("server.sessions.closed", 0)
+    data["sessions"] = {
+        "opened": opened, "closed": closed, "active": opened - closed,
+    }
+    # Imported lazily: repro.faults instruments itself through this
+    # package, so a module-level import would be circular.
+    from repro.faults import state as _fault_state
+
+    plan = _fault_state.plan
+    if plan is None:
+        data["faults"] = {"armed": False}
+    else:
+        data["faults"] = {
+            "armed": True,
+            "seed": plan.seed,
+            "rules": [rule.as_dict() for rule in plan.rules],
+        }
     if trace_tail:
         data["trace"] = [
             event.as_dict() for event in get_trace_buffer().events(last=trace_tail)
@@ -137,12 +170,21 @@ def capture(enabled: bool = True):
 
     The workhorse of the test suite: isolates metric assertions from
     whatever the process accumulated before, and restores the previous
-    registry, buffer, and switch position on exit.
+    registry, buffer, switch position, and profiler state (switch,
+    threshold, rings) on exit.
     """
+    from collections import deque
+
     previous_enabled = state.enabled
     registry = MetricsRegistry("capture")
     previous_registry = set_registry(registry)
     previous_buffer = set_trace_buffer(TraceBuffer())
+    pstate = profile.state
+    previous_profiles = (
+        pstate.recent, pstate.slow, pstate.slow_threshold, pstate.enabled,
+    )
+    pstate.recent = deque(maxlen=profile.RECENT_CAPACITY)
+    pstate.slow = profile.SlowQueryLog()
     state.enabled = enabled
     try:
         yield registry
@@ -150,3 +192,5 @@ def capture(enabled: bool = True):
         state.enabled = previous_enabled
         set_registry(previous_registry)
         set_trace_buffer(previous_buffer)
+        (pstate.recent, pstate.slow, pstate.slow_threshold,
+         pstate.enabled) = previous_profiles

@@ -1,16 +1,23 @@
-"""Render a metrics snapshot as a fixed-width table or JSON.
+"""Render a metrics snapshot as a fixed-width table, JSON, or Prometheus text.
 
 Consumed by the shell's ``.metrics`` command, the ``python -m repro
 metrics`` subcommand, and anything that receives a ``METRICS`` frame
-from the server and wants it human-readable.
+from the server and wants it human-readable.  The Prometheus text
+exposition (:func:`render_prometheus`) turns the same snapshot into
+the ``text/plain; version=0.0.4`` format scrapers expect, so a TIP
+process can be wired into an existing monitoring stack without a
+bespoke exporter.  :func:`render_profile` renders one
+:class:`~repro.obs.profile.QueryProfile` (as plain data) for the
+shell's ``.profile`` command and the PROFILE wire frame.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from typing import Dict, List, Sequence
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_prometheus", "render_profile"]
 
 
 def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> List[str]:
@@ -40,6 +47,28 @@ def _seconds(value) -> str:
 def render_text(snapshot: Dict) -> str:
     """A snapshot (``{"counters": ..., "histograms": ...}``) as text."""
     sections: List[str] = []
+    if "uptime_seconds" in snapshot:
+        header = [f"uptime: {_seconds(snapshot['uptime_seconds'])}"]
+        if "ts_monotonic" in snapshot:
+            header.append(f"snapshot at t={snapshot['ts_monotonic']:.3f} (monotonic)")
+        sections.append("\n".join(header))
+    sessions = snapshot.get("sessions")
+    if sessions:
+        sections.append(
+            f"sessions: {sessions.get('opened', 0)} opened, "
+            f"{sessions.get('closed', 0)} closed, "
+            f"{sessions.get('active', 0)} active"
+        )
+    faults = snapshot.get("faults")
+    if faults and faults.get("armed"):
+        lines = [f"faults: armed (seed={faults.get('seed')})"]
+        for rule in faults.get("rules", []):
+            lines.append(
+                f"  {rule.get('point')}:{rule.get('mode')} "
+                f"hits={rule.get('hits', 0)} fired={rule.get('fired', 0)}"
+            )
+        sections.append("\n".join(lines))
+    header_count = len(sections)
     counters = snapshot.get("counters", {})
     if counters:
         rows = [(name, str(counters[name])) for name in sorted(counters)]
@@ -66,11 +95,100 @@ def render_text(snapshot: Dict) -> str:
             for event in trace
         ]
         sections.append("\n".join(["recent spans:"] + _table(("span", "took", "status"), rows)))
-    if not sections:
-        return "(no metrics recorded)"
+    if len(sections) == header_count:  # uptime/session headers only
+        sections.append("(no metrics recorded)")
     return "\n\n".join(sections)
 
 
 def render_json(snapshot: Dict) -> str:
     """A snapshot as pretty-printed, key-sorted JSON."""
     return json.dumps(snapshot, indent=2, sort_keys=True)
+
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+#: Histogram bucket keys arrive as ``le_<bound>`` / ``le_inf``.
+_PROM_BUCKET_PREFIX = "le_"
+
+
+def _prom_name(name: str, prefix: str = "tip_") -> str:
+    return prefix + _PROM_NAME_RE.sub("_", name)
+
+
+def render_prometheus(snapshot: Dict) -> str:
+    """A snapshot in the Prometheus text exposition format (0.0.4).
+
+    Counters become ``# TYPE ... counter`` samples; histograms become
+    the conventional ``_bucket{le=...}`` / ``_sum`` / ``_count``
+    triples with cumulative buckets.  Uptime and the session ledger
+    become gauges when present.
+    """
+    lines: List[str] = []
+    if "uptime_seconds" in snapshot:
+        lines += ["# TYPE tip_uptime_seconds gauge",
+                  f"tip_uptime_seconds {snapshot['uptime_seconds']:.6f}"]
+    sessions = snapshot.get("sessions")
+    if sessions:
+        lines.append("# TYPE tip_sessions gauge")
+        for which in ("opened", "closed", "active"):
+            lines.append(f'tip_sessions{{state="{which}"}} {sessions.get(which, 0)}')
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _prom_name(name) + "_total"
+        lines += [f"# TYPE {metric} counter",
+                  f"{metric} {snapshot['counters'][name]}"]
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        buckets = hist.get("buckets", {})
+
+        def bound_key(key: str) -> float:
+            raw = key[len(_PROM_BUCKET_PREFIX):]
+            return float("inf") if raw == "inf" else float(raw)
+
+        has_inf = False
+        for key in sorted(buckets, key=bound_key):
+            bound = key[len(_PROM_BUCKET_PREFIX):]
+            label = "+Inf" if bound == "inf" else bound
+            has_inf = has_inf or label == "+Inf"
+            cumulative += buckets[key]
+            lines.append(f'{metric}_bucket{{le="{label}"}} {cumulative}')
+        count = hist.get("count", 0)
+        if not has_inf:  # the format requires a closing +Inf bucket
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
+        lines += [f"{metric}_sum {hist.get('sum', 0.0):.9f}",
+                  f"{metric}_count {count}"]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_profile(profile: Dict) -> str:
+    """One query profile (``QueryProfile.as_dict()`` form) as text."""
+    lines = [
+        f"statement: {profile.get('sql', '?')}",
+        f"  engine={profile.get('engine', '?')} side={profile.get('side', '?')} "
+        f"trace={profile.get('trace_id', '')[:16]} span={profile.get('span_id', '')}",
+        f"  wall {_seconds(profile.get('wall_seconds', 0.0))}"
+        + (f"  fetch {_seconds(profile['fetch_seconds'])}"
+           if profile.get("fetch_seconds") else "")
+        + f"  rows={profile.get('rows', 0)} rowcount={profile.get('rowcount', -1)}"
+        + (f" retries={profile['retries']}" if profile.get("retries") else ""),
+        f"  periods_processed={profile.get('periods_processed', 0)} "
+        f"index_probes={profile.get('index_probes', 0)} "
+        f"ok={profile.get('ok', True)}",
+    ]
+    if profile.get("error"):
+        lines.append(f"  error: {profile['error']}")
+    routines = profile.get("routines", {})
+    if routines:
+        rows = []
+        for name in sorted(routines, key=lambda n: -routines[n].get("seconds", 0.0)):
+            entry = routines[name]
+            rows.append((
+                name, str(int(entry.get("calls", 0))),
+                _seconds(entry.get("seconds", 0.0)),
+                str(int(entry["steps"])) if "steps" in entry else "-",
+            ))
+        lines.append("  routines:")
+        lines += ["    " + line
+                  for line in _table(("routine", "calls", "seconds", "steps"), rows)]
+    return "\n".join(lines)

@@ -61,6 +61,19 @@ class TraceBuffer:
             items = list(self._events)
         return items if last is None else items[-last:]
 
+    def events_for_trace(self, trace_id: str) -> List[TraceEvent]:
+        """All buffered spans carrying *trace_id*, oldest first.
+
+        Spans join a trace through their ``meta["trace_id"]`` — the
+        propagated context of :mod:`repro.obs.profile` — so one
+        client-issued statement shows its client- and server-side
+        spans here as a single trace.
+        """
+        return [
+            event for event in self.events()
+            if event.meta.get("trace_id") == trace_id
+        ]
+
     def clear(self) -> None:
         with self._lock:
             self._events.clear()

@@ -42,6 +42,8 @@ from repro import obs
 from repro.core.chronon import Chronon
 from repro.errors import TipError
 from repro.faults import state as _FAULTS
+from repro.obs.profile import QueryProfile, StatementRecorder
+from repro.obs.profile import state as _PROFILE
 from repro.server import protocol
 
 __all__ = ["RemoteTipConnection", "RemoteError", "RetryPolicy"]
@@ -90,13 +92,25 @@ class RetryPolicy:
 
 
 class RemoteResult:
-    """One statement's outcome."""
+    """One statement's outcome.
+
+    When the profiler was active for the request, :attr:`profile`
+    carries the server-side :class:`~repro.obs.profile.QueryProfile`,
+    :attr:`client_profile` the client-side one, and :attr:`trace` the
+    joined trace identity — the two profiles share one ``trace_id``.
+    """
 
     def __init__(self, frame: dict) -> None:
         self.columns: List[str] = frame.get("columns", [])
         self.rows: List[Tuple] = [protocol.load_row(row) for row in frame.get("rows", [])]
         self.rowcount: int = frame.get("rowcount", -1)
         self.statement_now: Optional[str] = frame.get("statement_now")
+        raw_profile = frame.get("profile")
+        self.profile: Optional[QueryProfile] = (
+            QueryProfile.from_dict(raw_profile) if isinstance(raw_profile, dict) else None
+        )
+        self.trace: Optional[dict] = frame.get("trace")
+        self.client_profile: Optional[QueryProfile] = None
 
 
 class RemoteTipConnection:
@@ -128,6 +142,7 @@ class RemoteTipConnection:
         self._socket: Optional[socket.socket] = None
         self._reader = None
         self._closed = False
+        self._last_attempts = 1
         self._connect_with_retry()
 
     # -- plumbing ------------------------------------------------------
@@ -219,6 +234,7 @@ class RemoteTipConnection:
         attempts = self._retry.max_attempts if retryable else 1
         last_error: Optional[BaseException] = None
         for attempt in range(attempts):
+            self._last_attempts = attempt + 1
             if attempt:
                 delay = self._retry.backoff_delay(attempt - 1, self._rng)
                 if delay:
@@ -253,13 +269,44 @@ class RemoteTipConnection:
     # -- the query surface -----------------------------------------------
 
     def execute(self, sql: str, params: Sequence = ()) -> RemoteResult:
-        """Run one statement; TIP parameters travel in binary form."""
+        """Run one statement; TIP parameters travel in binary form.
+
+        With the profiler on, the request carries this side's
+        ``trace_id``/``span_id`` and asks the server for its profile,
+        so the returned :class:`RemoteResult` holds both halves of one
+        trace.  Profiler off: not a single extra Python-level call.
+        """
         frame = {
             "op": "execute",
             "sql": sql,
             "params": [protocol.dump_value(value) for value in params],
         }
+        if _PROFILE.enabled or _PROFILE.forced:
+            return self._execute_profiled(frame, sql)
         return RemoteResult(self._round_trip(frame))
+
+    def _execute_profiled(self, frame: dict, sql: str) -> RemoteResult:
+        recorder = StatementRecorder(sql, engine="remote", side="client")
+        frame["trace"] = {
+            "trace_id": recorder.profile.trace_id,
+            "span_id": recorder.profile.span_id,
+        }
+        frame["profile"] = True
+        recorder.start()
+        try:
+            response = self._round_trip(frame)
+        except Exception as exc:
+            recorder.profile.retries = self._last_attempts - 1
+            recorder.finish(ok=False, error=str(exc))
+            raise
+        recorder.profile.retries = self._last_attempts - 1
+        result = RemoteResult(response)
+        recorder.profile.rows = len(result.rows)
+        result.client_profile = recorder.finish(
+            rowcount=result.rowcount,
+            statement_now=result.statement_now,
+        )
+        return result
 
     def query(self, sql: str, params: Sequence = ()) -> List[Tuple]:
         return self.execute(sql, params).rows
@@ -288,6 +335,20 @@ class RemoteTipConnection:
             frame["reset"] = True
         if trace_tail:
             frame["trace_tail"] = trace_tail
+        response = self._round_trip(frame)
+        return {key: value for key, value in response.items() if key != "ok"}
+
+    def profiles(self, *, last: int = 0, slow: bool = False) -> dict:
+        """The server's PROFILE frame: recent (or slow-log) profiles.
+
+        Returns ``{"enabled": ..., "slow_threshold": ...,
+        "profiles": [...]}`` with profiles in wire (dict) form.
+        """
+        frame: dict = {"op": "profile"}
+        if last:
+            frame["last"] = last
+        if slow:
+            frame["slow"] = True
         response = self._round_trip(frame)
         return {key: value for key, value in response.items() if key != "ok"}
 

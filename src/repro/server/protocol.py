@@ -5,6 +5,7 @@ Requests::
     {"op": "execute", "sql": "...", "params": [...]}
     {"op": "set_now", "now": "1999-09-01"}     # null clears the override
     {"op": "metrics"}                          # the METRICS frame
+    {"op": "profile"}                          # the PROFILE frame
     {"op": "ping"}
     {"op": "close"}
 
@@ -13,6 +14,32 @@ Responses::
     {"ok": true, "rows": [...], "columns": [...], "rowcount": n,
      "statement_now": "..."}
     {"ok": false, "error": "message", "kind": "OperationalError"}
+
+**Trace propagation.**  An ``execute`` request may carry a trace
+context and ask for the statement's profile::
+
+    {"op": "execute", "sql": "...",
+     "trace": {"trace_id": "<hex128>", "span_id": "<hex64>"},
+     "profile": true}
+
+The server adopts ``trace_id`` and runs the statement as a child span
+of ``span_id``, so the client-side and server-side spans of one
+statement form a single trace.  When a profile was collected (the
+server profiler is on, or ``"profile": true`` forced a one-shot), the
+response gains::
+
+    {"ok": true, ...,
+     "profile": { ... QueryProfile.as_dict() ... },
+     "trace": {"trace_id": "...", "span_id": "<server span>",
+               "parent_span_id": "<client span>"}}
+
+**The PROFILE frame** returns the server's recent per-statement
+profiles (``{"op": "profile", "last": n, "slow": true}`` selects the
+slow-query log instead)::
+
+    {"ok": true, "enabled": true, "slow_threshold": 0.5,
+     "profiles": [{"sql": ..., "wall_seconds": ...,
+                   "routines": {...}, ...}, ...]}
 
 Error responses may carry ``"retry_safe": true`` when the server can
 guarantee the request was **never executed** (it could not even be

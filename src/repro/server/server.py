@@ -35,6 +35,7 @@ from repro.core.chronon import Chronon
 from repro.core.parser import parse_chronon
 from repro.errors import TipError
 from repro.faults import state as _FAULTS
+from repro.obs import profile as _profile
 from repro.server import protocol
 
 __all__ = ["TipServer"]
@@ -165,6 +166,8 @@ class _SessionHandler(socketserver.StreamRequestHandler):
             return {"ok": True, "closed": True}, True
         if op == "metrics":
             return self._metrics(frame), False
+        if op == "profile":
+            return self._profile_frame(frame), False
         if op == "set_now":
             raw = frame.get("now")
             if raw is None:
@@ -195,6 +198,20 @@ class _SessionHandler(socketserver.StreamRequestHandler):
             "metrics": snapshot,
         }
 
+    def _profile_frame(self, frame: dict) -> dict:
+        """The PROFILE frame: recent (or slow) query profiles."""
+        last = int(frame.get("last", 0) or 0) or None
+        if frame.get("slow"):
+            profiles = _profile.slow_log(last)
+        else:
+            profiles = _profile.recent_profiles(last)
+        return {
+            "ok": True,
+            "enabled": _profile.state.enabled,
+            "slow_threshold": _profile.state.slow_threshold,
+            "profiles": [entry.as_dict() for entry in profiles],
+        }
+
     def _execute(self, frame: dict) -> dict:
         sql = frame.get("sql")
         if not isinstance(sql, str):
@@ -203,33 +220,62 @@ class _SessionHandler(socketserver.StreamRequestHandler):
             params = tuple(protocol.load_value(v) for v in frame.get("params", []))
         except protocol.ProtocolError as exc:
             return {"ok": False, "error": str(exc), "kind": "ProtocolError"}
+        # Trace context: the client's ids make the server-side span a
+        # child of the client-side span — one trace across the wire.
+        trace = frame.get("trace")
+        trace_id = trace.get("trace_id") if isinstance(trace, dict) else None
+        parent_span = trace.get("span_id") if isinstance(trace, dict) else None
+        want_profile = bool(frame.get("profile"))
         owner = self.server.owner
         session_now = self.session_now
         with owner.lock:
             connection = owner.connection
             try:
                 connection.set_now(None if session_now is None else Chronon(session_now))
-                cursor = connection.execute(sql, params)
+                with _profile.activate_context(trace_id, parent_span, side="server"):
+                    if want_profile and not _profile.state.enabled:
+                        # One-shot profile on request; the engine lock
+                        # serializes statements, so the brief forced
+                        # window cannot catch another session's work.
+                        with _profile.forced():
+                            cursor = connection.execute(sql, params)
+                    else:
+                        cursor = connection.execute(sql, params)
                 if cursor.description is None:
                     connection.commit()
-                    return {
-                        "ok": True,
-                        "rows": [],
-                        "columns": [],
-                        "rowcount": cursor.rowcount,
-                        "statement_now": str(cursor.statement_now),
-                    }
+                    return self._execute_response(
+                        cursor, rows=[], columns=[], rowcount=cursor.rowcount
+                    )
                 rows = cursor.fetchall()
-                return {
-                    "ok": True,
-                    "rows": [protocol.dump_row(row) for row in rows],
-                    "columns": [entry[0] for entry in cursor.description],
-                    "rowcount": len(rows),
-                    "statement_now": str(cursor.statement_now),
-                }
+                return self._execute_response(
+                    cursor,
+                    rows=[protocol.dump_row(row) for row in rows],
+                    columns=[entry[0] for entry in cursor.description],
+                    rowcount=len(rows),
+                )
             except Exception as exc:  # surface engine errors to the client
                 connection.rollback()
                 return {"ok": False, "error": str(exc), "kind": type(exc).__name__}
+
+    @staticmethod
+    def _execute_response(cursor, *, rows, columns, rowcount) -> dict:
+        response = {
+            "ok": True,
+            "rows": rows,
+            "columns": columns,
+            "rowcount": rowcount,
+            "statement_now": str(cursor.statement_now),
+        }
+        if cursor.profile is not None:
+            # Fetches above already charged their rows/time, so the
+            # framed profile is the statement's complete server cost.
+            response["profile"] = cursor.profile.as_dict()
+            response["trace"] = {
+                "trace_id": cursor.profile.trace_id,
+                "span_id": cursor.profile.span_id,
+                "parent_span_id": cursor.profile.parent_span_id,
+            }
+        return response
 
 
 class _InnerServer(socketserver.ThreadingTCPServer):
@@ -260,6 +306,9 @@ class TipServer:
         port: int = 0,
         observability: bool = True,
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+        profiling: bool = False,
+        slow_threshold: "float | None" = None,
+        slow_sink: "str | None" = None,
     ) -> None:
         # Handler threads share this one engine connection under the
         # lock, so SQLite's same-thread check must be relaxed here.
@@ -275,6 +324,13 @@ class TipServer:
         # switch on.  Pass observability=False to leave it untouched.
         if observability:
             obs.enable()
+        # Per-statement profiling is opt-in (it snapshots the registry
+        # around every statement); clients can still request one-shot
+        # profiles per execute frame while it is off.
+        if profiling:
+            _profile.enable(slow_threshold=slow_threshold, sink=slow_sink)
+        elif slow_threshold is not None or slow_sink is not None:
+            _profile.configure(slow_threshold=slow_threshold, sink=slow_sink)
 
     @property
     def address(self) -> Tuple[str, int]:

@@ -8,6 +8,18 @@ rewrites TSQL2's statement modifiers (``SNAPSHOT [AT t]``,
 over the TIP routines, without touching the engine.
 """
 
-from repro.tsql.preprocessor import TsqlSession, translate_tsql
+from repro.tsql.preprocessor import TsqlSession, strip_explain, translate_tsql
 
-__all__ = ["TsqlSession", "translate_tsql"]
+__all__ = ["TsqlSession", "translate_tsql", "strip_explain", "explain_temporal"]
+
+
+def explain_temporal(*args, **kwargs):
+    """Lazy proxy for :func:`repro.tsql.explain.explain_temporal`.
+
+    The explain harness pulls in the layered engine and the profiler;
+    importing it lazily keeps ``import repro.tsql`` light for users who
+    only want the preprocessor.
+    """
+    from repro.tsql.explain import explain_temporal as _explain
+
+    return _explain(*args, **kwargs)

@@ -34,7 +34,26 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.client.connection import TipConnection
 from repro.errors import TranslationError
 
-__all__ = ["TsqlSession", "translate_tsql", "split_select"]
+__all__ = ["TsqlSession", "translate_tsql", "split_select", "strip_explain"]
+
+_EXPLAIN_RE = re.compile(
+    r"^\s*EXPLAIN\s+TEMPORAL\s+(?P<rest>\S.*)$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+
+def strip_explain(statement: str) -> Optional[str]:
+    """The statement under an ``EXPLAIN TEMPORAL`` prefix, or None.
+
+    ``EXPLAIN TEMPORAL <sql>`` is TIP's per-query cost surface: the
+    wrapped statement (TSQL2 modifiers included) is run under both the
+    integrated blade engine and a layered TimeDB-style mirror, and the
+    two profiles are reported side by side
+    (:mod:`repro.tsql.explain`).  This helper only recognizes and
+    strips the prefix, so the shell and CLI can route the statement.
+    """
+    match = _EXPLAIN_RE.match(statement)
+    return match["rest"].strip() if match else None
 
 _MODIFIER_RE = re.compile(
     r"""^\s*

@@ -92,3 +92,40 @@ class TestMain:
         assert load_means(str(path)) == {
             "mod.py::test_x": 0.25, "bare": 0.5,
         }
+
+    def test_missing_positionals_without_smoke_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+        assert "base and head are required" in capsys.readouterr().err
+
+
+class TestSmoke:
+    def test_smoke_writes_machine_readable_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH.json"
+        assert main(["--smoke", "--out", str(out),
+                     "--size", "30", "--repeats", "2"]) == 0
+        stdout = capsys.readouterr().out
+        assert f"wrote {out}" in stdout
+        report = json.loads(out.read_text())
+        assert report["schema"] == "tip-bench-smoke/1"
+        assert report["repeats"] == 2 and report["size"] == 30
+        names = set(report["benchmarks"])
+        assert names == {
+            "e2.coalesce.integrated", "e2.join.integrated", "e2.coalesce.layered",
+        }
+        for entry in report["benchmarks"].values():
+            assert entry["median_seconds"] > 0
+            assert len(entry["runs"]) == 2
+        # The algorithmic-work counters ride along with the timings.
+        integrated = report["benchmarks"]["e2.join.integrated"]["counters"]
+        assert integrated["element.periods_processed"] > 0
+        layered = report["benchmarks"]["e2.coalesce.layered"]["counters"]
+        assert layered["layered.op.total_length.rows"] > 0
+
+    def test_smoke_leaves_global_obs_state_alone(self, tmp_path):
+        from repro import obs
+
+        was_enabled = obs.is_enabled()
+        main(["--smoke", "--out", str(tmp_path / "b.json"),
+              "--size", "20", "--repeats", "1"])
+        assert obs.is_enabled() == was_enabled
