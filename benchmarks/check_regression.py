@@ -16,14 +16,21 @@ the check — adding or retiring an experiment is not a regression.
 There is also a self-contained smoke mode::
 
     PYTHONPATH=src python benchmarks/check_regression.py --smoke \\
-        [--out BENCH_PR4.json] [--repeats 5] [--size 200]
+        [--out BENCH_PR5.json] [--repeats 5] [--size 200] \\
+        [--baseline benchmarks/BENCH_PR4.json]
 
 which runs a fixed set of representative temporal workloads in-process
 (no pytest-benchmark needed) and writes a machine-readable JSON report:
-per-benchmark median wall time plus the work counters
+per-benchmark median wall time, the work counters
 (``element.periods_processed`` and friends) captured through
-:mod:`repro.obs`.  CI runs it on every push and uploads the report as
-an artifact, so perf *and* algorithmic-work trends are inspectable per
+:mod:`repro.obs`, and the marshalling-cache hit/miss deltas
+(``repro.codec.cache``) per benchmark.  When a committed baseline
+report exists (auto-detected as the highest-numbered ``BENCH_PR*.json``
+next to this script, or given via ``--baseline``) the smoke run also
+compares median wall times against it and **warns** — without failing —
+on any shared benchmark slower than ``SMOKE_WARN_RATIO`` (1.5x).  CI
+runs the smoke mode on every push and uploads the report as an
+artifact, so perf *and* algorithmic-work trends are inspectable per
 commit.
 
 The compare path is stdlib only: it runs on a bare CI runner without
@@ -34,13 +41,21 @@ the test extras.  Only ``--smoke`` imports :mod:`repro` (point
 from __future__ import annotations
 
 import argparse
+import glob
 import json
+import os
+import re
 import statistics
 import sys
 import time
-from typing import Dict
+from typing import Dict, Optional
 
 DEFAULT_THRESHOLD = 0.20
+
+#: Smoke-vs-baseline comparisons warn (never fail) above this ratio:
+#: the committed baseline was recorded on a different machine, so only
+#: gross regressions are worth flagging.
+SMOKE_WARN_RATIO = 1.5
 
 #: Fixed evaluation time for smoke runs — matches benchmarks/conftest.py,
 #: so counter values are machine- and wall-clock-independent.
@@ -130,6 +145,26 @@ def _smoke_cases(size: int):
             engine.close,
         )
 
+    def insert_setup():
+        def setup():
+            conn = repro.connect(now=SMOKE_NOW)
+            conn.execute(
+                "CREATE TABLE Rx (doctor TEXT, patient TEXT, patientdob CHRONON, "
+                "drug TEXT, dosage INTEGER, frequency SPAN, valid ELEMENT)"
+            )
+            statement = (
+                "INSERT INTO Rx VALUES ('Dr.Pepper', 'Mr.Showbiz', "
+                "chronon('1975-03-26'), 'Diabeta', 1, span('0 08:00:00'), "
+                "element('{[1999-10-01, NOW]}'))"
+            )
+
+            def run():
+                for _ in range(size):
+                    conn.execute(statement)
+
+            return run, conn.close
+        return setup
+
     coalesce_sql = (
         "SELECT patient, length_seconds(group_union(valid)) "
         "FROM Prescription GROUP BY patient"
@@ -140,25 +175,116 @@ def _smoke_cases(size: int):
         "WHERE p1.drug = 'Diabeta' AND p2.drug = 'Aspirin' "
         "AND overlaps(p1.valid, p2.valid)"
     )
+    # E5 worked queries (paper Section 2): Q1's constant-window scan and
+    # the literal-heavy INSERT path — both dominated by marshalling.
+    q1_sql = (
+        "SELECT patient FROM Prescription WHERE drug = 'Tylenol' "
+        "AND tlt(tsub(start(valid), patientdob), tmul(span('7'), 1000))"
+    )
     return [
         ("e2.coalesce.integrated", tip_setup(coalesce_sql)),
         ("e2.join.integrated", tip_setup(join_sql)),
         ("e2.coalesce.layered", layered_setup),
+        ("e5.q1.infant_tylenol", tip_setup(q1_sql)),
+        ("e5.insert.literals", insert_setup()),
     ]
 
 
-def run_smoke(out: str, repeats: int = 5, size: int = 200) -> int:
+def _cache_delta(before: Dict, after: Dict) -> Dict[str, Dict[str, float]]:
+    """Per-cache ``{hits, misses, evictions, hit_ratio}`` across a case."""
+    delta: Dict[str, Dict[str, float]] = {}
+    for which in ("decode", "parse"):
+        b, a = before.get(which, {}), after.get(which, {})
+        hits = a.get("hits", 0) - b.get("hits", 0)
+        misses = a.get("misses", 0) - b.get("misses", 0)
+        looked_up = hits + misses
+        delta[which] = {
+            "hits": hits,
+            "misses": misses,
+            "evictions": a.get("evictions", 0) - b.get("evictions", 0),
+            "hit_ratio": (hits / looked_up) if looked_up else 0.0,
+        }
+    return delta
+
+
+def find_baseline(out: str) -> Optional[str]:
+    """The highest-numbered committed ``BENCH_PR*.json`` next to this script.
+
+    The file being written is excluded, so successive PRs compare
+    against the previous committed report by default.
+    """
+    here = os.path.dirname(os.path.abspath(__file__))
+    candidates = []
+    for path in glob.glob(os.path.join(here, "BENCH_PR*.json")):
+        if os.path.abspath(path) == os.path.abspath(out):
+            continue
+        match = re.search(r"BENCH_PR(\d+)\.json$", path)
+        if match:
+            candidates.append((int(match.group(1)), path))
+    return max(candidates)[1] if candidates else None
+
+
+def _compare_with_baseline(report: Dict, baseline_path: str) -> int:
+    """Print per-benchmark deltas vs *baseline_path*; return warning count.
+
+    Medians are compared across the shared benchmark names; anything
+    slower than :data:`SMOKE_WARN_RATIO` is warned about (never failed:
+    the baseline was committed from a different machine).  The deltas
+    are also folded into the report for the committed record.
+    """
+    try:
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"baseline {baseline_path} unreadable ({exc}); skipping comparison")
+        return 0
+    base_benchmarks = baseline.get("benchmarks", {})
+    deltas: Dict[str, Dict[str, float]] = {}
+    warnings = 0
+    for name, entry in sorted(report["benchmarks"].items()):
+        base_entry = base_benchmarks.get(name)
+        base_median = (base_entry or {}).get("median_seconds")
+        if not base_median or base_median <= 0.0:
+            print(f"baseline: {name} not in {os.path.basename(baseline_path)}; skipped")
+            continue
+        head_median = entry["median_seconds"]
+        speedup = base_median / head_median
+        deltas[name] = {
+            "baseline_median_seconds": base_median,
+            "median_seconds": head_median,
+            "speedup": speedup,
+        }
+        direction = f"{speedup:.2f}x faster" if speedup >= 1.0 else f"{1 / speedup:.2f}x slower"
+        print(f"baseline: {name} {_fmt(base_median)} -> {_fmt(head_median)} ({direction})")
+        if head_median > base_median * SMOKE_WARN_RATIO:
+            warnings += 1
+            print(f"WARNING: {name} regressed more than {SMOKE_WARN_RATIO}x "
+                  f"vs {os.path.basename(baseline_path)}")
+    report["baseline"] = {"path": os.path.basename(baseline_path), "deltas": deltas}
+    return warnings
+
+
+def run_smoke(
+    out: str, repeats: int = 5, size: int = 200,
+    baseline: Optional[str] = None,
+) -> int:
     """Run the smoke benchmarks and write the JSON report to *out*."""
-    from repro import obs
+    from repro import codec, obs
 
     report = {
-        "schema": "tip-bench-smoke/1",
+        "schema": "tip-bench-smoke/2",
         "now": SMOKE_NOW,
         "repeats": repeats,
         "size": size,
+        "marshal_cache_enabled": codec.cache.state.enabled,
         "benchmarks": {},
     }
     for name, setup in _smoke_cases(size):
+        # Cold caches per case, so the recorded hit ratio is the
+        # benchmark's own steady-state behaviour, not leakage from the
+        # previous case.
+        codec.clear_caches()
+        cache_before = codec.cache.stats()
         with obs.capture():
             run, teardown = setup()
             try:
@@ -175,17 +301,28 @@ def run_smoke(out: str, repeats: int = 5, size: int = 200) -> int:
                 }
             finally:
                 teardown()
+        cache = _cache_delta(cache_before, codec.cache.stats())
         report["benchmarks"][name] = {
             "median_seconds": statistics.median(timings),
             "runs": timings,
             "counters": counters,
+            "cache": cache,
         }
+        ratios = "/".join(
+            f"{cache[which]['hit_ratio'] * 100:.0f}%" for which in ("decode", "parse")
+        )
         print(f"{name}: median {_fmt(statistics.median(timings))} "
-              f"over {repeats} runs")
+              f"over {repeats} runs (decode/parse cache hit {ratios})")
+    if baseline is None:
+        baseline = find_baseline(out)
+    warnings = 0
+    if baseline:
+        warnings = _compare_with_baseline(report, baseline)
     with open(out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    print(f"wrote {out} ({len(report['benchmarks'])} benchmarks)")
+    print(f"wrote {out} ({len(report['benchmarks'])} benchmarks"
+          + (f", {warnings} baseline warnings" if warnings else "") + ")")
     return 0
 
 
@@ -214,8 +351,13 @@ def main(argv=None) -> int:
         help="run the in-process smoke benchmarks instead of comparing",
     )
     parser.add_argument(
-        "--out", default="BENCH_PR4.json",
-        help="smoke mode: report path (default BENCH_PR4.json)",
+        "--out", default="BENCH_PR5.json",
+        help="smoke mode: report path (default BENCH_PR5.json)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="smoke mode: committed BENCH_*.json to compare medians against "
+             "(default: highest-numbered BENCH_PR*.json next to this script)",
     )
     parser.add_argument(
         "--repeats", type=int, default=5,
@@ -229,7 +371,8 @@ def main(argv=None) -> int:
 
     if options.smoke:
         try:
-            return run_smoke(options.out, options.repeats, options.size)
+            return run_smoke(options.out, options.repeats, options.size,
+                             baseline=options.baseline)
         except ImportError as exc:
             print(f"error: {exc} (run with PYTHONPATH=src)", file=sys.stderr)
             return 2

@@ -45,13 +45,17 @@ def _doc(fn) -> str:
 
 def _routine_defs():
     # Constructors: one per type, parsing the paper's literal syntax.
+    # The parser runs through the literal cache: constructor arguments
+    # are usually constant literals repeated for every row of a
+    # statement (``element('{[1999-10-01, NOW]}')`` in a bulk INSERT),
+    # so the literal parses once per process, not once per row.
     for tip_type in TIP_TYPES:
         name = tip_type.__name__.lower()
         yield RoutineDef(
             name=name,
             arg_types=("text",),
             return_type=tip_type.__name__,
-            implementation=tip_type.parse,
+            implementation=codec.cache.cached_parser(tip_type.parse),
             doc=f"``{name}(text)`` — parse a {tip_type.__name__} literal.",
             deterministic=True,
         )

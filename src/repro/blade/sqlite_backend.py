@@ -62,12 +62,21 @@ class _Null(Exception):
 
 
 def _coerce_argument(value, type_name: str, blade: DataBlade):
-    """Decode and implicitly cast one SQL argument to its declared type."""
+    """Decode and implicitly cast one SQL argument to its declared type.
+
+    The generic (slow) path: the compiled per-routine call plans built
+    by :func:`_compile_coercer` inline the common cases and fall back
+    here for widening casts, blade-specific encodings, and exotic
+    argument types.
+    """
     if value is None:
         raise _Null()
     if isinstance(value, (bytes, bytearray, memoryview)):
         if codec.is_tip_blob(value):
-            value = codec.decode(bytes(value))
+            # codec.decode normalizes bytearray/memoryview itself — no
+            # bytes() pre-copy here (for exact bytes it is also the
+            # decode-cache key, borrowed as-is).
+            value = codec.decode(value)
         elif type_name in blade.types:
             # A blade-specific binary encoding for the declared type.
             value = blade.types[type_name].decode(bytes(value))
@@ -86,7 +95,7 @@ def _coerce_argument(value, type_name: str, blade: DataBlade):
     if isinstance(value, type_def.python_type):
         return value
     if isinstance(value, str):
-        return type_def.parse(value)
+        return codec.cache.parse_cached(type_def.parse, value)
     # Implicit widening between blade types (e.g. Chronon where an
     # Element is expected).
     source_def = blade.type_for_class(type(value))
@@ -147,24 +156,118 @@ def _encode_result(value, blade: DataBlade):
     raise TipTypeError(f"routine returned unsupported type {type(value).__name__}")
 
 
-def _make_sql_function(routine: RoutineDef, blade: DataBlade) -> Callable:
-    arg_types = routine.arg_types
-    implementation = routine.implementation
+def _coerce_any(value):
+    """The compiled coercer for ``any``-typed arguments."""
+    if isinstance(value, (bytes, bytearray, memoryview)) and codec.is_tip_blob(value):
+        return codec.decode(value)
+    return value
 
-    def sql_function(*raw_args):
-        if _FAULTS.plan is not None:
-            # Chaos hook: an injected routine failure must surface as a
-            # typed engine error on this statement, leaving the session
-            # and the connection usable.
-            _FAULTS.plan.apply("blade.routine")
-        try:
-            args = [
-                _coerce_argument(raw, type_name, blade)
-                for raw, type_name in zip(raw_args, arg_types)
-            ]
-        except _Null:
-            return None
-        return _encode_result(implementation(*args), blade)
+
+def _compile_coercer(type_name: str, blade: DataBlade) -> Callable:
+    """A specialized argument coercer for one declared signature slot.
+
+    Compiled once per routine at :func:`install_blade` time, replacing
+    the per-call branch ladder of :func:`_coerce_argument` with a
+    closure that inlines the overwhelmingly common paths — an exact
+    TIP blob (through the decode cache), an already-correct Python
+    value, or a literal string (through the parse cache) — and defers
+    everything else (widening casts, blade-specific encodings,
+    bytearray/memoryview arguments) to the generic branch chain.
+    """
+    if type_name == "any":
+        return _coerce_any
+    if type_name in ("integer", "number", "float", "boolean", "text"):
+
+        def coerce_scalar(value):
+            return _coerce_scalar(value, type_name)
+
+        return coerce_scalar
+
+    type_def = blade.types.get(type_name)
+    if type_def is None:  # pragma: no cover - registry validates signatures
+        raise TipTypeError(f"routine declared unknown type {type_name!r}")
+    python_type = type_def.python_type
+    parse = type_def.parse
+    parse_cached = codec.cache.parse_cached
+    decode = codec.decode
+    is_tip_blob = codec.is_tip_blob
+
+    def coerce(value):
+        if type(value) is bytes:  # the SQLite marshaller hands exact bytes
+            if is_tip_blob(value):
+                decoded = decode(value)
+                if type(decoded) is python_type:
+                    return decoded
+                # A different TIP type where this one was declared:
+                # run the widening-cast branch on the decoded value.
+                return _coerce_argument(decoded, type_name, blade)
+            return _coerce_argument(value, type_name, blade)
+        if type(value) is str:
+            return parse_cached(parse, value)
+        if isinstance(value, python_type):
+            return value
+        return _coerce_argument(value, type_name, blade)
+
+    return coerce
+
+
+def _make_sql_function(routine: RoutineDef, blade: DataBlade) -> Callable:
+    """Compile the specialized call plan for one routine.
+
+    The plan is specialized twice: per *argument* (the coercers from
+    :func:`_compile_coercer`) and per *arity*, so the common unary and
+    binary routines run without the generic zip/loop/isinstance ladder.
+    NULL handling keeps the engine's strict left-to-right semantics: a
+    type error in an earlier argument still wins over a NULL in a later
+    one, exactly as the generic path coerced them in order.
+    """
+    implementation = routine.implementation
+    coercers = tuple(_compile_coercer(type_name, blade) for type_name in routine.arg_types)
+
+    if len(coercers) == 0:
+
+        def sql_function():
+            if _FAULTS.plan is not None:
+                # Chaos hook: an injected routine failure must surface
+                # as a typed engine error on this statement, leaving
+                # the session and the connection usable.
+                _FAULTS.plan.apply("blade.routine")
+            return _encode_result(implementation(), blade)
+
+    elif len(coercers) == 1:
+        (coerce0,) = coercers
+
+        def sql_function(raw0):
+            if _FAULTS.plan is not None:
+                _FAULTS.plan.apply("blade.routine")
+            if raw0 is None:
+                return None
+            return _encode_result(implementation(coerce0(raw0)), blade)
+
+    elif len(coercers) == 2:
+        coerce0, coerce1 = coercers
+
+        def sql_function(raw0, raw1):
+            if _FAULTS.plan is not None:
+                _FAULTS.plan.apply("blade.routine")
+            if raw0 is None:
+                return None
+            arg0 = coerce0(raw0)
+            if raw1 is None:
+                return None
+            return _encode_result(implementation(arg0, coerce1(raw1)), blade)
+
+    else:
+
+        def sql_function(*raw_args):
+            if _FAULTS.plan is not None:
+                _FAULTS.plan.apply("blade.routine")
+            args = []
+            for raw, coerce in zip(raw_args, coercers):
+                if raw is None:
+                    return None
+                args.append(coerce(raw))
+            return _encode_result(implementation(*args), blade)
 
     sql_function.__name__ = f"tip_sql_{routine.name}"
     sql_function.__doc__ = routine.doc
@@ -173,8 +276,10 @@ def _make_sql_function(routine: RoutineDef, blade: DataBlade) -> Callable:
 
 def _make_sql_aggregate(aggregate: AggregateDef, blade: DataBlade) -> type:
     factory = aggregate.factory
-    arg_type = aggregate.arg_type
     steps_name = f"blade.aggregate.{aggregate.name}.steps"
+    # The same specialized coercion plan as scalar routines: compiled
+    # once here, then run per input row.
+    coerce = _compile_coercer(aggregate.arg_type, blade)
 
     class SqlAggregate:
         def __init__(self) -> None:
@@ -185,11 +290,7 @@ def _make_sql_aggregate(aggregate: AggregateDef, blade: DataBlade) -> type:
                 return  # SQL aggregates ignore NULLs
             if obs.state.enabled:
                 obs.counter(steps_name).inc()
-            try:
-                decoded = _coerce_argument(value, arg_type, blade)
-            except _Null:  # pragma: no cover - None handled above
-                return
-            self._inner.step(decoded)
+            self._inner.step(coerce(value))
 
         def finalize(self):
             return _encode_result(self._inner.finish(), blade)

@@ -55,7 +55,7 @@ import sys
 from typing import List, Optional, Sequence
 
 import repro
-from repro import faults, obs
+from repro import codec, faults, obs
 from repro.browser import TimeWindow, TipBrowser
 from repro.core.chronon import Chronon
 from repro.core.span import Span
@@ -223,6 +223,7 @@ class TipShell:
         if argument == "reset":
             obs.get_registry().reset()
             obs.get_trace_buffer().clear()
+            codec.clear_caches(reset_stats=True)
             return "metrics reset"
         snapshot = obs.snapshot(trace_tail=10)
         if argument == "json":

@@ -1,6 +1,14 @@
 """Binary storage format for TIP values (paper: "TIP internally stores
-Chronons (and other datatypes) in an efficient binary format")."""
+Chronons (and other datatypes) in an efficient binary format").
 
+:mod:`repro.codec.cache` adds the marshalling fast path: a bounded
+blob->value decode cache, a string-literal parse cache, and the
+per-value canonical-encoding stamp that together keep hot statements
+from re-marshalling the same bytes row after row.
+"""
+
+from repro.codec import cache
 from repro.codec.binary import decode, encode, is_tip_blob, tip_type_of
+from repro.codec.cache import clear_caches
 
-__all__ = ["encode", "decode", "is_tip_blob", "tip_type_of"]
+__all__ = ["encode", "decode", "is_tip_blob", "tip_type_of", "cache", "clear_caches"]

@@ -37,6 +37,7 @@ from __future__ import annotations
 import struct
 from typing import Type, Union
 
+from repro.codec import cache as _CACHE
 from repro.core import granularity
 from repro.core.chronon import Chronon
 from repro.core.element import Element
@@ -77,6 +78,11 @@ TYPE_BY_TAG = {tag: tip_type for tip_type, tag in TAG_BY_TYPE.items()}
 
 TipValue = Union[Chronon, Span, Instant, Period, Element]
 
+# The parse cache may only retain immutable values; tell it which
+# classes qualify (a lazy handshake — importing the core types inside
+# repro.codec.cache would be circular).
+_CACHE._register_immutable_types(tuple(TAG_BY_TYPE))
+
 _U64 = struct.Struct(">Q")
 _U32 = struct.Struct(">I")
 _INSTANT = struct.Struct(">BQ")
@@ -114,25 +120,41 @@ def _decode_instant_body(data: bytes, offset: int) -> tuple[Instant, int]:
 
 
 def encode(value: TipValue) -> bytes:
-    """Serialize a TIP value to its binary blob."""
+    """Serialize a TIP value to its binary blob.
+
+    Encoding is pure (``NOW``-relative instants serialize as offsets),
+    so the canonical bytes are stamped onto the value's ``_tip_blob``
+    slot on first encode: re-encoding the same immutable value — and
+    ``encode(decode(b))`` through the decode cache, which hands back
+    the same object — is a single attribute read.
+    """
     tag = TAG_BY_TYPE.get(type(value))
     if tag is None:
         raise CodecError(f"not a TIP value: {type(value).__name__}")
+    try:
+        cached = value._tip_blob
+    except AttributeError:
+        cached = None
+    if cached is not None:
+        return cached
     header = bytes((MAGIC, VERSION, tag))
     if isinstance(value, (Chronon,)):
-        return header + _U64.pack(value.seconds + _BIAS_SECONDS)
-    if isinstance(value, Span):
-        return header + _U64.pack(value.seconds + _BIAS_SPAN)
-    if isinstance(value, Instant):
-        return header + _encode_instant_body(value)
-    if isinstance(value, Period):
-        return header + _encode_instant_body(value.start) + _encode_instant_body(value.end)
-    # Element
-    parts = [header, _U32.pack(len(value.periods))]
-    for period in value.periods:
-        parts.append(_encode_instant_body(period.start))
-        parts.append(_encode_instant_body(period.end))
-    return b"".join(parts)
+        blob = header + _U64.pack(value.seconds + _BIAS_SECONDS)
+    elif isinstance(value, Span):
+        blob = header + _U64.pack(value.seconds + _BIAS_SPAN)
+    elif isinstance(value, Instant):
+        blob = header + _encode_instant_body(value)
+    elif isinstance(value, Period):
+        blob = header + _encode_instant_body(value.start) + _encode_instant_body(value.end)
+    else:  # Element
+        parts = [header, _U32.pack(len(value.periods))]
+        for period in value.periods:
+            parts.append(_encode_instant_body(period.start))
+            parts.append(_encode_instant_body(period.end))
+        blob = b"".join(parts)
+    if _CACHE.state.enabled:
+        value._tip_blob = blob
+    return blob
 
 
 def is_tip_blob(data: object) -> bool:
@@ -154,15 +176,45 @@ def tip_type_of(data: bytes) -> Type[TipValue]:
 
 
 def decode(data: bytes) -> TipValue:
-    """Deserialize a binary blob back into a TIP value."""
-    if isinstance(data, (bytearray, memoryview)):
-        data = bytes(data)
-    if not isinstance(data, bytes):
-        raise CodecError(f"expected bytes, got {type(data).__name__}")
+    """Deserialize a binary blob back into a TIP value.
+
+    Decoding is pure — ``NOW``-relative payloads decode to offset-based
+    instants, never to a grounded time — so repeated decodes of the
+    same blob are served from the process-wide LRU (all TIP values are
+    immutable and therefore safe to share).  While a fault plan is
+    armed the cache is bypassed entirely, so every injected corruption
+    hits a real decode and chaos runs stay deterministic.
+    """
+    if type(data) is not bytes:
+        if isinstance(data, (bytearray, memoryview)):
+            data = bytes(data)
+        else:
+            raise CodecError(f"expected bytes, got {type(data).__name__}")
     if _FAULTS.plan is not None:
         # Chaos hook: a corrupted/truncated blob must fail as a typed
         # CodecError below, never crash the decoder.
-        data = _FAULTS.plan.apply("codec.decode", data)
+        return _decode_bytes(_FAULTS.plan.apply("codec.decode", data), stamp=False)
+    if not _CACHE.state.enabled:
+        return _decode_bytes(data, stamp=False)
+    cache = _CACHE.DECODE
+    value = cache.get(data)
+    if value is not None:
+        return value
+    value = _decode_bytes(data, stamp=True)
+    cache.put(data, value)
+    return value
+
+
+def _decode_bytes(data: bytes, *, stamp: bool) -> TipValue:
+    """The actual decoder over exact ``bytes``.
+
+    With *stamp* true, the input blob is recorded as the value's
+    canonical encoding for every type whose codec is bijective —
+    Chronon, Span, Instant, Period.  Element blobs are *not* stamped:
+    the Element constructor normalizes (sorts/coalesces) its periods,
+    so a hand-crafted non-canonical blob decodes to a value whose
+    canonical encoding differs from the input.
+    """
     if len(data) < 3:
         raise CodecError("blob too short for a TIP header")
     if data[0] != MAGIC:
@@ -172,19 +224,18 @@ def decode(data: bytes) -> TipValue:
     tag = data[2]
     body = 3
     if tag == _TAG_CHRONON:
-        return _build(Chronon, _unpack_u64(data, body, expected_end=True) - _BIAS_SECONDS)
-    if tag == _TAG_SPAN:
-        return _build(Span, _unpack_u64(data, body, expected_end=True) - _BIAS_SPAN)
-    if tag == _TAG_INSTANT:
-        instant, end = _decode_instant_body(data, body)
+        value = _build(Chronon, _unpack_u64(data, body, expected_end=True) - _BIAS_SECONDS)
+    elif tag == _TAG_SPAN:
+        value = _build(Span, _unpack_u64(data, body, expected_end=True) - _BIAS_SPAN)
+    elif tag == _TAG_INSTANT:
+        value, end = _decode_instant_body(data, body)
         _check_consumed(data, end)
-        return instant
-    if tag == _TAG_PERIOD:
+    elif tag == _TAG_PERIOD:
         start, offset = _decode_instant_body(data, body)
         end_instant, offset = _decode_instant_body(data, offset)
         _check_consumed(data, offset)
-        return _build_period(start, end_instant)
-    if tag == _TAG_ELEMENT:
+        value = _build_period(start, end_instant)
+    elif tag == _TAG_ELEMENT:
         try:
             (count,) = _U32.unpack_from(data, body)
         except struct.error as exc:
@@ -196,8 +247,12 @@ def decode(data: bytes) -> TipValue:
             end_instant, offset = _decode_instant_body(data, offset)
             periods.append(_build_period(start, end_instant))
         _check_consumed(data, offset)
-        return Element(periods)
-    raise CodecError(f"unknown type tag 0x{tag:02x}")
+        return Element(periods)  # normalized, so never blob-stamped here
+    else:
+        raise CodecError(f"unknown type tag 0x{tag:02x}")
+    if stamp:
+        value._tip_blob = data
+    return value
 
 
 def _build(tip_type: Type[TipValue], seconds: int) -> TipValue:

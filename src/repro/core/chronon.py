@@ -33,7 +33,10 @@ class Chronon:
     reflected operator, whose result may change as time advances.
     """
 
-    __slots__ = ("_seconds",)
+    #: ``_tip_blob`` caches the value's canonical binary encoding
+    #: (stamped by :mod:`repro.codec.binary`; safe because values are
+    #: immutable).
+    __slots__ = ("_seconds", "_tip_blob")
 
     def __init__(self, seconds: int) -> None:
         self._seconds = granularity.check_chronon_seconds(seconds)

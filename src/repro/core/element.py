@@ -42,7 +42,8 @@ def _coerce_period(item: "Period | Chronon | Instant") -> Period:
 class Element:
     """An immutable set of periods, the general TIP timestamp."""
 
-    __slots__ = ("_periods", "_canonical")
+    #: ``_tip_blob``: canonical-encoding cache slot (repro.codec.binary).
+    __slots__ = ("_periods", "_canonical", "_tip_blob")
 
     def __init__(self, periods: Iterable["Period | Chronon | Instant"] = ()) -> None:
         coerced = [_coerce_period(p) for p in periods]

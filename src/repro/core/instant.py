@@ -37,7 +37,8 @@ class Instant:
     * the module constant :data:`NOW` with ``NOW - Span.of(days=1)`` etc.
     """
 
-    __slots__ = ("_abs", "_offset")
+    #: ``_tip_blob``: canonical-encoding cache slot (repro.codec.binary).
+    __slots__ = ("_abs", "_offset", "_tip_blob")
 
     def __init__(self, *, abs_seconds: Optional[int] = None, offset_seconds: Optional[int] = None) -> None:
         if (abs_seconds is None) == (offset_seconds is None):

@@ -31,7 +31,8 @@ class Period:
     1990 (see :meth:`ground`).
     """
 
-    __slots__ = ("_start", "_end")
+    #: ``_tip_blob``: canonical-encoding cache slot (repro.codec.binary).
+    __slots__ = ("_start", "_end", "_tip_blob")
 
     def __init__(self, start: "Instant | Chronon", end: "Instant | Chronon") -> None:
         self._start = Instant.at(start)

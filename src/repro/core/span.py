@@ -33,7 +33,8 @@ class Span:
     via the reflected operator.
     """
 
-    __slots__ = ("_seconds",)
+    #: ``_tip_blob``: canonical-encoding cache slot (repro.codec.binary).
+    __slots__ = ("_seconds", "_tip_blob")
 
     def __init__(self, seconds: int) -> None:
         self._seconds = granularity.check_span_seconds(seconds)

@@ -65,9 +65,21 @@ state = FaultState()
 
 
 def arm(plan: Union[FaultPlan, str], seed: int = 0) -> FaultPlan:
-    """Arm *plan* process-wide (a spec string is parsed first); returns it."""
+    """Arm *plan* process-wide (a spec string is parsed first); returns it.
+
+    Arming also clears the marshalling caches: while a plan is armed
+    the codec bypasses them entirely (every blob must reach the
+    ``codec.decode`` injection point), and starting each chaos run
+    cold keeps its hit/decode sequence — and therefore the seeded
+    fault schedule — deterministic.
+    """
     if isinstance(plan, str):
         plan = parse_plan(plan, seed=seed)
+    # Imported lazily: repro.codec reads this package's state on its
+    # hot path, so a module-level import would be circular.
+    from repro.codec import cache as _marshal_cache
+
+    _marshal_cache.clear_caches()
     state.plan = plan
     return plan
 

@@ -93,8 +93,21 @@ def snapshot(trace_tail: int = 0) -> Dict:
     data["sessions"] = {
         "opened": opened, "closed": closed, "active": opened - closed,
     }
-    # Imported lazily: repro.faults instruments itself through this
-    # package, so a module-level import would be circular.
+    # Imported lazily: repro.codec instruments itself through
+    # repro.faults and this package, so module-level imports would be
+    # circular.  The marshalling caches keep their own always-on plain
+    # counters; surface them as a structured section *and* merged into
+    # the counter table so every existing consumer (.metrics, the
+    # METRICS frame, Prometheus, QueryProfile deltas) sees them.
+    from repro.codec import cache as _marshal_cache
+
+    data["caches"] = _marshal_cache.stats()
+    if _marshal_cache.state.enabled and state.enabled:
+        # Zero-valued entries are skipped so an idle (or freshly reset)
+        # snapshot still renders as "(no metrics recorded)".
+        for cache_counter, cache_value in _marshal_cache.stats_counters().items():
+            if cache_value:
+                counters.setdefault(cache_counter, cache_value)
     from repro.faults import state as _fault_state
 
     plan = _fault_state.plan

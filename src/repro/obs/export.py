@@ -68,6 +68,23 @@ def render_text(snapshot: Dict) -> str:
                 f"hits={rule.get('hits', 0)} fired={rule.get('fired', 0)}"
             )
         sections.append("\n".join(lines))
+    caches = snapshot.get("caches")
+    if caches:
+        if caches.get("enabled"):
+            lines = ["marshalling caches:"]
+            for which in ("decode", "parse"):
+                entry = caches.get(which)
+                if not entry:
+                    continue
+                lines.append(
+                    f"  {which}: {entry.get('entries', 0)}/{entry.get('capacity', 0)} entries, "
+                    f"hits={entry.get('hits', 0)} misses={entry.get('misses', 0)} "
+                    f"evictions={entry.get('evictions', 0)} "
+                    f"({entry.get('hit_ratio', 0.0) * 100:.1f}% hit)"
+                )
+            sections.append("\n".join(lines))
+        else:
+            sections.append("marshalling caches: disabled")
     header_count = len(sections)
     counters = snapshot.get("counters", {})
     if counters:
@@ -131,6 +148,18 @@ def render_prometheus(snapshot: Dict) -> str:
         lines.append("# TYPE tip_sessions gauge")
         for which in ("opened", "closed", "active"):
             lines.append(f'tip_sessions{{state="{which}"}} {sessions.get(which, 0)}')
+    caches = snapshot.get("caches")
+    if caches and caches.get("enabled"):
+        # Occupancy is a gauge; the hit/miss/eviction totals already
+        # ride in the counter table as tip_codec_cache_* counters.
+        lines.append("# TYPE tip_marshal_cache_entries gauge")
+        for which in ("decode", "parse"):
+            entry = caches.get(which)
+            if entry:
+                lines.append(
+                    f'tip_marshal_cache_entries{{cache="{which}"}} '
+                    f'{entry.get("entries", 0)}'
+                )
     for name in sorted(snapshot.get("counters", {})):
         metric = _prom_name(name) + "_total"
         lines += [f"# TYPE {metric} counter",

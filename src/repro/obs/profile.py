@@ -285,6 +285,26 @@ def activate_context(trace_id: Optional[str], span_id: Optional[str], side: str 
         _context.trace_id, _context.span_id, _context.side = previous
 
 
+def _registry_snapshot() -> Dict:
+    """The active registry snapshot plus the marshalling-cache counters.
+
+    The codec caches are process-wide and keep their own monotonic
+    stats; merging them into both the before- and after-snapshots makes
+    cache traffic (``codec.cache.decode.hits`` and friends) fall out of
+    the same delta arithmetic as every registry counter, so a
+    :class:`QueryProfile` reports exactly this statement's hit/miss
+    behaviour.
+    """
+    snapshot = get_registry().snapshot()
+    # Imported lazily: repro.codec reaches this package through
+    # repro.faults, so a module-level import would be circular.
+    from repro.codec import cache as _marshal_cache
+
+    if _marshal_cache.state.enabled:
+        snapshot["counters"].update(_marshal_cache.stats_counters())
+    return snapshot
+
+
 def _counter_deltas(before: Dict, after: Dict) -> Dict[str, int]:
     deltas: Dict[str, int] = {}
     for name, value in after.items():
@@ -351,7 +371,7 @@ class StatementRecorder:
 
     def start(self) -> "StatementRecorder":
         self.profile.started_at = time()
-        self._before = get_registry().snapshot()
+        self._before = _registry_snapshot()
         self._t0 = perf_counter()
         return self
 
@@ -364,7 +384,7 @@ class StatementRecorder:
         statement_now: Optional[str] = None,
     ) -> QueryProfile:
         elapsed = perf_counter() - self._t0
-        after = get_registry().snapshot()
+        after = _registry_snapshot()
         profile = self.profile
         profile.wall_seconds = elapsed
         profile.rowcount = rowcount

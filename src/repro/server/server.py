@@ -30,7 +30,7 @@ from time import perf_counter
 from typing import Optional, Tuple
 
 import repro
-from repro import obs
+from repro import codec, obs
 from repro.core.chronon import Chronon
 from repro.core.parser import parse_chronon
 from repro.errors import TipError
@@ -190,8 +190,10 @@ class _SessionHandler(socketserver.StreamRequestHandler):
         """The METRICS frame: this session's ledger + the global snapshot."""
         snapshot = obs.snapshot(trace_tail=int(frame.get("trace_tail", 0) or 0))
         if frame.get("reset"):
-            # Read-and-reset: the response carries the pre-reset state.
+            # Read-and-reset: the response carries the pre-reset state
+            # (registry, trace-independent cache stats included).
             obs.get_registry().reset()
+            codec.clear_caches(reset_stats=True)
         return {
             "ok": True,
             "session": {"id": self.session_id, **self.session_counters},

@@ -107,11 +107,13 @@ class TestSmoke:
         stdout = capsys.readouterr().out
         assert f"wrote {out}" in stdout
         report = json.loads(out.read_text())
-        assert report["schema"] == "tip-bench-smoke/1"
+        assert report["schema"] == "tip-bench-smoke/2"
         assert report["repeats"] == 2 and report["size"] == 30
+        assert report["marshal_cache_enabled"] is True
         names = set(report["benchmarks"])
         assert names == {
             "e2.coalesce.integrated", "e2.join.integrated", "e2.coalesce.layered",
+            "e5.q1.infant_tylenol", "e5.insert.literals",
         }
         for entry in report["benchmarks"].values():
             assert entry["median_seconds"] > 0
@@ -121,6 +123,27 @@ class TestSmoke:
         assert integrated["element.periods_processed"] > 0
         layered = report["benchmarks"]["e2.coalesce.layered"]["counters"]
         assert layered["layered.op.total_length.rows"] > 0
+        # So do the marshalling-cache hit/miss deltas per case.
+        join_cache = report["benchmarks"]["e2.join.integrated"]["cache"]
+        assert join_cache["decode"]["hits"] > join_cache["decode"]["misses"]
+        literal_cache = report["benchmarks"]["e5.insert.literals"]["cache"]
+        assert literal_cache["parse"]["hits"] > 0
+
+    def test_smoke_compares_against_baseline(self, tmp_path, capsys):
+        out_a = tmp_path / "BENCH_A.json"
+        assert main(["--smoke", "--out", str(out_a),
+                     "--size", "20", "--repeats", "1"]) == 0
+        out_b = tmp_path / "BENCH_B.json"
+        assert main(["--smoke", "--out", str(out_b), "--baseline", str(out_a),
+                     "--size", "20", "--repeats", "1"]) == 0
+        stdout = capsys.readouterr().out
+        assert "baseline:" in stdout
+        report = json.loads(out_b.read_text())
+        deltas = report["baseline"]["deltas"]
+        assert report["baseline"]["path"].endswith("BENCH_A.json")
+        assert set(deltas) == set(report["benchmarks"])
+        for entry in deltas.values():
+            assert entry["speedup"] > 0
 
     def test_smoke_leaves_global_obs_state_alone(self, tmp_path):
         from repro import obs
