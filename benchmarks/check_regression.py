@@ -16,8 +16,8 @@ the check — adding or retiring an experiment is not a regression.
 There is also a self-contained smoke mode::
 
     PYTHONPATH=src python benchmarks/check_regression.py --smoke \\
-        [--out BENCH_PR5.json] [--repeats 5] [--size 200] \\
-        [--baseline benchmarks/BENCH_PR4.json]
+        [--out BENCH_PR6.json] [--repeats 5] [--size 200] \\
+        [--baseline benchmarks/BENCH_PR5.json] [--concurrency]
 
 which runs a fixed set of representative temporal workloads in-process
 (no pytest-benchmark needed) and writes a machine-readable JSON report:
@@ -32,6 +32,12 @@ on any shared benchmark slower than ``SMOKE_WARN_RATIO`` (1.5x).  CI
 runs the smoke mode on every push and uploads the report as an
 artifact, so perf *and* algorithmic-work trends are inspectable per
 commit.
+
+``--concurrency`` (implies ``--smoke``) additionally runs the N-client
+read-throughput sweep against the pooled WAL server — a serialized
+single-connection baseline versus batched clients over a reader pool —
+and records the sweep plus ``speedup_at_max`` in the report's
+``concurrency`` section.
 
 The compare path is stdlib only: it runs on a bare CI runner without
 the test extras.  Only ``--smoke`` imports :mod:`repro` (point
@@ -190,6 +196,144 @@ def _smoke_cases(size: int):
     ]
 
 
+def run_concurrency_sweep(
+    size: int = 200,
+    statements: int = 600,
+    batch: int = 100,
+    clients: tuple = (1, 2, 4, 8),
+    readers: int = 8,
+    repeats: int = 3,
+) -> Dict:
+    """The N-client read-throughput sweep over the pooled WAL server.
+
+    Two configurations over the same file-backed Prescription database:
+
+    * **baseline** — the pre-pool model: ``readers=0`` (every statement
+      serializes on the single writer connection), one client, one
+      statement per frame;
+    * **sweep** — the pooled server (``readers`` reader connections),
+      N clients each pipelining *batch* statements per BATCH frame.
+
+    The workload is a light native-SQL point read, so the measured gap
+    is the server's dispatch + protocol overhead — on a small machine
+    the win comes from pipelining (amortizing per-statement round
+    trips), with reader-pool overlap on top where cores allow.  The
+    returned section records throughput per N and the pool gauges, plus
+    ``speedup_at_max`` = max-N sweep throughput / baseline throughput.
+
+    Each point is measured *repeats* times and the median-throughput
+    run is recorded — thread scheduling and TCP latency jitter swing
+    single runs by tens of percent on a busy host, and a median of
+    three is stable enough to gate on.
+    """
+    import tempfile
+    import threading
+
+    import repro
+    from repro.server import RemoteTipConnection, TipServer
+    from repro.server.client import RemoteError
+    from repro.workload import MedicalConfig, generate_prescriptions, load_tip
+
+    rows = generate_prescriptions(
+        MedicalConfig(n_prescriptions=size, n_patients=max(10, size // 10), seed=42)
+    )
+    sql = "SELECT patient, drug, dosage FROM Prescription WHERE rowid = ?"
+
+    def seeded_database(directory: str, name: str) -> str:
+        path = os.path.join(directory, name)
+        connection = repro.connect(path, now=SMOKE_NOW)
+        load_tip(connection, rows)
+        connection.commit()
+        connection.close()
+        return path
+
+    def measure(server, n_clients: int, per_frame: int) -> Dict:
+        host, port = server.address
+        barrier = threading.Barrier(n_clients + 1)
+        failures = []
+
+        def worker():
+            try:
+                with RemoteTipConnection(host, port) as connection:
+                    barrier.wait(timeout=30)
+                    done = 0
+                    while done < statements:
+                        take = min(per_frame, statements - done)
+                        pairs = [
+                            (sql, ((done + i) % size + 1,)) for i in range(take)
+                        ]
+                        if take == 1:
+                            connection.execute(*pairs[0])
+                        else:
+                            for result in connection.execute_batch(pairs):
+                                if isinstance(result, RemoteError):
+                                    raise result
+                        done += take
+            except Exception as exc:  # pragma: no cover - surfaced below
+                failures.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_clients)]
+        for thread in threads:
+            thread.start()
+        barrier.wait(timeout=30)
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        if failures:
+            raise failures[0]
+        total = n_clients * statements
+        return {
+            "clients": n_clients,
+            "statements": total,
+            "seconds": elapsed,
+            "throughput_stmt_per_s": total / elapsed,
+        }
+
+    def measure_median(server, n_clients: int, per_frame: int) -> Dict:
+        runs = sorted(
+            (measure(server, n_clients, per_frame) for _ in range(repeats)),
+            key=lambda entry: entry["throughput_stmt_per_s"],
+        )
+        chosen = runs[len(runs) // 2]
+        chosen["repeats"] = repeats
+        return chosen
+
+    section: Dict = {
+        "statements_per_client": statements,
+        "batch_size": batch,
+        "readers": readers,
+        "workload_rows": size,
+        "sweep": [],
+    }
+    with tempfile.TemporaryDirectory(prefix="tip-bench-") as directory:
+        # Baseline: the old serialized single-connection model, one
+        # statement per round trip.
+        with TipServer(seeded_database(directory, "baseline.db"),
+                       readers=0, observability=False) as server:
+            section["baseline"] = measure_median(server, 1, 1)
+            section["baseline"]["pool"] = server.pool.stats()
+        print(f"concurrency baseline (1 client, serialized, per-frame): "
+              f"{section['baseline']['throughput_stmt_per_s']:.0f} stmt/s")
+        # Sweep: pooled readers + pipelined batches, N clients.
+        with TipServer(seeded_database(directory, "pooled.db"),
+                       readers=readers, observability=False) as server:
+            for n_clients in clients:
+                entry = measure_median(server, n_clients, batch)
+                entry["pool"] = server.pool.stats()
+                section["sweep"].append(entry)
+                print(f"concurrency sweep N={n_clients} (pooled, batched): "
+                      f"{entry['throughput_stmt_per_s']:.0f} stmt/s")
+    at_max = max(section["sweep"], key=lambda e: e["clients"])
+    section["speedup_at_max"] = (
+        at_max["throughput_stmt_per_s"]
+        / section["baseline"]["throughput_stmt_per_s"]
+    )
+    print(f"concurrency speedup at N={max(clients)}: "
+          f"{section['speedup_at_max']:.2f}x over the serialized baseline")
+    return section
+
+
 def _cache_delta(before: Dict, after: Dict) -> Dict[str, Dict[str, float]]:
     """Per-cache ``{hits, misses, evictions, hit_ratio}`` across a case."""
     delta: Dict[str, Dict[str, float]] = {}
@@ -266,7 +410,7 @@ def _compare_with_baseline(report: Dict, baseline_path: str) -> int:
 
 def run_smoke(
     out: str, repeats: int = 5, size: int = 200,
-    baseline: Optional[str] = None,
+    baseline: Optional[str] = None, concurrency: bool = False,
 ) -> int:
     """Run the smoke benchmarks and write the JSON report to *out*."""
     from repro import codec, obs
@@ -313,6 +457,8 @@ def run_smoke(
         )
         print(f"{name}: median {_fmt(statistics.median(timings))} "
               f"over {repeats} runs (decode/parse cache hit {ratios})")
+    if concurrency:
+        report["concurrency"] = run_concurrency_sweep(size=size)
     if baseline is None:
         baseline = find_baseline(out)
     warnings = 0
@@ -351,8 +497,13 @@ def main(argv=None) -> int:
         help="run the in-process smoke benchmarks instead of comparing",
     )
     parser.add_argument(
-        "--out", default="BENCH_PR5.json",
-        help="smoke mode: report path (default BENCH_PR5.json)",
+        "--concurrency", action="store_true",
+        help="smoke mode: also run the N-client throughput sweep over the "
+             "pooled WAL server (implies --smoke)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_PR6.json",
+        help="smoke mode: report path (default BENCH_PR6.json)",
     )
     parser.add_argument(
         "--baseline", default=None,
@@ -369,10 +520,11 @@ def main(argv=None) -> int:
     )
     options = parser.parse_args(argv)
 
-    if options.smoke:
+    if options.smoke or options.concurrency:
         try:
             return run_smoke(options.out, options.repeats, options.size,
-                             baseline=options.baseline)
+                             baseline=options.baseline,
+                             concurrency=options.concurrency)
         except ImportError as exc:
             print(f"error: {exc} (run with PYTHONPATH=src)", file=sys.stderr)
             return 2

@@ -26,8 +26,9 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 from repro.blade.sqlite_backend import install_tip
 from repro.client.typemap import TypeMap
 from repro.core.chronon import Chronon
-from repro.core.granularity import wall_clock_seconds
-from repro.core.nowctx import use_now
+from repro.core.formatter import chronon_text
+from repro.core.granularity import check_chronon_seconds, wall_clock_seconds
+from repro.core.nowctx import bind_now_seconds, reset_now, use_now
 from repro.core.parser import parse_chronon
 from repro.faults import state as _FAULTS
 from repro.obs.profile import StatementRecorder
@@ -86,16 +87,23 @@ class TipConnection:
 
     # -- NOW control ---------------------------------------------------
 
-    def set_now(self, now: "Chronon | str | None") -> None:
-        """Override ``NOW`` for subsequent statements (None clears it)."""
+    def set_now(self, now: "Chronon | str | int | None") -> None:
+        """Override ``NOW`` for subsequent statements (None clears it).
+
+        An ``int`` is taken as chronon seconds directly — the pool's
+        per-checkout fast path, which re-binds a session NOW on every
+        read without constructing a throwaway :class:`Chronon`.
+        """
         if now is None:
             self._now_override = None
+        elif isinstance(now, int):
+            self._now_override = check_chronon_seconds(now)
         elif isinstance(now, str):
             self._now_override = parse_chronon(now).seconds
         elif isinstance(now, Chronon):
             self._now_override = now.seconds
         else:
-            raise TypeError(f"set_now expects Chronon, str, or None, got {type(now).__name__}")
+            raise TypeError(f"set_now expects Chronon, str, int, or None, got {type(now).__name__}")
 
     @property
     def now_override(self) -> Optional[Chronon]:
@@ -189,9 +197,41 @@ class TipCursor:
         if _PROFILE.enabled or _PROFILE.forced:
             return self._execute_profiled(sql, parameters)
         self._stmt_now = self._connection.statement_now_seconds()
-        with use_now(self._stmt_now):
+        # Direct token bind/reset: this brackets every statement and
+        # every fetch, so it skips use_now's generator + dispatch cost.
+        token = bind_now_seconds(self._stmt_now)
+        try:
             self._raw.execute(sql, parameters)
+        finally:
+            reset_now(token)
         return self
+
+    def execute_fetchall(self, sql: str, parameters: Sequence = ()):
+        """Execute and fetch under ONE ``NOW`` binding; rows or None.
+
+        The server's per-statement fast path: one bind/reset pair
+        covers execute and fetch (semantically identical — both bind
+        the same ``self._stmt_now``), and non-row statements report
+        ``None`` (callers commit and read :attr:`rowcount`).  Falls
+        back to the ordinary profiled path when recording.
+        """
+        if _FAULTS.plan is not None:
+            _FAULTS.plan.apply("conn.execute")
+        if _PROFILE.enabled or _PROFILE.forced:
+            self._execute_profiled(sql, parameters)
+            if self._raw.description is None:
+                return None
+            return self._fetch_profiled(lambda: self._raw.fetchall())
+        self._stmt_now = self._connection.statement_now_seconds()
+        token = bind_now_seconds(self._stmt_now)
+        try:
+            raw = self._raw
+            raw.execute(sql, parameters)
+            if raw.description is None:
+                return None
+            return self._connection.type_map.map_rows(raw.fetchall(), None)
+        finally:
+            reset_now(token)
 
     def _execute_profiled(self, sql: str, parameters: Sequence) -> "TipCursor":
         self._stmt_now = self._connection.statement_now_seconds()
@@ -214,14 +254,20 @@ class TipCursor:
 
     def executemany(self, sql: str, seq_of_parameters: Iterable[Sequence]) -> "TipCursor":
         self._stmt_now = self._connection.statement_now_seconds()
-        with use_now(self._stmt_now):
+        token = bind_now_seconds(self._stmt_now)
+        try:
             self._raw.executemany(sql, seq_of_parameters)
+        finally:
+            reset_now(token)
         return self
 
     def executescript(self, script: str) -> "TipCursor":
         self._stmt_now = self._connection.statement_now_seconds()
-        with use_now(self._stmt_now):
+        token = bind_now_seconds(self._stmt_now)
+        try:
             self._raw.executescript(script)
+        finally:
+            reset_now(token)
         return self
 
     # -- fetching ----------------------------------------------------------
@@ -238,23 +284,32 @@ class TipCursor:
     def fetchone(self) -> Optional[Tuple]:
         if self.profile is not None:
             return self._fetch_profiled(lambda: self._raw.fetchone(), one=True)
-        with use_now(self._stmt_now):
+        token = bind_now_seconds(self._stmt_now)
+        try:
             row = self._raw.fetchone()
             return self._connection.type_map.map_row(row, self._decltypes())
+        finally:
+            reset_now(token)
 
     def fetchmany(self, size: int = 64) -> List[Tuple]:
         if self.profile is not None:
             return self._fetch_profiled(lambda: self._raw.fetchmany(size))
-        with use_now(self._stmt_now):
+        token = bind_now_seconds(self._stmt_now)
+        try:
             rows = self._raw.fetchmany(size)
             return self._connection.type_map.map_rows(rows, self._decltypes())
+        finally:
+            reset_now(token)
 
     def fetchall(self) -> List[Tuple]:
         if self.profile is not None:
             return self._fetch_profiled(lambda: self._raw.fetchall())
-        with use_now(self._stmt_now):
+        token = bind_now_seconds(self._stmt_now)
+        try:
             rows = self._raw.fetchall()
             return self._connection.type_map.map_rows(rows, self._decltypes())
+        finally:
+            reset_now(token)
 
     def _fetch_profiled(self, fetch, one: bool = False):
         """A fetch that charges its time and rows to the open profile."""
@@ -299,6 +354,12 @@ class TipCursor:
     def statement_now(self) -> Chronon:
         """The ``NOW`` this cursor's current statement is bound to."""
         return Chronon(self._stmt_now)
+
+    @property
+    def statement_now_text(self) -> str:
+        """``str(self.statement_now)`` without constructing the Chronon
+        — the server stamps every response frame with it."""
+        return chronon_text(self._stmt_now)
 
     def close(self) -> None:
         self._raw.close()

@@ -71,4 +71,19 @@ class TypeMap:
         decltypes: Optional[Sequence[Optional[str]]] = None,
     ) -> List[Tuple]:
         """Convert a list of result rows."""
+        if decltypes is None:
+            # Without decltypes, map_value only ever transforms
+            # bytes-like values (TIP blob detection); rows of plain
+            # scalars — the overwhelming case — pass through with one
+            # isinstance scan instead of a map_value call per value.
+            mapped: List[Tuple] = []
+            append = mapped.append
+            for row in rows:
+                for value in row:
+                    if isinstance(value, (bytes, bytearray, memoryview)):
+                        append(tuple(self.map_value(v) for v in row))
+                        break
+                else:
+                    append(row if isinstance(row, tuple) else tuple(row))
+            return mapped
         return [self.map_row(row, decltypes) for row in rows]  # type: ignore[misc]

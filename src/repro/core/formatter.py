@@ -13,6 +13,7 @@ round-trips through :mod:`repro.core.parser`:
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -23,6 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.span import Span
 
 __all__ = [
+    "chronon_text",
     "format_chronon",
     "format_span",
     "format_instant",
@@ -31,13 +33,29 @@ __all__ = [
 ]
 
 
-def format_chronon(value: "Chronon") -> str:
-    """Render ``year-month-day[ hour:minute:second]``."""
-    year, month, day, hour, minute, second = value.fields()
+@lru_cache(maxsize=4096)
+def _chronon_text(seconds: int) -> str:
+    # Rendering is a pure function of the seconds value, and the same
+    # chronons recur heavily (a session NOW, the current wall-clock
+    # second across a burst of statements), so a bounded memo turns the
+    # field decomposition into a dict hit on the server's hot path.
+    from repro.core.granularity import seconds_to_fields
+
+    year, month, day, hour, minute, second = seconds_to_fields(seconds)
     date_part = f"{year:04d}-{month:02d}-{day:02d}"
     if hour == 0 and minute == 0 and second == 0:
         return date_part
     return f"{date_part} {hour:02d}:{minute:02d}:{second:02d}"
+
+
+def chronon_text(seconds: int) -> str:
+    """Render valid chronon *seconds* without constructing a Chronon."""
+    return _chronon_text(seconds)
+
+
+def format_chronon(value: "Chronon") -> str:
+    """Render ``year-month-day[ hour:minute:second]``."""
+    return _chronon_text(value.seconds)
 
 
 def format_span(value: "Span") -> str:

@@ -46,6 +46,23 @@ def now_is_bound() -> bool:
     return _CURRENT_NOW.get() is not None
 
 
+def bind_now_seconds(seconds: int):
+    """Bind ``NOW`` to pre-validated chronon *seconds*; returns a token.
+
+    The per-statement fast path (:mod:`repro.client` binds and resets
+    around every execute and fetch): no generator, no type dispatch,
+    no re-validation — the caller guarantees *seconds* came from
+    :func:`granularity.check_chronon_seconds` or an already-valid
+    chronon.  Pair with :func:`reset_now`.
+    """
+    return _CURRENT_NOW.set(seconds)
+
+
+def reset_now(token) -> None:
+    """Undo a :func:`bind_now_seconds` binding."""
+    _CURRENT_NOW.reset(token)
+
+
 @contextmanager
 def use_now(value: "Chronon | int | str") -> Iterator[None]:
     """Bind the interpretation of ``NOW`` for the duration of the block.

@@ -28,6 +28,19 @@ one of four modes:
 Firing is shaped by three optional knobs per rule: ``after`` skips the
 first N hits, ``times`` caps total firings (``None`` = unlimited), and
 ``probability`` gates each eligible hit through the rule's RNG.
+
+**Per-connection determinism.**  Call sites that serve many concurrent
+connections (the server's reader pool and WAL checkpointer) pass a
+stable per-connection ``key`` to :meth:`FaultPlan.apply`.  A keyed hit
+is booked against that key alone: each ``(rule, key)`` pair owns its
+own hit/fired counters and a private RNG seeded from
+``(plan seed, rule index, key)``, so whether a connection's *n*-th hit
+fires is a pure function of the plan and that connection's own call
+sequence — thread interleaving across connections cannot change it.
+Every keyed firing is also appended to the plan's **ledger**
+(:meth:`FaultPlan.ledger`), so two runs of the same seeded plan against
+the same per-connection workloads must produce identical per-key
+ledgers — the property the concurrency chaos tests assert.
 """
 
 from __future__ import annotations
@@ -67,7 +80,7 @@ class FaultRule:
     """One injection rule: where, what, and how often."""
 
     __slots__ = ("point", "mode", "probability", "times", "after", "delay",
-                 "_hits", "_fired", "_rng")
+                 "_hits", "_fired", "_rng", "_keyed", "_seed", "_index")
 
     def __init__(
         self,
@@ -98,14 +111,35 @@ class FaultRule:
         self._hits = 0
         self._fired = 0
         self._rng: random.Random = random.Random(0)  # re-seeded by the plan
+        # key -> [hits, fired, rng]: independent bookkeeping per
+        # connection key, so keyed firing is interleaving-proof.
+        self._keyed: dict = {}
+        self._seed = 0
+        self._index = 0
+
+    def _key_state(self, key: str) -> list:
+        state = self._keyed.get(key)
+        if state is None:
+            # A string seed goes through random's deterministic (sha512)
+            # seeding path — unlike hash(), it is not salted per process,
+            # so the per-key draw sequence replays across runs.
+            state = [0, 0, random.Random(f"{self._seed}:{self._index}:{key}")]
+            self._keyed[key] = state
+        return state
 
     def as_dict(self) -> dict:
-        return {
+        entry = {
             "point": self.point, "mode": self.mode,
             "probability": self.probability, "times": self.times,
             "after": self.after, "delay": self.delay,
             "hits": self._hits, "fired": self._fired,
         }
+        if self._keyed:
+            entry["keyed"] = {
+                key: {"hits": hits, "fired": fired}
+                for key, (hits, fired, _rng) in sorted(self._keyed.items())
+            }
+        return entry
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FaultRule({self.point}:{self.mode})"
@@ -118,39 +152,77 @@ class FaultPlan:
         self.seed = seed
         self.rules: List[FaultRule] = list(rules)
         self._lock = threading.Lock()
+        # key -> ["point:mode#hit", ...]: every keyed firing, in the
+        # key's own hit order.  Keyless firings land under "".
+        self._ledger: dict = {}
         for index, rule in enumerate(self.rules):
             rule._rng = random.Random(seed * 1_000_003 + index)
             rule._hits = 0
             rule._fired = 0
+            rule._keyed = {}
+            rule._seed = seed
+            rule._index = index
 
     # -- the one entry point the instrumented stack calls -------------
 
-    def apply(self, point: str, data: Optional[bytes] = None) -> Optional[bytes]:
+    def apply(
+        self, point: str, data: Optional[bytes] = None, *, key: Optional[str] = None
+    ) -> Optional[bytes]:
         """Consult the plan at *point*; returns the (possibly rewritten) payload.
 
         May raise :class:`InjectedFault` or sleep, per the matching
         rules.  Rule bookkeeping is locked (plans are shared across
         server handler threads); the actions themselves run unlocked so
         an injected delay never serializes unrelated sessions.
+
+        *key*, when given, books the hit against that connection key
+        alone (own counters, own RNG), making the firing decision a
+        pure function of the key's hit sequence — see the module
+        docstring.  Keyless calls keep the original global bookkeeping.
         """
         triggered: List[FaultRule] = []
         with self._lock:
             for rule in self.rules:
                 if rule.point != point:
                     continue
-                rule._hits += 1
-                if rule._hits <= rule.after:
+                if key is None:
+                    rule._hits += 1
+                    hits, fired, rng = rule._hits, rule._fired, rule._rng
+                else:
+                    state = rule._key_state(key)
+                    state[0] += 1
+                    hits, fired, rng = state[0], state[1], state[2]
+                if hits <= rule.after:
                     continue
-                if rule.times is not None and rule._fired >= rule.times:
+                if rule.times is not None and fired >= rule.times:
                     continue
-                if rule.probability < 1.0 and rule._rng.random() >= rule.probability:
+                if rule.probability < 1.0 and rng.random() >= rule.probability:
                     continue
-                rule._fired += 1
+                if key is None:
+                    rule._fired += 1
+                else:
+                    rule._key_state(key)[1] += 1
+                self._ledger.setdefault(key or "", []).append(
+                    f"{point}:{rule.mode}#{hits}"
+                )
                 triggered.append(rule)
         for rule in triggered:
             self._note(point, rule.mode)
-            data = self._perform(rule, point, data)
+            data = self._perform(rule, point, data, key=key)
         return data
+
+    def ledger(self, key: Optional[str] = None):
+        """Fired-fault history: ``{key: [entries]}``, or one key's list.
+
+        Entries read ``"point:mode#hit"`` where ``hit`` is the firing
+        hit's ordinal *within that key*.  For a seeded plan driven by
+        deterministic per-connection workloads the ledger is identical
+        across runs — the replayability contract of keyed injection.
+        """
+        with self._lock:
+            if key is not None:
+                return list(self._ledger.get(key, []))
+            return {k: list(v) for k, v in self._ledger.items()}
 
     @staticmethod
     def _note(point: str, mode: str) -> None:
@@ -160,7 +232,10 @@ class FaultPlan:
             obs.counter(f"faults.injected.{point}.{mode}").inc()
             obs.counter("faults.injected.total").inc()
 
-    def _perform(self, rule: FaultRule, point: str, data: Optional[bytes]) -> Optional[bytes]:
+    def _perform(
+        self, rule: FaultRule, point: str, data: Optional[bytes],
+        key: Optional[str] = None,
+    ) -> Optional[bytes]:
         mode = rule.mode
         if mode == "delay":
             time.sleep(rule.delay)
@@ -170,7 +245,8 @@ class FaultPlan:
             return bytes(payload[: len(payload) // 2])
         if mode == "corrupt" and payload is not None and len(payload) > 0:
             with self._lock:
-                index = rule._rng.randrange(len(payload))
+                rng = rule._rng if key is None else rule._key_state(key)[2]
+                index = rng.randrange(len(payload))
             flipped = bytes(payload)
             return flipped[:index] + bytes((flipped[index] ^ 0xFF,)) + flipped[index + 1:]
         # 'raise', and 'truncate'/'corrupt' degraded at action points.

@@ -34,6 +34,12 @@ CATALOGUE: Dict[str, str] = {
     "blade.routine": "blade: every SQL routine invocation, before "
                      "argument coercion",
     "codec.decode": "codec: a binary blob entering decode()",
+    "pool.checkout": "server pool: checking a reader connection out for "
+                     "a read statement (fired per connection key)",
+    "wal.checkpoint": "server pool: after each write commit, before the "
+                      "passive WAL checkpoint (fired per connection key; "
+                      "an injected failure defers the checkpoint, never "
+                      "the write)",
 }
 
 #: Points whose payload is bytes (truncate/corrupt rewrite the data).

@@ -131,6 +131,7 @@ class RemoteTipConnection:
         request_timeout: Optional[float] = None,
         retry: Optional[RetryPolicy] = None,
         seed: Optional[int] = None,
+        session_label: Optional[str] = None,
     ) -> None:
         self._host = host
         self._port = port
@@ -139,11 +140,17 @@ class RemoteTipConnection:
         self._retry = retry if retry is not None else RetryPolicy()
         self._rng = random.Random(seed)
         self._session_now: Optional[str] = None
+        # The connection key the server books keyed fault injections
+        # under; chaos tests label sessions so plans replay per
+        # connection.  Sent in a HELLO frame on connect and reconnect.
+        self._session_label = session_label
         self._socket: Optional[socket.socket] = None
         self._reader = None
         self._closed = False
         self._last_attempts = 1
         self._connect_with_retry()
+        if self._session_label is not None:
+            self._hello()
 
     # -- plumbing ------------------------------------------------------
 
@@ -200,6 +207,8 @@ class RemoteTipConnection:
         self._connect()
         if obs.state.enabled:
             obs.counter("client.reconnects").inc()
+        if self._session_label is not None:
+            self._hello()
         if self._session_now is not None:
             self._send({"op": "set_now", "now": self._session_now})
             response = self._recv()
@@ -208,6 +217,16 @@ class RemoteTipConnection:
                     "could not re-establish NOW override after reconnect: "
                     f"{response.get('error', 'unknown error')}"
                 )
+
+    def _hello(self) -> None:
+        """Re-establish this session's connection key on the server."""
+        self._send({"op": "hello", "session": self._session_label})
+        response = self._recv()
+        if not response.get("ok"):
+            raise TipError(
+                "could not establish session label: "
+                f"{response.get('error', 'unknown error')}"
+            )
 
     def _send(self, frame: dict) -> None:
         payload = protocol.dump_frame(frame)
@@ -307,6 +326,101 @@ class RemoteTipConnection:
             statement_now=result.statement_now,
         )
         return result
+
+    def execute_batch(self, statements) -> List["RemoteResult | RemoteError"]:
+        """Run many statements in ONE round trip (the BATCH frame).
+
+        *statements* is a sequence of ``sql`` strings or ``(sql,
+        params)`` pairs.  Returns one entry per statement, in order: a
+        :class:`RemoteResult` on success, a :class:`RemoteError`
+        *instance* (not raised) on a per-statement failure — a failed
+        statement never hides the results of the others.  The batch is
+        observably equivalent to sending the same statements
+        one-per-frame, just without paying a round trip each
+        (property-tested in ``tests/test_protocol_pipeline.py``).
+        """
+        entries = []
+        for statement in statements:
+            if isinstance(statement, str):
+                sql, params = statement, ()
+            else:
+                sql, params = statement
+            entries.append({
+                "sql": sql,
+                "params": [protocol.dump_value(value) for value in params],
+            })
+        response = self._round_trip({"op": "batch", "statements": entries})
+        results: List["RemoteResult | RemoteError"] = []
+        for sub in response.get("results", []):
+            if sub.get("ok"):
+                results.append(RemoteResult(sub))
+            else:
+                results.append(RemoteError(
+                    sub.get("error", "unknown server error"),
+                    sub.get("kind", "Error"),
+                ))
+        return results
+
+    def stream(self, sql: str, params: Sequence = (), *,
+               chunk: int = 256, window: int = 4):
+        """Iterate a statement's rows as they stream off the server.
+
+        The server sends ``chunk`` rows per continuation frame and at
+        most ``window`` unacknowledged chunks; this iterator grants one
+        credit per consumed chunk, so a slowly consumed stream bounds
+        the server's buffering (backpressure) instead of materializing
+        the result set anywhere.  Streams are not retried: a transport
+        failure mid-stream surfaces as the underlying error.  Closing
+        the iterator early drains the remaining frames to keep the
+        session usable.
+        """
+        frame = {
+            "op": "execute",
+            "sql": sql,
+            "params": [protocol.dump_value(value) for value in params],
+            "stream": True,
+            "chunk": chunk,
+            "window": window,
+        }
+        if self._closed:
+            raise TipError("connection is closed")
+        self._send(frame)
+        return self._stream_frames()
+
+    def _stream_frames(self):
+        done = False
+        try:
+            while True:
+                response = self._recv()
+                if response.get("cont") == "rows":
+                    # Grant the next chunk *before* yielding, so the
+                    # server fills the pipe while rows are consumed.
+                    self._send({"op": "credit", "n": 1})
+                    for row in response.get("rows", []):
+                        yield protocol.load_row(row)
+                    continue
+                done = True
+                if response.get("cont") == "done" and response.get("ok"):
+                    return
+                raise RemoteError(
+                    response.get("error", "unexpected frame during stream"),
+                    response.get("kind", "ProtocolError"),
+                )
+        finally:
+            if not done:
+                # Early close: drain the stream so the next request on
+                # this session reads its own response, not stale chunks.
+                self._drain_stream()
+
+    def _drain_stream(self) -> None:
+        try:
+            while True:
+                self._send({"op": "credit", "n": 1000})
+                response = self._recv()
+                if response.get("cont") != "rows":
+                    return
+        except (OSError, TipError):
+            self._drop_socket()
 
     def query(self, sql: str, params: Sequence = ()) -> List[Tuple]:
         return self.execute(sql, params).rows

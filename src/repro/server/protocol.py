@@ -3,9 +3,12 @@
 Requests::
 
     {"op": "execute", "sql": "...", "params": [...]}
+    {"op": "batch", "statements": [{"sql": "...", "params": [...]}, ...]}
     {"op": "set_now", "now": "1999-09-01"}     # null clears the override
+    {"op": "hello", "session": "label"}        # name the connection key
     {"op": "metrics"}                          # the METRICS frame
     {"op": "profile"}                          # the PROFILE frame
+    {"op": "credit", "n": k}                   # mid-stream backpressure grant
     {"op": "ping"}
     {"op": "close"}
 
@@ -14,6 +17,39 @@ Responses::
     {"ok": true, "rows": [...], "columns": [...], "rowcount": n,
      "statement_now": "..."}
     {"ok": false, "error": "message", "kind": "OperationalError"}
+
+**Pipelining.**  A ``BATCH`` frame carries many statements in one round
+trip; the response carries one execute-shaped result per statement, in
+order, and a failed statement never aborts the rest::
+
+    {"ok": true, "results": [{"ok": true, "rows": [...], ...},
+                             {"ok": false, "error": "...", "kind": "..."},
+                             ...]}
+
+**Streaming.**  An ``execute`` with ``"stream": true`` (optional
+``"chunk"`` rows per frame, ``"window"`` initial credit in chunks)
+answers with zero or more ``ROWS`` continuation frames followed by one
+``DONE`` frame::
+
+    {"ok": true, "cont": "rows", "rows": [...]}        # <= chunk rows
+    {"ok": true, "cont": "done", "columns": [...],
+     "rowcount": n, "rows_streamed": n, "statement_now": "..."}
+
+The server sends at most ``window`` chunks ahead of the client's
+acknowledgements; the client grants more with ``{"op": "credit",
+"n": k}`` frames as it consumes (one credit = one chunk), so a slow
+consumer bounds the server's buffering instead of the other way
+around.  A chunk that would exceed the frame bound is split down to
+single rows; a single row that still cannot fit ends the stream with a
+typed mid-stream failure ``{"ok": false, "cont": "done", "kind":
+"FrameTooLarge"}``.  Any non-credit frame sent mid-stream aborts the
+stream with a typed ``ProtocolError`` DONE (the offending frame is
+consumed, the session survives).
+
+**HELLO.**  ``{"op": "hello", "session": "label"}`` names the
+session's *connection key* — the identity under which the keyed fault
+points (``pool.checkout``, ``wal.checkpoint``) book their per-connection
+hit sequences.  Unlabelled sessions get a per-server ordinal key.
 
 **Trace propagation.**  An ``execute`` request may carry a trace
 context and ask for the statement's profile::
@@ -66,7 +102,9 @@ process and of the requesting session::
 ``session`` is the requesting session's own ledger (frames counted
 before this METRICS frame itself); ``metrics`` is the process-wide
 :mod:`repro.obs` snapshot, including per-routine blade call counts and
-latencies.  Optional request fields: ``"reset": true`` clears the
+latencies.  The response also carries ``"pool"`` — the dispatch
+layer's obs-independent gauges (readers, checkouts, waits, max busy,
+writes, checkpoints; see :meth:`repro.server.pool.ConnectionPool.stats`).  Optional request fields: ``"reset": true`` clears the
 process-wide registry first; ``"trace_tail": n`` appends the last *n*
 trace spans under ``metrics.trace``.
 
@@ -126,11 +164,19 @@ def load_value(value: Any) -> Any:
 
 
 def dump_row(row: Sequence) -> List[Any]:
-    return [dump_value(value) for value in row]
+    # Most rows are all plain JSON scalars; one isinstance scan beats
+    # the per-value type dispatch of dump_value on the batch hot path.
+    for value in row:
+        if value is not None and not isinstance(value, (str, int, float)):
+            return [dump_value(value) for value in row]
+    return list(row)
 
 
 def load_row(row: Sequence) -> tuple:
-    return tuple(load_value(value) for value in row)
+    for value in row:
+        if isinstance(value, dict):
+            return tuple(load_value(value) for value in row)
+    return tuple(row)
 
 
 def dump_frame(frame: dict) -> bytes:

@@ -1,24 +1,41 @@
 """The TIP database server.
 
-A threading TCP server over one shared TIP-enabled connection.  SQLite
-serializes writers anyway, so a single engine connection guarded by a
-lock is the honest concurrency model; per-session state (the ``NOW``
-override) is applied under that lock before each statement, so remote
-sessions get independent temporal contexts — the Browser's what-if
-override works per client.
+A threading TCP server dispatching over a **WAL reader pool**
+(:mod:`repro.server.pool`).  Each statement is classified read vs
+write: reads check an idle reader connection out of the pool (the
+session's ``NOW`` override applied per checkout), so concurrent
+sessions' reads overlap on real cores; writes serialize on the single
+dedicated writer connection, whose lock spans execute + commit — the
+one total write order that makes writer history linearizable.
+In-memory databases cannot share a WAL, so ``:memory:`` servers keep
+the old single-connection serialized model with identical semantics.
+
+The wire protocol is **pipelined** (:mod:`repro.server.protocol`):
+
+* a ``BATCH`` frame carries many statements in one round trip and
+  returns per-statement results, so throughput is no longer bounded by
+  client round-trip latency;
+* a streaming ``execute`` (``"stream": true``) returns large results
+  as ``ROWS`` continuation chunks followed by a ``DONE`` frame, under
+  a client-granted credit window — the server never buffers more than
+  one chunk ahead of a slow client, and a chunk that would exceed the
+  frame bound splits (down to one row) before failing typed
+  (``FrameTooLarge``) mid-stream.
 
 Observability: the server times every frame and keeps two ledgers —
 
 * **per-session counters** (frames, executes, errors, rows, seconds),
   owned by the single handler thread of that session, so attribution
-  is exact by construction;
+  is exact by construction even though the engine connections
+  underneath are pooled;
 * **process-wide metrics** in :mod:`repro.obs` (``server.frame.<op>``
-  call counts and latency histograms, session totals), shared across
-  sessions and lock-protected per instrument, so no update is lost
-  even while the engine lock is contended.
+  call counts and latency histograms, session totals, and the pool
+  gauges ``server.pool.*`` / ``server.wal.*``).
 
-Both are readable over the wire via the ``METRICS`` frame
-(``{"op": "metrics"}`` — see :mod:`repro.server.protocol`).
+Both are readable over the wire via the ``METRICS`` frame.  Fault
+injection at ``pool.checkout`` / ``wal.checkpoint`` is keyed by the
+session's connection key (settable via the ``hello`` frame), so seeded
+chaos plans fire deterministically per connection.
 """
 
 from __future__ import annotations
@@ -26,21 +43,32 @@ from __future__ import annotations
 import itertools
 import socketserver
 import threading
+from contextlib import nullcontext
 from time import perf_counter
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
-import repro
 from repro import codec, obs
-from repro.core.chronon import Chronon
 from repro.core.parser import parse_chronon
 from repro.errors import TipError
 from repro.faults import state as _FAULTS
 from repro.obs import profile as _profile
 from repro.server import protocol
+from repro.server.pool import ConnectionPool, classify
 
 __all__ = ["TipServer"]
 
 _SESSION_IDS = itertools.count(1)
+
+#: Dispatch sentinel: the frame was consumed but gets no response (a
+#: surplus credit frame arriving after its stream already finished —
+#: answering it would desynchronize the client's request/response
+#: pairing).
+_SWALLOW: dict = {}
+
+#: Streaming defaults: rows per ROWS chunk, and the initial credit
+#: window (in chunks) when the client does not size one.
+DEFAULT_STREAM_CHUNK = 256
+DEFAULT_STREAM_WINDOW = 4
 
 
 class _SessionHandler(socketserver.StreamRequestHandler):
@@ -59,6 +87,10 @@ class _SessionHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         self.session_now: Optional[int] = None
         self.session_id = next(_SESSION_IDS)
+        # The fault key: stable per-server ordinal by default, or the
+        # label a `hello` frame sets — chaos tests label their sessions
+        # so keyed fault plans replay per connection across runs.
+        self.fault_key = f"s{self.server.owner._next_session_ordinal()}"
         self.session_counters = {
             "frames": 0, "execute": 0, "errors": 0, "rows": 0, "seconds": 0.0,
             "degraded": 0,
@@ -114,6 +146,10 @@ class _SessionHandler(socketserver.StreamRequestHandler):
                 }, False
             except Exception as exc:  # never kill the session thread silently
                 response, done = {"ok": False, "error": str(exc), "kind": type(exc).__name__}, False
+            if response is None:
+                return  # a streaming op lost its peer mid-stream
+            if response is _SWALLOW:
+                continue  # consumed without a response (late credits)
             self._account(op, response, perf_counter() - started)
             if not self._respond(response) or done:
                 return
@@ -149,6 +185,18 @@ class _SessionHandler(socketserver.StreamRequestHandler):
         if op == "execute":
             counters["execute"] += 1
             counters["rows"] += rows
+        elif op == "batch" and ok:
+            # A batch is one frame but many statements: the ledger
+            # counts each statement as an execute, with per-statement
+            # errors and row traffic, so attribution stays exact.
+            for sub in response.get("results", []):
+                counters["execute"] += 1
+                if sub.get("ok"):
+                    sub_rows = max(0, sub.get("rowcount") or 0)
+                    counters["rows"] += sub_rows
+                    rows += sub_rows
+                else:
+                    counters["errors"] += 1
         if obs.state.enabled:
             registry = obs.get_registry()
             registry.counter(f"server.frame.{op}.calls").inc()
@@ -157,13 +205,19 @@ class _SessionHandler(socketserver.StreamRequestHandler):
                 registry.counter(f"server.frame.{op}.errors").inc()
             if rows:
                 registry.counter("server.rows_returned").add(rows)
+            if op == "batch" and ok:
+                registry.counter("server.batch.statements").add(
+                    len(response.get("results", []))
+                )
 
-    def _dispatch(self, frame: dict) -> Tuple[dict, bool]:
+    def _dispatch(self, frame: dict) -> Tuple[Optional[dict], bool]:
         op = frame.get("op")
         if op == "ping":
             return {"ok": True, "pong": True}, False
         if op == "close":
             return {"ok": True, "closed": True}, True
+        if op == "hello":
+            return self._hello(frame), False
         if op == "metrics":
             return self._metrics(frame), False
         if op == "profile":
@@ -180,11 +234,30 @@ class _SessionHandler(socketserver.StreamRequestHandler):
             self.session_now = seconds
             return {"ok": True, "now": raw}, False
         if op == "execute":
+            if frame.get("stream"):
+                return self._execute_stream(frame), False
             return self._execute(frame), False
+        if op == "batch":
+            return self._batch(frame), False
+        if op == "credit":
+            # Credits are only read mid-stream; the surplus a client
+            # granted near the end of a stream arrives here afterwards
+            # and must be swallowed without a response.
+            return _SWALLOW, False
         return (
             {"ok": False, "error": f"unknown op {op!r}", "kind": "ProtocolError"},
             False,
         )
+
+    def _hello(self, frame: dict) -> dict:
+        """The HELLO frame: names this session's fault/connection key."""
+        label = frame.get("session")
+        if label is not None:
+            if not isinstance(label, str) or not label:
+                return {"ok": False, "error": "hello needs a non-empty session string",
+                        "kind": "ProtocolError"}
+            self.fault_key = label
+        return {"ok": True, "session": self.fault_key, "id": self.session_id}
 
     def _metrics(self, frame: dict) -> dict:
         """The METRICS frame: this session's ledger + the global snapshot."""
@@ -197,6 +270,7 @@ class _SessionHandler(socketserver.StreamRequestHandler):
         return {
             "ok": True,
             "session": {"id": self.session_id, **self.session_counters},
+            "pool": self.server.owner.pool.stats(),
             "metrics": snapshot,
         }
 
@@ -214,14 +288,32 @@ class _SessionHandler(socketserver.StreamRequestHandler):
             "profiles": [entry.as_dict() for entry in profiles],
         }
 
-    def _execute(self, frame: dict) -> dict:
+    # -- statement execution ------------------------------------------
+
+    def _parse_execute(self, frame: dict):
+        """Validate one execute-shaped frame; (sql, params) or error dict."""
         sql = frame.get("sql")
         if not isinstance(sql, str):
-            return {"ok": False, "error": "execute needs a sql string", "kind": "ProtocolError"}
+            return None, {"ok": False, "error": "execute needs a sql string",
+                          "kind": "ProtocolError"}
         try:
             params = tuple(protocol.load_value(v) for v in frame.get("params", []))
         except protocol.ProtocolError as exc:
-            return {"ok": False, "error": str(exc), "kind": "ProtocolError"}
+            return None, {"ok": False, "error": str(exc), "kind": "ProtocolError"}
+        return (sql, params), None
+
+    def _connection_ctx(self, sql: str):
+        """The pooled connection context for *sql*: reader or writer."""
+        owner = self.server.owner
+        if classify(sql) == "read":
+            return owner.pool.read(self.session_now, self.fault_key), False
+        return owner.pool.write(self.session_now, self.fault_key), True
+
+    def _execute(self, frame: dict, reader=None) -> dict:
+        parsed, error = self._parse_execute(frame)
+        if error is not None:
+            return error
+        sql, params = parsed
         # Trace context: the client's ids make the server-side span a
         # child of the client-side span — one trace across the wire.
         trace = frame.get("trace")
@@ -229,26 +321,40 @@ class _SessionHandler(socketserver.StreamRequestHandler):
         parent_span = trace.get("span_id") if isinstance(trace, dict) else None
         want_profile = bool(frame.get("profile"))
         owner = self.server.owner
-        session_now = self.session_now
-        with owner.lock:
-            connection = owner.connection
+        if reader is not None and classify(sql) == "read":
+            # A batch read-run already holds this reader checked out;
+            # reuse it rather than cycling the pool per statement.
+            context, is_write = nullcontext(reader), False
+        else:
+            context, is_write = self._connection_ctx(sql)
+        with context as connection:
             try:
-                connection.set_now(None if session_now is None else Chronon(session_now))
-                with _profile.activate_context(trace_id, parent_span, side="server"):
-                    if want_profile and not _profile.state.enabled:
-                        # One-shot profile on request; the engine lock
-                        # serializes statements, so the brief forced
-                        # window cannot catch another session's work.
-                        with _profile.forced():
-                            cursor = connection.execute(sql, params)
-                    else:
-                        cursor = connection.execute(sql, params)
-                if cursor.description is None:
+                cursor = connection.cursor()
+                if (trace_id is None and parent_span is None and not want_profile
+                        and not _profile.state.enabled and not _profile.state.forced):
+                    # No trace to adopt and nothing recording: skip the
+                    # context plumbing entirely (it is generator-based
+                    # and would cost a few microseconds per statement
+                    # on the pipelined hot path for nothing).
+                    rows = cursor.execute_fetchall(sql, params)
+                else:
+                    with _profile.activate_context(trace_id, parent_span, side="server"):
+                        if want_profile and not _profile.state.enabled:
+                            # One-shot profile on request; the checked-out
+                            # connection is exclusively this statement's, so
+                            # the brief forced window cannot catch another
+                            # session's work on it.
+                            with _profile.forced():
+                                rows = cursor.execute_fetchall(sql, params)
+                        else:
+                            rows = cursor.execute_fetchall(sql, params)
+                if rows is None:
                     connection.commit()
+                    if is_write:
+                        owner.pool.after_write_commit(self.fault_key)
                     return self._execute_response(
                         cursor, rows=[], columns=[], rowcount=cursor.rowcount
                     )
-                rows = cursor.fetchall()
                 return self._execute_response(
                     cursor,
                     rows=[protocol.dump_row(row) for row in rows],
@@ -259,6 +365,166 @@ class _SessionHandler(socketserver.StreamRequestHandler):
                 connection.rollback()
                 return {"ok": False, "error": str(exc), "kind": type(exc).__name__}
 
+    def _batch(self, frame: dict) -> dict:
+        """The BATCH frame: many statements, one round trip.
+
+        Statements run in order; each gets an execute-shaped result and
+        a failure never aborts the rest (the per-statement results say
+        what failed).  Reads and writes may mix — each statement is
+        dispatched through the pool independently.
+        """
+        statements = frame.get("statements")
+        if not isinstance(statements, list):
+            return {"ok": False, "error": "batch needs a statements list",
+                    "kind": "ProtocolError"}
+        pool = self.server.owner.pool
+
+        def is_read(entry) -> bool:
+            return (isinstance(entry, dict)
+                    and isinstance(entry.get("sql"), str)
+                    and classify(entry["sql"]) == "read")
+
+        results: List[dict] = []
+        index = 0
+        while index < len(statements):
+            if pool.readers and is_read(statements[index]):
+                # A run of consecutive reads shares one checked-out
+                # reader: checkout, NOW re-bind, and check-in are paid
+                # once per run instead of once per statement — the
+                # pipelined path's throughput lives here.
+                with pool.read(self.session_now, self.fault_key) as reader:
+                    while index < len(statements) and is_read(statements[index]):
+                        results.append(self._execute(statements[index],
+                                                     reader=reader))
+                        index += 1
+                continue
+            entry = statements[index]
+            if not isinstance(entry, dict):
+                results.append({"ok": False, "error": "batch entry must be an object",
+                                "kind": "ProtocolError"})
+            else:
+                results.append(self._execute(entry))
+            index += 1
+        return {"ok": True, "results": results}
+
+    # -- streaming ----------------------------------------------------
+
+    def _execute_stream(self, frame: dict) -> Optional[dict]:
+        """A streaming execute: ROWS chunks under a credit window, then DONE.
+
+        Returns the final DONE frame for the ordinary respond/account
+        path (its ``rowcount`` carries the streamed total), or None when
+        the peer vanished mid-stream (the caller closes the session).
+        """
+        parsed, error = self._parse_execute(frame)
+        if error is not None:
+            return error
+        sql, params = parsed
+        chunk = max(1, min(int(frame.get("chunk", 0) or DEFAULT_STREAM_CHUNK), 10_000))
+        credit = max(1, min(int(frame.get("window", 0) or DEFAULT_STREAM_WINDOW), 1_000))
+        context, is_write = self._connection_ctx(sql)
+        owner = self.server.owner
+        streamed = 0
+        with context as connection:
+            try:
+                cursor = connection.execute(sql, params)
+                if cursor.description is None:
+                    connection.commit()
+                    if is_write:
+                        owner.pool.after_write_commit(self.fault_key)
+                    return {"ok": True, "cont": "done", "rows_streamed": 0,
+                            "columns": [], "rowcount": cursor.rowcount,
+                            "statement_now": cursor.statement_now_text}
+                columns = [entry[0] for entry in cursor.description]
+                while True:
+                    rows = cursor.fetchmany(chunk)
+                    if not rows:
+                        break
+                    pending = [protocol.dump_row(row) for row in rows]
+                    while pending:
+                        if credit <= 0:
+                            credit = self._await_credit()
+                            if credit is None:
+                                return None  # peer gone mid-stream
+                            if credit < 0:
+                                return {"ok": False, "cont": "done",
+                                        "rows_streamed": streamed,
+                                        "error": "expected a credit frame during stream",
+                                        "kind": "ProtocolError"}
+                        sent, pending = self._send_chunk(pending)
+                        if sent is None:
+                            return None
+                        if sent < 0:
+                            return {"ok": False, "cont": "done",
+                                    "rows_streamed": streamed,
+                                    "error": "a single row exceeds the frame bound",
+                                    "kind": "FrameTooLarge"}
+                        streamed += sent
+                        credit -= 1
+                return {"ok": True, "cont": "done", "columns": columns,
+                        "rowcount": streamed, "rows_streamed": streamed,
+                        "statement_now": cursor.statement_now_text}
+            except Exception as exc:
+                connection.rollback()
+                return {"ok": False, "cont": "done", "rows_streamed": streamed,
+                        "error": str(exc), "kind": type(exc).__name__}
+
+    def _send_chunk(self, rows: List[list]):
+        """Send one ROWS frame within the bound; ``(sent, remaining)``.
+
+        Splits oversized chunks in half until they fit; a single row
+        that cannot fit reports ``(-1, rows)`` so the stream fails
+        typed.  ``(None, rows)`` means the peer is unreachable.
+        """
+        limit = self.server.owner.max_frame_bytes
+        take = len(rows)
+        while take >= 1:
+            payload = protocol.dump_frame(
+                {"ok": True, "cont": "rows", "rows": rows[:take]}
+            )
+            if len(payload) <= limit:
+                try:
+                    if _FAULTS.plan is not None:
+                        payload = _FAULTS.plan.apply("server.frame.write", payload)
+                    self.wfile.write(payload)
+                    self.wfile.flush()
+                except OSError:
+                    return None, rows
+                return take, rows[take:]
+            if take == 1:
+                return -1, rows
+            take = take // 2
+        return 0, rows
+
+    def _await_credit(self) -> Optional[int]:
+        """Block for the client's next credit frame; its grant (chunks).
+
+        None: the peer is gone.  -1: the client sent a non-credit frame
+        mid-stream (a protocol violation surfaced as a typed DONE).
+        """
+        limit = self.server.owner.max_frame_bytes
+        try:
+            status, line = protocol.read_frame_line(self.rfile, limit)
+        except OSError:
+            return None
+        if status in ("eof", "partial"):
+            self._degrade("server.frame.partial")
+            return None
+        if status == "oversized":
+            self._degrade("server.frame.oversized")
+            return -1
+        try:
+            frame = protocol.load_frame(line)
+        except protocol.ProtocolError:
+            return -1
+        if frame.get("op") != "credit":
+            return -1
+        try:
+            grant = int(frame.get("n", 1))
+        except (TypeError, ValueError):
+            return -1
+        return max(1, min(grant, 1_000))
+
     @staticmethod
     def _execute_response(cursor, *, rows, columns, rowcount) -> dict:
         response = {
@@ -266,7 +532,7 @@ class _SessionHandler(socketserver.StreamRequestHandler):
             "rows": rows,
             "columns": columns,
             "rowcount": rowcount,
-            "statement_now": str(cursor.statement_now),
+            "statement_now": cursor.statement_now_text,
         }
         if cursor.profile is not None:
             # Fetches above already charged their rows/time, so the
@@ -292,12 +558,15 @@ class _InnerServer(socketserver.ThreadingTCPServer):
 class TipServer:
     """Serve one TIP-enabled database over TCP.
 
-    >>> server = TipServer(":memory:")         # port 0 = pick a free one
+    >>> server = TipServer("tip.db", readers=4)  # port 0 = pick a free one
     >>> server.start()
     >>> host, port = server.address
     >>> ... RemoteTipConnection(host, port) ...
     >>> server.stop()
 
+    *readers* sizes the WAL reader pool for file-backed databases
+    (``:memory:`` always runs the single serialized writer, whatever
+    *readers* says, because an in-memory database cannot share a WAL).
     Also usable as a context manager.
     """
 
@@ -311,11 +580,16 @@ class TipServer:
         profiling: bool = False,
         slow_threshold: "float | None" = None,
         slow_sink: "str | None" = None,
+        readers: int = 4,
+        checkpoint_every: int = 32,
     ) -> None:
-        # Handler threads share this one engine connection under the
-        # lock, so SQLite's same-thread check must be relaxed here.
-        self.connection = repro.connect(database, check_same_thread=False)
-        self.lock = threading.Lock()
+        # The dispatch layer: reads fan out to pooled readers, writes
+        # serialize on the writer.  Handler threads never share a
+        # checked-out connection, so no statement-level lock remains.
+        self.pool = ConnectionPool(
+            database, readers=readers, checkpoint_every=checkpoint_every
+        )
+        self._session_ordinals = itertools.count(1)
         # Bound on one request line; larger frames get a typed
         # FrameTooLarge error instead of unbounded buffering.
         self.max_frame_bytes = max_frame_bytes
@@ -335,6 +609,15 @@ class TipServer:
             _profile.configure(slow_threshold=slow_threshold, sink=slow_sink)
 
     @property
+    def connection(self):
+        """The writer connection (kept for embedding/test callers)."""
+        return self.pool.writer
+
+    def _next_session_ordinal(self) -> int:
+        """Per-server session ordinal — the default fault-key suffix."""
+        return next(self._session_ordinals)
+
+    @property
     def address(self) -> Tuple[str, int]:
         """The bound (host, port)."""
         return self._inner.server_address[:2]
@@ -352,13 +635,13 @@ class TipServer:
         return self
 
     def stop(self) -> None:
-        """Shut down the listener and the engine connection."""
+        """Shut down the listener and the engine connections."""
         self._inner.shutdown()
         self._inner.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
-        self.connection.close()
+        self.pool.close()
 
     def __enter__(self) -> "TipServer":
         return self.start()

@@ -23,6 +23,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro
 from repro import faults
 from repro.core import NOW
 from repro.core.chronon import Chronon
@@ -79,6 +80,17 @@ def server():
         yield srv
 
 
+@pytest.fixture(scope="module")
+def pooled_server(tmp_path_factory):
+    """A file-backed server on the real WAL reader-pool path: the
+    group-by reads below run on pooled readers, the DDL/inserts on the
+    writer — so agreement also exercises cross-connection visibility."""
+    database = tmp_path_factory.mktemp("differential") / "pooled.db"
+    with TipServer(str(database), readers=2, observability=False) as srv:
+        assert srv.pool.wal, "file-backed server must be on the WAL path"
+        yield srv
+
+
 def _blade_results(connection, now_text):
     ground_at = Chronon.parse(now_text)
     lengths = dict(
@@ -92,6 +104,23 @@ def _blade_results(connection, now_text):
         for patient, element in connection.query(
             "SELECT patient, group_union(valid) FROM Rx GROUP BY patient"
         )
+    }
+    return lengths, coalesced
+
+
+def _blade_results_batched(connection, now_text):
+    """The same two queries as :func:`_blade_results`, pipelined in one
+    BATCH frame — the pipelined path must not change any answer."""
+    ground_at = Chronon.parse(now_text)
+    lengths_result, union_result = connection.execute_batch([
+        "SELECT patient, length_seconds(group_union(valid)) "
+        "FROM Rx GROUP BY patient",
+        "SELECT patient, group_union(valid) FROM Rx GROUP BY patient",
+    ])
+    lengths = dict(lengths_result.rows)
+    coalesced = {
+        patient: element.ground(ground_at)
+        for patient, element in union_result.rows
     }
     return lengths, coalesced
 
@@ -147,3 +176,44 @@ def test_blade_and_layered_agree_under_random_now_and_disconnect(server, rows, n
         connection.close()
         layered.close()
         faults.disarm()
+
+
+@settings(max_examples=15, deadline=None)
+@given(rows=tables(), now_s=now_seconds)
+def test_pooled_batched_and_inprocess_agree_with_layered(pooled_server, rows, now_s):
+    """The same random-NOW comparison through three more blade paths:
+    the pooled (WAL, file-backed) server one statement per frame, the
+    pooled server pipelined via BATCH, and the in-process connection —
+    all four implementations must return identical answers."""
+    faults.disarm()
+    now_text = str(Chronon(now_s))
+
+    layered = LayeredEngine(now=now_text)
+    layered.create_table("Rx", [("patient", "TEXT")])
+    for patient, element in rows:
+        layered.insert("Rx", (patient,), element)
+    layered.commit()
+    oracle = _layered_results(layered)
+
+    local = repro.connect()
+    host, port = pooled_server.address
+    connection = RemoteTipConnection(
+        host, port, request_timeout=5.0,
+        retry=RetryPolicy(base_delay=0.0, jitter=0.0), seed=7,
+    )
+    try:
+        for target in (connection, local):
+            target.execute("DROP TABLE IF EXISTS Rx")
+            target.execute("CREATE TABLE Rx (patient TEXT, valid ELEMENT)")
+            for patient, element in rows:
+                target.execute("INSERT INTO Rx VALUES (?, ?)", (patient, element))
+            target.set_now(now_text)
+        local.commit()
+
+        _assert_agreement(_blade_results(connection, now_text), oracle)
+        _assert_agreement(_blade_results_batched(connection, now_text), oracle)
+        _assert_agreement(_blade_results(local, now_text), oracle)
+    finally:
+        connection.close()
+        local.close()
+        layered.close()

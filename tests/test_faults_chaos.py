@@ -42,6 +42,8 @@ REMOTE_POINTS = (
     "blade.routine", "codec.decode",
 )
 LOCAL_POINTS = ("conn.execute",)
+#: Points that only exist on the pooled (WAL, file-backed) server path.
+POOLED_POINTS = ("pool.checkout", "wal.checkpoint")
 
 #: (point, mode) -> set of acceptable outcomes.  Most corruption is
 #: absorbed (retry / replay); engine-level faults surface as typed
@@ -53,6 +55,18 @@ for _mode in faults.MODES:
                    "client.connect", "client.send", "client.recv"):
         EXPECTED[(_point, _mode)] = {"ok"}
 EXPECTED.update({
+    # Reader checkout is an action point: raise (and the degraded
+    # truncate/corrupt) fails that statement typed; the session lives.
+    ("pool.checkout", "raise"): {"typed_error:InjectedFault"},
+    ("pool.checkout", "delay"): {"ok"},
+    ("pool.checkout", "truncate"): {"typed_error:InjectedFault"},
+    ("pool.checkout", "corrupt"): {"typed_error:InjectedFault"},
+    # A failed passive checkpoint is absorbed: the write already
+    # committed, the WAL just stays longer — every mode is "ok".
+    ("wal.checkpoint", "raise"): {"ok"},
+    ("wal.checkpoint", "delay"): {"ok"},
+    ("wal.checkpoint", "truncate"): {"ok"},
+    ("wal.checkpoint", "corrupt"): {"ok"},
     ("blade.routine", "raise"): {"typed_error:OperationalError"},
     ("blade.routine", "delay"): {"ok"},
     ("blade.routine", "truncate"): {"typed_error:OperationalError"},
@@ -119,6 +133,40 @@ def _run_local_cell(point: str, mode: str) -> str:
         connection.close()
 
 
+def _run_pooled_cell(point: str, mode: str, db_path) -> str:
+    """One cell against a pooled (file-backed, WAL) server.
+
+    ``pool.checkout`` needs a read to fire; ``wal.checkpoint`` needs a
+    committed write.  A fresh database per run keeps the two
+    determinism runs byte-identical.
+    """
+    with TipServer(str(db_path), readers=2, observability=False) as server:
+        host, port = server.address
+        with faults.inject(_spec(point, mode), seed=SEED):
+            try:
+                connection = RemoteTipConnection(
+                    host, port, request_timeout=1.0, seed=SEED,
+                    session_label="cell", **FAST_RETRY,
+                )
+            except TipError as exc:
+                return f"no_connect:{type(exc).__name__}"
+            try:
+                if point == "wal.checkpoint":
+                    connection.execute("CREATE TABLE cell (n INTEGER)")
+                    connection.execute("INSERT INTO cell VALUES (1)")
+                else:
+                    connection.query_one(_PLAIN)
+                outcome = "ok"
+            except RemoteError as exc:
+                outcome = f"typed_error:{exc.kind}"
+            except TipError:
+                outcome = "gave_up"
+        # The session must survive whatever the cell did to it.
+        assert connection.query_one(_PLAIN) == (1,)
+        connection.close()
+        return outcome
+
+
 @pytest.fixture(autouse=True)
 def disarmed():
     faults.disarm()
@@ -127,19 +175,28 @@ def disarmed():
 
 
 @pytest.mark.parametrize("mode", faults.MODES)
-@pytest.mark.parametrize("point", REMOTE_POINTS + LOCAL_POINTS)
-def test_chaos_cell(point, mode):
-    runner = _run_local_cell if point in LOCAL_POINTS else _run_remote_cell
-    first = runner(point, mode)
+@pytest.mark.parametrize("point", REMOTE_POINTS + LOCAL_POINTS + POOLED_POINTS)
+def test_chaos_cell(point, mode, tmp_path):
+    def run(tag):
+        if point in LOCAL_POINTS:
+            return _run_local_cell(point, mode)
+        if point in POOLED_POINTS:
+            return _run_pooled_cell(point, mode, tmp_path / f"{tag}.db")
+        return _run_remote_cell(point, mode)
+
+    first = run("first")
     assert first in EXPECTED[(point, mode)], f"{point}:{mode} -> {first}"
     # Determinism: the same seeded plan replays to the same outcome.
-    second = runner(point, mode)
+    second = run("second")
     assert second == first, f"{point}:{mode} not replayable: {first} vs {second}"
 
 
 def test_matrix_covers_the_whole_catalogue():
     """The matrix above enumerates every point the stack defines."""
-    assert set(REMOTE_POINTS) | set(LOCAL_POINTS) == set(faults.CATALOGUE)
+    assert (
+        set(REMOTE_POINTS) | set(LOCAL_POINTS) | set(POOLED_POINTS)
+        == set(faults.CATALOGUE)
+    )
     assert set(EXPECTED) == {
         (point, mode) for point in faults.CATALOGUE for mode in faults.MODES
     }

@@ -161,3 +161,75 @@ class TestMetricsSubcommand:
         assert metrics_main([]) == 2
         assert metrics_main(["localhost:not-a-port"]) == 2
         assert metrics_main(["127.0.0.1:1"]) == 1  # nothing listening
+
+
+class TestPooledSessionAttribution:
+    """Exact per-session ledgers on the pooled (WAL) server.
+
+    The engine connections underneath the handlers are now shared pool
+    readers plus one writer, so this pins the invariant the refactor
+    must keep: each session's ledger counts exactly its own frames,
+    rows, and errors — deliberately *asymmetric* workloads, so any
+    cross-session bleed shifts an exact count and fails.
+    """
+
+    #: (queries, induced errors) per session — different on purpose.
+    WORKLOADS = ((5, 0), (9, 2))
+
+    def test_two_concurrent_sessions_no_bleed(self, tmp_path):
+        with obs.capture() as registry:
+            with TipServer(str(tmp_path / "obs.db"), readers=2) as server:
+                host, port = server.address
+                with RemoteTipConnection(host, port) as admin:
+                    admin.execute("CREATE TABLE t (k INTEGER, v ELEMENT)")
+                    admin.execute(
+                        "INSERT INTO t VALUES (1, element('{[1999-01-01, NOW]}'))"
+                    )
+                barrier = threading.Barrier(len(self.WORKLOADS))
+                ledgers = {}
+                failures = []
+
+                def client(index):
+                    queries, errors = self.WORKLOADS[index]
+                    try:
+                        with RemoteTipConnection(host, port) as connection:
+                            barrier.wait(timeout=10)
+                            for _ in range(queries):
+                                connection.query(
+                                    "SELECT tip_text(tunion(v, v)) FROM t"
+                                )
+                            for _ in range(errors):
+                                with pytest.raises(Exception):
+                                    connection.query("SELECT nope FROM t")
+                            ledgers[index] = connection.metrics()["session"]
+                    except Exception as exc:  # pragma: no cover
+                        failures.append((index, exc))
+
+                threads = [
+                    threading.Thread(target=client, args=(index,))
+                    for index in range(len(self.WORKLOADS))
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                assert not failures, failures
+
+                # Exact attribution, session by session.
+                for index, (queries, errors) in enumerate(self.WORKLOADS):
+                    session = ledgers[index]
+                    assert session["execute"] == queries + errors, session
+                    assert session["frames"] == queries + errors, session
+                    assert session["rows"] == queries, session
+                    assert session["errors"] == errors, session
+                assert ledgers[0]["id"] != ledgers[1]["id"]
+
+                # And the global ledger is exactly the sum of the parts.
+                total_execs = 2 + sum(q + e for q, e in self.WORKLOADS)
+                total_errors = sum(e for _q, e in self.WORKLOADS)
+                with RemoteTipConnection(host, port) as connection:
+                    counters = connection.metrics()["metrics"]["counters"]
+                assert counters["server.frame.execute.calls"] == total_execs
+                assert counters["server.frame.execute.errors"] == total_errors
+                assert registry.counter_value("server.pool.reads") \
+                    >= sum(q for q, _e in self.WORKLOADS)

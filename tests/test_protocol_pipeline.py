@@ -1,0 +1,322 @@
+"""The pipelined protocol: BATCH frames and credit-windowed streaming.
+
+Golden-frame tests pin the exact wire shapes (a batch response, the
+ROWS/DONE continuation frames, the typed mid-stream failures) against a
+raw socket, so any accidental protocol change fails loudly; a hypothesis
+property establishes the semantic contract that makes pipelining safe to
+adopt: a BATCH is observably equivalent to sending the same statements
+one per frame.
+
+The session NOW is pinned in every golden test so whole response frames
+compare equal — no field is exempted from the golden comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import select
+import socket
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.server import RemoteTipConnection, TipServer
+from repro.server import protocol
+from repro.server.client import RemoteError, RemoteResult
+
+NOW = "1999-09-01"
+
+
+class _Wire:
+    """A raw socket speaking frames to a server, for golden tests."""
+
+    def __init__(self, server, timeout=5.0):
+        self.socket = socket.create_connection(server.address, timeout=timeout)
+        self.reader = self.socket.makefile("rb")
+
+    def send(self, frame: dict) -> None:
+        self.socket.sendall(protocol.dump_frame(frame))
+
+    def recv(self) -> dict:
+        return json.loads(self.reader.readline())
+
+    def round_trip(self, frame: dict) -> dict:
+        self.send(frame)
+        return self.recv()
+
+    def quiet(self, seconds: float = 0.3) -> bool:
+        """True when the server sends nothing for *seconds* (no data
+        is consumed — the check peeks readability only)."""
+        readable, _, _ = select.select([self.socket], [], [], seconds)
+        return not readable
+
+    def close(self) -> None:
+        self.reader.close()
+        self.socket.close()
+
+
+def _quiet_server(**kwargs):
+    """A server that records (instead of printing) handler errors."""
+    srv = TipServer(":memory:", **kwargs)
+    srv.handler_errors = []
+    srv._inner.handle_error = (
+        lambda request, address: srv.handler_errors.append(address)
+    )
+    return srv
+
+
+def _await_sessions_closed(registry, timeout=5.0):
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        opened = registry.counter_value("server.sessions.opened")
+        closed = registry.counter_value("server.sessions.closed")
+        if opened and closed >= opened:
+            return
+        time.sleep(0.01)
+    raise AssertionError("a session leaked: opened > closed after timeout")
+
+
+def _ok(rows, columns, rowcount) -> dict:
+    """An execute-shaped success result under the pinned NOW."""
+    return {"ok": True, "rows": rows, "columns": columns,
+            "rowcount": rowcount, "statement_now": NOW}
+
+
+class TestBatchGoldenFrames:
+    def test_mixed_batch_exact_response(self):
+        """One BATCH mixing reads, writes, DDL, and a failure: the full
+        response frame, field for field."""
+        with TipServer(":memory:", observability=False) as server:
+            wire = _Wire(server)
+            assert wire.round_trip({"op": "set_now", "now": NOW}) \
+                == {"ok": True, "now": NOW}
+            response = wire.round_trip({"op": "batch", "statements": [
+                {"sql": "SELECT 1", "params": []},
+                {"sql": "VALUES (2)", "params": []},
+                {"sql": "CREATE TABLE g (n INTEGER)", "params": []},
+                {"sql": "INSERT INTO g VALUES (?)", "params": [3]},
+                {"sql": "SELECT n FROM g", "params": []},
+                {"sql": "SELECT nope", "params": []},
+            ]})
+            assert response == {"ok": True, "results": [
+                _ok([[1]], ["1"], 1),
+                _ok([[2]], ["column1"], 1),
+                _ok([], [], -1),        # DDL: no cursor, engine rowcount
+                _ok([], [], 1),         # the INSERT's rowcount
+                _ok([[3]], ["n"], 1),   # the write is visible in-batch
+                {"ok": False, "error": "no such column: nope",
+                 "kind": "OperationalError"},
+            ]}
+            # The failed statement aborted nothing — the session and the
+            # batch's own writes both survive.
+            assert wire.round_trip(
+                {"op": "execute", "sql": "SELECT n FROM g", "params": []}
+            ) == _ok([[3]], ["n"], 1)
+            wire.close()
+
+    def test_malformed_batches_fail_typed(self):
+        with TipServer(":memory:", observability=False) as server:
+            wire = _Wire(server)
+            assert wire.round_trip({"op": "batch"}) == {
+                "ok": False, "error": "batch needs a statements list",
+                "kind": "ProtocolError",
+            }
+            response = wire.round_trip(
+                {"op": "batch", "statements": ["SELECT 1", {"sql": "SELECT 1"}]}
+            )
+            assert response["ok"] is True
+            first, second = response["results"]
+            assert first == {"ok": False,
+                             "error": "batch entry must be an object",
+                             "kind": "ProtocolError"}
+            assert second["rows"] == [[1]]
+            wire.close()
+
+    def test_client_surface_returns_results_and_errors_in_order(self):
+        with TipServer(":memory:", observability=False) as server:
+            host, port = server.address
+            with RemoteTipConnection(host, port) as connection:
+                results = connection.execute_batch([
+                    "CREATE TABLE b (n INTEGER)",
+                    ("INSERT INTO b VALUES (?)", (7,)),
+                    "SELECT nope",
+                    ("SELECT n FROM b WHERE n = ?", (7,)),
+                ])
+        assert [type(entry) for entry in results] == [
+            RemoteResult, RemoteResult, RemoteError, RemoteResult,
+        ]
+        assert results[2].kind == "OperationalError"
+        assert results[3].rows == [(7,)]
+
+
+class TestStreamGoldenFrames:
+    @staticmethod
+    def _seeded_server():
+        server = TipServer(":memory:", observability=False)
+        with server.connection.raw as raw:
+            raw.execute("CREATE TABLE s (n INTEGER)")
+            raw.executemany("INSERT INTO s VALUES (?)",
+                            [(n,) for n in range(5)])
+        return server
+
+    def test_rows_then_done_under_manual_credits(self):
+        """chunk=2, window=1 over 5 rows: the server sends exactly one
+        chunk per credit and never runs ahead of the window."""
+        with self._seeded_server() as server:
+            wire = _Wire(server)
+            wire.round_trip({"op": "set_now", "now": NOW})
+            wire.send({"op": "execute", "sql": "SELECT n FROM s ORDER BY n",
+                       "params": [], "stream": True, "chunk": 2, "window": 1})
+            assert wire.recv() == {"ok": True, "cont": "rows",
+                                   "rows": [[0], [1]]}
+            # The window is exhausted: nothing arrives until a credit.
+            assert wire.quiet()
+            wire.send({"op": "credit", "n": 1})
+            assert wire.recv() == {"ok": True, "cont": "rows",
+                                   "rows": [[2], [3]]}
+            assert wire.quiet()
+            wire.send({"op": "credit", "n": 1})
+            # The last (short) chunk, then DONE rides out unprompted —
+            # end-of-stream needs no credit.
+            assert wire.recv() == {"ok": True, "cont": "rows", "rows": [[4]]}
+            assert wire.recv() == {"ok": True, "cont": "done",
+                                   "columns": ["n"], "rowcount": 5,
+                                   "rows_streamed": 5, "statement_now": NOW}
+            # Back to plain request/response on the same session.
+            assert wire.round_trip({"op": "ping"}) == {"ok": True, "pong": True}
+            wire.close()
+
+    def test_non_credit_frame_mid_stream_is_a_typed_done(self):
+        """A pipelining mistake (a new request before the stream ended)
+        aborts the stream typed; the offending frame is consumed."""
+        with self._seeded_server() as server:
+            wire = _Wire(server)
+            wire.round_trip({"op": "set_now", "now": NOW})
+            wire.send({"op": "execute", "sql": "SELECT n FROM s ORDER BY n",
+                       "params": [], "stream": True, "chunk": 2, "window": 1})
+            assert wire.recv()["cont"] == "rows"
+            wire.send({"op": "ping"})  # not a credit
+            assert wire.recv() == {"ok": False, "cont": "done",
+                                   "rows_streamed": 2,
+                                   "error": "expected a credit frame during stream",
+                                   "kind": "ProtocolError"}
+            # The ping was swallowed with the stream; the next request
+            # pairs with the next response.
+            assert wire.round_trip({"op": "ping"}) == {"ok": True, "pong": True}
+            wire.close()
+
+    def test_oversized_row_fails_typed_mid_stream(self):
+        """A chunk splits down to single rows under the frame bound; a
+        row that still cannot fit ends the stream with FrameTooLarge."""
+        with _quiet_server(max_frame_bytes=512, observability=False) as server:
+            with server.connection.raw as raw:
+                raw.execute("CREATE TABLE big (v TEXT)")
+                raw.execute("INSERT INTO big VALUES ('small')")
+                # Generated server-side: the request frame stays small.
+                raw.execute("INSERT INTO big SELECT hex(zeroblob(600))")
+            host, port = server.address
+            with RemoteTipConnection(host, port) as connection:
+                received = []
+                with pytest.raises(RemoteError) as info:
+                    for row in connection.stream(
+                        "SELECT v FROM big ORDER BY rowid", chunk=10
+                    ):
+                        received.append(row)
+                assert info.value.kind == "FrameTooLarge"
+                # Everything before the oversized row was delivered.
+                assert received == [("small",)]
+                # The swallow path: the credit this client granted for
+                # the delivered chunk arrives after the stream died and
+                # must not desynchronize the session.
+                assert connection.query_one("SELECT 1") == (1,)
+            assert server.handler_errors == []
+
+    def test_peer_death_mid_stream_closes_cleanly(self):
+        """Half a credit frame then EOF while the server awaits credit:
+        the session closes with no traceback and no leak."""
+        with obs.capture(enabled=True) as registry:
+            with _quiet_server() as server:
+                with server.connection.raw as raw:
+                    raw.execute("CREATE TABLE s (n INTEGER)")
+                    raw.executemany("INSERT INTO s VALUES (?)",
+                                    [(n,) for n in range(10)])
+                wire = _Wire(server)
+                wire.send({"op": "execute", "sql": "SELECT n FROM s",
+                           "params": [], "stream": True,
+                           "chunk": 2, "window": 1})
+                assert wire.recv()["cont"] == "rows"
+                wire.socket.sendall(b'{"op": "cr')  # half a frame
+                wire.close()
+                _await_sessions_closed(registry)
+                assert registry.counter_value("server.frame.partial") >= 1
+                assert server.handler_errors == []
+
+    def test_client_stream_iterator_and_early_close(self):
+        with self._seeded_server() as server:
+            host, port = server.address
+            with RemoteTipConnection(host, port) as connection:
+                rows = list(connection.stream("SELECT n FROM s ORDER BY n",
+                                              chunk=2, window=1))
+                assert rows == [(n,) for n in range(5)]
+                # Early close drains the stream so the session stays
+                # usable for the next request.
+                iterator = connection.stream("SELECT n FROM s ORDER BY n",
+                                             chunk=1, window=1)
+                assert next(iterator) == (0,)
+                iterator.close()
+                assert connection.query_one("SELECT COUNT(*) FROM s") == (5,)
+
+
+# -- the pipelining contract, property-tested --------------------------
+
+_STATEMENTS = st.one_of(
+    st.tuples(st.just("INSERT INTO h VALUES (?)"),
+              st.integers(min_value=-5, max_value=5).map(lambda n: (n,))),
+    st.tuples(st.just("UPDATE h SET n = n + ?"),
+              st.integers(min_value=0, max_value=3).map(lambda n: (n,))),
+    st.just(("SELECT n FROM h ORDER BY n", ())),
+    st.just(("SELECT tip_text(tip_now())", ())),
+    st.just(("SELECT nope", ())),  # a per-statement failure
+    st.just(("DELETE FROM h WHERE n < 0", ())),
+)
+
+
+def _normalize(outcome) -> tuple:
+    if isinstance(outcome, RemoteError):
+        return ("error", outcome.kind)
+    return ("ok", tuple(outcome.columns), tuple(outcome.rows),
+            outcome.rowcount, outcome.statement_now)
+
+
+def _run_one_per_frame(connection, statements):
+    outcomes = []
+    for sql, params in statements:
+        try:
+            outcomes.append(connection.execute(sql, params))
+        except RemoteError as exc:
+            outcomes.append(exc)
+    return outcomes
+
+
+@settings(max_examples=15, deadline=None)
+@given(statements=st.lists(_STATEMENTS, max_size=8))
+def test_batch_equivalent_to_one_per_frame(statements):
+    """The contract that makes BATCH safe to adopt: same statements,
+    same order, same per-statement outcomes — rows, rowcounts, error
+    kinds, and statement NOWs — as one-per-frame execution."""
+    def run(runner):
+        with TipServer(":memory:", observability=False) as server:
+            host, port = server.address
+            with RemoteTipConnection(host, port) as connection:
+                connection.execute("CREATE TABLE h (n INTEGER)")
+                connection.set_now(NOW)
+                return [_normalize(entry)
+                        for entry in runner(connection, statements)]
+
+    batched = run(lambda c, s: c.execute_batch(s))
+    sequential = run(_run_one_per_frame)
+    assert batched == sequential
