@@ -16,15 +16,19 @@ the check — adding or retiring an experiment is not a regression.
 There is also a self-contained smoke mode::
 
     PYTHONPATH=src python benchmarks/check_regression.py --smoke \\
-        [--out BENCH_PR6.json] [--repeats 5] [--size 200] \\
-        [--baseline benchmarks/BENCH_PR5.json] [--concurrency]
+        [--out BENCH_PR7.json] [--repeats 5] [--size 200] \\
+        [--baseline benchmarks/BENCH_PR6.json] [--concurrency]
 
 which runs a fixed set of representative temporal workloads in-process
 (no pytest-benchmark needed) and writes a machine-readable JSON report:
 per-benchmark median wall time, the work counters
 (``element.periods_processed`` and friends) captured through
-:mod:`repro.obs`, and the marshalling-cache hit/miss deltas
-(``repro.codec.cache``) per benchmark.  When a committed baseline
+:mod:`repro.obs`, and the marshalling- and statement-cache hit/miss
+deltas (``repro.codec.cache``, ``repro.tsql.compiled``) per benchmark.
+The ``e7.prepared.hot`` / ``e7.adhoc.retranslate`` pair A/Bs the
+compiled-statement cache and the report's ``prepared`` section records
+the speedup; ``e7.executemany.ingest`` times remote bulk ingest over
+the prepared-statement ``many`` frames.  When a committed baseline
 report exists (auto-detected as the highest-numbered ``BENCH_PR*.json``
 next to this script, or given via ``--baseline``) the smoke run also
 compares median wall times against it and **warns** — without failing —
@@ -171,6 +175,72 @@ def _smoke_cases(size: int):
             return run, conn.close
         return setup
 
+    def prepared_setup(enabled):
+        """The statement-cache A/B: a translation-heavy tSQL statement
+        over *empty* temporal tables, so per-call cost is dominated by
+        the preprocessor — exactly what the compiled-statement cache
+        (``enabled``) amortizes and per-call translation re-pays.
+        """
+        def setup():
+            from repro.tsql import TsqlSession
+            from repro.tsql import compiled as stmt_cache
+
+            conn = repro.connect(now=SMOKE_NOW)
+            conn.execute("CREATE TABLE Visit (patient TEXT, ward TEXT, valid ELEMENT)")
+            conn.execute("CREATE TABLE Stay (patient TEXT, bed TEXT, valid ELEMENT)")
+            session = TsqlSession(conn)
+            statement = (
+                "VALIDTIME PERIOD '1999-01-01, 1999-12-31' "
+                "SELECT p1.patient, p1.ward, p2.ward, p3.bed "
+                "FROM Visit p1, Visit p2, Stay p3 "
+                "WHERE p1.patient = p2.patient AND p2.patient = p3.patient "
+                "AND p1.ward = 'icu' AND p2.ward = 'er' AND p3.bed = 'b1'"
+            )
+            stmt_cache.configure(enabled=enabled)
+            stmt_cache.clear_cache()
+
+            def run():
+                for _ in range(max(1, size)):
+                    session.query(statement)
+
+            def teardown():
+                stmt_cache.configure(enabled=True)
+                stmt_cache.clear_cache()
+                conn.close()
+
+            return run, teardown
+        return setup
+
+    def executemany_setup():
+        """Remote bulk ingest: one PREPARE plus chunked ``many`` frames
+        instead of one round trip (and one commit) per row."""
+        def setup():
+            from repro.server import RemoteTipConnection, TipServer
+
+            server = TipServer(":memory:", observability=False).start()
+            host, port = server.address
+            connection = RemoteTipConnection(host, port)
+            connection.execute(
+                "CREATE TABLE Ingest (doctor TEXT, patient TEXT, "
+                "drug TEXT, dosage INTEGER)"
+            )
+            params = [
+                (f"dr{i % 7}", f"patient{i % 31}", f"drug{i % 13}", i)
+                for i in range(size)
+            ]
+
+            def run():
+                connection.executemany(
+                    "INSERT INTO Ingest VALUES (?, ?, ?, ?)", params
+                )
+
+            def teardown():
+                connection.close()
+                server.stop()
+
+            return run, teardown
+        return setup
+
     coalesce_sql = (
         "SELECT patient, length_seconds(group_union(valid)) "
         "FROM Prescription GROUP BY patient"
@@ -193,6 +263,10 @@ def _smoke_cases(size: int):
         ("e2.coalesce.layered", layered_setup),
         ("e5.q1.infant_tylenol", tip_setup(q1_sql)),
         ("e5.insert.literals", insert_setup()),
+        # E7: the compiled-statement cache A/B plus remote bulk ingest.
+        ("e7.prepared.hot", prepared_setup(True)),
+        ("e7.adhoc.retranslate", prepared_setup(False)),
+        ("e7.executemany.ingest", executemany_setup()),
     ]
 
 
@@ -337,7 +411,7 @@ def run_concurrency_sweep(
 def _cache_delta(before: Dict, after: Dict) -> Dict[str, Dict[str, float]]:
     """Per-cache ``{hits, misses, evictions, hit_ratio}`` across a case."""
     delta: Dict[str, Dict[str, float]] = {}
-    for which in ("decode", "parse"):
+    for which in ("decode", "parse", "statement"):
         b, a = before.get(which, {}), after.get(which, {})
         hits = a.get("hits", 0) - b.get("hits", 0)
         misses = a.get("misses", 0) - b.get("misses", 0)
@@ -414,6 +488,7 @@ def run_smoke(
 ) -> int:
     """Run the smoke benchmarks and write the JSON report to *out*."""
     from repro import codec, obs
+    from repro.tsql import compiled as stmt_cache
 
     report = {
         "schema": "tip-bench-smoke/2",
@@ -421,14 +496,20 @@ def run_smoke(
         "repeats": repeats,
         "size": size,
         "marshal_cache_enabled": codec.cache.state.enabled,
+        "statement_cache_enabled": stmt_cache.state.enabled,
         "benchmarks": {},
     }
+
+    def cache_stats() -> Dict:
+        return {**codec.cache.stats(), "statement": stmt_cache.CACHE.stats()}
+
     for name, setup in _smoke_cases(size):
         # Cold caches per case, so the recorded hit ratio is the
         # benchmark's own steady-state behaviour, not leakage from the
         # previous case.
         codec.clear_caches()
-        cache_before = codec.cache.stats()
+        stmt_cache.clear_cache()
+        cache_before = cache_stats()
         with obs.capture():
             run, teardown = setup()
             try:
@@ -445,7 +526,7 @@ def run_smoke(
                 }
             finally:
                 teardown()
-        cache = _cache_delta(cache_before, codec.cache.stats())
+        cache = _cache_delta(cache_before, cache_stats())
         report["benchmarks"][name] = {
             "median_seconds": statistics.median(timings),
             "runs": timings,
@@ -453,10 +534,21 @@ def run_smoke(
             "cache": cache,
         }
         ratios = "/".join(
-            f"{cache[which]['hit_ratio'] * 100:.0f}%" for which in ("decode", "parse")
+            f"{cache[which]['hit_ratio'] * 100:.0f}%"
+            for which in ("decode", "parse", "statement")
         )
         print(f"{name}: median {_fmt(statistics.median(timings))} "
-              f"over {repeats} runs (decode/parse cache hit {ratios})")
+              f"over {repeats} runs (decode/parse/statement cache hit {ratios})")
+    hot = report["benchmarks"].get("e7.prepared.hot")
+    adhoc = report["benchmarks"].get("e7.adhoc.retranslate")
+    if hot and adhoc and hot["median_seconds"] > 0.0:
+        speedup = adhoc["median_seconds"] / hot["median_seconds"]
+        report["prepared"] = {
+            "hot_median_seconds": hot["median_seconds"],
+            "adhoc_median_seconds": adhoc["median_seconds"],
+            "speedup": speedup,
+        }
+        print(f"prepared speedup: {speedup:.2f}x over per-call translation")
     if concurrency:
         report["concurrency"] = run_concurrency_sweep(size=size)
     if baseline is None:
@@ -502,8 +594,8 @@ def main(argv=None) -> int:
              "pooled WAL server (implies --smoke)",
     )
     parser.add_argument(
-        "--out", default="BENCH_PR6.json",
-        help="smoke mode: report path (default BENCH_PR6.json)",
+        "--out", default="BENCH_PR7.json",
+        help="smoke mode: report path (default BENCH_PR7.json)",
     )
     parser.add_argument(
         "--baseline", default=None,

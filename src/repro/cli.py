@@ -60,7 +60,7 @@ from repro.browser import TimeWindow, TipBrowser
 from repro.core.chronon import Chronon
 from repro.core.span import Span
 from repro.errors import TipError
-from repro.tsql import TsqlSession, strip_explain
+from repro.tsql import TsqlSession, compiled, strip_explain
 
 __all__ = ["TipShell", "main", "metrics_main", "faults_main", "explain_main"]
 
@@ -224,6 +224,7 @@ class TipShell:
             obs.get_registry().reset()
             obs.get_trace_buffer().clear()
             codec.clear_caches(reset_stats=True)
+            compiled.clear_cache(reset_stats=True)
             return "metrics reset"
         snapshot = obs.snapshot(trace_tail=10)
         if argument == "json":

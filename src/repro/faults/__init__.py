@@ -67,19 +67,23 @@ state = FaultState()
 def arm(plan: Union[FaultPlan, str], seed: int = 0) -> FaultPlan:
     """Arm *plan* process-wide (a spec string is parsed first); returns it.
 
-    Arming also clears the marshalling caches: while a plan is armed
-    the codec bypasses them entirely (every blob must reach the
-    ``codec.decode`` injection point), and starting each chaos run
+    Arming also clears the marshalling and compiled-statement caches:
+    while a plan is armed the codec and the tSQL compiler bypass them
+    entirely (every blob must reach the ``codec.decode`` point, every
+    compile the ``stmt.cache`` point), and starting each chaos run
     cold keeps its hit/decode sequence — and therefore the seeded
     fault schedule — deterministic.
     """
     if isinstance(plan, str):
         plan = parse_plan(plan, seed=seed)
-    # Imported lazily: repro.codec reads this package's state on its
-    # hot path, so a module-level import would be circular.
+    # Imported lazily: repro.codec and repro.tsql.compiled read this
+    # package's state on their hot paths, so module-level imports would
+    # be circular.
     from repro.codec import cache as _marshal_cache
+    from repro.tsql import compiled as _stmt_cache
 
     _marshal_cache.clear_caches()
+    _stmt_cache.clear_cache()
     state.plan = plan
     return plan
 

@@ -36,6 +36,9 @@ CATALOGUE: Dict[str, str] = {
     "codec.decode": "codec: a binary blob entering decode()",
     "pool.checkout": "server pool: checking a reader connection out for "
                      "a read statement (fired per connection key)",
+    "stmt.cache": "tsql: compiling a statement through the "
+                  "compiled-statement cache (armed plans bypass the "
+                  "cache, so every compile reaches this point)",
     "wal.checkpoint": "server pool: after each write commit, before the "
                       "passive WAL checkpoint (fired per connection key; "
                       "an injected failure defers the checkpoint, never "

@@ -100,12 +100,18 @@ def snapshot(trace_tail: int = 0) -> Dict:
     # the counter table so every existing consumer (.metrics, the
     # METRICS frame, Prometheus, QueryProfile deltas) sees them.
     from repro.codec import cache as _marshal_cache
+    from repro.tsql import compiled as _stmt_cache
 
     data["caches"] = _marshal_cache.stats()
+    data["caches"]["statement"] = _stmt_cache.stats()
     if _marshal_cache.state.enabled and state.enabled:
         # Zero-valued entries are skipped so an idle (or freshly reset)
         # snapshot still renders as "(no metrics recorded)".
         for cache_counter, cache_value in _marshal_cache.stats_counters().items():
+            if cache_value:
+                counters.setdefault(cache_counter, cache_value)
+    if _stmt_cache.state.enabled and state.enabled:
+        for cache_counter, cache_value in _stmt_cache.stats_counters().items():
             if cache_value:
                 counters.setdefault(cache_counter, cache_value)
     from repro.faults import state as _fault_state

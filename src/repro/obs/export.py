@@ -85,6 +85,21 @@ def render_text(snapshot: Dict) -> str:
             sections.append("\n".join(lines))
         else:
             sections.append("marshalling caches: disabled")
+        statement = caches.get("statement")
+        if statement:
+            if statement.get("enabled"):
+                sections.append(
+                    f"statement cache: {statement.get('entries', 0)}/"
+                    f"{statement.get('capacity', 0)} plans, "
+                    f"hits={statement.get('hits', 0)} "
+                    f"misses={statement.get('misses', 0)} "
+                    f"evictions={statement.get('evictions', 0)} "
+                    f"invalidations={statement.get('invalidations', 0)} "
+                    f"({statement.get('hit_ratio', 0.0) * 100:.1f}% hit, "
+                    f"generation {statement.get('generation', 0)})"
+                )
+            else:
+                sections.append("statement cache: disabled")
     header_count = len(sections)
     counters = snapshot.get("counters", {})
     if counters:
@@ -160,6 +175,15 @@ def render_prometheus(snapshot: Dict) -> str:
                     f'tip_marshal_cache_entries{{cache="{which}"}} '
                     f'{entry.get("entries", 0)}'
                 )
+    if caches:
+        statement = caches.get("statement")
+        if statement and statement.get("enabled"):
+            # The hit/miss/evict/invalidate totals ride in the counter
+            # table as tip_tsql_cache_* counters; occupancy is a gauge.
+            lines += [
+                "# TYPE tip_statement_cache_entries gauge",
+                f"tip_statement_cache_entries {statement.get('entries', 0)}",
+            ]
     for name in sorted(snapshot.get("counters", {})):
         metric = _prom_name(name) + "_total"
         lines += [f"# TYPE {metric} counter",

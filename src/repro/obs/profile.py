@@ -296,12 +296,15 @@ def _registry_snapshot() -> Dict:
     behaviour.
     """
     snapshot = get_registry().snapshot()
-    # Imported lazily: repro.codec reaches this package through
-    # repro.faults, so a module-level import would be circular.
+    # Imported lazily: repro.codec and repro.tsql reach this package
+    # through repro.faults, so module-level imports would be circular.
     from repro.codec import cache as _marshal_cache
+    from repro.tsql import compiled as _stmt_cache
 
     if _marshal_cache.state.enabled:
         snapshot["counters"].update(_marshal_cache.stats_counters())
+    if _stmt_cache.state.enabled:
+        snapshot["counters"].update(_stmt_cache.stats_counters())
     return snapshot
 
 

@@ -46,7 +46,7 @@ from repro.obs.profile import QueryProfile, StatementRecorder
 from repro.obs.profile import state as _PROFILE
 from repro.server import protocol
 
-__all__ = ["RemoteTipConnection", "RemoteError", "RetryPolicy"]
+__all__ = ["RemoteTipConnection", "RemoteError", "RetryPolicy", "PreparedStatement"]
 
 
 class RemoteError(TipError):
@@ -89,6 +89,108 @@ class RetryPolicy:
         if self.jitter:
             base *= 1.0 - self.jitter + 2.0 * self.jitter * rng.random()
         return base
+
+
+class PreparedStatement:
+    """A server-side compiled statement, executable by handle.
+
+    Obtained from :meth:`RemoteTipConnection.prepare`.  The statement
+    was compiled once on the server (through the compiled-statement
+    cache); :meth:`execute` binds positional parameters to the plan and
+    :meth:`executemany` ships parameter rows in batched ``many`` frames
+    for bulk ingest.
+
+    Handles are session state: a reconnect loses them, and a DDL or
+    registry change on the server stales them.  Both surface as typed
+    ``UnknownStatement`` / ``StaleStatement`` errors, on which this
+    wrapper transparently **re-prepares** (once per call) and replays —
+    so callers keep a long-lived PreparedStatement across server
+    restarts of the schema registry without special-casing either.
+    Usable as a context manager; exit deallocates the handle.
+    """
+
+    def __init__(self, connection: "RemoteTipConnection", sql: str) -> None:
+        self._connection = connection
+        self.sql = sql
+        self.handle: Optional[int] = None
+        self.translated_sql: Optional[str] = None
+        self.param_count: Optional[int] = None
+        self.generation: Optional[int] = None
+        self.reprepares = 0
+        self._closed = False
+        self._prepare()
+
+    def _prepare(self) -> None:
+        response = self._connection._round_trip({"op": "prepare", "sql": self.sql})
+        self.handle = response.get("handle")
+        self.translated_sql = response.get("sql")
+        self.param_count = response.get("params")
+        self.generation = response.get("generation")
+
+    def _round_trip(self, extra: dict) -> dict:
+        if self._closed:
+            raise TipError("prepared statement is deallocated")
+        for attempt in (0, 1):
+            frame = {"op": "execute_prepared", "handle": self.handle, **extra}
+            try:
+                return self._connection._round_trip(frame)
+            except RemoteError as exc:
+                if exc.kind in ("UnknownStatement", "StaleStatement") and attempt == 0:
+                    # The handle died (reconnect) or went stale (schema
+                    # or registry moved): compile against the current
+                    # state and replay — the server guaranteed the
+                    # failed execute never ran.
+                    self._prepare()
+                    self.reprepares += 1
+                    continue
+                raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def execute(self, params: Sequence = ()) -> RemoteResult:
+        """Run the plan once with *params* bound positionally."""
+        return RemoteResult(self._round_trip(
+            {"params": [protocol.dump_value(value) for value in params]}
+        ))
+
+    def executemany(self, seq_of_params, *, chunk: int = 256) -> int:
+        """Run the plan for every parameter row; total affected rows.
+
+        Rows ship in ``many`` frames of at most *chunk* rows each —
+        one PREPARE plus ``ceil(n / chunk)`` EXECUTE round trips
+        instead of *n* — and each frame commits atomically on the
+        server's writer with a single NOW binding.
+        """
+        if chunk < 1:
+            raise ValueError("chunk must be at least 1")
+        rows = [
+            [protocol.dump_value(value) for value in entry]
+            for entry in seq_of_params
+        ]
+        total = 0
+        for start in range(0, len(rows), chunk):
+            response = self._round_trip({"many": rows[start:start + chunk]})
+            total += max(0, response.get("rowcount") or 0)
+        return total
+
+    def deallocate(self) -> None:
+        """Drop the server-side handle (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._connection._round_trip(
+                {"op": "deallocate", "handle": self.handle}, retryable=False
+            )
+        except (TipError, OSError):
+            pass  # the session (and with it the handle) is already gone
+
+    close = deallocate
+
+    def __enter__(self) -> "PreparedStatement":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.deallocate()
 
 
 class RemoteResult:
@@ -360,6 +462,29 @@ class RemoteTipConnection:
                     sub.get("kind", "Error"),
                 ))
         return results
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Compile *sql* once on the server; returns the statement handle.
+
+        Later :meth:`PreparedStatement.execute` calls skip the tSQL
+        preprocessor and layered translation entirely — the hot path is
+        a handle lookup plus parameter binding.
+        """
+        return PreparedStatement(self, sql)
+
+    def executemany(self, sql: str, seq_of_params, *, chunk: int = 256) -> int:
+        """Bulk-ingest: one PREPARE + batched EXECUTE frames.
+
+        Prepares *sql*, ships the parameter rows in ``many`` frames of
+        *chunk* rows each, deallocates, and returns the total affected
+        row count.  Equivalent to a loop of :meth:`execute` calls, just
+        without a translation or a round trip per row.
+        """
+        statement = self.prepare(sql)
+        try:
+            return statement.executemany(seq_of_params, chunk=chunk)
+        finally:
+            statement.deallocate()
 
     def stream(self, sql: str, params: Sequence = (), *,
                chunk: int = 256, window: int = 4):

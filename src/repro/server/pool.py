@@ -65,8 +65,15 @@ from repro.faults import state as _FAULTS
 
 __all__ = ["classify", "ConnectionPool"]
 
-#: First-keyword verbs that start a read-only statement.
-_READ_VERBS = frozenset({"SELECT", "VALUES", "EXPLAIN"})
+#: First-keyword verbs that start a read-only statement.  The TSQL2
+#: statement modifiers are read verbs too: the preprocessor only
+#: accepts ``SELECT`` after them (anything else fails typed before
+#: execution), so a modified statement always translates to a read —
+#: classifying on the raw text keeps prepared/batched temporal queries
+#: on the reader pool.
+_READ_VERBS = frozenset(
+    {"SELECT", "VALUES", "EXPLAIN", "SNAPSHOT", "VALIDTIME", "NONSEQUENCED"}
+)
 
 #: Verbs that make a WITH statement a write when present in its body.
 _WRITE_VERBS_RE = re.compile(

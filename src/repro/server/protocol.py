@@ -4,6 +4,10 @@ Requests::
 
     {"op": "execute", "sql": "...", "params": [...]}
     {"op": "batch", "statements": [{"sql": "...", "params": [...]}, ...]}
+    {"op": "prepare", "sql": "..."}            # compile once, get a handle
+    {"op": "execute_prepared", "handle": h, "params": [...]}
+    {"op": "execute_prepared", "handle": h, "many": [[...], ...]}
+    {"op": "deallocate", "handle": h}          # drop the handle
     {"op": "set_now", "now": "1999-09-01"}     # null clears the override
     {"op": "hello", "session": "label"}        # name the connection key
     {"op": "metrics"}                          # the METRICS frame
@@ -45,6 +49,29 @@ typed mid-stream failure ``{"ok": false, "cont": "done", "kind":
 "FrameTooLarge"}``.  Any non-credit frame sent mid-stream aborts the
 stream with a typed ``ProtocolError`` DONE (the offending frame is
 consumed, the session survives).
+
+**Prepared statements.**  ``PREPARE`` compiles one statement (tSQL
+modifiers included) through the server's compiled-statement cache
+(:mod:`repro.tsql.compiled`) and answers with a session-scoped handle,
+the translated SQL, the positional parameter count, and the registry
+generation the plan was compiled under::
+
+    {"ok": true, "handle": 1, "sql": "SELECT ...", "params": 2,
+     "generation": 7}
+
+``execute_prepared`` binds ``params`` to the handle's plan and answers
+execute-shaped; with ``many`` (a list of parameter rows) the plan runs
+under ``executemany`` on the writer — one NOW binding, one commit —
+and the response carries the cumulative ``rowcount`` plus ``count``
+(rows of parameters consumed).  ``deallocate`` drops the handle.
+Handles are private to the session that prepared them and die with the
+connection.  Typed errors, both ``retry_safe`` (the statement provably
+did not run):
+
+* ``UnknownStatement`` — the handle was never prepared on this
+  session, or was deallocated (a reconnect loses all handles);
+* ``StaleStatement`` — the temporal-table registry or schema changed
+  (DDL, ``register()``) after the plan was compiled; re-prepare.
 
 **HELLO.**  ``{"op": "hello", "session": "label"}`` names the
 session's *connection key* — the identity under which the keyed fault

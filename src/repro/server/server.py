@@ -20,7 +20,22 @@ The wire protocol is **pipelined** (:mod:`repro.server.protocol`):
   a client-granted credit window — the server never buffers more than
   one chunk ahead of a slow client, and a chunk that would exceed the
   frame bound splits (down to one row) before failing typed
-  (``FrameTooLarge``) mid-stream.
+  (``FrameTooLarge``) mid-stream;
+* ``PREPARE`` / ``EXECUTE`` (``execute_prepared``) / ``DEALLOCATE``
+  frames carry prepared statements: PREPARE compiles once through the
+  statement cache (:mod:`repro.tsql.compiled`) and returns a
+  session-scoped integer handle, EXECUTE binds positional parameters
+  (or a ``many`` list of parameter rows for bulk ingest) to the
+  compiled plan, DEALLOCATE drops the handle.  Handles live in the
+  session's private table — they are invisible to other sessions and
+  die with the connection — and a handle compiled before a DDL or
+  registry change answers with a typed ``StaleStatement`` error so the
+  client re-prepares against the current schema.
+
+Every execute-shaped statement (ad-hoc, batched, streamed, prepared)
+is translated through the same compiled-statement cache, so tSQL
+statement modifiers work over the wire and textually-identical hot
+statements skip the preprocessor after their first compile.
 
 Observability: the server times every frame and keeps two ledgers —
 
@@ -54,6 +69,7 @@ from repro.faults import state as _FAULTS
 from repro.obs import profile as _profile
 from repro.server import protocol
 from repro.server.pool import ConnectionPool, classify
+from repro.tsql import compiled as _compiled
 
 __all__ = ["TipServer"]
 
@@ -87,6 +103,11 @@ class _SessionHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         self.session_now: Optional[int] = None
         self.session_id = next(_SESSION_IDS)
+        # Prepared statements are session-private: handle -> compiled
+        # plan, numbered from 1 per session so handles are small,
+        # deterministic, and meaningless to any other session.
+        self.prepared: dict = {}
+        self._handle_ids = itertools.count(1)
         # The fault key: stable per-server ordinal by default, or the
         # label a `hello` frame sets — chaos tests label their sessions
         # so keyed fault plans replay per connection across runs.
@@ -181,8 +202,9 @@ class _SessionHandler(socketserver.StreamRequestHandler):
         if not ok:
             counters["errors"] += 1
         # DDL reports rowcount -1; only count real row traffic.
-        rows = max(0, response.get("rowcount") or 0) if op == "execute" and ok else 0
-        if op == "execute":
+        executes = op in ("execute", "execute_prepared")
+        rows = max(0, response.get("rowcount") or 0) if executes and ok else 0
+        if executes:
             counters["execute"] += 1
             counters["rows"] += rows
         elif op == "batch" and ok:
@@ -239,6 +261,12 @@ class _SessionHandler(socketserver.StreamRequestHandler):
             return self._execute(frame), False
         if op == "batch":
             return self._batch(frame), False
+        if op == "prepare":
+            return self._prepare(frame), False
+        if op == "execute_prepared":
+            return self._execute_prepared(frame), False
+        if op == "deallocate":
+            return self._deallocate(frame), False
         if op == "credit":
             # Credits are only read mid-stream; the surplus a client
             # granted near the end of a stream arrives here afterwards
@@ -267,6 +295,7 @@ class _SessionHandler(socketserver.StreamRequestHandler):
             # (registry, trace-independent cache stats included).
             obs.get_registry().reset()
             codec.clear_caches(reset_stats=True)
+            _compiled.clear_cache(reset_stats=True)
         return {
             "ok": True,
             "session": {"id": self.session_id, **self.session_counters},
@@ -309,11 +338,27 @@ class _SessionHandler(socketserver.StreamRequestHandler):
             return owner.pool.read(self.session_now, self.fault_key), False
         return owner.pool.write(self.session_now, self.fault_key), True
 
-    def _execute(self, frame: dict, reader=None) -> dict:
+    def _compile(self, sql: str):
+        """Compile *sql* through the statement cache; (plan, error dict)."""
+        try:
+            return self.server.owner.compiler.compile(sql), None
+        except TipError as exc:
+            return None, {"ok": False, "error": str(exc),
+                          "kind": type(exc).__name__, "retry_safe": True}
+
+    def _execute(self, frame: dict, reader=None, plan=None) -> dict:
         parsed, error = self._parse_execute(frame)
         if error is not None:
             return error
         sql, params = parsed
+        # Every statement goes through the compiled-statement cache:
+        # tSQL modifiers translate here (a hot statement is a cache
+        # hit), plain SQL passes through unchanged.
+        if plan is None:
+            plan, error = self._compile(sql)
+            if error is not None:
+                return error
+        sql = plan.sql
         # Trace context: the client's ids make the server-side span a
         # child of the client-side span — one trace across the wire.
         trace = frame.get("trace")
@@ -352,6 +397,10 @@ class _SessionHandler(socketserver.StreamRequestHandler):
                     connection.commit()
                     if is_write:
                         owner.pool.after_write_commit(self.fault_key)
+                    if plan.ddl:
+                        # Schema moved: orphan every compiled plan (and
+                        # stale every prepared handle) process-wide.
+                        _compiled.bump_generation()
                     return self._execute_response(
                         cursor, rows=[], columns=[], rowcount=cursor.rowcount
                     )
@@ -407,6 +456,110 @@ class _SessionHandler(socketserver.StreamRequestHandler):
             index += 1
         return {"ok": True, "results": results}
 
+    # -- prepared statements ------------------------------------------
+
+    def _prepare(self, frame: dict) -> dict:
+        """The PREPARE frame: compile once, hand back a session handle.
+
+        The response carries the translated SQL, the positional
+        parameter count, and the registry generation the plan was
+        compiled under — enough for the client to introspect the plan
+        and to understand a later ``StaleStatement`` answer.
+        """
+        sql = frame.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            return {"ok": False, "error": "prepare needs a sql string",
+                    "kind": "ProtocolError"}
+        plan, error = self._compile(sql)
+        if error is not None:
+            return error
+        handle = next(self._handle_ids)
+        self.prepared[handle] = plan
+        return {"ok": True, "handle": handle, "sql": plan.sql,
+                "params": plan.params, "generation": plan.generation}
+
+    def _resolve_handle(self, frame: dict):
+        """The live compiled plan for a frame's handle; (plan, error dict).
+
+        Unknown handles (never prepared, deallocated, or prepared on a
+        previous connection) and stale handles (the registry generation
+        moved under them) both answer typed and ``retry_safe`` — the
+        statement provably did not run, so the client may re-prepare
+        and re-execute.
+        """
+        handle = frame.get("handle")
+        plan = self.prepared.get(handle)
+        if plan is None:
+            return None, {
+                "ok": False,
+                "error": f"unknown prepared-statement handle {handle!r}",
+                "kind": "UnknownStatement", "retry_safe": True,
+            }
+        if plan.generation != _compiled.generation():
+            return None, {
+                "ok": False,
+                "error": "prepared statement is stale "
+                         "(schema or temporal registry changed); re-prepare",
+                "kind": "StaleStatement", "retry_safe": True,
+            }
+        return plan, None
+
+    def _execute_prepared(self, frame: dict) -> dict:
+        """The EXECUTE frame: bind parameters to a prepared handle.
+
+        ``params`` runs the plan once (the ordinary execute path, reader
+        pool included); ``many`` runs it under ``executemany`` on the
+        writer — one NOW binding, one commit — for bulk ingest.
+        """
+        plan, error = self._resolve_handle(frame)
+        if error is not None:
+            return error
+        if frame.get("many") is not None:
+            return self._execute_many(frame, plan)
+        sub = {"sql": plan.sql, "params": frame.get("params", [])}
+        for field in ("trace", "profile"):
+            if field in frame:
+                sub[field] = frame[field]
+        return self._execute(sub, plan=plan)
+
+    def _execute_many(self, frame: dict, plan) -> dict:
+        many = frame.get("many")
+        if not isinstance(many, list) or not all(
+            isinstance(entry, list) for entry in many
+        ):
+            return {"ok": False,
+                    "error": "executemany needs a list of parameter rows",
+                    "kind": "ProtocolError"}
+        try:
+            rows = [tuple(protocol.load_value(v) for v in entry) for entry in many]
+        except protocol.ProtocolError as exc:
+            return {"ok": False, "error": str(exc), "kind": "ProtocolError"}
+        owner = self.server.owner
+        with owner.pool.write(self.session_now, self.fault_key) as connection:
+            try:
+                cursor = connection.cursor()
+                cursor.executemany(plan.sql, rows)
+                connection.commit()
+                owner.pool.after_write_commit(self.fault_key)
+                if plan.ddl:
+                    _compiled.bump_generation()
+                return {"ok": True, "rows": [], "columns": [],
+                        "rowcount": cursor.rowcount, "count": len(rows),
+                        "statement_now": cursor.statement_now_text}
+            except Exception as exc:
+                connection.rollback()
+                return {"ok": False, "error": str(exc), "kind": type(exc).__name__}
+
+    def _deallocate(self, frame: dict) -> dict:
+        """The DEALLOCATE frame: drop a handle from the session table."""
+        handle = frame.get("handle")
+        if handle in self.prepared:
+            del self.prepared[handle]
+            return {"ok": True, "deallocated": handle}
+        return {"ok": False,
+                "error": f"unknown prepared-statement handle {handle!r}",
+                "kind": "UnknownStatement", "retry_safe": True}
+
     # -- streaming ----------------------------------------------------
 
     def _execute_stream(self, frame: dict) -> Optional[dict]:
@@ -420,6 +573,10 @@ class _SessionHandler(socketserver.StreamRequestHandler):
         if error is not None:
             return error
         sql, params = parsed
+        plan, error = self._compile(sql)
+        if error is not None:
+            return error
+        sql = plan.sql
         chunk = max(1, min(int(frame.get("chunk", 0) or DEFAULT_STREAM_CHUNK), 10_000))
         credit = max(1, min(int(frame.get("window", 0) or DEFAULT_STREAM_WINDOW), 1_000))
         context, is_write = self._connection_ctx(sql)
@@ -432,6 +589,8 @@ class _SessionHandler(socketserver.StreamRequestHandler):
                     connection.commit()
                     if is_write:
                         owner.pool.after_write_commit(self.fault_key)
+                    if plan.ddl:
+                        _compiled.bump_generation()
                     return {"ok": True, "cont": "done", "rows_streamed": 0,
                             "columns": [], "rowcount": cursor.rowcount,
                             "statement_now": cursor.statement_now_text}
@@ -589,6 +748,12 @@ class TipServer:
         self.pool = ConnectionPool(
             database, readers=readers, checkpoint_every=checkpoint_every
         )
+        # One schema-aware compile front for the whole server: every
+        # execute-shaped frame (ad-hoc, batch, stream, prepared) is
+        # translated through the process-wide statement cache, and the
+        # validity-column registry rescans lazily when a DDL commit
+        # bumps the cache generation.
+        self.compiler = _compiled.StatementCompiler(self.pool.writer)
         self._session_ordinals = itertools.count(1)
         # Bound on one request line; larger frames get a typed
         # FrameTooLarge error instead of unbounded buffering.

@@ -8,9 +8,13 @@ rewrites TSQL2's statement modifiers (``SNAPSHOT [AT t]``,
 over the TIP routines, without touching the engine.
 """
 
+from repro.tsql.compiled import CompiledStatement, StatementCompiler, compile_statement
 from repro.tsql.preprocessor import TsqlSession, strip_explain, translate_tsql
 
-__all__ = ["TsqlSession", "translate_tsql", "strip_explain", "explain_temporal"]
+__all__ = [
+    "TsqlSession", "translate_tsql", "strip_explain", "explain_temporal",
+    "CompiledStatement", "StatementCompiler", "compile_statement",
+]
 
 
 def explain_temporal(*args, **kwargs):

@@ -40,6 +40,7 @@ from repro.layered.migrate import flatten_from_tip
 from repro.obs import profile as _profile
 from repro.obs.export import render_profile
 from repro.obs.profile import QueryProfile, StatementRecorder
+from repro.tsql import compiled as _compiled
 from repro.tsql.preprocessor import (
     TsqlSession,
     _parse_from_items,
@@ -96,6 +97,7 @@ class ExplainReport:
     translated: str
     blade: EnginePlan
     layered: EnginePlan
+    statement_cache: Dict = field(default_factory=dict)
 
     def as_dict(self) -> Dict:
         return {
@@ -103,6 +105,7 @@ class ExplainReport:
             "translated": self.translated,
             "blade": self.blade.as_dict(),
             "layered": self.layered.as_dict(),
+            "statement_cache": dict(self.statement_cache),
         }
 
     # -- rendering -----------------------------------------------------
@@ -111,6 +114,18 @@ class ExplainReport:
         lines = [f"EXPLAIN TEMPORAL {self.statement}"]
         if self.translated != self.statement:
             lines.append(f"translated: {self.translated}")
+        if self.statement_cache:
+            entries = self.statement_cache.get("entries", 0)
+            capacity = self.statement_cache.get("capacity", 0)
+            if not self.statement_cache.get("enabled", True):
+                lines.append("statement cache: disabled")
+            else:
+                outcome = "hit" if self.statement_cache.get("hit") else "miss"
+                lines.append(
+                    f"statement cache: {outcome} "
+                    f"(entries {entries}/{capacity}, "
+                    f"generation {self.statement_cache.get('generation', 0)})"
+                )
         if self.layered.operation:
             lines.append(f"layered equivalent: {self.layered.operation}")
         lines.append("")
@@ -239,7 +254,16 @@ def explain_temporal(
         session = TsqlSession(connection)
     else:
         session.rescan()
+    hits_before = _compiled.CACHE.stats()["hits"]
     translated = session.translate(inner)
+    cache_snapshot = _compiled.stats()
+    statement_cache = {
+        "enabled": cache_snapshot["enabled"],
+        "hit": cache_snapshot["hits"] > hits_before,
+        "entries": cache_snapshot["entries"],
+        "capacity": cache_snapshot["capacity"],
+        "generation": cache_snapshot["generation"],
+    }
 
     blade = EnginePlan(
         engine="blade",
@@ -266,6 +290,7 @@ def explain_temporal(
             _obs.disable()
     return ExplainReport(
         statement=inner, translated=translated, blade=blade, layered=layered,
+        statement_cache=statement_cache,
     )
 
 

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.client.connection import TipConnection
 from repro.errors import TranslationError
+from repro.tsql import compiled
 
 __all__ = ["TsqlSession", "translate_tsql", "split_select", "strip_explain"]
 
@@ -264,36 +265,68 @@ class TsqlSession:
 
     Validity columns are auto-discovered from the schema (first column
     declared ``ELEMENT`` per table); :meth:`register` overrides or adds
-    mappings explicitly.
+    mappings explicitly.  Discovered and registered mappings are kept
+    apart so :meth:`rescan` can *drop* a mapping whose table lost its
+    validity column (or was dropped outright) without clobbering
+    explicit registrations — previously a stale discovery stuck forever
+    and a re-created table kept its old validity column.
+
+    Translation runs through the process-wide compiled-statement cache
+    (:mod:`repro.tsql.compiled`): any change to the effective registry
+    bumps the cache generation, so a plan compiled before a table
+    gained (or lost) its valid-time column is never served after.
     """
 
     def __init__(self, connection: TipConnection) -> None:
         self._connection = connection
-        self._valid_columns: Dict[str, str] = {}
+        self._discovered: Dict[str, str] = {}
+        self._overrides: Dict[str, str] = {}
+        self._merged: Dict[str, str] = {}
         self.rescan()
 
     def rescan(self) -> None:
-        """Re-discover temporal tables from sqlite_master."""
-        rows = self._connection.query(
-            "SELECT name, sql FROM sqlite_master WHERE type = 'table' AND sql IS NOT NULL"
-        )
-        for name, ddl in rows:
-            match = _ELEMENT_COLUMN_RE.search(ddl or "")
-            if match:
-                self._valid_columns.setdefault(name.lower(), match.group(1))
+        """Re-discover temporal tables from sqlite_master.
+
+        Replaces (not merges) the discovered mapping; the compiled
+        cache generation is bumped only when discovery actually
+        changed, so sessions opening against an unchanged schema keep
+        every cached plan warm.
+        """
+        discovered = compiled.discover_valid_columns(self._connection)
+        if discovered != self._discovered:
+            self._discovered = discovered
+            self._merged = {**self._discovered, **self._overrides}
+            compiled.bump_generation()
 
     def register(self, table: str, valid_column: str) -> None:
         """Explicitly declare *table*'s validity column."""
-        self._valid_columns[table.lower()] = valid_column
+        key = table.lower()
+        if self._overrides.get(key) != valid_column:
+            self._overrides[key] = valid_column
+            self._merged = {**self._discovered, **self._overrides}
+            compiled.bump_generation()
 
     @property
     def temporal_tables(self) -> Dict[str, str]:
-        return dict(self._valid_columns)
+        return dict(self._merged)
+
+    def compile(self, statement: str) -> "compiled.CompiledStatement":
+        """The statement's compiled form, served from the LRU."""
+        return compiled.compile_statement(statement, self._merged)
 
     def translate(self, statement: str) -> str:
         """Rewrite without executing (for inspection and tests)."""
-        return translate_tsql(statement, self._valid_columns)
+        return self.compile(statement).sql
 
     def query(self, statement: str, parameters: Sequence = ()) -> List[Tuple]:
-        """Translate and execute, returning type-mapped rows."""
-        return self._connection.query(self.translate(statement), parameters)
+        """Translate and execute, returning type-mapped rows.
+
+        A committed DDL statement triggers a :meth:`rescan`, so a table
+        gaining or losing its valid-time column is picked up (and the
+        compiled cache invalidated) without the caller remembering to.
+        """
+        plan = self.compile(statement)
+        rows = self._connection.query(plan.sql, parameters)
+        if plan.ddl:
+            self.rescan()
+        return rows

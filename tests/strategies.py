@@ -114,3 +114,55 @@ def brute_set(pairs) -> set:
     for start, end in pairs:
         covered.update(range(start, end + 1))
     return covered
+
+
+# -- tSQL statements with placeholders --------------------------------
+
+#: Dates safely inside the differential data window, for SNAPSHOT AT /
+#: VALIDTIME PERIOD literals.
+_TSQL_DATES = ("1999-02-01", "1999-06-15", "1999-11-30")
+
+#: Bare ``a, b`` bodies — the preprocessor brackets them itself.
+_TSQL_PERIODS = ("1999-01-01, 1999-06-30", "1999-04-01, 1999-12-31")
+
+
+@st.composite
+def tsql_statements(draw, table="Rx", columns=("patient", "drug")):
+    """A TSQL2-modified SELECT plus its positional parameters.
+
+    Returns ``(statement, params)``: the statement draws one of the
+    preprocessor's modifier forms (or none), a column subset, optional
+    ``column = ?`` placeholders in WHERE, and ragged whitespace — so a
+    prepared/cached plan must survive every spelling the normalizer is
+    supposed to collapse.
+    """
+    modifier = draw(st.sampled_from((
+        "",
+        "SNAPSHOT",
+        "SNAPSHOT AT '{}'".format(draw(st.sampled_from(_TSQL_DATES))),
+        "VALIDTIME",
+        "VALIDTIME PERIOD '{}'".format(draw(st.sampled_from(_TSQL_PERIODS))),
+        "NONSEQUENCED VALIDTIME",
+    )))
+    select_list = ", ".join(
+        draw(st.sampled_from((columns, columns[:1], columns[1:]))),
+    )
+    placeholders = draw(st.lists(st.sampled_from(columns), max_size=2))
+    values = st.sampled_from(("alice", "bob", "carol", "aspirin", "prozac"))
+    params = tuple(draw(values) for _ in placeholders)
+    where = ""
+    if placeholders:
+        where = " WHERE " + " AND ".join(f"{c} = ?" for c in placeholders)
+    gap = draw(st.sampled_from((" ", "  ", "\n", "\t ")))
+    statement = f"{modifier} SELECT {select_list} FROM {table}{where}"
+    # Respell whitespace outside single-quoted literals only: the
+    # normalizer keeps literal bodies verbatim, so spacing inside one
+    # is (deliberately) a different statement.
+    parts = statement.split("'")
+    statement = "'".join(
+        part if index % 2 else part.replace(" ", gap)
+        for index, part in enumerate(parts)
+    ).strip()
+    if draw(st.booleans()):
+        statement += ";"
+    return statement, params

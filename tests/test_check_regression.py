@@ -114,6 +114,7 @@ class TestSmoke:
         assert names == {
             "e2.coalesce.integrated", "e2.join.integrated", "e2.coalesce.layered",
             "e5.q1.infant_tylenol", "e5.insert.literals",
+            "e7.prepared.hot", "e7.adhoc.retranslate", "e7.executemany.ingest",
         }
         for entry in report["benchmarks"].values():
             assert entry["median_seconds"] > 0
@@ -128,6 +129,14 @@ class TestSmoke:
         assert join_cache["decode"]["hits"] > join_cache["decode"]["misses"]
         literal_cache = report["benchmarks"]["e5.insert.literals"]["cache"]
         assert literal_cache["parse"]["hits"] > 0
+        # The statement-cache A/B: hot hits its plan, ad-hoc never does,
+        # and the report's prepared section records the speedup.
+        hot_cache = report["benchmarks"]["e7.prepared.hot"]["cache"]
+        assert hot_cache["statement"]["hits"] > 0
+        adhoc_cache = report["benchmarks"]["e7.adhoc.retranslate"]["cache"]
+        assert adhoc_cache["statement"]["hits"] == 0
+        assert report["statement_cache_enabled"] is True
+        assert report["prepared"]["speedup"] > 1.0
 
     def test_smoke_compares_against_baseline(self, tmp_path, capsys):
         out_a = tmp_path / "BENCH_A.json"

@@ -12,9 +12,11 @@ operations through
 
 asserting identical results.  The two implementations share only the
 type system, so agreement on randomized workloads is strong evidence of
-correctness — and the blade path is additionally re-checked *after a
-mid-session injected disconnect*, which the client must absorb by
-reconnecting, re-establishing the session NOW, and replaying.
+correctness — and the blade path is additionally re-checked through
+server-side *prepared statements* and *after a mid-session injected
+disconnect*, which the client must absorb by reconnecting,
+re-establishing the session NOW, re-preparing lost handles, and
+replaying.
 """
 
 from __future__ import annotations
@@ -125,6 +127,25 @@ def _blade_results_batched(connection, now_text):
     return lengths, coalesced
 
 
+def _blade_results_prepared(connection, now_text):
+    """The same two queries via server-side prepared handles — the
+    compiled-plan path must not change any answer, re-preparation after
+    schema churn and mid-session disconnects included."""
+    ground_at = Chronon.parse(now_text)
+    with connection.prepare(
+        "SELECT patient, length_seconds(group_union(valid)) "
+        "FROM Rx GROUP BY patient"
+    ) as lengths_stmt, connection.prepare(
+        "SELECT patient, group_union(valid) FROM Rx GROUP BY patient"
+    ) as union_stmt:
+        lengths = dict(lengths_stmt.execute().rows)
+        coalesced = {
+            patient: element.ground(ground_at)
+            for patient, element in union_stmt.execute().rows
+        }
+    return lengths, coalesced
+
+
 def _layered_results(engine):
     lengths = dict(engine.total_length("Rx", ["patient"]))
     coalesced = dict(engine.coalesce("Rx", ["patient"]))
@@ -165,13 +186,20 @@ def test_blade_and_layered_agree_under_random_now_and_disconnect(server, rows, n
         connection.set_now(now_text)
 
         _assert_agreement(_blade_results(connection, now_text), _layered_results(layered))
+        _assert_agreement(_blade_results_prepared(connection, now_text),
+                          _layered_results(layered))
 
         # Mid-session chaos: kill the blade path's next response read.
         # The client must reconnect, re-establish NOW, and replay —
-        # and still agree with the layered oracle afterwards.
+        # and still agree with the layered oracle afterwards.  The
+        # prepared leg additionally loses its handles in the reconnect
+        # and must re-prepare on the fly.
         with faults.inject("client.recv:raise", seed=data.draw(st.integers(0, 2**16))):
             blade_after = _blade_results(connection, now_text)
         _assert_agreement(blade_after, _layered_results(layered))
+        with faults.inject("client.recv:raise", seed=data.draw(st.integers(0, 2**16))):
+            prepared_after = _blade_results_prepared(connection, now_text)
+        _assert_agreement(prepared_after, _layered_results(layered))
     finally:
         connection.close()
         layered.close()
@@ -212,6 +240,7 @@ def test_pooled_batched_and_inprocess_agree_with_layered(pooled_server, rows, no
 
         _assert_agreement(_blade_results(connection, now_text), oracle)
         _assert_agreement(_blade_results_batched(connection, now_text), oracle)
+        _assert_agreement(_blade_results_prepared(connection, now_text), oracle)
         _assert_agreement(_blade_results(local, now_text), oracle)
     finally:
         connection.close()

@@ -27,6 +27,7 @@ from repro.errors import CodecError, TipError
 from repro.faults import InjectedFault
 from repro.server import RemoteTipConnection, TipServer
 from repro.server.client import RemoteError, RetryPolicy
+from repro.tsql import TsqlSession
 from tests.conftest import E
 
 SEED = 1999
@@ -41,7 +42,7 @@ REMOTE_POINTS = (
     "client.connect", "client.send", "client.recv",
     "blade.routine", "codec.decode",
 )
-LOCAL_POINTS = ("conn.execute",)
+LOCAL_POINTS = ("conn.execute", "stmt.cache")
 #: Points that only exist on the pooled (WAL, file-backed) server path.
 POOLED_POINTS = ("pool.checkout", "wal.checkpoint")
 
@@ -79,6 +80,12 @@ EXPECTED.update({
     ("conn.execute", "delay"): {"ok"},
     ("conn.execute", "truncate"): {"local_error:InjectedFault"},
     ("conn.execute", "corrupt"): {"local_error:InjectedFault"},
+    # Statement compilation is an action point; armed plans bypass the
+    # cache entirely, so both runs of a cell compile (and fire) alike.
+    ("stmt.cache", "raise"): {"local_error:InjectedFault"},
+    ("stmt.cache", "delay"): {"ok"},
+    ("stmt.cache", "truncate"): {"local_error:InjectedFault"},
+    ("stmt.cache", "corrupt"): {"local_error:InjectedFault"},
 })
 
 
@@ -119,14 +126,22 @@ def _run_remote_cell(point: str, mode: str) -> str:
 def _run_local_cell(point: str, mode: str) -> str:
     connection = repro.connect()
     try:
+        # Built before arming: stmt.cache fires per compile, and the
+        # session's construction-time rescan must not consume the hit.
+        session = TsqlSession(connection) if point == "stmt.cache" else None
         with faults.inject(_spec(point, mode), seed=SEED):
             try:
-                connection.execute(_PLAIN)
+                if session is not None:
+                    session.query(_PLAIN)
+                else:
+                    connection.execute(_PLAIN)
                 outcome = "ok"
             except InjectedFault as exc:
                 outcome = f"local_error:{type(exc).__name__}"
             except CodecError as exc:
                 outcome = f"local_error:{type(exc).__name__}"
+        if session is not None:
+            assert session.query(_PLAIN) == [(1,)]
         assert connection.query_one(_PLAIN) == (1,)
         return outcome
     finally:

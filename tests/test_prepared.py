@@ -1,0 +1,250 @@
+"""The compiled-statement cache: prepared must equal ad-hoc, always.
+
+The headline property runs every generated tSQL statement three ways —
+cold compile (cache miss), warm compile (cache hit), and with the cache
+disabled outright — under a randomized session NOW, and asserts the
+rows are identical.  A statement cache that can change any answer is
+worse than no cache; these tests are the proof it can't.
+
+Around the property: the LRU honours its bound (evictions, not
+growth), a disabled cache is perfectly inert (no entries, no counter
+motion), and schema motion — ``ALTER TABLE ADD COLUMN ... ELEMENT``,
+drop/recreate, ``register()`` — invalidates compiled plans instead of
+serving stale translations (the regression the generation counter
+exists to prevent).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro import faults, obs
+from repro.tsql import TsqlSession, compiled
+from tests.conftest import sec
+from tests.strategies import tsql_statements
+
+NOW_LO = sec("2000-01-01")
+NOW_HI = sec("2009-12-31")
+
+now_seconds = st.integers(min_value=NOW_LO, max_value=NOW_HI)
+
+_RX_ROWS = [
+    ("alice", "aspirin", "{[1999-01-01, 1999-06-30]}"),
+    ("alice", "prozac", "{[1999-04-01, 1999-12-31]}"),
+    ("bob", "aspirin", "{[1999-05-01, NOW]}"),
+    ("carol", "tylenol", "{[1999-02-01, 1999-02-28], [1999-10-01, NOW]}"),
+]
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Every test starts (and leaves) a clean, enabled, default cache."""
+    faults.disarm()
+    compiled.configure(enabled=True, size=compiled.DEFAULT_CACHE_SIZE)
+    compiled.clear_cache(reset_stats=True)
+    yield
+    faults.disarm()
+    compiled.configure(enabled=True, size=compiled.DEFAULT_CACHE_SIZE)
+    compiled.clear_cache(reset_stats=True)
+
+
+@pytest.fixture(scope="module")
+def rx():
+    """A temporal Rx table plus its session, shared across examples."""
+    connection = repro.connect(now="1999-09-01")
+    connection.execute("CREATE TABLE Rx (patient TEXT, drug TEXT, valid ELEMENT)")
+    connection.executemany(
+        "INSERT INTO Rx VALUES (?, ?, element(?))", _RX_ROWS
+    )
+    session = TsqlSession(connection)
+    yield connection, session
+    connection.close()
+
+
+def _rows(session, statement, params):
+    """Rows as comparable text (Element columns included)."""
+    return [tuple(map(str, row)) for row in session.query(statement, params)]
+
+
+@settings(max_examples=200, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(stmt_params=tsql_statements(), now_s=now_seconds)
+def test_prepared_equals_adhoc_under_random_now(rx, stmt_params, now_s):
+    connection, session = rx
+    statement, params = stmt_params
+    connection.set_now(now_s)
+    try:
+        compiled.clear_cache()
+        cold = _rows(session, statement, params)      # compile: miss
+        warm = _rows(session, statement, params)      # served from cache
+        compiled.configure(enabled=False)
+        try:
+            adhoc = _rows(session, statement, params)  # translated afresh
+        finally:
+            compiled.configure(enabled=True)
+        assert cold == warm == adhoc
+    finally:
+        connection.set_now("1999-09-01")
+
+
+@settings(max_examples=50, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(stmt_params=tsql_statements())
+def test_whitespace_respellings_share_one_plan(rx, stmt_params):
+    """Every whitespace spelling of a statement maps to one cache entry."""
+    _, session = rx
+    statement, params = stmt_params
+    compiled.clear_cache(reset_stats=True)
+    reference = _rows(session, statement, params)
+    respelled = "  " + statement.replace(" ", "\n ") + " ;"
+    # Respelling whitespace inside a literal would (correctly) be a
+    # different statement; skip to the canonical form in that case.
+    if compiled.normalize_statement(respelled) == compiled.normalize_statement(statement):
+        assert _rows(session, respelled, params) == reference
+        assert compiled.CACHE.stats()["entries"] == 1
+        assert compiled.CACHE.stats()["hits"] >= 1
+
+
+def test_lru_bound_and_eviction(rx):
+    _, session = rx
+    compiled.configure(size=4)
+    compiled.clear_cache(reset_stats=True)
+    statements = [f"SELECT patient, {n} FROM Rx" for n in range(10)]
+    for statement in statements:
+        session.query(statement)
+    stats = compiled.stats()
+    assert stats["entries"] <= 4
+    assert stats["evictions"] >= 6
+    assert stats["misses"] == 10
+    # An evicted statement recompiles correctly (a fresh miss, same rows).
+    first = [tuple(map(str, row)) for row in session.query(statements[0])]
+    compiled.configure(enabled=False)
+    try:
+        assert [tuple(map(str, row)) for row in session.query(statements[0])] == first
+    finally:
+        compiled.configure(enabled=True)
+
+
+def test_disabled_cache_is_inert(rx):
+    _, session = rx
+    compiled.configure(enabled=False)
+    compiled.clear_cache(reset_stats=True)
+    for _ in range(3):
+        session.query("SNAPSHOT SELECT patient FROM Rx")
+    stats = compiled.stats()
+    assert stats["enabled"] is False
+    assert stats["entries"] == 0
+    assert stats["hits"] == 0 and stats["misses"] == 0
+    assert all(v == 0 for k, v in compiled.stats_counters().items()
+               if k != "tsql.cache.invalidate")
+
+
+def test_env_knob_parsing(monkeypatch):
+    for raw, expected in [("0", False), ("false", False), ("off", False),
+                          ("no", False), ("", False), ("1", True),
+                          ("on", True), ("yes", True)]:
+        monkeypatch.setenv("TIP_STATEMENT_CACHE", raw)
+        assert compiled._env_enabled() is expected, raw
+    monkeypatch.delenv("TIP_STATEMENT_CACHE")
+    assert compiled._env_enabled() is True
+    monkeypatch.setenv("TIP_STATEMENT_CACHE_SIZE", "not-a-number")
+    assert compiled._env_int("TIP_STATEMENT_CACHE_SIZE", 99) == 99
+
+
+class TestInvalidation:
+    """Schema motion must orphan compiled plans, not serve them stale."""
+
+    STATEMENT = "SNAPSHOT SELECT patient FROM Visits"
+
+    def test_alter_table_gaining_element_column(self):
+        connection = repro.connect(now="1999-09-01")
+        try:
+            session = TsqlSession(connection)
+            session.query("CREATE TABLE Visits (patient TEXT)")
+            connection.execute("INSERT INTO Visits VALUES ('alice')")
+            # Non-temporal: SNAPSHOT adds no validity conjunct.
+            before = session.translate(self.STATEMENT)
+            assert "contains_instant" not in before
+            assert session.query(self.STATEMENT) == [("alice",)]
+            # The table gains a valid-time column mid-session; the
+            # cached plan compiled without it must not be served.
+            session.query("ALTER TABLE Visits ADD COLUMN valid ELEMENT")
+            after = session.translate(self.STATEMENT)
+            assert "contains_instant(Visits.valid" in after
+            connection.execute(
+                "UPDATE Visits SET valid = element('{[1999-01-01, 1999-03-31]}')"
+            )
+            # NOW (1999-09-01) is outside the validity: snapshot empty.
+            assert session.query(self.STATEMENT) == []
+        finally:
+            connection.close()
+
+    def test_drop_and_recreate_without_element(self):
+        connection = repro.connect(now="1999-09-01")
+        try:
+            session = TsqlSession(connection)
+            session.query("CREATE TABLE Visits (patient TEXT, valid ELEMENT)")
+            assert "contains_instant" in session.translate(self.STATEMENT)
+            session.query("DROP TABLE Visits")
+            session.query("CREATE TABLE Visits (patient TEXT)")
+            # The recreated table has no validity column; the old plan
+            # (which referenced Visits.valid) must be gone.
+            assert "contains_instant" not in session.translate(self.STATEMENT)
+            connection.execute("INSERT INTO Visits VALUES ('bob')")
+            assert session.query(self.STATEMENT) == [("bob",)]
+        finally:
+            connection.close()
+
+    def test_register_invalidates(self):
+        connection = repro.connect(now="1999-09-01")
+        try:
+            session = TsqlSession(connection)
+            session.query("CREATE TABLE Visits (patient TEXT, vt ELEMENT, other ELEMENT)")
+            assert "contains_instant(Visits.vt" in session.translate(self.STATEMENT)
+            session.register("Visits", "other")
+            assert "contains_instant(Visits.other" in session.translate(self.STATEMENT)
+        finally:
+            connection.close()
+
+    def test_generation_in_key_isolates_old_plans(self, rx):
+        _, session = rx
+        compiled.clear_cache(reset_stats=True)
+        statement = "SNAPSHOT SELECT patient FROM Rx"
+        session.query(statement)
+        gen_before = compiled.generation()
+        compiled.bump_generation()
+        assert compiled.generation() == gen_before + 1
+        # The old entry was cleared and the new generation misses.
+        session.query(statement)
+        stats = compiled.stats()
+        assert stats["misses"] == 2
+        assert stats["invalidations"] >= 1
+
+
+def test_armed_faults_bypass_the_cache(rx):
+    _, session = rx
+    statement = "SNAPSHOT SELECT patient FROM Rx"
+    session.query(statement)
+    assert compiled.CACHE.stats()["entries"] == 1
+    with faults.inject("stmt.cache:delay:delay=0.0", seed=7):
+        # Armed: the cache was cleared and is never consulted.
+        assert compiled.CACHE.stats()["entries"] == 0
+        session.query(statement)
+        assert compiled.CACHE.stats()["entries"] == 0
+
+
+def test_cache_traffic_is_visible_in_obs(rx):
+    _, session = rx
+    with obs.capture(enabled=True):
+        compiled.clear_cache(reset_stats=True)
+        session.query("SNAPSHOT SELECT patient FROM Rx")
+        session.query("SNAPSHOT SELECT patient FROM Rx")
+        snapshot = obs.snapshot()
+    statement_stats = snapshot["caches"]["statement"]
+    assert statement_stats["hits"] == 1 and statement_stats["misses"] == 1
+    counters = snapshot["counters"]
+    assert counters["tsql.cache.hit"] == 1
+    assert counters["tsql.cache.miss"] == 1
