@@ -16,8 +16,8 @@ the check — adding or retiring an experiment is not a regression.
 There is also a self-contained smoke mode::
 
     PYTHONPATH=src python benchmarks/check_regression.py --smoke \\
-        [--out BENCH_PR7.json] [--repeats 5] [--size 200] \\
-        [--baseline benchmarks/BENCH_PR6.json] [--concurrency]
+        [--out BENCH_PR8.json] [--repeats 5] [--size 200] \\
+        [--baseline benchmarks/BENCH_PR7.json] [--concurrency]
 
 which runs a fixed set of representative temporal workloads in-process
 (no pytest-benchmark needed) and writes a machine-readable JSON report:
@@ -241,6 +241,86 @@ def _smoke_cases(size: int):
             return run, teardown
         return setup
 
+    def linq_local_setup(use_builder):
+        """The query-builder A/B on the local path: the same snapshot
+        query per call as composed builder combinators (full AST
+        construction + compile every iteration) versus the hand-written
+        tSQL string through the session's statement cache."""
+        def setup():
+            from repro.tsql import TsqlSession
+
+            conn = repro.connect(now=SMOKE_NOW)
+            load_tip(conn, rows)
+            session = TsqlSession(conn)
+            front = conn.linq()
+            handwritten = (
+                "SNAPSHOT SELECT patient FROM Prescription "
+                "WHERE drug = 'Tylenol'"
+            )
+            iterations = max(1, size // 10)
+
+            def run_builder():
+                for _ in range(iterations):
+                    p = front.table("Prescription", "p")
+                    (p.where(p.drug == "Tylenol")
+                     .select(p.patient).snapshot().run())
+
+            def run_string():
+                for _ in range(iterations):
+                    session.query(handwritten)
+
+            return (run_builder if use_builder else run_string), conn.close
+        return setup
+
+    def linq_prepared_setup(use_builder):
+        """The hot prepared path: one PREPARE at setup, then bound
+        executions only — builder compile cost must be fully amortized,
+        leaving just the per-call parameter check."""
+        def setup():
+            from repro.linq import param as linq_param
+            from repro.server import RemoteTipConnection, TipServer
+
+            server = TipServer(":memory:", observability=False).start()
+            host, port = server.address
+            connection = RemoteTipConnection(host, port)
+            connection.execute(
+                "CREATE TABLE Rx (patient TEXT, drug TEXT, valid ELEMENT)"
+            )
+            for i in range(8):
+                connection.execute(
+                    f"INSERT INTO Rx VALUES ('p{i}', 'Tylenol', "
+                    "element('{[1999-10-01, NOW]}'))"
+                )
+            connection.set_now(SMOKE_NOW)
+            if use_builder:
+                front = connection.linq()
+                p = front.table("Rx", "p")
+                prepared = (
+                    p.where(p.drug == linq_param("drug", "text"))
+                    .select(p.patient).snapshot().prepare()
+                )
+
+                def run():
+                    for _ in range(max(1, size)):
+                        prepared.rows(drug="Tylenol")
+            else:
+                prepared = connection.prepare(
+                    "SNAPSHOT SELECT p.patient FROM Rx AS p "
+                    "WHERE (p.drug = ?)"
+                )
+
+                def run():
+                    for _ in range(max(1, size)):
+                        prepared.execute(("Tylenol",)).rows
+
+            def teardown():
+                prepared.deallocate()
+                connection.close()
+                server.stop()
+
+            return run, teardown
+        return setup
+
     coalesce_sql = (
         "SELECT patient, length_seconds(group_union(valid)) "
         "FROM Prescription GROUP BY patient"
@@ -267,6 +347,11 @@ def _smoke_cases(size: int):
         ("e7.prepared.hot", prepared_setup(True)),
         ("e7.adhoc.retranslate", prepared_setup(False)),
         ("e7.executemany.ingest", executemany_setup()),
+        # E8: the query builder vs hand-written tSQL, per-call and hot.
+        ("e8.linq.compile.builder", linq_local_setup(True)),
+        ("e8.linq.compile.handwritten", linq_local_setup(False)),
+        ("e8.linq.prepared.builder", linq_prepared_setup(True)),
+        ("e8.linq.prepared.handwritten", linq_prepared_setup(False)),
     ]
 
 
@@ -406,6 +491,62 @@ def run_concurrency_sweep(
     print(f"concurrency speedup at N={max(clients)}: "
           f"{section['speedup_at_max']:.2f}x over the serialized baseline")
     return section
+
+
+def _measure_linq_overhead(size: int, rounds: int = 9) -> Dict[str, float]:
+    """Interleaved A/B of the hot prepared builder query vs raw tSQL.
+
+    Both handles live on one server and the loops alternate round by
+    round, so CPU-frequency drift and socket-scheduling noise hit both
+    sides equally; best-of-rounds is the estimator (the noise is
+    strictly additive).  This is the number the acceptance criterion
+    cares about — the per-call cost the builder adds once compilation
+    is amortized behind PREPARE.
+    """
+    from repro.linq import param as linq_param
+    from repro.server import RemoteTipConnection, TipServer
+
+    iterations = max(1, size)
+    server = TipServer(":memory:", observability=False).start()
+    host, port = server.address
+    connection = RemoteTipConnection(host, port)
+    try:
+        connection.execute(
+            "CREATE TABLE Rx (patient TEXT, drug TEXT, valid ELEMENT)"
+        )
+        for i in range(8):
+            connection.execute(
+                f"INSERT INTO Rx VALUES ('p{i}', 'Tylenol', "
+                "element('{[1999-10-01, NOW]}'))"
+            )
+        connection.set_now(SMOKE_NOW)
+        front = connection.linq()
+        p = front.table("Rx", "p")
+        built = (
+            p.where(p.drug == linq_param("drug", "text"))
+            .select(p.patient).snapshot().prepare()
+        )
+        raw = connection.prepare(built.query.sql())
+        best_built = best_raw = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            for _ in range(iterations):
+                built.rows(drug="Tylenol")
+            best_built = min(best_built, time.perf_counter() - started)
+            started = time.perf_counter()
+            for _ in range(iterations):
+                raw.execute(("Tylenol",)).rows
+            best_raw = min(best_raw, time.perf_counter() - started)
+        built.deallocate()
+        raw.deallocate()
+    finally:
+        connection.close()
+        server.stop()
+    return {
+        "hot_builder_best_seconds": best_built,
+        "hot_handwritten_best_seconds": best_raw,
+        "hot_overhead": best_built / best_raw - 1.0,
+    }
 
 
 def _cache_delta(before: Dict, after: Dict) -> Dict[str, Dict[str, float]]:
@@ -549,6 +690,20 @@ def run_smoke(
             "speedup": speedup,
         }
         print(f"prepared speedup: {speedup:.2f}x over per-call translation")
+    adhoc_built = report["benchmarks"].get("e8.linq.compile.builder")
+    adhoc_hand = report["benchmarks"].get("e8.linq.compile.handwritten")
+    if report["benchmarks"].get("e8.linq.prepared.builder"):
+        # The per-case medians above run minutes apart, so CPU-frequency
+        # drift swamps the few-percent signal; the dedicated probe
+        # interleaves builder and raw rounds against one server.
+        report["linq"] = _measure_linq_overhead(size)
+        if adhoc_built and adhoc_hand and adhoc_hand["runs"]:
+            report["linq"]["adhoc_overhead"] = (
+                min(adhoc_built["runs"]) / min(adhoc_hand["runs"]) - 1.0
+            )
+        print(f"linq hot prepared overhead: "
+              f"{report['linq']['hot_overhead'] * 100:+.1f}% "
+              "vs raw prepared tSQL (compile amortized)")
     if concurrency:
         report["concurrency"] = run_concurrency_sweep(size=size)
     if baseline is None:
@@ -594,8 +749,8 @@ def main(argv=None) -> int:
              "pooled WAL server (implies --smoke)",
     )
     parser.add_argument(
-        "--out", default="BENCH_PR7.json",
-        help="smoke mode: report path (default BENCH_PR7.json)",
+        "--out", default="BENCH_PR8.json",
+        help="smoke mode: report path (default BENCH_PR8.json)",
     )
     parser.add_argument(
         "--baseline", default=None,

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""One medical-workload query, twice: string tSQL and the typed builder.
+
+The paper's client code built temporal statements as strings; the
+`repro.linq` builder composes the same query from typed expression
+objects — checked at construction time, compiled to the same tSQL,
+executed through the same cache — and this demo asserts the two
+spellings return identical rows, mode by mode.
+
+Run:  python examples/linq_demo.py [n_prescriptions]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro
+from repro.linq import param
+from repro.tsql import TsqlSession
+from repro.workload import MedicalConfig, generate_prescriptions, load_tip
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    rows = generate_prescriptions(
+        MedicalConfig(n_prescriptions=n, n_patients=max(10, n // 8), seed=1999)
+    )
+    conn = repro.connect(now="2000-01-01")
+    load_tip(conn, rows)
+    session = TsqlSession(conn)
+    q = conn.linq()
+    p = q.table("Prescription", "p")
+    print(f"Loaded {n} prescriptions (NOW = 2000-01-01)\n")
+
+    print("Q. Who is on Tylenol right now?  (snapshot semantics)")
+    handwritten = (
+        "SNAPSHOT SELECT patient FROM Prescription "
+        "WHERE drug = 'Tylenol' ORDER BY patient"
+    )
+    built = (
+        p.where(p.drug == "Tylenol")
+        .select(p.patient)
+        .snapshot()
+        .order_by(p.patient)
+    )
+    print(f"   string tSQL : {handwritten}")
+    print(f"   builder     : {built.sql()}")
+    string_rows = session.query(handwritten)
+    builder_rows = built.run()
+    assert builder_rows == string_rows
+    print(f"   ROWS AGREE: {builder_rows == string_rows} "
+          f"({len(builder_rows)} patients)")
+
+    print("\nQ. ...and during August 1999?  (sequenced, what-if NOW)")
+    handwritten = (
+        "VALIDTIME PERIOD '1999-08-01, 1999-08-31' "
+        "SELECT patient FROM Prescription WHERE drug = 'Tylenol' "
+        "ORDER BY patient"
+    )
+    built = (
+        p.where(p.drug == "Tylenol")
+        .select(p.patient)
+        .validtime(period="[1999-08-01, 1999-08-31]")
+        .order_by(p.patient)
+    )
+    print(f"   builder     : {built.sql()}")
+    string_rows = session.query(handwritten)
+    builder_rows = built.run()
+    assert [r[0] for r in builder_rows] == [r[0] for r in string_rows]
+    print(f"   ROWS AGREE: True ({len(builder_rows)} validity-stamped rows)")
+
+    print("\nQ. Coalesced prescription history per patient (first 3):")
+    built = p.coalesce("patient").order_by(p.patient)
+    string_rows = session.query(
+        "SELECT patient, group_union(valid) AS valid FROM Prescription "
+        "GROUP BY patient ORDER BY patient"
+    )
+    builder_rows = built.run()
+    assert len(builder_rows) == len(string_rows)
+    for (patient, element), (_, expected) in list(
+        zip(builder_rows, string_rows)
+    )[:3]:
+        assert element.identical(expected)
+        print(f"   {patient}: {element}")
+
+    print("\nQ. Parameterized: snapshot patients on <drug>, drug bound late:")
+    by_drug = (
+        p.where(p.drug == param("drug", "text"))
+        .select(p.patient)
+        .snapshot()
+        .order_by(p.patient)
+    )
+    for drug in ("Diabeta", "Aspirin"):
+        builder_rows = by_drug.run(drug=drug)
+        string_rows = session.query(
+            "SNAPSHOT SELECT patient FROM Prescription "
+            f"WHERE drug = '{drug}' ORDER BY patient"
+        )
+        assert builder_rows == string_rows
+        print(f"   {drug:8s}: {len(builder_rows)} patients (rows agree)")
+
+    conn.close()
+    print("\nEvery builder query compiled to tSQL whose rows matched the "
+          "hand-written string form.")
+
+
+if __name__ == "__main__":
+    main()

@@ -173,4 +173,15 @@ _CLI_SECTION = [
     "",
     "(with `--demo`, the synthetic medical database is generated in memory",
     "so `Prescription` is queryable out of the box).",
+    "",
+    "### Language-integrated queries",
+    "",
+    "The `repro.linq` package builds these statements from typed Python",
+    "expression objects instead of strings: construction-time checks",
+    "against the type rules, the blade signatures above, and the live",
+    "schema; first-class `snapshot`/`validtime`/`nonsequenced` wrappers;",
+    "named parameters; execution through the statement cache locally or",
+    "PREPARE/EXECUTE remotely.  `conn.linq()` on either connection flavor",
+    "is the entry point, `.linq <expr>` drives it from the shell, and the",
+    "full chapter is `docs/linq.md`.",
 ]

@@ -27,6 +27,13 @@ Dot-commands drive the session:
                         chaos plan, ``off`` disarms, ``points`` lists
                         the injection points, no argument shows the
                         armed plan
+``.linq <expr>``        evaluate a query-builder expression
+                        (:mod:`repro.linq`) and run it; the namespace
+                        binds ``t(name[, alias])`` for tables plus
+                        ``lit``/``param``/``call``/``allen``/``now`` —
+                        e.g. ``.linq t('Prescription',
+                        'p').snapshot(at='1999-09-01')``.  Prints the
+                        compiled tSQL, then the rows
 ``.browse <sql>``       load a query into the Browser and render it
 ``.window <start> <days>``  set the Browser window
 ``.slide <n>``          move the Browser window by n window-widths
@@ -258,6 +265,49 @@ class TipShell:
         return f"fault injection armed (seed={seed}): {plan.spec()}"
 
     # -- browser commands -----------------------------------------------------------
+
+    def _cmd_linq(self, argument: str) -> str:
+        from repro import linq as _linq
+        from repro.linq import compile_expr
+
+        if not argument:
+            return (
+                "usage: .linq <expression> — e.g. "
+                ".linq t('Prescription', 'p').where("
+                "t('Prescription', 'p').drug == 'Tylenol').snapshot()"
+            )
+        front = self.connection.linq()
+        # The helpers are the eval *globals* (not locals) so that names
+        # inside a lambda body — which resolve against globals — see
+        # them too: ``.linq (lambda p: p.select(call('count', ...`` .
+        namespace = {
+            "__builtins__": {},
+            "q": front,
+            "t": front.table,
+            "lit": _linq.lit,
+            "param": _linq.param,
+            "call": _linq.call,
+            "allen": _linq.allen,
+            "now": _linq.now,
+        }
+        try:
+            result = eval(argument, namespace)  # noqa: S307
+        except TipError:
+            raise
+        except Exception as exc:  # eval: any Python error becomes text
+            return f"error: {type(exc).__name__}: {exc}"
+        if isinstance(result, _linq.Query):
+            if result.params.arity:
+                return (
+                    f"tSQL: {result.sql()}\n"
+                    f"error: query has parameters {result.params.names}; "
+                    "inline literals to run it from the shell"
+                )
+            return f"tSQL: {result.sql()}\n" + self._run_sql(result.sql())
+        if isinstance(result, _linq.Expr):
+            sql, _ = compile_expr(result)
+            return f"{sql}  [{result.type_name}]"
+        return repr(result)
 
     def _cmd_browse(self, argument: str) -> str:
         if not argument:

@@ -157,6 +157,16 @@ class TipConnection:
         """The underlying sqlite3 connection (blade already installed)."""
         return self._raw
 
+    def linq(self) -> "object":
+        """A typed query-builder front bound to this connection.
+
+        Discovers the schema now; call :meth:`repro.linq.Linq.refresh`
+        after DDL.  See :mod:`repro.linq`.
+        """
+        from repro.linq import Linq  # lazy: linq imports this module
+
+        return Linq(self)
+
     def __enter__(self) -> "TipConnection":
         return self
 

@@ -6,20 +6,67 @@ paper's examples write temporal constants inline as quoted strings —
 casts.  :func:`literal` renders any supported Python value in exactly
 that style, with proper SQL quoting, for code generation (the layered
 translator uses it) and for interactive use.
+
+**The bare quoted form does not survive every SQL position.**  A quoted
+string only becomes a TIP value where an implicit cast fires (a routine
+argument, an INSERT into a declared column).  In a general expression it
+stays TEXT: ``valid = '{[1999-10-01, NOW]}'`` compares an ELEMENT blob
+against a string and silently matches nothing, and ``SELECT
+'{[...]}'`` returns a ``str``.  Open-ended ``[x, NOW]`` periods and
+multi-interval elements — exactly what a code generator emits most —
+lose their type this way.  :func:`tip_literal` is the *typed* rendering
+the linq query compiler emits instead: a constructor call such as
+``element('{[1999-10-01, NOW]}')`` that keeps its type in any position,
+and :func:`parse_literal` is its inverse, so
+``tip_literal(parse_literal(x)) == x`` for every literal the compiler
+can produce (see ``tests/test_literal_roundtrip.py``).
 """
 
 from __future__ import annotations
 
+import re
+
 from repro.core.chronon import Chronon
 from repro.core.element import Element
 from repro.core.instant import Instant
+from repro.core.parser import (
+    parse_chronon,
+    parse_element,
+    parse_instant,
+    parse_period,
+    parse_span,
+)
 from repro.core.period import Period
 from repro.core.span import Span
-from repro.errors import TipTypeError
+from repro.errors import TipParseError, TipTypeError
 
-__all__ = ["literal", "quote_string"]
+__all__ = ["literal", "tip_literal", "parse_literal", "quote_string"]
 
 _TIP_TYPES = (Chronon, Span, Instant, Period, Element)
+
+#: Constructor routine per TIP type — the typed literal spelling.
+_CONSTRUCTORS = {
+    Chronon: "chronon",
+    Span: "span",
+    Instant: "instant",
+    Period: "period",
+    Element: "element",
+}
+
+_PARSERS = {
+    "chronon": parse_chronon,
+    "span": parse_span,
+    "instant": parse_instant,
+    "period": parse_period,
+    "element": parse_element,
+}
+
+_TYPED_LITERAL_RE = re.compile(
+    r"^(?P<ctor>chronon|span|instant|period|element)\('(?P<body>(?:[^']|'')*)'\)$"
+)
+_QUOTED_RE = re.compile(r"^'(?P<body>(?:[^']|'')*)'$")
+_INT_RE = re.compile(r"^-?\d+$")
+_FLOAT_RE = re.compile(r"^-?(?:\d+\.\d*|\d*\.\d+|\d+(?:\.\d*)?[eE][-+]?\d+)$")
 
 
 def quote_string(text: str) -> str:
@@ -45,3 +92,45 @@ def literal(value: object) -> str:
     if isinstance(value, _TIP_TYPES):
         return quote_string(str(value))
     raise TipTypeError(f"cannot render a SQL literal for {type(value).__name__}")
+
+
+def tip_literal(value: object) -> str:
+    """Render *value* as a *typed* SQL literal.
+
+    TIP values render as constructor calls — ``period('[1999-10-01,
+    NOW]')`` — so the expression keeps its type in every SQL position,
+    not only where an implicit cast fires.  Scalars render exactly as
+    :func:`literal` does.  This is the form the linq query compiler
+    emits; :func:`parse_literal` inverts it.
+    """
+    if isinstance(value, _TIP_TYPES):
+        return f"{_CONSTRUCTORS[type(value)]}({quote_string(str(value))})"
+    return literal(value)
+
+
+def parse_literal(text: str) -> object:
+    """Parse one :func:`tip_literal` rendering back into a Python value.
+
+    Accepts exactly the forms :func:`tip_literal` emits: ``NULL``,
+    integer and float literals, quoted strings, and the five typed
+    constructor calls.  (Booleans render as ``1``/``0`` and come back as
+    integers — SQL has no boolean literal.)  Raises
+    :class:`~repro.errors.TipParseError` on anything else.
+    """
+    if not isinstance(text, str):
+        raise TipParseError(f"expected a string, got {type(text).__name__}")
+    stripped = text.strip()
+    if stripped.upper() == "NULL":
+        return None
+    match = _TYPED_LITERAL_RE.match(stripped)
+    if match:
+        body = match["body"].replace("''", "'")
+        return _PARSERS[match["ctor"]](body)
+    match = _QUOTED_RE.match(stripped)
+    if match:
+        return match["body"].replace("''", "'")
+    if _INT_RE.match(stripped):
+        return int(stripped)
+    if _FLOAT_RE.match(stripped):
+        return float(stripped)
+    raise TipParseError(f"not a SQL literal rendering: {text!r}")

@@ -64,4 +64,22 @@ class CodecError(TipError, ValueError):
 
 
 class TranslationError(TipError):
-    """The layered translator could not rewrite a temporal operation."""
+    """The layered translator could not rewrite a temporal operation.
+
+    When the offending text is known, :attr:`clause` holds it verbatim
+    and :attr:`offset` its character offset in the statement as given to
+    the translator (best-effort: the first occurrence), so shells and
+    code generators can point at the exact spot instead of only naming
+    the restriction.  Both default to ``None``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        clause: "str | None" = None,
+        offset: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.clause = clause
+        self.offset = offset

@@ -1,0 +1,55 @@
+"""Language-integrated temporal queries: a typed builder over tSQL.
+
+The app-developer surface the paper's C/Java client libraries served,
+without string SQL (ROADMAP: Fowler/Galpin/Cheney, "Language-Integrated
+Query for Temporal Data"): queries are composed from typed expression
+objects, checked at construction time against
+:mod:`repro.core.typerules`, the blade routine signatures, and the live
+schema, then compiled deterministically to the same tSQL the shell
+accepts — so everything downstream (statement cache, PREPARE/EXECUTE,
+EXPLAIN TEMPORAL, profiles) applies unchanged.
+
+Entry points::
+
+    q = connection.linq()            # TipConnection or RemoteTipConnection
+    p = q.table("Prescription", "p")
+    rows = (p.where(p.drug == "Tylenol")
+             .validtime()
+             .with_now("2001-06-01")
+             .run())
+
+See ``docs/linq.md`` for the full tour.
+"""
+
+from repro.linq.ast import (
+    Expr,
+    allen,
+    as_expr,
+    call,
+    lit,
+    now,
+    param,
+)
+from repro.linq.builder import Linq, LinqPrepared, Query, Schema, Table
+from repro.linq.compile import compile_expr
+from repro.linq.errors import LinqError, LinqTypeError
+from repro.linq.params import ParamSpec
+
+__all__ = [
+    "Linq",
+    "LinqPrepared",
+    "Query",
+    "Schema",
+    "Table",
+    "Expr",
+    "ParamSpec",
+    "LinqError",
+    "LinqTypeError",
+    "allen",
+    "as_expr",
+    "call",
+    "compile_expr",
+    "lit",
+    "now",
+    "param",
+]

@@ -1,0 +1,317 @@
+"""The expression AST and its typed constructors.
+
+Every node is a frozen dataclass carrying its static :attr:`type_name`;
+nodes are only ever built through the factory functions below (or the
+operator overloads on :class:`Expr`, which call them), and each factory
+checks the TIP type rules **before** constructing the node — an
+ill-typed expression raises :class:`~repro.linq.errors.LinqTypeError`
+and never exists as an object, let alone reaches the engine.
+
+Python's comparison and arithmetic operators build expressions, the
+query-builder convention::
+
+    p.drug == "Tylenol"          # Cmp('=', ...)
+    p.valid.overlaps(lit(elem))  # Func('overlaps', ...)
+    (a & b) | ~c                 # Logic / Not
+
+``and``/``or``/``not`` cannot be overloaded — they force truthiness,
+which :meth:`Expr.__bool__` rejects with a pointer at ``&``/``|``/``~``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.allen import RELATION_NAMES
+from repro.linq import types as _t
+from repro.linq.errors import LinqError, LinqTypeError
+
+__all__ = [
+    "Expr", "Column", "Literal", "Param", "Func", "Arith", "Cmp",
+    "Logic", "Not", "as_expr", "lit", "param", "call", "allen",
+    "comparison", "arithmetic", "logical", "not_", "now",
+]
+
+
+class Expr:
+    """Base class: operator overloads delegating to the factories."""
+
+    __slots__ = ()
+
+    type_name: str
+
+    # -- predicates -----------------------------------------------------
+
+    def __eq__(self, other):  # type: ignore[override]
+        return comparison("=", self, other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return comparison("<>", self, other)
+
+    def __lt__(self, other):
+        return comparison("<", self, other)
+
+    def __le__(self, other):
+        return comparison("<=", self, other)
+
+    def __gt__(self, other):
+        return comparison(">", self, other)
+
+    def __ge__(self, other):
+        return comparison(">=", self, other)
+
+    def __and__(self, other):
+        return logical("AND", self, other)
+
+    def __rand__(self, other):
+        return logical("AND", other, self)
+
+    def __or__(self, other):
+        return logical("OR", self, other)
+
+    def __ror__(self, other):
+        return logical("OR", other, self)
+
+    def __invert__(self):
+        return not_(self)
+
+    # -- arithmetic -----------------------------------------------------
+
+    def __add__(self, other):
+        return arithmetic("+", self, other)
+
+    def __radd__(self, other):
+        return arithmetic("+", other, self)
+
+    def __sub__(self, other):
+        return arithmetic("-", self, other)
+
+    def __rsub__(self, other):
+        return arithmetic("-", other, self)
+
+    def __mul__(self, other):
+        return arithmetic("*", self, other)
+
+    def __rmul__(self, other):
+        return arithmetic("*", other, self)
+
+    def __truediv__(self, other):
+        return arithmetic("/", self, other)
+
+    def __rtruediv__(self, other):
+        return arithmetic("/", other, self)
+
+    # -- temporal predicates (routine sugar) ----------------------------
+
+    def overlaps(self, other) -> "Func":
+        """``overlaps(self, other)`` — the elements share an instant."""
+        return call("overlaps", self, other)
+
+    def contains(self, other) -> "Func":
+        """``contains(self, other)`` — other's validity lies within."""
+        return call("contains", self, other)
+
+    def contains_instant(self, other) -> "Func":
+        """``contains_instant(self, other)`` — the instant is covered."""
+        return call("contains_instant", self, other)
+
+    def restrict(self, period) -> "Func":
+        """``restrict(self, period)`` — clip validity to a period."""
+        return call("restrict", self, period)
+
+    def allen(self, relation: str, other) -> "Func":
+        """The named Allen relation predicate, e.g. ``allen('meets', q)``."""
+        return allen(relation, self, other)
+
+    def __bool__(self) -> bool:
+        raise LinqError(
+            "expressions have no truth value at build time; combine "
+            "predicates with & | ~, not and/or/not"
+        )
+
+    __hash__ = None  # expression equality builds a Cmp, not a bool
+
+
+@dataclass(frozen=True, eq=False, repr=True)
+class Column(Expr):
+    """``alias.name``, typed from the schema's declared column type."""
+
+    table: str
+    name: str
+    type_name: str
+
+
+@dataclass(frozen=True, eq=False, repr=True)
+class Literal(Expr):
+    """An inline constant (scalar or any of the five TIP types)."""
+
+    value: object
+    type_name: str
+
+
+@dataclass(frozen=True, eq=False, repr=True)
+class Param(Expr):
+    """A named ``?`` placeholder with a declared type.
+
+    The declaration participates in construction-time checks exactly
+    like a column type, and the value supplied at bind time is checked
+    against it (:class:`repro.linq.params.ParamSpec`).
+    """
+
+    name: str
+    type_name: str
+
+
+@dataclass(frozen=True, eq=False, repr=True)
+class Func(Expr):
+    """A blade routine or aggregate call, checked against its signature."""
+
+    name: str
+    args: Tuple[Expr, ...]
+    type_name: str
+
+
+@dataclass(frozen=True, eq=False, repr=True)
+class Arith(Expr):
+    """``left op right`` for ``+ - * /`` under the TIP result table."""
+
+    op: str
+    left: Expr
+    right: Expr
+    type_name: str
+
+
+@dataclass(frozen=True, eq=False, repr=True)
+class Cmp(Expr):
+    """``left op right`` for the six comparisons; always boolean."""
+
+    op: str
+    left: Expr
+    right: Expr
+    type_name: str = _t.BOOLEAN
+
+
+@dataclass(frozen=True, eq=False, repr=True)
+class Logic(Expr):
+    """``AND``/``OR`` over two or more boolean operands."""
+
+    op: str
+    items: Tuple[Expr, ...]
+    type_name: str = _t.BOOLEAN
+
+
+@dataclass(frozen=True, eq=False, repr=True)
+class Not(Expr):
+    """Boolean negation."""
+
+    item: Expr
+    type_name: str = _t.BOOLEAN
+
+
+# -- factories (all type checking happens here) -------------------------
+
+
+def lit(value: object) -> Literal:
+    """A literal node for *value*; raises on unsupported Python types."""
+    name = _t.value_name(value)
+    if name is None:
+        raise LinqTypeError(
+            f"cannot build a literal from {type(value).__name__}; "
+            "supported: None, bool, int, float, str, and the five TIP types"
+        )
+    return Literal(value, name)
+
+
+def as_expr(value: object) -> Expr:
+    """*value* itself if already an expression, else :func:`lit`."""
+    return value if isinstance(value, Expr) else lit(value)
+
+
+def param(name: str, type_name: str) -> Param:
+    """A named placeholder declared to carry values of *type_name*."""
+    known = _t.TIP_NAMES | _t.SCALAR_NAMES | {_t.ANY}
+    if type_name not in known:
+        raise LinqTypeError(
+            f"unknown parameter type {type_name!r}; one of {sorted(known)}"
+        )
+    if not name or not name.isidentifier():
+        raise LinqError(f"parameter name must be an identifier, got {name!r}")
+    return Param(name, type_name)
+
+
+def comparison(op: str, left: object, right: object) -> Cmp:
+    lhs, rhs = as_expr(left), as_expr(right)
+    if not _t.comparable(lhs.type_name, rhs.type_name):
+        raise LinqTypeError(
+            f"{lhs.type_name} {op} {rhs.type_name} is a type error "
+            "(Period/Element have no order — use overlaps/contains/allen_equals)"
+        )
+    return Cmp(op, lhs, rhs)
+
+
+def arithmetic(op: str, left: object, right: object) -> Arith:
+    lhs, rhs = as_expr(left), as_expr(right)
+    result = _t.arith_result(op, lhs.type_name, rhs.type_name)
+    if result is None:
+        raise LinqTypeError(
+            f"{lhs.type_name} {op} {rhs.type_name} is a type error "
+            "(see repro.core.typerules.RESULT_TYPES)"
+        )
+    return Arith(op, lhs, rhs, result)
+
+
+def _boolish(value: object, context: str) -> Expr:
+    expr = as_expr(value)
+    if expr.type_name not in (_t.BOOLEAN, _t.ANY):
+        raise LinqTypeError(
+            f"{context} needs a boolean expression, got {expr.type_name}"
+        )
+    return expr
+
+
+def logical(op: str, *items: object) -> Logic:
+    if len(items) < 2:
+        raise LinqError(f"{op} needs at least two operands")
+    checked = tuple(_boolish(item, op) for item in items)
+    return Logic(op, checked)
+
+
+def not_(item: object) -> Not:
+    return Not(_boolish(item, "NOT"))
+
+
+def call(name: str, *args: object) -> Func:
+    """A routine/aggregate call, signature-checked against the blade.
+
+    Arguments may be plain Python values (wrapped via :func:`lit`);
+    TIP implicit-cast widening is honoured, so a Period column binds
+    where an Element is declared.
+    """
+    lowered = name.lower()
+    checked = tuple(as_expr(arg) for arg in args)
+    sig = _t.signature(lowered, len(checked))
+    if sig is None:
+        raise LinqTypeError(f"unknown routine {lowered}/{len(checked)}")
+    declared, returns = sig
+    for position, (want, arg) in enumerate(zip(declared, checked), start=1):
+        if not _t.accepts(want, arg.type_name):
+            raise LinqTypeError(
+                f"{lowered}() argument {position} wants {want}, "
+                f"got {arg.type_name}"
+            )
+    return Func(lowered, checked, _t.ANY if returns == "any" else returns)
+
+
+def allen(relation: str, left: object, right: object) -> Func:
+    """``allen_<relation>(left, right)`` with the relation name checked."""
+    if relation not in RELATION_NAMES:
+        raise LinqTypeError(
+            f"unknown Allen relation {relation!r}; one of {sorted(RELATION_NAMES)}"
+        )
+    return call(f"allen_{relation}", left, right)
+
+
+def now() -> Func:
+    """``tip_now()`` — the statement's bound NOW as a Chronon."""
+    return call("tip_now")

@@ -1,0 +1,142 @@
+"""Deterministic AST → tSQL emission.
+
+The emitter is a pure function of the AST: one space after commas and
+around keywords, no trailing semicolon, literals through
+:func:`~repro.client.literals.tip_literal` (typed constructor calls) —
+which makes every emitted statement **already normalized** for the
+compiled-statement cache: ``normalize_statement(sql) == sql``, so the
+cache fingerprint of builder output is the text itself
+(:func:`repro.tsql.compiled.compile_normalized` exploits this).
+
+Operator lowering follows the engine's dispatch exactly:
+
+* comparisons and arithmetic where **either** operand is TIP-typed
+  lower to the generic routines (``teq``/``tlt``/``tadd``/…) — plain
+  SQL operators would compare encoded blobs bytewise;
+* pure-scalar operators stay infix SQL.
+
+``linq.compile.*`` counters (queries compiled, nodes emitted, emitted
+characters) feed the process obs registry and therefore metrics
+snapshots, per-query profiles, and the Prometheus exposition, like
+every other subsystem's counters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro import obs
+from repro.client.literals import tip_literal
+from repro.linq import types as _t
+from repro.linq.ast import (
+    Arith,
+    Cmp,
+    Column,
+    Expr,
+    Func,
+    Literal,
+    Logic,
+    Not,
+    Param,
+)
+from repro.linq.errors import LinqError
+
+__all__ = ["emit", "compile_expr"]
+
+_CMP_ROUTINES = {
+    "=": "teq",
+    "<>": "tne",
+    "<": "tlt",
+    "<=": "tle",
+    ">": "tgt",
+    ">=": "tge",
+}
+
+_ARITH_ROUTINES = {"+": "tadd", "-": "tsub", "*": "tmul", "/": "tdiv"}
+
+
+def _tipish(expr: Expr) -> bool:
+    return expr.type_name in _t.TIP_NAMES
+
+
+def _emit(node: Expr, out: List[str], params: List[Param]) -> int:
+    """Append *node*'s SQL to *out*; returns the node count emitted."""
+    if isinstance(node, Column):
+        out.append(f"{node.table}.{node.name}" if node.table else node.name)
+        return 1
+    if isinstance(node, Literal):
+        out.append(tip_literal(node.value))
+        return 1
+    if isinstance(node, Param):
+        out.append("?")
+        params.append(node)
+        return 1
+    if isinstance(node, Func):
+        out.append(f"{node.name}(")
+        count = 1
+        for index, arg in enumerate(node.args):
+            if index:
+                out.append(", ")
+            count += _emit(arg, out, params)
+        out.append(")")
+        return count
+    if isinstance(node, Cmp):
+        routine = _CMP_ROUTINES[node.op]
+        if _tipish(node.left) or _tipish(node.right):
+            out.append(f"{routine}(")
+            count = 1 + _emit(node.left, out, params)
+            out.append(", ")
+            count += _emit(node.right, out, params)
+            out.append(")")
+            return count
+        out.append("(")
+        count = 1 + _emit(node.left, out, params)
+        out.append(f" {node.op} ")
+        count += _emit(node.right, out, params)
+        out.append(")")
+        return count
+    if isinstance(node, Arith):
+        if _tipish(node.left) or _tipish(node.right):
+            out.append(f"{_ARITH_ROUTINES[node.op]}(")
+            count = 1 + _emit(node.left, out, params)
+            out.append(", ")
+            count += _emit(node.right, out, params)
+            out.append(")")
+            return count
+        out.append("(")
+        count = 1 + _emit(node.left, out, params)
+        out.append(f" {node.op} ")
+        count += _emit(node.right, out, params)
+        out.append(")")
+        return count
+    if isinstance(node, Logic):
+        out.append("(")
+        count = 1
+        for index, item in enumerate(node.items):
+            if index:
+                out.append(f" {node.op} ")
+            count += _emit(item, out, params)
+        out.append(")")
+        return count
+    if isinstance(node, Not):
+        out.append("(NOT ")
+        count = 1 + _emit(node.item, out, params)
+        out.append(")")
+        return count
+    raise LinqError(f"cannot compile node {type(node).__name__}")
+
+
+def emit(node: Expr, params: List[Param]) -> Tuple[str, int]:
+    """``(sql, node count)`` for one expression; params appended in order."""
+    out: List[str] = []
+    count = _emit(node, out, params)
+    return "".join(out), count
+
+
+def compile_expr(node: Expr) -> Tuple[str, List[Param]]:
+    """Compile a standalone expression (shell and test surface)."""
+    params: List[Param] = []
+    sql, nodes = emit(node, params)
+    if obs.state.enabled:
+        obs.counter("linq.compile.nodes").add(nodes)
+    return sql, params

@@ -1,0 +1,35 @@
+"""Errors raised by the linq query builder.
+
+Everything here is raised **at construction time** — the builder's
+contract is that an ill-typed or ill-formed query never reaches the
+engine (``tests/test_linq_typing.py`` property-checks this).  Both
+classes derive from :class:`~repro.errors.TipError`, and
+:class:`LinqTypeError` also from :class:`~repro.errors.TipTypeError`,
+so existing handlers keep working.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TipError, TipTypeError
+
+__all__ = ["LinqError", "LinqTypeError"]
+
+
+class LinqError(TipError):
+    """A query was combined in a way that cannot compile to tSQL.
+
+    Examples: an unknown table or column, duplicate FROM aliases, a
+    ``coalesce`` under ``VALIDTIME`` (sequenced aggregation is outside
+    the translatable subset), or using ``and``/``or`` on expressions
+    instead of ``&``/``|``.
+    """
+
+
+class LinqTypeError(LinqError, TipTypeError):
+    """An expression violates the TIP type rules at build time.
+
+    The same rules the engine enforces dynamically
+    (:mod:`repro.core.typerules` plus the blade routine signatures) are
+    checked when the expression object is constructed, so the error
+    points at the offending combinator call, not at a later execute.
+    """

@@ -1,0 +1,88 @@
+"""Named parameters over positional ``?`` placeholders.
+
+The compiler collects :class:`~repro.linq.ast.Param` nodes in emission
+order — exactly the order of ``?`` in the SQL text — into a
+:class:`ParamSpec`.  Binding is by name (each occurrence of a repeated
+name receives the same value) or positionally, and every bound value is
+checked against the parameter's declared type before it is shipped, so
+a wrong-typed bind fails at the call site, not inside the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.linq import types as _t
+from repro.linq.ast import Param
+from repro.linq.errors import LinqError, LinqTypeError
+
+__all__ = ["ParamSpec"]
+
+
+class ParamSpec:
+    """The ordered placeholder slots of one compiled query."""
+
+    __slots__ = ("slots", "_names", "_name_set")
+
+    def __init__(self, slots: Sequence[Param]) -> None:
+        self.slots: Tuple[Param, ...] = tuple(slots)
+        seen: List[str] = []
+        for slot in self.slots:
+            if slot.name not in seen:
+                seen.append(slot.name)
+        self._names: Tuple[str, ...] = tuple(seen)
+        self._name_set = frozenset(seen)
+
+    @property
+    def arity(self) -> int:
+        """Number of ``?`` placeholders in the SQL text."""
+        return len(self.slots)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Distinct parameter names in first-occurrence order."""
+        return self._names
+
+    def _check(self, slot: Param, value: object) -> object:
+        actual = _t.value_name(value)
+        if actual is None or not _t.accepts(slot.type_name, actual):
+            got = type(value).__name__ if actual is None else actual
+            raise LinqTypeError(
+                f"parameter {slot.name!r} declared {slot.type_name}, "
+                f"got {got}"
+            )
+        return value
+
+    def bind(self, *args: object, **kwargs: object) -> Tuple[object, ...]:
+        """The positional value tuple for one execution.
+
+        Either all-positional (one value per placeholder, in order) or
+        all-named (one value per distinct name); mixing is an error.
+        """
+        if args and kwargs:
+            raise LinqError("bind parameters positionally or by name, not both")
+        if kwargs:
+            if set(kwargs) != self._name_set:
+                unknown = sorted(set(kwargs) - self._name_set)
+                missing = sorted(self._name_set - set(kwargs))
+                raise LinqError(
+                    f"parameter mismatch: missing {missing}, unknown {unknown}"
+                )
+            return tuple(
+                self._check(slot, kwargs[slot.name]) for slot in self.slots
+            )
+        if len(args) != len(self.slots):
+            raise LinqError(
+                f"query takes {len(self.slots)} parameter(s), got {len(args)}"
+            )
+        return tuple(
+            self._check(slot, value) for slot, value in zip(self.slots, args)
+        )
+
+    def describe(self) -> Dict[str, str]:
+        """``name -> declared type`` (for shells and docs)."""
+        return {slot.name: slot.type_name for slot in self.slots}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{s.name}: {s.type_name}" for s in self.slots)
+        return f"ParamSpec({inner})"

@@ -1,0 +1,226 @@
+"""The builder's static type lattice.
+
+Expression types are plain name strings drawn from two families:
+
+* the five TIP datatypes, spelled exactly as the blade registry spells
+  them — ``Chronon``, ``Span``, ``Instant``, ``Period``, ``Element``;
+* scalars — ``integer``, ``float``, ``number``, ``text``, ``boolean``
+  — plus ``any`` (an undeclared column or a generic routine result)
+  and ``null``.
+
+Three authorities are combined, all of them the *live* ones the engine
+itself dispatches on, so the static checks cannot drift from runtime
+behaviour:
+
+* :mod:`repro.core.typerules` — the operator result table
+  (``RESULT_TYPES``) and the comparability relation (``COMPARABLE``);
+* the default blade registry (:func:`repro.blade.datablade.build_tip_blade`)
+  — routine and aggregate signatures, including implicit-cast widening
+  (``Chronon`` → ``Instant`` → ``Period`` → ``Element``);
+* the schema — column declared types map through
+  :func:`decltype_name`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core import typerules
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.instant import Instant
+from repro.core.period import Period
+from repro.core.span import Span
+
+__all__ = [
+    "TIP_NAMES", "SCALAR_NAMES", "NUMERIC_NAMES",
+    "ANY", "NULL", "BOOLEAN", "INTEGER", "FLOAT", "NUMBER", "TEXT",
+    "decltype_name", "value_name", "widens_to", "accepts",
+    "comparable", "arith_result", "signature", "signatures",
+]
+
+CHRONON = "Chronon"
+SPAN = "Span"
+INSTANT = "Instant"
+PERIOD = "Period"
+ELEMENT = "Element"
+INTEGER = "integer"
+FLOAT = "float"
+NUMBER = "number"
+TEXT = "text"
+BOOLEAN = "boolean"
+ANY = "any"
+NULL = "null"
+
+TIP_NAMES = frozenset({CHRONON, SPAN, INSTANT, PERIOD, ELEMENT})
+SCALAR_NAMES = frozenset({INTEGER, FLOAT, NUMBER, TEXT, BOOLEAN})
+NUMERIC_NAMES = frozenset({INTEGER, FLOAT, NUMBER})
+
+#: Implicit-cast widening between TIP types (the blade's implicit casts:
+#: a chronon is an instant is a degenerate period is a singleton element).
+_WIDENS: Dict[str, frozenset] = {
+    CHRONON: frozenset({CHRONON, INSTANT, PERIOD, ELEMENT}),
+    INSTANT: frozenset({INSTANT, PERIOD, ELEMENT}),
+    PERIOD: frozenset({PERIOD, ELEMENT}),
+    ELEMENT: frozenset({ELEMENT}),
+    SPAN: frozenset({SPAN}),
+}
+
+_VALUE_NAMES = {
+    Chronon: CHRONON,
+    Span: SPAN,
+    Instant: INSTANT,
+    Period: PERIOD,
+    Element: ELEMENT,
+}
+
+#: SQL declared-type fragments -> builder type names, checked in order
+#: (SQLite-affinity style: first matching fragment wins).
+_DECL_RULES: Tuple[Tuple[str, str], ...] = (
+    ("CHRONON", CHRONON),
+    ("SPAN", SPAN),
+    ("INSTANT", INSTANT),
+    ("PERIOD", PERIOD),
+    ("ELEMENT", ELEMENT),
+    ("INT", INTEGER),
+    ("CHAR", TEXT),
+    ("CLOB", TEXT),
+    ("TEXT", TEXT),
+    ("REAL", FLOAT),
+    ("FLOA", FLOAT),
+    ("DOUB", FLOAT),
+    ("BOOL", BOOLEAN),
+    ("NUMERIC", NUMBER),
+    ("DECIMAL", NUMBER),
+)
+
+
+def decltype_name(decltype: Optional[str]) -> str:
+    """The builder type name for a SQL declared column type."""
+    if not decltype:
+        return ANY
+    upper = decltype.upper()
+    for fragment, name in _DECL_RULES:
+        if fragment in upper:
+            return name
+    return ANY
+
+
+def value_name(value: object) -> Optional[str]:
+    """The builder type name for a Python value, or None if unsupported."""
+    if value is None:
+        return NULL
+    if isinstance(value, bool):
+        return BOOLEAN
+    if isinstance(value, int):
+        return INTEGER
+    if isinstance(value, float):
+        return FLOAT
+    return _VALUE_NAMES.get(type(value)) if not isinstance(value, str) else TEXT
+
+
+def widens_to(actual: str, declared: str) -> bool:
+    """Does a TIP value of *actual* implicitly widen to *declared*?"""
+    return declared in _WIDENS.get(actual, frozenset())
+
+
+def accepts(declared: str, actual: str) -> bool:
+    """Can a value of type *actual* bind where *declared* is expected?"""
+    if declared == ANY or actual == ANY or actual == NULL:
+        return True
+    if declared in TIP_NAMES:
+        return actual in TIP_NAMES and widens_to(actual, declared)
+    if declared in NUMERIC_NAMES:
+        return actual in NUMERIC_NAMES
+    if declared == TEXT:
+        return actual == TEXT
+    if declared == BOOLEAN:
+        return actual in (BOOLEAN, INTEGER)
+    return False
+
+
+def comparable(left: str, right: str) -> bool:
+    """Are ``left <op> right`` comparisons well-typed?
+
+    TIP pairs follow :data:`repro.core.typerules.COMPARABLE` exactly
+    (notably: Period and Element do **not** compare — use
+    ``overlaps``/``contains``/``allen_equals``); scalars compare within
+    the numeric family or at identical type.
+    """
+    if ANY in (left, right) or NULL in (left, right):
+        return True
+    if left in TIP_NAMES or right in TIP_NAMES:
+        return (left, right) in typerules.COMPARABLE
+    if left in NUMERIC_NAMES and right in NUMERIC_NAMES:
+        return True
+    return left == right
+
+
+def arith_result(op: str, left: str, right: str) -> Optional[str]:
+    """Result type name of ``left op right``, or None when ill-typed.
+
+    Drives the exact :data:`repro.core.typerules.RESULT_TYPES` table
+    for any TIP operand; pure scalar arithmetic stays ``number``.
+    """
+    if ANY in (left, right):
+        return ANY
+    if left not in TIP_NAMES and right not in TIP_NAMES:
+        if left in NUMERIC_NAMES and right in NUMERIC_NAMES:
+            return NUMBER
+        return None
+    lhs = typerules.NUMBER if left in NUMERIC_NAMES else left
+    rhs = typerules.NUMBER if right in NUMERIC_NAMES else right
+    result = typerules.RESULT_TYPES.get((op, lhs, rhs), typerules.ERROR)
+    if result == typerules.ERROR:
+        return None
+    return NUMBER if result == typerules.NUMBER else result
+
+
+#: Aggregate signatures — the registry declares only return types, the
+#: argument types are the kernel's (see repro.core.aggregates).
+_AGGREGATES: Dict[Tuple[str, int], Tuple[Tuple[str, ...], str]] = {
+    ("group_union", 1): ((ELEMENT,), ELEMENT),
+    ("group_intersect", 1): ((ELEMENT,), ELEMENT),
+    ("span_sum", 1): ((SPAN,), SPAN),
+    ("span_avg", 1): ((SPAN,), SPAN),
+    ("chronon_min", 1): ((CHRONON,), CHRONON),
+    ("chronon_max", 1): ((CHRONON,), CHRONON),
+}
+
+#: Stock SQL aggregates that are safe on TIP rows: ``count`` works on
+#: anything; ``sum``/``avg`` only on numerics.  SQL ``min``/``max`` are
+#: deliberately absent — they would order encoded TIP values bytewise
+#: (use ``chronon_min``/``chronon_max``).
+_SQL_BUILTINS: Dict[Tuple[str, int], Tuple[Tuple[str, ...], str]] = {
+    ("count", 1): ((ANY,), INTEGER),
+    ("sum", 1): ((NUMBER,), NUMBER),
+    ("avg", 1): ((NUMBER,), NUMBER),
+}
+
+AGGREGATE_NAMES = frozenset(name for name, _ in _AGGREGATES)
+
+_SIGNATURES: Optional[Dict[Tuple[str, int], Tuple[Tuple[str, ...], str]]] = None
+
+
+def signatures() -> Dict[Tuple[str, int], Tuple[Tuple[str, ...], str]]:
+    """``(name, arity) -> (arg type names, return type name)``.
+
+    Built once from the default blade registry (aliases included, since
+    the registry keys them separately) plus the aggregate table.
+    """
+    global _SIGNATURES
+    if _SIGNATURES is None:
+        from repro.blade.datablade import build_tip_blade
+
+        table: Dict[Tuple[str, int], Tuple[Tuple[str, ...], str]] = {}
+        for (name, arity), routine in build_tip_blade().routines.items():
+            table[(name, arity)] = (tuple(routine.arg_types), routine.return_type)
+        table.update(_AGGREGATES)
+        table.update(_SQL_BUILTINS)
+        _SIGNATURES = table
+    return _SIGNATURES
+
+
+def signature(name: str, arity: int) -> Optional[Tuple[Tuple[str, ...], str]]:
+    """The signature of routine *name* at *arity*, or None if unknown."""
+    return signatures().get((name, arity))

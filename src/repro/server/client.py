@@ -560,6 +560,26 @@ class RemoteTipConnection:
         self._round_trip({"op": "set_now", "now": text})
         self._session_now = text
 
+    @property
+    def session_now(self) -> Optional[str]:
+        """The session NOW override text, or None when tracking the
+        wall clock — what :meth:`set_now` last established.  The linq
+        builder's ``with_now`` combinator saves and restores this
+        around one execution."""
+        return self._session_now
+
+    def linq(self) -> "object":
+        """A typed query-builder front bound to this remote session.
+
+        Schema discovery runs over the wire (one sqlite_master query);
+        builder queries execute via :meth:`execute` or become cached
+        :class:`PreparedStatement` handles via ``Query.prepare``.  See
+        :mod:`repro.linq`.
+        """
+        from repro.linq import Linq  # lazy: avoids a client<->linq cycle
+
+        return Linq(self)
+
     def metrics(self, *, reset: bool = False, trace_tail: int = 0) -> dict:
         """The server's METRICS frame: session ledger + global snapshot.
 

@@ -57,7 +57,8 @@ from repro.faults import state as _FAULTS
 
 __all__ = [
     "CompiledStatement", "StatementCompiler", "state", "CACHE",
-    "normalize_statement", "compile_statement", "discover_valid_columns",
+    "normalize_statement", "compile_statement", "compile_normalized",
+    "count_params", "discover_valid_columns",
     "generation", "bump_generation", "configure", "clear_cache",
     "stats", "stats_counters", "DEFAULT_CACHE_SIZE",
 ]
@@ -153,13 +154,21 @@ def normalize_statement(statement: str) -> Optional[str]:
     return text
 
 
-def _count_params(statement: str) -> int:
-    """Positional ``?`` placeholders outside single-quoted literals."""
+def count_params(statement: str) -> int:
+    """Positional ``?`` placeholders outside single-quoted literals.
+
+    The same count a :class:`CompiledStatement` carries; exposed so
+    code generators (the linq compiler's :class:`ParamSpec`) can
+    cross-check their collected slots against the emitted text.
+    """
     count = 0
     for index, part in enumerate(statement.split("'")):
         if index % 2 == 0:
             count += part.count("?")
     return count
+
+
+_count_params = count_params
 
 
 def generation() -> int:
@@ -221,6 +230,31 @@ def compile_statement(statement: str, valid_columns: Dict[str, str]) -> Compiled
     compiled = _compile(normalized, valid_columns, gen)
     CACHE.put(key, compiled)
     return compiled
+
+
+def compile_normalized(statement: str, valid_columns: Dict[str, str]) -> CompiledStatement:
+    """:func:`compile_statement` for **already-normalized** text.
+
+    The linq compiler emits statements that are their own fingerprint
+    (``normalize_statement(s) == s`` by construction: single spaces,
+    literals via constructor calls, no comments or quoted
+    identifiers), so this fast path keys the cache on the text
+    directly and skips the normalization scan.  Faults and the
+    disabled switch behave exactly as in :func:`compile_statement`.
+    """
+    if _FAULTS.plan is not None:
+        _FAULTS.plan.apply("stmt.cache")
+        return _compile(statement, valid_columns, generation())
+    if not state.enabled:
+        return _compile(statement, valid_columns, generation())
+    gen = generation()
+    key: Tuple = (statement, tuple(sorted(valid_columns.items())), gen)
+    cached = CACHE.get(key)
+    if cached is not None:
+        return cached
+    plan = _compile(statement, valid_columns, gen)
+    CACHE.put(key, plan)
+    return plan
 
 
 def discover_valid_columns(connection) -> Dict[str, str]:

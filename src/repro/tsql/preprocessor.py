@@ -13,11 +13,14 @@ express TSQL2's three evaluation modes over select-from-where blocks):
 * ``NONSEQUENCED VALIDTIME SELECT ...`` — timestamps are ordinary
   attributes; the statement passes through unchanged.
 
-Restrictions (violations raise :class:`TranslationError`): the FROM
-list must be plain ``table [AS] alias`` items (no subqueries or JOIN
-syntax), and sequenced (``VALIDTIME``) statements cannot use GROUP BY —
-sequenced aggregation needs instant-by-instant group semantics that
-plain SQL cannot express (use TIP's ``group_union`` family directly).
+Restrictions (violations raise :class:`TranslationError`, carrying the
+offending clause text and its character offset): the FROM list must be
+plain ``table [AS] alias`` items — optionally grouped in parentheses,
+as the linq query compiler emits (``FROM (Prescription AS p, Patient
+AS q)``) — with no subqueries or JOIN syntax, and sequenced
+(``VALIDTIME``) statements cannot use GROUP BY — sequenced aggregation
+needs instant-by-instant group semantics that plain SQL cannot express
+(use TIP's ``group_union`` family directly).
 
 Temporal tables are detected from the schema: any column declared with
 type ``ELEMENT`` is a validity column (the first one per table is
@@ -140,14 +143,19 @@ def split_select(sql: str) -> SelectParts:
     return SelectParts(select_list, from_list, where, tail)
 
 
-def _split_top_level_commas(text: str) -> List[str]:
-    parts: List[str] = []
+def _split_commas_with_offsets(text: str) -> List[Tuple[str, int]]:
+    """Top-level comma parts of *text* with the offset of each part.
+
+    Offsets point at the first non-space character of the (stripped)
+    part within *text*, so error reports can locate the clause.
+    """
+    parts: List[Tuple[str, int]] = []
     depth = 0
     in_string = False
-    current: List[str] = []
-    for char in text:
+    start = 0
+    index = 0
+    for index, char in enumerate(text):
         if in_string:
-            current.append(char)
             if char == "'":
                 in_string = False
             continue
@@ -157,13 +165,21 @@ def _split_top_level_commas(text: str) -> List[str]:
             depth += 1
         elif char == ")":
             depth -= 1
-        if char == "," and depth == 0:
-            parts.append("".join(current).strip())
-            current = []
-        else:
-            current.append(char)
-    parts.append("".join(current).strip())
-    return [part for part in parts if part]
+        elif char == "," and depth == 0:
+            parts.append((text[start:index], start))
+            start = index + 1
+    parts.append((text[start:], start))
+    stripped: List[Tuple[str, int]] = []
+    for part, at in parts:
+        lead = len(part) - len(part.lstrip())
+        part = part.strip()
+        if part:
+            stripped.append((part, at + lead))
+    return stripped
+
+
+def _split_top_level_commas(text: str) -> List[str]:
+    return [part for part, _ in _split_commas_with_offsets(text)]
 
 
 _FROM_ITEM_RE = re.compile(
@@ -172,14 +188,25 @@ _FROM_ITEM_RE = re.compile(
 )
 
 
-def _parse_from_items(from_list: str) -> List[Tuple[str, str]]:
-    """``(table, alias)`` pairs; alias defaults to the table name."""
+def _parse_from_items(from_list: str, *, base: int = 0) -> List[Tuple[str, str]]:
+    """``(table, alias)`` pairs; alias defaults to the table name.
+
+    Items may be grouped in parentheses — ``(a AS x, b AS y)``, nested
+    arbitrarily — which is how the linq compiler spells a join's FROM
+    list.  *base* offsets error positions into the caller's statement.
+    """
     items = []
-    for part in _split_top_level_commas(from_list):
+    for part, at in _split_commas_with_offsets(from_list):
+        if part.startswith("(") and part.endswith(")"):
+            items.extend(_parse_from_items(part[1:-1], base=base + at + 1))
+            continue
         match = _FROM_ITEM_RE.match(part)
         if not match:
             raise TranslationError(
-                f"unsupported FROM item {part!r} (plain 'table [AS] alias' only)"
+                f"unsupported FROM item {part!r} at offset {base + at} "
+                "(plain 'table [AS] alias' items, optionally parenthesized)",
+                clause=part,
+                offset=base + at,
             )
         table = match["table"]
         alias = match["alias"] or table
@@ -204,7 +231,8 @@ def translate_tsql(
         return match["rest"].strip()
 
     parts = split_select(match["rest"])
-    from_items = _parse_from_items(parts.from_list)
+    from_base = statement.find(parts.from_list) if parts.from_list else 0
+    from_items = _parse_from_items(parts.from_list, base=max(from_base, 0))
     validities = [
         f"{alias}.{valid_columns[table.lower()]}"
         for table, alias in from_items
@@ -220,10 +248,16 @@ def translate_tsql(
     if "GROUP BY" in parts.tail.upper() or "HAVING" in parts.tail.upper():
         raise TranslationError(
             "sequenced (VALIDTIME) aggregation is not expressible in this subset; "
-            "use TIP's group_union/group_intersect aggregates directly"
+            "use TIP's group_union/group_intersect aggregates directly",
+            clause=parts.tail,
+            offset=max(statement.find(parts.tail), 0) if parts.tail else None,
         )
     if not validities:
-        raise TranslationError("VALIDTIME requires at least one temporal table in FROM")
+        raise TranslationError(
+            "VALIDTIME requires at least one temporal table in FROM",
+            clause=parts.from_list,
+            offset=max(from_base, 0),
+        )
 
     validity_expr = validities[0]
     for v in validities[1:]:

@@ -115,6 +115,8 @@ class TestSmoke:
             "e2.coalesce.integrated", "e2.join.integrated", "e2.coalesce.layered",
             "e5.q1.infant_tylenol", "e5.insert.literals",
             "e7.prepared.hot", "e7.adhoc.retranslate", "e7.executemany.ingest",
+            "e8.linq.compile.builder", "e8.linq.compile.handwritten",
+            "e8.linq.prepared.builder", "e8.linq.prepared.handwritten",
         }
         for entry in report["benchmarks"].values():
             assert entry["median_seconds"] > 0
@@ -137,6 +139,12 @@ class TestSmoke:
         assert adhoc_cache["statement"]["hits"] == 0
         assert report["statement_cache_enabled"] is True
         assert report["prepared"]["speedup"] > 1.0
+        # The builder A/B rides along: the interleaved probe records
+        # the hot prepared overhead next to the ad-hoc compile one.
+        linq = report["linq"]
+        assert linq["hot_builder_best_seconds"] > 0
+        assert linq["hot_handwritten_best_seconds"] > 0
+        assert "hot_overhead" in linq and "adhoc_overhead" in linq
 
     def test_smoke_compares_against_baseline(self, tmp_path, capsys):
         out_a = tmp_path / "BENCH_A.json"

@@ -22,6 +22,7 @@ CASES = {
     "bitemporal_demo.py": ["audit trail", "Recovery", "ICU"],
     "client_server_demo.py": ["TIP server listening", "NOW=1999-12-01", "NOW=2005-06-07"],
     "generate_reference.py": ["sql_reference.md"],
+    "linq_demo.py": ["builder", "ROWS AGREE: True", "rows agree"],
 }
 
 

@@ -1,0 +1,267 @@
+"""Satellite property: builder type errors fire at build time, never
+execute time.
+
+Two directions, both driven by the engine's own authorities rather than
+a re-derived table, so the suite cannot drift from runtime behaviour:
+
+* **rejection** — for every operator/operand-type combination the
+  engine's :mod:`repro.core.typerules` calls ill-typed (and for every
+  routine-signature violation the blade registry implies), attempting
+  to construct the expression raises :class:`LinqTypeError` — the node
+  never exists;
+* **soundness** — every predicate the builder *does* construct through
+  its operator overloads and typed sugar executes on a live connection
+  without any runtime type error.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core import typerules
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.instant import Instant
+from repro.core.period import Period
+from repro.core.span import Span
+from repro.linq import LinqError, LinqTypeError, call, lit, param
+from repro.linq import types as lt
+from repro.linq.ast import arithmetic, comparison
+from tests import strategies as ts
+
+CMP_OPS = ("=", "<>", "<", "<=", ">", ">=")
+ARITH_OPS = ("+", "-", "*", "/")
+
+#: Concrete sample values per builder type name (no ``any``/``null`` —
+#: those are escape hatches, not checkable claims).
+_SAMPLES = {
+    lt.CHRONON: Chronon.parse("1999-09-01"),
+    lt.SPAN: Span.parse("1 00:00:00"),
+    lt.INSTANT: Instant.at(Chronon.parse("1999-09-01")),
+    lt.PERIOD: Period.parse("[1999-08-01, 1999-08-20]"),
+    lt.ELEMENT: Element.parse("{[1999-08-01, 1999-08-20]}"),
+    lt.INTEGER: 7,
+    lt.FLOAT: 2.5,
+    lt.TEXT: "Tylenol",
+    lt.BOOLEAN: True,
+}
+
+CHECKED_NAMES = sorted(_SAMPLES)
+
+type_names = st.sampled_from(CHECKED_NAMES)
+
+
+def leaf(name: str):
+    """A literal expression of the given builder type."""
+    return lit(_SAMPLES[name])
+
+
+# -- rejection: the typerules complement ------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(op=st.sampled_from(CMP_OPS), left=type_names, right=type_names)
+def test_comparisons_follow_comparability_exactly(op, left, right):
+    expected = lt.comparable(left, right)
+    if expected:
+        node = comparison(op, leaf(left), leaf(right))
+        assert node.type_name == lt.BOOLEAN
+    else:
+        with pytest.raises(LinqTypeError):
+            comparison(op, leaf(left), leaf(right))
+
+
+@settings(max_examples=200, deadline=None)
+@given(op=st.sampled_from(ARITH_OPS), left=type_names, right=type_names)
+def test_arithmetic_follows_result_types_exactly(op, left, right):
+    expected = lt.arith_result(op, left, right)
+    if expected is None:
+        with pytest.raises(LinqTypeError):
+            arithmetic(op, leaf(left), leaf(right))
+    else:
+        node = arithmetic(op, leaf(left), leaf(right))
+        assert node.type_name == expected
+
+
+def test_comparable_mirrors_typerules_for_tip_pairs():
+    for left in (lt.CHRONON, lt.SPAN, lt.INSTANT, lt.PERIOD, lt.ELEMENT):
+        for right in (lt.CHRONON, lt.SPAN, lt.INSTANT, lt.PERIOD, lt.ELEMENT):
+            assert lt.comparable(left, right) == (
+                (left, right) in typerules.COMPARABLE
+            )
+
+
+def test_period_and_element_never_order():
+    for op in ("<", "<=", ">", ">="):
+        for name in (lt.PERIOD, lt.ELEMENT):
+            with pytest.raises(LinqTypeError, match="no order"):
+                comparison(op, leaf(name), leaf(name))
+
+
+# -- rejection: routine-signature violations --------------------------
+
+#: Routines with fully declared (non-generic) signatures: violating any
+#: argument type must raise at construction.
+def _declared_signatures():
+    rows = []
+    for (name, arity), (args, _ret) in sorted(lt.signatures().items()):
+        if arity and all(a in _SAMPLES or a in lt.TIP_NAMES for a in args):
+            if all(a != lt.ANY for a in args):
+                rows.append((name, args))
+    return rows
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.data())
+def test_routine_argument_violations_raise_at_build(data):
+    name, args = data.draw(st.sampled_from(_declared_signatures()))
+    position = data.draw(st.integers(min_value=0, max_value=len(args) - 1))
+    bad = data.draw(type_names.filter(
+        lambda n: not lt.accepts(args[position], n)
+    ))
+    values = [leaf(arg) for arg in args]
+    values[position] = leaf(bad)
+    with pytest.raises(LinqTypeError, match=f"argument {position + 1}"):
+        call(name, *values)
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data())
+def test_routine_arity_violations_raise_at_build(data):
+    name, args = data.draw(st.sampled_from(_declared_signatures()))
+    extra = data.draw(st.integers(min_value=1, max_value=3))
+    values = [leaf(arg) for arg in args] + [lit(1)] * extra
+    wrong = len(args) + extra
+    if lt.signature(name, wrong) is not None:
+        return  # a real overload exists at that arity
+    with pytest.raises(LinqTypeError, match="unknown routine"):
+        call(name, *values)
+
+
+def test_unknown_routine_raises():
+    with pytest.raises(LinqTypeError, match="unknown routine frobnicate/1"):
+        call("frobnicate", lit(1))
+
+
+def test_unknown_param_type_raises():
+    with pytest.raises(LinqTypeError, match="unknown parameter type"):
+        param("x", "Periodic")
+    with pytest.raises(LinqError, match="identifier"):
+        param("not a name", "text")
+
+
+def test_unsupported_literal_raises():
+    with pytest.raises(LinqTypeError, match="cannot build a literal"):
+        lit(object())
+    with pytest.raises(LinqTypeError):
+        lit([1, 2, 3])
+
+
+def test_logical_operands_must_be_boolean():
+    with pytest.raises(LinqTypeError, match="AND needs a boolean"):
+        lit(1) & lit(2)
+    with pytest.raises(LinqTypeError, match="NOT needs a boolean"):
+        ~lit("x")
+
+
+# -- soundness: whatever builds, runs ---------------------------------
+
+
+@pytest.fixture(scope="module")
+def conn():
+    connection = repro.connect(now="2001-06-01")
+    connection.execute(
+        "CREATE TABLE Rx (patient TEXT, dosage INTEGER, "
+        "filled CHRONON, valid ELEMENT)"
+    )
+    connection.executemany(
+        "INSERT INTO Rx VALUES (?, ?, chronon(?), element(?))",
+        [
+            ("alice", 1, "1999-10-01", "{[1999-10-01, NOW]}"),
+            ("bob", 2, "1999-08-01", "{[1999-08-01, 1999-08-20]}"),
+            ("carol", 3, "1999-01-01",
+             "{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}"),
+        ],
+    )
+    yield connection
+    connection.close()
+
+
+def _predicates(front):
+    """Recursive strategy of well-typed boolean builder expressions."""
+    p = front.table("Rx", "p")
+    scalar_cmp = st.builds(
+        lambda op, value: comparison(op, p.dosage, value),
+        st.sampled_from(CMP_OPS),
+        st.integers(min_value=-5, max_value=5),
+    )
+    text_cmp = st.builds(
+        lambda op, value: comparison(op, p.patient, value),
+        st.sampled_from(("=", "<>")),
+        st.sampled_from(("alice", "bob", "zelda")),
+    )
+    chronon_cmp = st.builds(
+        lambda op, value: comparison(op, p.filled, value),
+        st.sampled_from(CMP_OPS),
+        st.builds(lit, ts.chronons()),
+    )
+    temporal = st.one_of(
+        st.builds(lambda e: p.valid.overlaps(lit(e)), ts.determinate_elements()),
+        st.builds(lambda e: p.valid.contains(lit(e)), ts.determinate_elements()),
+        st.builds(
+            lambda c: p.valid.contains_instant(lit(c)), ts.chronons()
+        ),
+        st.builds(
+            lambda per: call("overlaps", p.valid, call("restrict", p.valid, lit(per))),
+            ts.determinate_periods(),
+        ),
+    )
+    base = st.one_of(scalar_cmp, text_cmp, chronon_cmp, temporal)
+    return st.recursive(
+        base,
+        lambda children: st.one_of(
+            st.builds(lambda a, b: a & b, children, children),
+            st.builds(lambda a, b: a | b, children, children),
+            st.builds(lambda a: ~a, children),
+        ),
+        max_leaves=6,
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.data())
+def test_constructed_predicates_execute_without_type_errors(conn, data):
+    """Anything the factories let through is safe to hand the engine.
+
+    The complement of the rejection tests above: a predicate that
+    constructs successfully must never surface a type error from the
+    blade at execute time — the build-time check is exhaustive for the
+    builder's own surface.
+    """
+    front = conn.linq()
+    p = front.table("Rx", "p")
+    predicate = data.draw(_predicates(front))
+    rows = p.where(predicate).select(call("count", p.patient)).run()
+    assert isinstance(rows[0][0], int)
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data())
+def test_constructed_projections_execute(conn, data):
+    front = conn.linq()
+    p = front.table("Rx", "p")
+    projection = data.draw(
+        st.one_of(
+            st.builds(lambda s: arithmetic("+", p.filled, lit(s)), ts.spans()),
+            st.builds(lambda c: arithmetic("-", p.filled, lit(c)), ts.chronons()),
+            st.builds(lambda per: call("restrict", p.valid, lit(per)),
+                      ts.determinate_periods()),
+            st.builds(lambda n: arithmetic("*", p.dosage, lit(n)),
+                      st.integers(-3, 3)),
+        )
+    )
+    rows = p.select(projection).run()
+    assert len(rows) == 3

@@ -1,0 +1,130 @@
+"""Regressions for typed literal round-tripping (repro.client.literals).
+
+The builder emits TIP constants as constructor calls —
+``element('{...}')`` — because the historical bare-quoted form,
+``'{...}'``, stays TEXT in any general SQL position: comparisons
+against a stored ELEMENT column silently match nothing and a projected
+literal comes back as a string.  These tests pin the failing bare-form
+cases as documented regressions and check
+``tip_literal``/``parse_literal`` are exact inverses, including the
+open-ended (NOW-bounded) Periods and multi-interval Elements that
+motivated the fix.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+import repro
+from repro.client.literals import literal, parse_literal, tip_literal
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.core.period import Period
+from repro.core.span import Span
+from tests import strategies as ts
+
+#: The motivating shapes: open-ended periods and multi-interval
+#: elements, exactly as the builder spells them.
+ROUND_TRIP_TEXTS = [
+    "chronon('1999-09-01')",
+    "span('1 08:00:00')",
+    "instant('NOW')",
+    "period('[1999-01-01, 1999-02-01]')",
+    "period('[1999-01-01, NOW]')",  # open-ended
+    "element('{}')",
+    "element('{[1999-01-01, NOW]}')",
+    "element('{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}')",
+    "element('{[1999-01-01, 1999-04-30], [1999-07-01, NOW]}')",
+    "NULL",
+    "42",
+    "-7",
+    "2.5",
+    "'plain text'",
+    "'it''s quoted'",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", ROUND_TRIP_TEXTS)
+    def test_compile_of_parse_is_identity(self, text):
+        assert tip_literal(parse_literal(text)) == text
+
+    def test_parse_of_compile_is_identity_for_values(self):
+        values = [
+            Chronon.parse("1999-09-01"),
+            Span.parse("0 06:00:00"),
+            Period.parse("[1999-01-01, NOW]"),
+            Element.parse("{[1999-01-01, 1999-04-30], [1999-07-01, NOW]}"),
+        ]
+        for value in values:
+            back = parse_literal(tip_literal(value))
+            assert type(back) is type(value)
+            assert str(back) == str(value)
+
+    def test_scalars_fall_through_to_plain_literal(self):
+        for value in (None, True, False, 42, 2.5, "it's"):
+            assert tip_literal(value) == literal(value)
+
+    @settings(max_examples=100, deadline=None)
+    @given(element=ts.determinate_elements())
+    def test_random_elements_round_trip(self, element):
+        text = tip_literal(element)
+        back = parse_literal(text)
+        assert isinstance(back, Element)
+        assert back.identical(element)
+        assert tip_literal(back) == text
+
+    @settings(max_examples=100, deadline=None)
+    @given(period=ts.periods())
+    def test_random_periods_round_trip(self, period):
+        text = tip_literal(period)
+        assert tip_literal(parse_literal(text)) == text
+
+    def test_unparseable_text_raises(self):
+        for bad in ("element('{", "period(1999)", "wibble"):
+            with pytest.raises(Exception):
+                parse_literal(bad)
+
+
+class TestBareFormRegression:
+    """The documented failure the typed form fixes."""
+
+    @pytest.fixture
+    def conn(self):
+        connection = repro.connect(now="1999-09-01")
+        connection.execute("CREATE TABLE T (x TEXT, valid ELEMENT)")
+        connection.execute(
+            "INSERT INTO T VALUES "
+            "('a', element('{[1999-01-01, 1999-02-01]}'))"
+        )
+        yield connection
+        connection.close()
+
+    def test_bare_quoted_element_silently_matches_nothing(self, conn):
+        # The trap: a bare quoted literal is TEXT, the stored column is
+        # an encoded ELEMENT, and SQL equality compares them bytewise.
+        rows = conn.query(
+            "SELECT x FROM T WHERE valid = '{[1999-01-01, 1999-02-01]}'"
+        )
+        assert rows == []  # no error, no match — the silent failure
+
+    def test_constructor_call_form_matches(self, conn):
+        element = Element.parse("{[1999-01-01, 1999-02-01]}")
+        rows = conn.query(f"SELECT x FROM T WHERE valid = {tip_literal(element)}")
+        assert rows == [("a",)]
+
+    def test_bare_quoted_projection_loses_the_type(self, conn):
+        bare = conn.query("SELECT '{[1999-01-01, NOW]}'")[0][0]
+        assert isinstance(bare, str)
+        typed = conn.query(
+            f"SELECT {tip_literal(Element.parse('{[1999-01-01, NOW]}'))}"
+        )[0][0]
+        assert isinstance(typed, Element)
+
+    def test_typed_form_keeps_type_through_routines(self, conn):
+        element = Element.parse("{[1999-01-15, 1999-01-20]}")
+        rows = conn.query(
+            f"SELECT x FROM T WHERE contains(valid, {tip_literal(element)})"
+        )
+        assert rows == [("a",)]

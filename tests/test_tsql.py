@@ -202,3 +202,73 @@ class TestTranslateFunction:
         assert "tintersect(a.vt, b.vt) AS valid" in sql
         assert "overlaps(a.vt, b.vt)" in sql
         assert "(a.k = b.k) AND" in sql
+
+
+class TestParenthesizedFromLists:
+    """The FROM-list grammar the linq compiler emits: items may be
+    grouped in parentheses, arbitrarily nested."""
+
+    def test_parenthesized_group_translates_like_flat_list(self):
+        flat = translate_tsql(
+            "VALIDTIME SELECT a.x FROM t a, t b WHERE a.k = b.k",
+            {"t": "vt"},
+        )
+        grouped = translate_tsql(
+            "VALIDTIME SELECT a.x FROM (t a, t b) WHERE a.k = b.k",
+            {"t": "vt"},
+        )
+        assert grouped == flat.replace("FROM t a, t b", "FROM (t a, t b)")
+
+    def test_nested_groups_flatten(self):
+        sql = translate_tsql(
+            "SNAPSHOT SELECT a.x FROM ((t AS a), (t AS b, t AS c))",
+            {"t": "vt"},
+        )
+        for alias in ("a", "b", "c"):
+            assert f"contains_instant({alias}.vt, instant('NOW'))" in sql
+
+    def test_grouped_items_execute(self, session):
+        rows = session.query(
+            "SNAPSHOT SELECT p.drug FROM (Prescription AS p) "
+            "WHERE p.patient = 'Ms.Info' ORDER BY p.drug"
+        )
+        assert rows == [("Prozac",)]  # Tylenol's validity ended before NOW
+
+
+class TestTranslationErrorMetadata:
+    """TranslationError carries the offending clause text and its
+    character offset into the original statement."""
+
+    def test_bad_from_item_reports_clause_and_offset(self):
+        statement = "SNAPSHOT SELECT x FROM t a, 1bad"
+        with pytest.raises(TranslationError) as info:
+            translate_tsql(statement, {"t": "vt"})
+        assert info.value.clause == "1bad"
+        assert info.value.offset == statement.index("1bad")
+        assert statement[info.value.offset:].startswith(info.value.clause)
+
+    def test_offset_points_inside_parenthesized_group(self):
+        statement = "SNAPSHOT SELECT x FROM (t a, se-lect) WHERE x = 1"
+        with pytest.raises(TranslationError) as info:
+            translate_tsql(statement, {"t": "vt"})
+        assert info.value.clause == "se-lect"
+        assert statement[info.value.offset:].startswith("se-lect")
+
+    def test_validtime_group_by_reports_tail_clause(self):
+        with pytest.raises(TranslationError) as info:
+            translate_tsql(
+                "VALIDTIME SELECT a FROM t GROUP BY a",
+                {"t": "vt"},
+            )
+        assert info.value.clause is not None
+        assert "GROUP BY" in info.value.clause
+
+    def test_validtime_without_temporal_table_reports_from_list(self):
+        with pytest.raises(TranslationError) as info:
+            translate_tsql("VALIDTIME SELECT a FROM plain", {"t": "vt"})
+        assert info.value.clause == "plain"
+
+    def test_metadata_defaults_to_none(self):
+        error = TranslationError("boom")
+        assert error.clause is None
+        assert error.offset is None
