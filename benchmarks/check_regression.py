@@ -16,8 +16,8 @@ the check — adding or retiring an experiment is not a regression.
 There is also a self-contained smoke mode::
 
     PYTHONPATH=src python benchmarks/check_regression.py --smoke \\
-        [--out BENCH_PR8.json] [--repeats 5] [--size 200] \\
-        [--baseline benchmarks/BENCH_PR7.json] [--concurrency]
+        [--out BENCH_PR9.json] [--repeats 5] [--size 200] \\
+        [--baseline benchmarks/BENCH_PR8.json] [--concurrency]
 
 which runs a fixed set of representative temporal workloads in-process
 (no pytest-benchmark needed) and writes a machine-readable JSON report:
@@ -549,6 +549,80 @@ def _measure_linq_overhead(size: int, rounds: int = 9) -> Dict[str, float]:
     }
 
 
+def _measure_flight_overhead(size: int, burst: int = 50) -> Dict[str, float]:
+    """Paired A/B of the hot prepared path: flight recorder on vs off.
+
+    One server, one prepared handle.  The loop runs many short
+    *adjacent* on/off burst pairs (order alternating pair by pair) and
+    the estimator is the **median of within-pair differences** over
+    the median off-burst time.  Adjacent pairing cancels the slow
+    machine drift that makes best-of-rounds comparisons of long
+    separate loops unreliable on shared hardware, and the median
+    throws away scheduler outliers on both sides.  This is the
+    always-on-diagnostics acceptance number: the ring appends per
+    statement (``stmt.begin`` + ``stmt.end``) must stay under a few
+    percent of the hot path, and the disabled side must cost exactly
+    one attribute load.
+    """
+    from repro.obs import flight
+    from repro.server import RemoteTipConnection, TipServer
+
+    pairs = max(10, size)
+    server = TipServer(":memory:", observability=False,
+                       flight_recorder=False).start()
+    host, port = server.address
+    connection = RemoteTipConnection(host, port)
+    try:
+        connection.execute(
+            "CREATE TABLE Rx (patient TEXT, drug TEXT, valid ELEMENT)"
+        )
+        for i in range(8):
+            connection.execute(
+                f"INSERT INTO Rx VALUES ('p{i}', 'Tylenol', "
+                "element('{[1999-10-01, NOW]}'))"
+            )
+        connection.set_now(SMOKE_NOW)
+        prepared = connection.prepare(
+            "SNAPSHOT SELECT p.patient FROM Rx AS p WHERE (p.drug = ?)"
+        )
+        def timed(enabled: bool) -> float:
+            (flight.enable if enabled else flight.disable)()
+            started = time.perf_counter()
+            for _ in range(burst):
+                prepared.execute(("Tylenol",)).rows
+            return time.perf_counter() - started
+
+        for _ in range(4):  # warm the path before either arm is scored
+            timed(False)
+        diffs = []
+        on_times = []
+        off_times = []
+        for pair_index in range(pairs):
+            # Alternate which arm goes first so within-pair warm-up
+            # never systematically taxes one side.
+            if pair_index % 2 == 0:
+                on = timed(True)
+                off = timed(False)
+            else:
+                off = timed(False)
+                on = timed(True)
+            diffs.append(on - off)
+            on_times.append(on)
+            off_times.append(off)
+        prepared.deallocate()
+    finally:
+        flight.disable()
+        flight.clear()
+        connection.close()
+        server.stop()
+    median_off = statistics.median(off_times)
+    return {
+        "hot_enabled_median_seconds": statistics.median(on_times),
+        "hot_disabled_median_seconds": median_off,
+        "hot_overhead": statistics.median(diffs) / median_off,
+    }
+
+
 def _cache_delta(before: Dict, after: Dict) -> Dict[str, Dict[str, float]]:
     """Per-cache ``{hits, misses, evictions, hit_ratio}`` across a case."""
     delta: Dict[str, Dict[str, float]] = {}
@@ -704,6 +778,12 @@ def run_smoke(
         print(f"linq hot prepared overhead: "
               f"{report['linq']['hot_overhead'] * 100:+.1f}% "
               "vs raw prepared tSQL (compile amortized)")
+    # E9: the always-on flight recorder must stay nearly free on the
+    # hot prepared path (acceptance bound: < 5% added latency).
+    report["flight"] = _measure_flight_overhead(size)
+    print(f"flight recorder overhead (e9.flight.overhead): "
+          f"{report['flight']['hot_overhead'] * 100:+.1f}% "
+          "on the hot prepared path (recorder on vs off)")
     if concurrency:
         report["concurrency"] = run_concurrency_sweep(size=size)
     if baseline is None:
@@ -749,8 +829,8 @@ def main(argv=None) -> int:
              "pooled WAL server (implies --smoke)",
     )
     parser.add_argument(
-        "--out", default="BENCH_PR8.json",
-        help="smoke mode: report path (default BENCH_PR8.json)",
+        "--out", default="BENCH_PR9.json",
+        help="smoke mode: report path (default BENCH_PR9.json)",
     )
     parser.add_argument(
         "--baseline", default=None,

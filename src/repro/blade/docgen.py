@@ -109,8 +109,8 @@ _CLI_SECTION = [
     "",
     "The interactive shell (`python -m repro [database]`) executes SQL and",
     "TSQL2 statement modifiers; dot-commands drive the session (`.help`,",
-    "`.demo`, `.tables`, `.schema`, `.now`, `.blade`, `.browse`, `.window`,",
-    "`.slide`, `.zoom`, `.quit`).",
+    "`.demo`, `.tables`, `.schema`, `.now`, `.blade`, `.flight`, `.browse`,",
+    "`.window`, `.slide`, `.zoom`, `.quit`).",
     "",
     "### `.metrics` — engine metrics from the shell",
     "",
@@ -120,7 +120,7 @@ _CLI_SECTION = [
     "| `.metrics` | print counters, latency histograms, recent spans as a table |",
     "| `.metrics json` | the same snapshot as JSON |",
     "| `.metrics prom` | the same snapshot as Prometheus text exposition |",
-    "| `.metrics reset` | clear all recorded metrics and traces |",
+    "| `.metrics reset` | clear all recorded metrics, traces, and the flight ring |",
     "",
     "Every blade routine, cast, and aggregate is instrumented with",
     "per-name call counts, latency histograms, and error counts",
@@ -136,6 +136,22 @@ _CLI_SECTION = [
     "the server's per-session ledger and process-wide snapshot (see the",
     "`repro.server.protocol` docstring for the frame layout).  `--prom`",
     "emits the snapshot in the Prometheus text exposition format.",
+    "",
+    "### Flight recorder and live telemetry",
+    "",
+    "The flight recorder (`repro.obs.flight`) keeps a bounded, lock-free",
+    "ring of structured engine events — statement/batch/stream lifecycle,",
+    "pool checkouts, WAL checkpoints, cache traffic, fired faults — that",
+    "turns the counters above into an ordered timeline.  `.flight` drives",
+    "it from the shell (`on`/`off`/`last N`/`kind K`/`json`/`clear`),",
+    "`python -m repro flight HOST:PORT [--last N] [--kind K] [--session S]`",
+    "retrieves a remote ring over the `FLIGHT` protocol frame, and",
+    "`python -m repro serve --telemetry-port N` additionally serves",
+    "`/metrics`, `/debug/flight`, `/debug/spans`, `/debug/profiles`,",
+    "`/debug/slow`, and `/healthz` over HTTP while the server is under",
+    "load.  The full chapter — event catalogue, crash dumps, determinism",
+    "guarantees, and the trace-timeline walkthrough — is",
+    "`docs/observability.md`.",
     "",
     "### `EXPLAIN TEMPORAL` — per-query blade-vs-layered cost report",
     "",

@@ -27,6 +27,11 @@ Dot-commands drive the session:
                         chaos plan, ``off`` disarms, ``points`` lists
                         the injection points, no argument shows the
                         armed plan
+``.flight [...]``       flight recorder: ``on``/``off`` toggles the
+                        ring, ``clear`` empties it, ``json`` dumps the
+                        events as JSONL, ``last N`` shows the newest N,
+                        ``kind <k>`` filters by kind prefix, no
+                        argument prints a summary table
 ``.linq <expr>``        evaluate a query-builder expression
                         (:mod:`repro.linq`) and run it; the namespace
                         binds ``t(name[, alias])`` for tables plus
@@ -43,10 +48,18 @@ Dot-commands drive the session:
 
 There are also non-interactive subcommands: one fetches a METRICS
 frame from a running :class:`~repro.server.server.TipServer`, one
-inspects and validates chaos plans, one runs the blade-vs-layered
-``EXPLAIN TEMPORAL`` comparison on a one-shot database::
+fetches its FLIGHT frame (the flight-recorder ring, as JSONL), one
+runs a TIP server in the foreground (with an optional telemetry HTTP
+endpoint), one inspects and validates chaos plans, one runs the
+blade-vs-layered ``EXPLAIN TEMPORAL`` comparison on a one-shot
+database::
 
     python -m repro metrics HOST:PORT [--json|--prom] [--reset]
+    python -m repro flight HOST:PORT [--last N] [--session S]
+                           [--trace T] [--kind K]
+    python -m repro serve [--db PATH] [--host H] [--port P]
+                          [--readers N] [--telemetry-port P]
+                          [--flight-dump PATH] [--duration SECONDS]
     python -m repro faults [SPEC] [--seed N] [--json]
     python -m repro explain [--db PATH] [--demo N] [--json] SQL
 
@@ -56,6 +69,7 @@ Everything returns text, so the shell is scriptable and testable
 
 from __future__ import annotations
 
+import json
 import os
 import sqlite3
 import sys
@@ -69,7 +83,10 @@ from repro.core.span import Span
 from repro.errors import TipError
 from repro.tsql import TsqlSession, compiled, strip_explain
 
-__all__ = ["TipShell", "main", "metrics_main", "faults_main", "explain_main"]
+__all__ = [
+    "TipShell", "main", "metrics_main", "faults_main", "explain_main",
+    "flight_main", "serve_main",
+]
 
 _MAX_ROWS = 40
 
@@ -232,6 +249,7 @@ class TipShell:
             obs.get_trace_buffer().clear()
             codec.clear_caches(reset_stats=True)
             compiled.clear_cache(reset_stats=True)
+            obs.flight.clear()
             return "metrics reset"
         snapshot = obs.snapshot(trace_tail=10)
         if argument == "json":
@@ -263,6 +281,50 @@ class TipShell:
             seed = int(parts[1][len("seed="):])
         plan = faults.arm(argument, seed=seed)
         return f"fault injection armed (seed={seed}): {plan.spec()}"
+
+    def _cmd_flight(self, argument: str) -> str:
+        flight = obs.flight
+        head, _, tail = argument.partition(" ")
+        head = head.lower()
+        tail = tail.strip()
+        if head == "on":
+            flight.enable()
+            return "flight recorder enabled"
+        if head == "off":
+            flight.disable()
+            return "flight recorder disabled (ring kept)"
+        if head == "clear":
+            flight.clear()
+            return "flight ring cleared"
+        filters = {}
+        if head == "last":
+            try:
+                filters["last"] = int(tail or "10")
+            except ValueError:
+                return "usage: .flight last <n>"
+        elif head == "kind":
+            if not tail:
+                return "usage: .flight kind <kind-or-prefix>"
+            filters["kind"] = tail
+        elif head == "json":
+            return "\n".join(
+                json.dumps(entry, sort_keys=True) for entry in flight.snapshot()
+            ) or "(no events)"
+        elif head:
+            return "usage: .flight [on|off|clear|json|last <n>|kind <k>]"
+        events = flight.events(**filters)
+        state = "on" if flight.state.enabled else "off (enable with .flight on)"
+        if not events:
+            return f"flight recorder: {state}\n(no events)"
+        rows = [
+            (event.seq, f"{event.ts:.6f}", event.kind, event.session or "-",
+             " ".join(f"{key}={value}" for key, value in sorted(event.data.items())))
+            for event in events
+        ]
+        return (f"flight recorder: {state} "
+                f"({len(flight.get_recorder())} events, "
+                f"capacity {flight.get_recorder().capacity})\n"
+                + _format_table(("seq", "ts", "kind", "session", "data"), rows))
 
     # -- browser commands -----------------------------------------------------------
 
@@ -397,6 +459,149 @@ def metrics_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def flight_main(argv: Sequence[str]) -> int:
+    """``python -m repro flight HOST:PORT [--last N] [--session S] [--trace T] [--kind K]``.
+
+    Fetches one FLIGHT frame from a running TIP server and prints the
+    flight-recorder events as JSONL — one event per line, ready for
+    ``jq`` or a log shipper.  The filters mirror the wire frame:
+    newest N, one connection key, one trace id, or a kind prefix.
+    """
+    from repro.server.client import RemoteTipConnection
+
+    last = 0
+    session = trace = kind = None
+    targets: List[str] = []
+    arguments = iter(argv)
+    for arg in arguments:
+        if arg in ("--last", "--session", "--trace", "--kind"):
+            value = next(arguments, None)
+            if value is None:
+                print(f"error: {arg} needs a value", file=sys.stderr)
+                return 2
+            if arg == "--last":
+                try:
+                    last = int(value)
+                except ValueError:
+                    print("error: --last needs an integer", file=sys.stderr)
+                    return 2
+            elif arg == "--session":
+                session = value
+            elif arg == "--trace":
+                trace = value
+            else:
+                kind = value
+            continue
+        if arg.startswith("--"):
+            print(f"error: unknown option {arg!r}", file=sys.stderr)
+            return 2
+        targets.append(arg)
+    if len(targets) != 1 or ":" not in targets[0]:
+        print("usage: python -m repro flight HOST:PORT "
+              "[--last N] [--session S] [--trace T] [--kind K]", file=sys.stderr)
+        return 2
+    host, _, port_text = targets[0].rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"error: bad port {port_text!r}", file=sys.stderr)
+        return 2
+    try:
+        with RemoteTipConnection(host, port) as connection:
+            data = connection.flight(
+                last=last, session=session, trace=trace, kind=kind
+            )
+    except (OSError, TipError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not data.get("enabled") and not data.get("events"):
+        print("flight recorder is disabled on the server", file=sys.stderr)
+    for event in data.get("events", []):
+        print(json.dumps(event, sort_keys=True))
+    return 0
+
+
+def serve_main(argv: Sequence[str]) -> int:
+    """``python -m repro serve [--db PATH] [--host H] [--port P] ...``.
+
+    Runs a :class:`~repro.server.server.TipServer` in the foreground.
+    ``--telemetry-port P`` additionally serves the live telemetry HTTP
+    endpoint (``/metrics``, ``/debug/flight``, ...; port 0 picks a free
+    one); ``--flight-dump PATH`` configures the crash-dump target;
+    ``--duration SECONDS`` exits after that long (for scripting and
+    tests — the default serves until interrupted).
+    """
+    from repro.server.server import TipServer
+
+    options = {
+        "--db": ":memory:", "--host": "127.0.0.1", "--port": "0",
+        "--readers": "4", "--telemetry-port": None, "--flight-dump": None,
+        "--slow-threshold": None, "--duration": None,
+    }
+    profiling = False
+    arguments = iter(argv)
+    for arg in arguments:
+        if arg == "--profiling":
+            profiling = True
+            continue
+        if arg in options:
+            value = next(arguments, None)
+            if value is None:
+                print(f"error: {arg} needs a value", file=sys.stderr)
+                return 2
+            options[arg] = value
+            continue
+        print(f"error: unknown option {arg!r}", file=sys.stderr)
+        print("usage: python -m repro serve [--db PATH] [--host H] [--port P] "
+              "[--readers N] [--telemetry-port P] [--flight-dump PATH] "
+              "[--profiling] [--slow-threshold S] [--duration SECONDS]",
+              file=sys.stderr)
+        return 2
+    try:
+        port = int(options["--port"])
+        readers = int(options["--readers"])
+        telemetry_port = (
+            None if options["--telemetry-port"] is None
+            else int(options["--telemetry-port"])
+        )
+        slow_threshold = (
+            None if options["--slow-threshold"] is None
+            else float(options["--slow-threshold"])
+        )
+        duration = (
+            None if options["--duration"] is None
+            else float(options["--duration"])
+        )
+    except ValueError as exc:
+        print(f"error: bad option value: {exc}", file=sys.stderr)
+        return 2
+    server = TipServer(
+        options["--db"], host=options["--host"], port=port, readers=readers,
+        profiling=profiling, slow_threshold=slow_threshold,
+        telemetry_port=telemetry_port, flight_dump=options["--flight-dump"],
+    )
+    server.start()
+    try:
+        host, bound_port = server.address
+        print(f"serving {options['--db']} on {host}:{bound_port}")
+        if server.telemetry_address is not None:
+            t_host, t_port = server.telemetry_address
+            print(f"telemetry on http://{t_host}:{t_port}/metrics")
+        sys.stdout.flush()
+        import time as _time
+
+        if duration is not None:
+            _time.sleep(duration)
+        else:  # pragma: no cover - interactive foreground loop
+            while True:
+                _time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - ^C is the exit path
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
 def faults_main(argv: Sequence[str]) -> int:
     """``python -m repro faults [SPEC] [--seed N] [--json]``.
 
@@ -512,14 +717,22 @@ def explain_main(argv: Sequence[str]) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """The stdin REPL loop, or a one-shot subcommand (``metrics``, ``faults``, ``explain``)."""
+    """The stdin REPL loop, or a one-shot subcommand.
+
+    Subcommands: ``metrics``, ``flight``, ``serve``, ``faults``,
+    ``explain``.
+    """
     arguments = list(sys.argv[1:] if argv is None else argv)
     if arguments and arguments[0] == "faults":
         return faults_main(arguments[1:])
     if arguments and arguments[0] == "explain":
         return explain_main(arguments[1:])
-    if arguments and arguments[0] == "metrics":
+    if arguments and arguments[0] == "serve":
+        return serve_main(arguments[1:])
+    if arguments and arguments[0] in ("metrics", "flight"):
         try:
+            if arguments[0] == "flight":
+                return flight_main(arguments[1:])
             return metrics_main(arguments[1:])
         except BrokenPipeError:
             # stdout went away (e.g. piped into `head`); not an error.

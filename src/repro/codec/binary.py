@@ -39,6 +39,7 @@ from typing import Type, Union
 
 from repro.codec import cache as _CACHE
 from repro.core import granularity
+from repro.obs import flight as _flight
 from repro.core.chronon import Chronon
 from repro.core.element import Element
 from repro.core.instant import Instant
@@ -202,6 +203,11 @@ def decode(data: bytes) -> TipValue:
         return value
     value = _decode_bytes(data, stamp=True)
     cache.put(data, value)
+    if _flight.state.enabled:
+        # Misses only: hits are far too hot for a ring append per row
+        # (the stats counters still count them); a miss marks the cold
+        # moment a timeline cares about.
+        _flight.record("cache.decode.miss", tag=data[2])
     return value
 
 

@@ -191,6 +191,12 @@ def clear_caches(reset_stats: bool = False) -> None:
     """
     DECODE.clear(reset_stats=reset_stats)
     PARSE.clear(reset_stats=reset_stats)
+    # Lazy import: this module must stay importable before repro.obs
+    # (the cold clear path can afford the lookup).
+    from repro.obs import flight as _flight
+
+    if _flight.state.enabled:
+        _flight.record("cache.decode.invalidate")
 
 
 def stats() -> Dict:

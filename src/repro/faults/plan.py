@@ -180,7 +180,7 @@ class FaultPlan:
         pure function of the key's hit sequence — see the module
         docstring.  Keyless calls keep the original global bookkeeping.
         """
-        triggered: List[FaultRule] = []
+        triggered: List[tuple] = []
         with self._lock:
             for rule in self.rules:
                 if rule.point != point:
@@ -205,9 +205,9 @@ class FaultPlan:
                 self._ledger.setdefault(key or "", []).append(
                     f"{point}:{rule.mode}#{hits}"
                 )
-                triggered.append(rule)
-        for rule in triggered:
-            self._note(point, rule.mode)
+                triggered.append((rule, hits))
+        for rule, hits in triggered:
+            self._note(point, rule.mode, key=key, hits=hits)
             data = self._perform(rule, point, data, key=key)
         return data
 
@@ -225,12 +225,22 @@ class FaultPlan:
             return {k: list(v) for k, v in self._ledger.items()}
 
     @staticmethod
-    def _note(point: str, mode: str) -> None:
+    def _note(
+        point: str, mode: str,
+        key: Optional[str] = None, hits: Optional[int] = None,
+    ) -> None:
         from repro import obs
+        from repro.obs import flight as _flight
 
         if obs.state.enabled:
             obs.counter(f"faults.injected.{point}.{mode}").inc()
             obs.counter("faults.injected.total").inc()
+        if _flight.state.enabled:
+            # The firing hit's ordinal is the same value the ledger
+            # books, so a flight timeline replays exactly like the
+            # ledger does for a seeded plan.
+            _flight.record("fault.fired", session=key, point=point,
+                           mode=mode, hit=hits)
 
     def _perform(
         self, rule: FaultRule, point: str, data: Optional[bytes],

@@ -28,7 +28,15 @@ from contextlib import contextmanager
 from time import monotonic, perf_counter
 from typing import Dict
 
-from repro.obs.export import render_json, render_profile, render_prometheus, render_text
+from repro.obs.export import (
+    assemble_trace,
+    render_json,
+    render_profile,
+    render_prometheus,
+    render_spans,
+    render_text,
+    span_records,
+)
 from repro.obs.instruments import Counter, Histogram
 from repro.obs.registry import (
     MetricsRegistry,
@@ -46,7 +54,7 @@ from repro.obs.trace import (
     set_trace_buffer,
     span,
 )
-from repro.obs import profile
+from repro.obs import flight, profile
 
 __all__ = [
     "Counter", "Histogram", "MetricsRegistry", "TraceBuffer", "TraceEvent",
@@ -54,7 +62,8 @@ __all__ = [
     "get_registry", "set_registry", "get_trace_buffer", "set_trace_buffer",
     "counter", "histogram", "span", "snapshot", "instrumented", "call", "capture",
     "render_text", "render_json", "render_prometheus", "render_profile",
-    "profile",
+    "render_spans", "span_records", "assemble_trace",
+    "profile", "flight",
 ]
 
 #: Monotonic mark at import time — the uptime origin every snapshot
@@ -114,6 +123,11 @@ def snapshot(trace_tail: int = 0) -> Dict:
         for cache_counter, cache_value in _stmt_cache.stats_counters().items():
             if cache_value:
                 counters.setdefault(cache_counter, cache_value)
+    data["flight"] = {
+        "enabled": flight.state.enabled,
+        "events": len(flight.get_recorder()),
+        "capacity": flight.get_recorder().capacity,
+    }
     from repro.faults import state as _fault_state
 
     plan = _fault_state.plan
@@ -204,6 +218,13 @@ def capture(enabled: bool = True):
     )
     pstate.recent = deque(maxlen=profile.RECENT_CAPACITY)
     pstate.slow = profile.SlowQueryLog()
+    # Flight isolation mirrors the registry: a fresh ring, and the
+    # recorder switch parked off so only tests that opt in see events.
+    fstate = flight.state
+    previous_flight = (fstate.enabled, fstate.crash_dump_path,
+                       flight.set_recorder(flight.FlightRecorder()))
+    fstate.enabled = False
+    fstate.crash_dump_path = None
     state.enabled = enabled
     try:
         yield registry
@@ -213,3 +234,5 @@ def capture(enabled: bool = True):
         set_trace_buffer(previous_buffer)
         (pstate.recent, pstate.slow, pstate.slow_threshold,
          pstate.enabled) = previous_profiles
+        fstate.enabled, fstate.crash_dump_path = previous_flight[:2]
+        flight.set_recorder(previous_flight[2])

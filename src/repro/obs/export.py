@@ -9,15 +9,25 @@ process can be wired into an existing monitoring stack without a
 bespoke exporter.  :func:`render_profile` renders one
 :class:`~repro.obs.profile.QueryProfile` (as plain data) for the
 shell's ``.profile`` command and the PROFILE wire frame.
+
+The span exporter (:func:`span_records` / :func:`render_spans` /
+:func:`assemble_trace`) turns buffered trace events into JSONL span
+lines carrying ``trace_id`` / ``span_id`` / ``parent_span_id``, and
+reassembles the client- and server-side spans of one trace into a
+parent-first timeline — the cross-process view the flight recorder's
+per-process ring cannot give by itself.
 """
 
 from __future__ import annotations
 
 import json
 import re
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-__all__ = ["render_text", "render_json", "render_prometheus", "render_profile"]
+__all__ = [
+    "render_text", "render_json", "render_prometheus", "render_profile",
+    "span_records", "render_spans", "assemble_trace",
+]
 
 
 def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> List[str]:
@@ -113,11 +123,15 @@ def render_text(snapshot: Dict) -> str:
             rows.append((
                 name, str(h.get("count", 0)),
                 _seconds(h.get("mean", 0.0)),
+                _seconds(h.get("p50")), _seconds(h.get("p95")), _seconds(h.get("p99")),
                 _seconds(h.get("min")), _seconds(h.get("max")),
                 _seconds(h.get("sum", 0.0)),
             ))
         sections.append("\n".join(
-            ["histograms:"] + _table(("name", "count", "mean", "min", "max", "total"), rows)
+            ["histograms:"] + _table(
+                ("name", "count", "mean", "p50", "p95", "p99", "min", "max", "total"),
+                rows,
+            )
         ))
     trace = snapshot.get("trace", [])
     if trace:
@@ -175,19 +189,35 @@ def render_prometheus(snapshot: Dict) -> str:
                     f'tip_marshal_cache_entries{{cache="{which}"}} '
                     f'{entry.get("entries", 0)}'
                 )
+    counters = dict(snapshot.get("counters", {}))
     if caches:
         statement = caches.get("statement")
         if statement and statement.get("enabled"):
-            # The hit/miss/evict/invalidate totals ride in the counter
-            # table as tip_tsql_cache_* counters; occupancy is a gauge.
             lines += [
                 "# TYPE tip_statement_cache_entries gauge",
                 f"tip_statement_cache_entries {statement.get('entries', 0)}",
             ]
-    for name in sorted(snapshot.get("counters", {})):
+            # The hit/miss/evict/invalidate totals normally ride in the
+            # counter table (merged from stats_counters()); a snapshot
+            # taken before any traffic skips the zero-valued ones, so
+            # fill the family in explicitly — scrapers want every series
+            # of a family present from the first scrape.
+            for short, stat in (("hit", "hits"), ("miss", "misses"),
+                                ("evict", "evictions"),
+                                ("invalidate", "invalidations")):
+                counters.setdefault(f"tsql.cache.{short}", statement.get(stat, 0))
+    flight = snapshot.get("flight")
+    if flight:
+        lines += [
+            "# TYPE tip_flight_events gauge",
+            f"tip_flight_events {flight.get('events', 0)}",
+            "# TYPE tip_flight_enabled gauge",
+            f"tip_flight_enabled {1 if flight.get('enabled') else 0}",
+        ]
+    for name in sorted(counters):
         metric = _prom_name(name) + "_total"
         lines += [f"# TYPE {metric} counter",
-                  f"{metric} {snapshot['counters'][name]}"]
+                  f"{metric} {counters[name]}"]
     for name in sorted(snapshot.get("histograms", {})):
         hist = snapshot["histograms"][name]
         metric = _prom_name(name)
@@ -211,6 +241,15 @@ def render_prometheus(snapshot: Dict) -> str:
             lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
         lines += [f"{metric}_sum {hist.get('sum', 0.0):.9f}",
                   f"{metric}_count {count}"]
+        # Bucket-derived quantile estimates as a companion gauge (a
+        # native histogram carries no quantile series; dashboards that
+        # cannot run histogram_quantile() read these directly).
+        quantiles = [(q, hist.get(f"p{int(q * 100)}")) for q in (0.5, 0.95, 0.99)]
+        if any(value is not None for _q, value in quantiles):
+            lines.append(f"# TYPE {metric}_quantile gauge")
+            for q, value in quantiles:
+                if value is not None:
+                    lines.append(f'{metric}_quantile{{quantile="{q:g}"}} {value:.9f}')
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -227,7 +266,8 @@ def render_profile(profile: Dict) -> str:
         + (f" retries={profile['retries']}" if profile.get("retries") else ""),
         f"  periods_processed={profile.get('periods_processed', 0)} "
         f"index_probes={profile.get('index_probes', 0)} "
-        f"ok={profile.get('ok', True)}",
+        f"ok={profile.get('ok', True)}"
+        + (f" stmt_cache={profile['stmt_cache']}" if profile.get("stmt_cache") else ""),
     ]
     if profile.get("error"):
         lines.append(f"  error: {profile['error']}")
@@ -245,3 +285,68 @@ def render_profile(profile: Dict) -> str:
         lines += ["    " + line
                   for line in _table(("routine", "calls", "seconds", "steps"), rows)]
     return "\n".join(lines)
+
+
+# -- span export -------------------------------------------------------
+
+
+def span_records(events: Sequence) -> List[Dict]:
+    """Trace events flattened to span records (meta keys promoted).
+
+    Accepts :class:`~repro.obs.trace.TraceEvent` objects or their
+    ``as_dict()`` form; each record carries ``name`` / ``seconds`` /
+    ``ok`` plus whatever trace identity the span's meta holds
+    (``trace_id`` / ``span_id`` / ``parent_span_id`` / ``side`` ...),
+    so one line is one span of one trace.
+    """
+    records: List[Dict] = []
+    for event in events:
+        entry = event.as_dict() if hasattr(event, "as_dict") else dict(event)
+        meta = entry.pop("meta", {})
+        records.append({**entry, **meta})
+    return records
+
+
+def render_spans(events: Sequence, *, trace_id: Optional[str] = None) -> str:
+    """Spans as JSONL, one span per line, optionally one trace only.
+
+    The JSONL form is what ``repro flight``-style tooling and offline
+    timeline viewers consume: spans from different processes (client
+    and server halves of one statement) concatenate into one file and
+    regroup by ``trace_id``.
+    """
+    records = span_records(events)
+    if trace_id is not None:
+        records = [r for r in records if r.get("trace_id") == trace_id]
+    return "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+
+
+def assemble_trace(events: Sequence, trace_id: str) -> List[Dict]:
+    """One trace's spans as a parent-first timeline with depths.
+
+    Spans reassemble across processes through their ids: a span whose
+    ``parent_span_id`` names another span's ``span_id`` nests under it
+    (the server-side half of a remote statement under its client-side
+    half).  Roots and orphans (parent not captured) sit at depth 0, in
+    buffer order; each record gains a ``depth`` key.
+    """
+    spans = [r for r in span_records(events) if r.get("trace_id") == trace_id]
+    by_id = {r["span_id"]: r for r in spans if r.get("span_id")}
+    children: Dict[str, List[Dict]] = {}
+    roots: List[Dict] = []
+    for record in spans:
+        parent = record.get("parent_span_id")
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(record)
+        else:
+            roots.append(record)
+    timeline: List[Dict] = []
+
+    def walk(record: Dict, depth: int) -> None:
+        timeline.append({**record, "depth": depth})
+        for child in children.get(record.get("span_id") or "", []):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return timeline

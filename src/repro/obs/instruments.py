@@ -95,8 +95,36 @@ class Histogram:
         with self._lock:
             return self._sum / self._count if self._count else 0.0
 
+    def _quantile_locked(self, q: float) -> Optional[float]:
+        """The *q*-quantile estimated from the bucket state (lock held).
+
+        Walks the cumulative bucket counts to the first bucket whose
+        cumulative share reaches *q* and reports that bucket's upper
+        bound, clamped to the observed max (so a histogram whose every
+        observation landed in one wide bucket never reports a value
+        larger than anything it saw).  The overflow bucket reports the
+        observed max directly.  None while empty.
+        """
+        if not self._count:
+            return None
+        rank = q * self._count
+        cumulative = 0
+        for position, slot in enumerate(self._buckets):
+            cumulative += slot
+            if cumulative >= rank and slot:
+                if position >= len(self.bounds):  # the +Inf overflow slot
+                    return self._max
+                bound = self.bounds[position]
+                return min(bound, self._max) if self._max is not None else bound
+        return self._max
+
     def snapshot(self) -> Dict:
-        """A plain-data summary suitable for JSON framing."""
+        """A plain-data summary suitable for JSON framing.
+
+        Includes p50/p95/p99 estimates derived from the bucket state —
+        the summary quantiles METRICS frames, ``.metrics`` tables, and
+        the Prometheus quantile gauges all surface.
+        """
         with self._lock:
             buckets = {}
             for bound, slot in zip(self.bounds, self._buckets):
@@ -110,6 +138,9 @@ class Histogram:
                 "min": self._min,
                 "max": self._max,
                 "mean": self._sum / self._count if self._count else 0.0,
+                "p50": self._quantile_locked(0.50),
+                "p95": self._quantile_locked(0.95),
+                "p99": self._quantile_locked(0.99),
                 "buckets": buckets,
             }
 

@@ -97,6 +97,11 @@ class QueryProfile:
     routines: Dict[str, Dict[str, float]] = field(default_factory=dict)
     counters: Dict[str, int] = field(default_factory=dict)
     statement_now: Optional[str] = None
+    #: This statement's compiled-statement-cache fate: "hit", "miss",
+    #: or None when the cache saw no traffic (cache off, or the profile
+    #: predates this field).  Lets a slow-log entry say whether the
+    #: offender at least skipped translation.
+    stmt_cache: Optional[str] = None
     ok: bool = True
     error: Optional[str] = None
 
@@ -124,6 +129,8 @@ class QueryProfile:
             data["parent_span_id"] = self.parent_span_id
         if self.statement_now is not None:
             data["statement_now"] = self.statement_now
+        if self.stmt_cache is not None:
+            data["stmt_cache"] = self.stmt_cache
         if self.error is not None:
             data["error"] = self.error
         return data
@@ -398,6 +405,14 @@ class StatementRecorder:
             self._before.get("counters", {}), after.get("counters", {})
         )
         profile.counters = counter_deltas
+        # The statement cache's fate for *this* statement falls out of
+        # the same delta arithmetic: a hot statement bumps tsql.cache.hit
+        # by one, a cold one tsql.cache.miss.  No traffic (cache off,
+        # uncacheable text) leaves the field None.
+        if counter_deltas.get("tsql.cache.hit"):
+            profile.stmt_cache = "hit"
+        elif counter_deltas.get("tsql.cache.miss"):
+            profile.stmt_cache = "miss"
         profile.periods_processed = sum(
             counter_deltas.get(name, 0) for name in _PERIOD_COUNTERS
         )

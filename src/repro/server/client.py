@@ -611,6 +611,33 @@ class RemoteTipConnection:
         response = self._round_trip(frame)
         return {key: value for key, value in response.items() if key != "ok"}
 
+    def flight(
+        self,
+        *,
+        last: int = 0,
+        session: Optional[str] = None,
+        trace: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> dict:
+        """The server's FLIGHT frame: the event ring, filterable.
+
+        Returns ``{"enabled": ..., "events": [...]}`` where each event
+        is the wire form of a :class:`~repro.obs.flight.FlightEvent`
+        (``seq`` / ``ts`` / ``kind`` / ``session`` / ``trace_id`` /
+        ``data``).  Filters mirror the ``/debug/flight`` endpoint.
+        """
+        frame: dict = {"op": "flight"}
+        if last:
+            frame["last"] = last
+        if session is not None:
+            frame["session"] = session
+        if trace is not None:
+            frame["trace"] = trace
+        if kind is not None:
+            frame["kind"] = kind
+        response = self._round_trip(frame)
+        return {key: value for key, value in response.items() if key != "ok"}
+
     def ping(self) -> bool:
         return bool(self._round_trip({"op": "ping"}).get("pong"))
 

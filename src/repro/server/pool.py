@@ -62,6 +62,7 @@ from repro import obs
 from repro.client.connection import TipConnection
 from repro.faults import InjectedFault
 from repro.faults import state as _FAULTS
+from repro.obs import flight as _flight
 
 __all__ = ["classify", "ConnectionPool"]
 
@@ -177,7 +178,7 @@ class ConnectionPool:
             return
         if _FAULTS.plan is not None:
             _FAULTS.plan.apply("pool.checkout", key=key)
-        connection = self._checkout()
+        connection = self._checkout(key)
         try:
             connection.set_now(session_now)  # seconds (or None) directly
             yield connection
@@ -203,6 +204,10 @@ class ConnectionPool:
         different sessions never interleave mid-transaction — the
         single total write order the linearizability test asserts.
         """
+        # Writer-lock contention is invisible to counters but exactly
+        # what a timeline wants: record the wait before blocking.
+        if _flight.state.enabled and self._writer_lock.locked():
+            _flight.record("pool.writer.wait", session=key)
         with self._writer_lock:
             with self._cond:
                 self._writes += 1
@@ -211,10 +216,11 @@ class ConnectionPool:
             self.writer.set_now(session_now)  # seconds (or None) directly
             yield self.writer
 
-    def _checkout(self) -> TipConnection:
+    def _checkout(self, key: Optional[str] = None) -> TipConnection:
         enabled = obs.state.enabled
         with self._cond:
             busy = self.readers - len(self._idle)
+            waited = not self._idle
             self._checkouts += 1
             self._reads += 1
             if busy > self._max_busy:
@@ -236,7 +242,10 @@ class ConnectionPool:
                     obs.histogram("server.pool.checkout.wait_seconds").observe(
                         perf_counter() - waited_from
                     )
-            return self._idle.popleft()
+            connection = self._idle.popleft()
+        if _flight.state.enabled:
+            _flight.record("pool.checkout", session=key, busy=busy, waited=waited)
+        return connection
 
     # -- WAL maintenance ----------------------------------------------
 
@@ -260,6 +269,8 @@ class ConnectionPool:
                     self._checkpoint_errors += 1
                 if obs.state.enabled:
                     obs.counter("server.wal.checkpoint.errors").inc()
+                if _flight.state.enabled:
+                    _flight.record("wal.checkpoint", session=key, status="injected")
                 return
         with self._cond:
             due = self._writes % self.checkpoint_every == 0
@@ -270,6 +281,8 @@ class ConnectionPool:
             self._checkpoints += 1
         if obs.state.enabled:
             obs.counter("server.wal.checkpoints").inc()
+        if _flight.state.enabled:
+            _flight.record("wal.checkpoint", session=key, status="ran")
 
     # -- inspection and lifecycle --------------------------------------
 

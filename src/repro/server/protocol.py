@@ -12,6 +12,7 @@ Requests::
     {"op": "hello", "session": "label"}        # name the connection key
     {"op": "metrics"}                          # the METRICS frame
     {"op": "profile"}                          # the PROFILE frame
+    {"op": "flight"}                           # the FLIGHT frame
     {"op": "credit", "n": k}                   # mid-stream backpressure grant
     {"op": "ping"}
     {"op": "close"}
@@ -103,6 +104,18 @@ slow-query log instead)::
     {"ok": true, "enabled": true, "slow_threshold": 0.5,
      "profiles": [{"sql": ..., "wall_seconds": ...,
                    "routines": {...}, ...}, ...]}
+
+**The FLIGHT frame** returns the server's flight-recorder ring — the
+bounded timeline of structured events (statement begin/end, batch and
+stream lifecycle, pool checkouts and writer waits, WAL checkpoints,
+cache traffic, fired faults; see :mod:`repro.obs.flight`).  Optional
+request fields filter: ``"last": n`` (newest *n* events),
+``"session"`` (one connection key), ``"trace"`` (one trace id), and
+``"kind"`` (exact kind or dotted prefix, e.g. ``"stmt"``)::
+
+    {"ok": true, "enabled": true,
+     "events": [{"seq": 1, "ts": 12.345, "kind": "stmt.begin",
+                 "session": "s1", "data": {"sql": "SELECT ..."}}, ...]}
 
 Error responses may carry ``"retry_safe": true`` when the server can
 guarantee the request was **never executed** (it could not even be

@@ -66,7 +66,9 @@ from repro import codec, obs
 from repro.core.parser import parse_chronon
 from repro.errors import TipError
 from repro.faults import state as _FAULTS
+from repro.obs import flight as _flight
 from repro.obs import profile as _profile
+from repro.obs.http import TelemetryServer
 from repro.server import protocol
 from repro.server.pool import ConnectionPool, classify
 from repro.tsql import compiled as _compiled
@@ -111,18 +113,30 @@ class _SessionHandler(socketserver.StreamRequestHandler):
         # The fault key: stable per-server ordinal by default, or the
         # label a `hello` frame sets — chaos tests label their sessions
         # so keyed fault plans replay per connection across runs.
-        self.fault_key = f"s{self.server.owner._next_session_ordinal()}"
+        ordinal = self.server.owner._next_session_ordinal()
+        self.fault_key = f"s{ordinal}"
         self.session_counters = {
             "frames": 0, "execute": 0, "errors": 0, "rows": 0, "seconds": 0.0,
             "degraded": 0,
         }
         if obs.state.enabled:
             obs.counter("server.sessions.opened").inc()
+        if _flight.state.enabled:
+            # The per-server ordinal, not the process-global session id:
+            # flight timelines must replay identically across seeded
+            # runs, and the ordinal is a pure function of this server's
+            # own accept sequence.
+            _flight.record("session.open", session=self.fault_key,
+                           id=ordinal)
         try:
             self._frame_loop()
         finally:
             if obs.state.enabled:
                 obs.counter("server.sessions.closed").inc()
+            if _flight.state.enabled:
+                _flight.record("session.close", session=self.fault_key,
+                               frames=self.session_counters["frames"],
+                               errors=self.session_counters["errors"])
 
     def _frame_loop(self) -> None:
         limit = self.server.owner.max_frame_bytes
@@ -167,6 +181,16 @@ class _SessionHandler(socketserver.StreamRequestHandler):
                 }, False
             except Exception as exc:  # never kill the session thread silently
                 response, done = {"ok": False, "error": str(exc), "kind": type(exc).__name__}, False
+                if _flight.state.enabled:
+                    # An unhandled server error is exactly what the
+                    # flight ring exists for: record it, then dump the
+                    # whole timeline if a crash path is configured.
+                    _flight.record("server.error", session=self.fault_key,
+                                   op=op, error=type(exc).__name__)
+                    _flight.crash_dump(
+                        f"unhandled {type(exc).__name__} during {op} frame",
+                        error=str(exc),
+                    )
             if response is None:
                 return  # a streaming op lost its peer mid-stream
             if response is _SWALLOW:
@@ -244,6 +268,8 @@ class _SessionHandler(socketserver.StreamRequestHandler):
             return self._metrics(frame), False
         if op == "profile":
             return self._profile_frame(frame), False
+        if op == "flight":
+            return self._flight_frame(frame), False
         if op == "set_now":
             raw = frame.get("now")
             if raw is None:
@@ -296,11 +322,25 @@ class _SessionHandler(socketserver.StreamRequestHandler):
             obs.get_registry().reset()
             codec.clear_caches(reset_stats=True)
             _compiled.clear_cache(reset_stats=True)
+            _flight.clear()
         return {
             "ok": True,
             "session": {"id": self.session_id, **self.session_counters},
             "pool": self.server.owner.pool.stats(),
             "metrics": snapshot,
+        }
+
+    def _flight_frame(self, frame: dict) -> dict:
+        """The FLIGHT frame: the event ring, filterable, in wire form."""
+        return {
+            "ok": True,
+            "enabled": _flight.state.enabled,
+            "events": _flight.snapshot(
+                kind=frame.get("kind") or None,
+                session=frame.get("session") or None,
+                trace_id=frame.get("trace") or None,
+                last=int(frame.get("last", 0) or 0) or None,
+            ),
         }
 
     def _profile_frame(self, frame: dict) -> dict:
@@ -365,6 +405,28 @@ class _SessionHandler(socketserver.StreamRequestHandler):
         trace_id = trace.get("trace_id") if isinstance(trace, dict) else None
         parent_span = trace.get("span_id") if isinstance(trace, dict) else None
         want_profile = bool(frame.get("profile"))
+        if not _flight.state.enabled:
+            return self._run_execute(sql, params, plan, trace_id, parent_span,
+                                     want_profile, reader)
+        _flight.record("stmt.begin", session=self.fault_key, trace_id=trace_id,
+                       sql=sql[:120])
+        try:
+            response = self._run_execute(sql, params, plan, trace_id,
+                                         parent_span, want_profile, reader)
+        except Exception as exc:
+            # The exception is about to travel up to the frame loop's
+            # crash hook; a dangling stmt.begin would leave the timeline
+            # ambiguous, so close the statement explicitly first.
+            _flight.record("stmt.end", session=self.fault_key, trace_id=trace_id,
+                           ok=False, error=type(exc).__name__)
+            raise
+        _flight.record("stmt.end", session=self.fault_key, trace_id=trace_id,
+                       ok=bool(response.get("ok")),
+                       rowcount=response.get("rowcount", -1))
+        return response
+
+    def _run_execute(self, sql, params, plan, trace_id, parent_span,
+                     want_profile, reader) -> dict:
         owner = self.server.owner
         if reader is not None and classify(sql) == "read":
             # A batch read-run already holds this reader checked out;
@@ -427,6 +489,9 @@ class _SessionHandler(socketserver.StreamRequestHandler):
             return {"ok": False, "error": "batch needs a statements list",
                     "kind": "ProtocolError"}
         pool = self.server.owner.pool
+        if _flight.state.enabled:
+            _flight.record("batch.begin", session=self.fault_key,
+                           count=len(statements))
 
         def is_read(entry) -> bool:
             return (isinstance(entry, dict)
@@ -454,6 +519,10 @@ class _SessionHandler(socketserver.StreamRequestHandler):
             else:
                 results.append(self._execute(entry))
             index += 1
+        if _flight.state.enabled:
+            _flight.record("batch.end", session=self.fault_key,
+                           count=len(results),
+                           errors=sum(1 for r in results if not r.get("ok")))
         return {"ok": True, "results": results}
 
     # -- prepared statements ------------------------------------------
@@ -534,6 +603,9 @@ class _SessionHandler(socketserver.StreamRequestHandler):
             rows = [tuple(protocol.load_value(v) for v in entry) for entry in many]
         except protocol.ProtocolError as exc:
             return {"ok": False, "error": str(exc), "kind": "ProtocolError"}
+        if _flight.state.enabled:
+            _flight.record("stmt.many", session=self.fault_key,
+                           sql=plan.sql[:120], count=len(rows))
         owner = self.server.owner
         with owner.pool.write(self.session_now, self.fault_key) as connection:
             try:
@@ -577,6 +649,20 @@ class _SessionHandler(socketserver.StreamRequestHandler):
         if error is not None:
             return error
         sql = plan.sql
+        if not _flight.state.enabled:
+            return self._run_stream(frame, sql, params, plan)
+        _flight.record("stream.begin", session=self.fault_key, sql=sql[:120])
+        response = self._run_stream(frame, sql, params, plan)
+        if response is None:  # peer vanished mid-stream
+            _flight.record("stream.end", session=self.fault_key,
+                           ok=False, peer_lost=True)
+        else:
+            _flight.record("stream.end", session=self.fault_key,
+                           ok=bool(response.get("ok")),
+                           rows_streamed=response.get("rows_streamed", 0))
+        return response
+
+    def _run_stream(self, frame: dict, sql: str, params, plan) -> Optional[dict]:
         chunk = max(1, min(int(frame.get("chunk", 0) or DEFAULT_STREAM_CHUNK), 10_000))
         credit = max(1, min(int(frame.get("window", 0) or DEFAULT_STREAM_WINDOW), 1_000))
         context, is_write = self._connection_ctx(sql)
@@ -741,6 +827,9 @@ class TipServer:
         slow_sink: "str | None" = None,
         readers: int = 4,
         checkpoint_every: int = 32,
+        telemetry_port: "int | None" = None,
+        flight_recorder: "bool | None" = None,
+        flight_dump: "str | None" = None,
     ) -> None:
         # The dispatch layer: reads fan out to pooled readers, writes
         # serialize on the writer.  Handler threads never share a
@@ -765,6 +854,15 @@ class TipServer:
         # switch on.  Pass observability=False to leave it untouched.
         if observability:
             obs.enable()
+        # The flight recorder rides the observability switch by default
+        # (always-on diagnostics is the point); *flight_recorder*
+        # overrides in either direction, and *flight_dump* arms the
+        # crash hook: an unhandled error in a session thread dumps the
+        # whole ring to that JSONL path.
+        if flight_recorder if flight_recorder is not None else observability:
+            _flight.enable()
+        if flight_dump is not None:
+            _flight.configure(crash_dump_path=flight_dump)
         # Per-statement profiling is opt-in (it snapshots the registry
         # around every statement); clients can still request one-shot
         # profiles per execute frame while it is off.
@@ -772,6 +870,11 @@ class TipServer:
             _profile.enable(slow_threshold=slow_threshold, sink=slow_sink)
         elif slow_threshold is not None or slow_sink is not None:
             _profile.configure(slow_threshold=slow_threshold, sink=slow_sink)
+        # The telemetry endpoint (None = off): started/stopped with the
+        # query listener, scraping the same process state over HTTP.
+        self._telemetry_port = telemetry_port
+        self._telemetry_host = host
+        self.telemetry: Optional[TelemetryServer] = None
 
     @property
     def connection(self):
@@ -797,10 +900,23 @@ class TipServer:
             target=lambda: self._inner.serve_forever(poll_interval=0.05), daemon=True
         )
         self._thread.start()
+        if self._telemetry_port is not None:
+            self.telemetry = TelemetryServer(
+                self._telemetry_host, self._telemetry_port,
+                pool_stats=self.pool.stats,
+            ).start()
         return self
+
+    @property
+    def telemetry_address(self) -> Optional[Tuple[str, int]]:
+        """The telemetry endpoint's bound (host, port), when serving."""
+        return self.telemetry.address if self.telemetry is not None else None
 
     def stop(self) -> None:
         """Shut down the listener and the engine connections."""
+        if self.telemetry is not None:
+            self.telemetry.stop()
+            self.telemetry = None
         self._inner.shutdown()
         self._inner.server_close()
         if self._thread is not None:

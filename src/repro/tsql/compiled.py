@@ -54,6 +54,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.codec.cache import LRUCache
 from repro.faults import state as _FAULTS
+from repro.obs import flight as _flight
 
 __all__ = [
     "CompiledStatement", "StatementCompiler", "state", "CACHE",
@@ -190,6 +191,8 @@ def bump_generation() -> int:
         _INVALIDATIONS += 1
         new_generation = _GENERATION
     CACHE.clear()
+    if _flight.state.enabled:
+        _flight.record("cache.stmt.invalidate", generation=new_generation)
     return new_generation
 
 
@@ -226,9 +229,13 @@ def compile_statement(statement: str, valid_columns: Dict[str, str]) -> Compiled
     key: Tuple = (normalized, tuple(sorted(valid_columns.items())), gen)
     cached = CACHE.get(key)
     if cached is not None:
+        if _flight.state.enabled:
+            _flight.record("cache.stmt.hit", sql=normalized[:120])
         return cached
     compiled = _compile(normalized, valid_columns, gen)
     CACHE.put(key, compiled)
+    if _flight.state.enabled:
+        _flight.record("cache.stmt.miss", sql=normalized[:120])
     return compiled
 
 
@@ -251,9 +258,13 @@ def compile_normalized(statement: str, valid_columns: Dict[str, str]) -> Compile
     key: Tuple = (statement, tuple(sorted(valid_columns.items())), gen)
     cached = CACHE.get(key)
     if cached is not None:
+        if _flight.state.enabled:
+            _flight.record("cache.stmt.hit", sql=statement[:120])
         return cached
     plan = _compile(statement, valid_columns, gen)
     CACHE.put(key, plan)
+    if _flight.state.enabled:
+        _flight.record("cache.stmt.miss", sql=statement[:120])
     return plan
 
 
