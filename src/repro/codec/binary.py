@@ -148,10 +148,20 @@ def encode(value: TipValue) -> bytes:
     elif isinstance(value, Period):
         blob = header + _encode_instant_body(value.start) + _encode_instant_body(value.end)
     else:  # Element
-        parts = [header, _U32.pack(len(value.periods))]
-        for period in value.periods:
-            parts.append(_encode_instant_body(period.start))
-            parts.append(_encode_instant_body(period.end))
+        pairs = value._pairs
+        if pairs is not None:
+            # Canonical element: pack straight from the grounded pairs
+            # without materializing Period objects (identical bytes —
+            # every pair is a determinate [lo, hi]).
+            parts = [header, _U32.pack(len(pairs))]
+            for lo, hi in pairs:
+                parts.append(_INSTANT.pack(0, lo + _BIAS_SECONDS))
+                parts.append(_INSTANT.pack(0, hi + _BIAS_SECONDS))
+        else:
+            parts = [header, _U32.pack(len(value.periods))]
+            for period in value.periods:
+                parts.append(_encode_instant_body(period.start))
+                parts.append(_encode_instant_body(period.end))
         blob = b"".join(parts)
     if _CACHE.state.enabled:
         value._tip_blob = blob
@@ -247,6 +257,9 @@ def _decode_bytes(data: bytes, *, stamp: bool) -> TipValue:
         except struct.error as exc:
             raise CodecError("truncated element count") from exc
         offset = body + _U32.size
+        value = _decode_element_fast(data, offset, count, stamp=stamp)
+        if value is not None:
+            return value
         periods = []
         for _ in range(count):
             start, offset = _decode_instant_body(data, offset)
@@ -259,6 +272,46 @@ def _decode_bytes(data: bytes, *, stamp: bool) -> TipValue:
     if stamp:
         value._tip_blob = data
     return value
+
+
+def _decode_element_fast(data: bytes, offset: int, count: int,
+                         *, stamp: bool):
+    """One-shot decode of a canonical all-determinate element blob.
+
+    Unpacks every instant body in a single struct call and validates
+    the pairs inline.  Returns None for anything else — NOW-relative
+    flavors, out-of-calendar bounds, inverted or non-canonical pair
+    lists, short payloads — which the per-period object path then
+    handles (normalizing or raising) exactly as before.  A blob taken
+    here is *verified* canonical, so encoding the element reproduces
+    it byte-for-byte and stamping is safe (unlike the general path).
+    """
+    if count * 2 * _INSTANT.size > len(data) - offset:
+        return None  # short payload: let the slow path pinpoint it
+    try:
+        fields = struct.unpack_from(">" + "BQ" * (2 * count), data, offset)
+    except struct.error:  # pragma: no cover - length checked above
+        return None
+    if len(data) != offset + count * 2 * _INSTANT.size:
+        return None  # trailing bytes: slow path raises
+    lo_bound, hi_bound = granularity.MIN_SECONDS, granularity.MAX_SECONDS
+    pairs = []
+    prev_hi = None
+    for at in range(0, 4 * count, 4):
+        if fields[at] or fields[at + 2]:
+            return None  # NOW-relative or unknown flavor
+        lo = fields[at + 1] - _BIAS_SECONDS
+        hi = fields[at + 3] - _BIAS_SECONDS
+        if lo > hi or lo < lo_bound or hi > hi_bound:
+            return None
+        if prev_hi is not None and lo <= prev_hi + 1:
+            return None  # out of order, overlapping, or adjacent
+        prev_hi = hi
+        pairs.append((lo, hi))
+    element = Element._from_canonical_pairs(pairs)
+    if stamp:
+        element._tip_blob = data
+    return element
 
 
 def _build(tip_type: Type[TipValue], seconds: int) -> TipValue:

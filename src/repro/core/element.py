@@ -15,7 +15,7 @@ first (exactly when the engine evaluates them inside a statement).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core import interval_algebra as ia
 from repro.core import granularity
@@ -40,24 +40,39 @@ def _coerce_period(item: "Period | Chronon | Instant") -> Period:
 
 
 class Element:
-    """An immutable set of periods, the general TIP timestamp."""
+    """An immutable set of periods, the general TIP timestamp.
+
+    Determinate elements store their canonical grounded pairs
+    (``_pairs``) and materialize the equivalent :class:`Period` tuple
+    lazily, on the first access that needs period *objects* — set
+    algebra, grounding, and the kernels all work on the raw pairs, so
+    the object tuple is often never built at all.
+    """
 
     #: ``_tip_blob``: canonical-encoding cache slot (repro.codec.binary).
-    __slots__ = ("_periods", "_canonical", "_tip_blob")
+    __slots__ = ("_periods", "_canonical", "_pairs", "_tip_blob")
 
     def __init__(self, periods: Iterable["Period | Chronon | Instant"] = ()) -> None:
         coerced = [_coerce_period(p) for p in periods]
         if all(p.is_determinate for p in coerced):
-            pairs = ia.normalize(
+            self._pairs: Optional[List[Tuple[int, int]]] = ia.normalize(
                 pair for p in coerced if (pair := p.ground_pair(0)) is not None
             )
-            self._periods: Tuple[Period, ...] = tuple(
-                Period(Chronon(lo), Chronon(hi)) for lo, hi in pairs
-            )
             self._canonical = True
+            # _periods materializes on demand (__getattr__)
         else:
-            self._periods = tuple(coerced)
+            self._periods: Tuple[Period, ...] = tuple(coerced)
             self._canonical = False
+            self._pairs = None
+
+    def __getattr__(self, name: str):
+        if name == "_periods":
+            periods = tuple(
+                Period._from_seconds(lo, hi) for lo, hi in self._pairs
+            )
+            self._periods = periods
+            return periods
+        raise AttributeError(name)
 
     # -- constructors ------------------------------------------------
 
@@ -86,7 +101,24 @@ class Element:
         for lo, hi in normalized:
             granularity.check_chronon_seconds(lo)
             granularity.check_chronon_seconds(hi)
-        element._periods = tuple(Period(Chronon(lo), Chronon(hi)) for lo, hi in normalized)
+        element._pairs = normalized
+        element._canonical = True
+        return element
+
+    @classmethod
+    def _from_canonical_pairs(cls, pairs: "Sequence[Tuple[int, int]]") -> "Element":
+        """Trusted constructor: *pairs* must already be canonical.
+
+        The set-based kernels (:mod:`repro.plan.kernels`) build one
+        element per emitted row, always from the output of an
+        interval-algebra sweep over grounded pairs — sorted, disjoint,
+        coalesced, and within the calendar by construction.  This skips
+        :meth:`from_pairs`'s re-normalize and per-bound granularity
+        checks; callers that cannot *prove* canonical form must use
+        :meth:`from_pairs`.
+        """
+        element = cls.__new__(cls)
+        element._pairs = pairs
         element._canonical = True
         return element
 
@@ -127,7 +159,7 @@ class Element:
         no chronons).
         """
         if self._canonical:
-            return [p.ground_pair(0) for p in self._periods]  # type: ignore[misc]
+            return list(self._pairs)  # type: ignore[arg-type]
         if now_seconds is None:
             now_seconds = current_now_seconds()
         pairs = []

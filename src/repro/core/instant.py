@@ -62,6 +62,17 @@ class Instant:
         raise TipTypeError(f"cannot build Instant from {type(when).__name__}")
 
     @classmethod
+    def _at_seconds(cls, seconds: int) -> "Instant":
+        """Trusted constructor: *seconds* must already be a validated
+        chronon value (the caller proved it is within the calendar).
+        Skips the granularity check; external callers use :meth:`at`.
+        """
+        instant = cls.__new__(cls)
+        instant._abs = seconds
+        instant._offset = None
+        return instant
+
+    @classmethod
     def now_relative(cls, offset: Span = Span(0)) -> "Instant":
         """The instant ``NOW + offset``."""
         if not isinstance(offset, Span):

@@ -60,6 +60,18 @@ class Period:
 
         return parse_period(text)
 
+    @classmethod
+    def _from_seconds(cls, lo: int, hi: int) -> "Period":
+        """Trusted constructor: ``[lo, hi]`` from chronon seconds the
+        caller has already validated and ordered (``lo <= hi``, both
+        within the calendar).  Skips endpoint coercion and the
+        inversion check; external callers use the regular constructor.
+        """
+        period = cls.__new__(cls)
+        period._start = Instant._at_seconds(lo)
+        period._end = Instant._at_seconds(hi)
+        return period
+
     # -- accessors ---------------------------------------------------
 
     @property

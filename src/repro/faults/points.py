@@ -43,6 +43,10 @@ CATALOGUE: Dict[str, str] = {
                       "passive WAL checkpoint (fired per connection key; "
                       "an injected failure defers the checkpoint, never "
                       "the write)",
+    "plan.kernel": "planner: a statement routed to a set-based temporal "
+                   "kernel, after plan selection and before the bulk "
+                   "fetch (a raise aborts the kernel run with nothing "
+                   "to roll back)",
 }
 
 #: Points whose payload is bytes (truncate/corrupt rewrite the data).

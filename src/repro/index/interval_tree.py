@@ -10,12 +10,21 @@ red-black rebalancing.
 Intervals are closed-closed integer pairs, matching chronon-granularity
 periods.  Duplicates (same interval, same value) are rejected; the same
 interval may carry many distinct values.
+
+Query results are **deterministically ordered**: :meth:`search_overlap`
+and :meth:`stab` return hits sorted by ``(start, end, value_key)``,
+never in treap-priority (seed- or insertion-order-dependent) order —
+the temporal-join kernels (:mod:`repro.plan`) build on that guarantee.
+:meth:`IntervalTree.build` bulk-loads a tree from a whole item list in
+``O(n log n)`` (one sort plus a linear treap construction), which is
+what :class:`~repro.index.table_index.ElementIndex` rebuilds use
+instead of *n* root-path inserts.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import TipValueError
 from repro.obs.registry import get_registry as _obs_registry
@@ -82,6 +91,68 @@ class IntervalTree:
     def __init__(self, seed: int = 0x7159) -> None:
         self._root: Optional[_Node] = None
         self._rng = random.Random(seed)
+
+    @classmethod
+    def build(
+        cls, items: Iterable[Tuple[int, int, object]], seed: int = 0x7159
+    ) -> "IntervalTree":
+        """Bulk-load a tree from ``(start, end, value)`` triples.
+
+        ``O(n log n)``: one sort by the tree key, then the classic
+        linear treap construction over the sorted sequence (maintain
+        the rightmost spine as a stack; each node is pushed and popped
+        at most once).  Equivalent to :meth:`insert` in a loop — same
+        duplicate and inverted-interval rejection, same key order —
+        but without *n* root-to-leaf insert paths.
+        """
+        tree = cls(seed=seed)
+        keyed: List[Tuple[Key, int, int, object]] = []
+        seen = set()
+        for start, end, value in items:
+            if start > end:
+                raise TipValueError(f"inverted interval ({start}, {end})")
+            key = (start, end, _value_key(value))
+            if key in seen:
+                raise TipValueError(
+                    f"duplicate index entry ({start}, {end}, {value!r})"
+                )
+            seen.add(key)
+            keyed.append((key, start, end, value))
+        keyed.sort(key=lambda entry: entry[0])
+        rng = tree._rng
+        spine: List[_Node] = []
+        for _key_, start, end, value in keyed:
+            node = _Node(start, end, value, rng.random())
+            last: Optional[_Node] = None
+            while spine and spine[-1].priority < node.priority:
+                last = spine.pop()
+            node.left = last
+            if spine:
+                spine[-1].right = node
+            spine.append(node)
+        if spine:
+            tree._root = spine[0]
+            tree._pull_all()
+        return tree
+
+    def _pull_all(self) -> None:
+        """Recompute every node's augmentation, children first.
+
+        Iterative post-order (build() rearranges right pointers after
+        nodes leave the spine, so augmentation is settled in one final
+        linear pass; recursion would overflow on large loads).
+        """
+        order: List[_Node] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            order.append(node)
+            stack.append(node.left)
+            stack.append(node.right)
+        for node in reversed(order):
+            _pull(node)
 
     # -- size ---------------------------------------------------------
 
@@ -156,30 +227,40 @@ class IntervalTree:
 
         ``O(log n + k)``: subtrees whose ``max_end`` is below *lo* are
         pruned, and the BST order on starts prunes the right side.
+
+        Hits come back **sorted by** ``(start, end, value_key)`` — the
+        traversal is in-order, so the result never depends on treap
+        priorities (i.e. on the seed or the insertion order).  The
+        plan kernels and the chaos determinism suite rely on this.
         """
         if lo > hi:
             raise TipValueError(f"inverted query range ({lo}, {hi})")
         out: List[object] = []
         probes = 0
-        stack = [self._root]
-        while stack:
+        stack: List[_Node] = []
+        node = self._root
+        while True:
+            while node is not None and node.max_end >= lo:
+                stack.append(node)
+                node = node.left
+            if not stack:
+                break
             node = stack.pop()
-            if node is None or node.max_end < lo:
-                continue
             probes += 1
-            if node.left is not None:
-                stack.append(node.left)
             if node.start <= hi:
                 if node.end >= lo:
                     out.append(node.value)
-                if node.right is not None:
-                    stack.append(node.right)
+                node = node.right
+            else:
+                # Every key to the right starts even later: prune.
+                node = None
         if _obs_state.enabled:
             _record_probes(probes)
         return out
 
     def stab(self, point: int) -> List[object]:
-        """Values of all intervals containing *point*."""
+        """Values of all intervals containing *point* (sorted; see
+        :meth:`search_overlap`)."""
         return self.search_overlap(point, point)
 
     def any_overlap(self, lo: int, hi: int) -> bool:

@@ -15,7 +15,7 @@ transaction time; the index must be refreshed when that time moves
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.client.connection import TipConnection
 from repro.core import interval_algebra as ia
@@ -38,6 +38,31 @@ class ElementIndex:
         self._now_seconds = _coerce_now_seconds(now)
         self._tree = IntervalTree()
         self._pairs_by_key: Dict[Hashable, List[Pair]] = {}
+
+    @classmethod
+    def build(
+        cls,
+        items: Iterable[Tuple[Hashable, Element]],
+        now: "Chronon | int | None" = None,
+    ) -> "ElementIndex":
+        """Bulk-construct an index from ``(key, element)`` pairs.
+
+        Same result as :meth:`add` in a loop, but the underlying tree
+        is built once from the full sorted period list
+        (:meth:`IntervalTree.build`, ``O(n log n)``) instead of by *n*
+        root-path inserts — this is the rebuild path of
+        :meth:`IndexedTable.refresh`.
+        """
+        index = cls(now=now)
+        triples: List[Tuple[int, int, Hashable]] = []
+        for key, element in items:
+            if key in index._pairs_by_key:
+                raise TipValueError(f"key {key!r} already indexed; remove it first")
+            pairs = element.ground_pairs(index._now_seconds)
+            index._pairs_by_key[key] = pairs
+            triples.extend((start, end, key) for start, end in pairs)
+        index._tree = IntervalTree.build(triples)
+        return index
 
     @property
     def n_periods(self) -> int:
@@ -114,14 +139,13 @@ class IndexedTable:
     def refresh(self) -> None:
         """(Re)build the index at the connection's current NOW."""
         now_seconds = self._connection.statement_now_seconds()
-        index = ElementIndex(now=now_seconds)
         rows = self._connection.query(
             f"SELECT {self.key_column}, {self.column} FROM {self.table}"
         )
-        for key, element in rows:
-            if element is not None:
-                index.add(key, element)
-        self._index = index
+        self._index = ElementIndex.build(
+            ((key, element) for key, element in rows if element is not None),
+            now=now_seconds,
+        )
 
     @property
     def index(self) -> ElementIndex:

@@ -1,0 +1,569 @@
+"""Pattern matching for the temporal query planner.
+
+The planner (:mod:`repro.plan.planner`) only rewrites statements it
+*fully* understands; everything else keeps the tuple-at-a-time UDF
+path.  This module is the understanding part: it recognizes the two
+translated-SQL shapes the tSQL preprocessor (and hand-written TIP SQL
+in the same spelling) produces for set-evaluable temporal operations.
+
+**Sequenced overlap join** (two tables)::
+
+    SELECT a.x, b.y, tintersect(a.valid, b.valid) AS valid
+    FROM L AS a, R AS b
+    WHERE (<residual>) AND overlaps(a.valid, b.valid)
+
+optionally clipped to a period (the ``VALIDTIME PERIOD`` translation
+wraps the validity in ``restrict(..., period('[..]'))`` and adds one
+``overlaps(v, to_element(period('[..]')))`` conjunct per side).  The
+residual may be any top-level AND of simple comparisons —
+``alias.col <op> alias.col`` or ``alias.col <op> literal`` — which the
+kernels evaluate with SQLite's own comparison semantics.
+
+**Coalesce** (one table, the paper's ``group_union`` aggregation)::
+
+    SELECT k1, k2, group_union(valid) FROM T [WHERE <residual>]
+    GROUP BY k1, k2
+
+with the aggregate optionally wrapped in ``length(...)`` or
+``length_seconds(...)`` (Section 2's time-on-medication query).
+
+Matching is deliberately conservative: subqueries, three-way joins,
+ORDER BY / HAVING / LIMIT tails, ``DISTINCT``, OR-connected
+predicates, bind parameters, and anything else unrecognized all yield
+``None`` — the caller falls back to the naive path, which is always
+correct.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import TranslationError
+from repro.tsql.preprocessor import _parse_from_items, split_select
+
+__all__ = [
+    "Operand",
+    "Condition",
+    "OutputColumn",
+    "JoinShape",
+    "CoalesceShape",
+    "match",
+]
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_]*"
+_QUALREF_RE = re.compile(rf"^(?P<alias>{_IDENT})\.(?P<column>{_IDENT})$")
+_BARE_RE = re.compile(rf"^{_IDENT}$")
+_INT_RE = re.compile(r"^[+-]?\d+$")
+_FLOAT_RE = re.compile(r"^[+-]?(?:\d+\.\d*|\.\d+|\d+(?:\.\d*)?[eE][+-]?\d+)$")
+_STRING_RE = re.compile(r"^'(?P<body>(?:[^']|'')*)'$")
+_PERIOD_LIT = r"period\s*\(\s*'\[(?P<period>[^']*)\]'\s*\)"
+_TINTERSECT_RE = re.compile(
+    rf"^tintersect\s*\(\s*(?P<a>{_IDENT}\.{_IDENT})\s*,"
+    rf"\s*(?P<b>{_IDENT}\.{_IDENT})\s*\)$",
+    re.IGNORECASE,
+)
+_RESTRICT_RE = re.compile(
+    rf"^restrict\s*\(\s*(?P<inner>tintersect\s*\([^()]*\))\s*,"
+    rf"\s*{_PERIOD_LIT}\s*\)$",
+    re.IGNORECASE,
+)
+_PAIR_OVERLAP_RE = re.compile(
+    rf"^overlaps\s*\(\s*(?P<a>{_IDENT}\.{_IDENT})\s*,"
+    rf"\s*(?P<b>{_IDENT}\.{_IDENT})\s*\)$",
+    re.IGNORECASE,
+)
+_WINDOW_OVERLAP_RE = re.compile(
+    rf"^overlaps\s*\(\s*(?P<v>{_IDENT}\.{_IDENT})\s*,"
+    rf"\s*to_element\s*\(\s*{_PERIOD_LIT}\s*\)\s*\)$",
+    re.IGNORECASE,
+)
+_GROUP_UNION_RE = re.compile(
+    rf"^(?:(?P<wrapper>length_seconds|length)\s*\(\s*)?"
+    rf"group_union\s*\(\s*(?P<arg>(?:{_IDENT}\.)?{_IDENT})\s*\)"
+    rf"(?(wrapper)\s*\))$",
+    re.IGNORECASE,
+)
+_GROUP_BY_TAIL_RE = re.compile(
+    r"^GROUP\s+BY\s+(?P<keys>.+)$", re.IGNORECASE | re.DOTALL
+)
+#: Comparison operators, longest first so the scanner is greedy.
+_OPERATORS = ("<=", ">=", "<>", "!=", "==", "=", "<", ">")
+#: Words that would change comparison semantics if treated as values.
+_RESERVED_WORDS = frozenset({"null", "true", "false", "not", "in", "is",
+                             "like", "between", "or", "and", "case"})
+
+
+@dataclass(frozen=True)
+class Operand:
+    """One side of a comparison: a column reference or a literal."""
+
+    kind: str                 # "col" | "lit"
+    alias: str = ""           # "" for a bare (unqualified) column
+    column: str = ""
+    value: object = None
+
+
+@dataclass(frozen=True)
+class Condition:
+    """``left <op> right`` with at least one column operand."""
+
+    left: Operand
+    op: str
+    right: Operand
+
+
+@dataclass(frozen=True)
+class OutputColumn:
+    """A plain column in the select list, with its result-column name."""
+
+    name: str     # what sqlite3 would call the result column
+    alias: str    # source table alias ("" when written bare)
+    column: str   # source column name
+
+
+@dataclass(frozen=True)
+class JoinShape:
+    """A sequenced two-table overlap join the kernels can evaluate."""
+
+    left_table: str
+    left_alias: str
+    right_table: str
+    right_alias: str
+    outputs: Tuple[OutputColumn, ...]     # select list minus the validity slot
+    valid_at: int                         # where the validity column goes
+    valid_name: str
+    left_valid: str                       # validity column on the left table
+    right_valid: str
+    window: Optional[str] = None          # VALIDTIME PERIOD text, sans brackets
+    equalities: Tuple[Tuple[str, str], ...] = ()   # (left col, right col)
+    cross: Tuple[Condition, ...] = ()     # non-equality cross-side residuals
+    left_filters: Tuple[Condition, ...] = ()
+    right_filters: Tuple[Condition, ...] = ()
+
+    kind: str = field(default="join", init=False)
+
+
+@dataclass(frozen=True)
+class CoalesceShape:
+    """A ``group_union`` coalescing aggregation over one table."""
+
+    table: str
+    alias: str
+    outputs: Tuple[OutputColumn, ...]     # select list minus the aggregate
+    agg_at: int                           # where the aggregate column goes
+    agg_name: str
+    agg_wrapper: str                      # "" | "length" | "length_seconds"
+    agg_column: str
+    group_by: Tuple[str, ...]             # column names, select-independent
+    filters: Tuple[Condition, ...] = ()
+
+    kind: str = field(default="coalesce", init=False)
+
+
+# -- lexical helpers ----------------------------------------------------
+
+
+def _split_top_level_and(text: str) -> List[str]:
+    """Split on the word AND at paren/quote depth zero."""
+    parts: List[str] = []
+    upper = text.upper()
+    depth = 0
+    in_string = False
+    start = 0
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if in_string:
+            if char == "'":
+                in_string = False
+        elif char == "'":
+            in_string = True
+        elif char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        elif depth == 0 and upper.startswith("AND", index):
+            before_ok = index == 0 or not (text[index - 1].isalnum()
+                                           or text[index - 1] == "_")
+            after = index + 3
+            after_ok = after >= len(text) or not (text[after].isalnum()
+                                                  or text[after] == "_")
+            if before_ok and after_ok:
+                parts.append(text[start:index])
+                start = after
+                index = after
+                continue
+        index += 1
+    parts.append(text[start:])
+    return [part.strip() for part in parts if part.strip()]
+
+
+def _strip_parens(text: str) -> str:
+    """Remove enclosing parentheses that wrap the whole expression."""
+    text = text.strip()
+    while text.startswith("(") and text.endswith(")"):
+        depth = 0
+        closes_early = False
+        for index, char in enumerate(text):
+            if char == "'":
+                # A quote inside the candidate parens: bail out of the
+                # cheap scan and keep the text as-is (conjuncts with
+                # strings still strip when the parens pair cleanly,
+                # because quotes cannot hide an unbalanced paren here —
+                # the SQL already parsed).
+                pass
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+                if depth == 0 and index < len(text) - 1:
+                    closes_early = True
+                    break
+        if closes_early:
+            break
+        text = text[1:-1].strip()
+    return text
+
+
+def _conjuncts(where: str) -> List[str]:
+    """Flatten a WHERE clause into top-level AND-ed atoms."""
+    out: List[str] = []
+    for part in _split_top_level_and(where):
+        stripped = _strip_parens(part)
+        if stripped != part or len(_split_top_level_and(stripped)) > 1:
+            out.extend(_conjuncts(stripped))
+        else:
+            out.append(stripped)
+    return out
+
+
+def _split_alias_clause(item: str) -> Tuple[str, Optional[str]]:
+    """``expr [AS name]`` split at the top-level AS; (expr, name|None)."""
+    upper = item.upper()
+    depth = 0
+    in_string = False
+    for index in range(len(item) - 1, -1, -1):
+        char = item[index]
+        if in_string:
+            if char == "'":
+                in_string = False
+        elif char == "'":
+            in_string = True
+        elif char == ")":
+            depth += 1
+        elif char == "(":
+            depth -= 1
+        elif depth == 0 and upper.startswith("AS", index):
+            before_ok = index > 0 and upper[index - 1].isspace()
+            after = index + 2
+            after_ok = after < len(item) and item[after].isspace()
+            if before_ok and after_ok:
+                name = item[after:].strip()
+                if _BARE_RE.match(name):
+                    return item[:index].strip(), name
+                return item, None
+    return item.strip(), None
+
+
+def _parse_operand(text: str, aliases: Sequence[str],
+                   allow_bare: bool) -> Optional[Operand]:
+    text = text.strip()
+    lowered = text.lower()
+    if lowered in _RESERVED_WORDS:
+        return None
+    match = _QUALREF_RE.match(text)
+    if match:
+        if match["alias"] not in aliases:
+            return None
+        return Operand("col", alias=match["alias"], column=match["column"])
+    if allow_bare and _BARE_RE.match(text):
+        return Operand("col", alias="", column=text)
+    if _INT_RE.match(text):
+        return Operand("lit", value=int(text))
+    if _FLOAT_RE.match(text):
+        return Operand("lit", value=float(text))
+    match = _STRING_RE.match(text)
+    if match:
+        return Operand("lit", value=match["body"].replace("''", "'"))
+    return None
+
+
+_FLIPPED = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}
+
+
+def _parse_comparison(text: str, aliases: Sequence[str],
+                      allow_bare: bool) -> Optional[Condition]:
+    """One ``side <op> side`` comparison, or None."""
+    depth = 0
+    in_string = False
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if in_string:
+            if char == "'":
+                in_string = False
+            index += 1
+            continue
+        if char == "'":
+            in_string = True
+        elif char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        elif depth == 0:
+            for op in _OPERATORS:
+                if text.startswith(op, index):
+                    left = _parse_operand(text[:index], aliases, allow_bare)
+                    right = _parse_operand(text[index + len(op):], aliases,
+                                           allow_bare)
+                    if left is None or right is None:
+                        return None
+                    canon = {"==": "=", "<>": "!="}.get(op, op)
+                    if left.kind == "lit" and right.kind == "col":
+                        left, right = right, left
+                        canon = _FLIPPED.get(canon, canon)
+                    if left.kind != "col":
+                        return None  # two literals: not worth modeling
+                    return Condition(left, canon, right)
+        index += 1
+    return None
+
+
+# -- the matcher --------------------------------------------------------
+
+
+def match(sql: str) -> Optional[Union[JoinShape, CoalesceShape]]:
+    """Recognize *sql* as a kernel-evaluable shape, or return None."""
+    stripped = sql.strip()
+    if not stripped.upper().startswith("SELECT") or "?" in stripped:
+        return None
+    try:
+        parts = split_select(stripped)
+        from_items = _parse_from_items(parts.from_list)
+    except TranslationError:
+        return None
+    if parts.select_list.upper().startswith(("DISTINCT", "ALL ")):
+        return None
+    if len(from_items) == 2:
+        return _match_join(parts, from_items)
+    if len(from_items) == 1:
+        return _match_coalesce(parts, from_items[0])
+    return None
+
+
+def _match_join(parts, from_items) -> Optional[JoinShape]:
+    if parts.tail:
+        return None
+    (left_table, left_alias), (right_table, right_alias) = from_items
+    if left_alias == right_alias:
+        return None
+    aliases = (left_alias, right_alias)
+
+    outputs: List[OutputColumn] = []
+    valid_at = None
+    valid_name = None
+    validity_refs = None
+    window = None
+    items = _split_select_items(parts.select_list)
+    if items is None:
+        return None
+    for index, item in enumerate(items):
+        expr, name = _split_alias_clause(item)
+        restrict = _RESTRICT_RE.match(expr)
+        inner = restrict["inner"] if restrict else expr
+        tint = _TINTERSECT_RE.match(inner.strip())
+        if tint:
+            if valid_at is not None:
+                return None  # two validity expressions: not our shape
+            valid_at = index
+            valid_name = name if name is not None else expr
+            validity_refs = (tint["a"], tint["b"])
+            window = restrict["period"] if restrict else None
+            continue
+        ref = _QUALREF_RE.match(expr)
+        if ref is None or ref["alias"] not in aliases or name == "":
+            return None
+        outputs.append(OutputColumn(
+            name=name if name is not None else ref["column"],
+            alias=ref["alias"], column=ref["column"],
+        ))
+    if valid_at is None or parts.where is None:
+        return None
+
+    # Resolve the validity refs: exactly one per side.
+    by_alias = {}
+    for text in validity_refs:
+        ref = _QUALREF_RE.match(text)
+        if ref is None or ref["alias"] in by_alias:
+            return None
+        by_alias[ref["alias"]] = ref["column"]
+    if set(by_alias) != set(aliases):
+        return None
+    left_valid, right_valid = by_alias[left_alias], by_alias[right_alias]
+
+    pair_seen = False
+    window_seen = set()
+    equalities: List[Tuple[str, str]] = []
+    cross: List[Condition] = []
+    left_filters: List[Condition] = []
+    right_filters: List[Condition] = []
+    for conjunct in _conjuncts(parts.where):
+        pair = _PAIR_OVERLAP_RE.match(conjunct)
+        if pair:
+            if pair_seen or {pair["a"], pair["b"]} != set(validity_refs):
+                return None
+            pair_seen = True
+            continue
+        window_match = _WINDOW_OVERLAP_RE.match(conjunct)
+        if window_match:
+            if window is None or window_match["period"] != window:
+                return None
+            if window_match["v"] not in validity_refs:
+                return None
+            window_seen.add(window_match["v"])
+            continue
+        condition = _parse_comparison(conjunct, aliases, allow_bare=False)
+        if condition is None:
+            return None
+        sides = {op.alias for op in (condition.left, condition.right)
+                 if op.kind == "col"}
+        if sides == set(aliases):
+            if condition.op == "=":
+                left_op, right_op = condition.left, condition.right
+                if left_op.alias == right_alias:
+                    left_op, right_op = right_op, left_op
+                equalities.append((left_op.column, right_op.column))
+            else:
+                cross.append(_normalize_cross(condition, left_alias))
+        elif sides == {left_alias}:
+            left_filters.append(condition)
+        else:
+            right_filters.append(condition)
+    if not pair_seen:
+        return None
+    if window is not None and window_seen != set(validity_refs):
+        return None
+
+    # The validity columns take part in overlaps/tintersect only; a
+    # validity column also appearing in a comparison would need blob
+    # ordering semantics the kernels do not model.
+    for condition in cross + left_filters + right_filters:
+        for operand in (condition.left, condition.right):
+            if operand.kind == "col" and (
+                (operand.alias == left_alias and operand.column == left_valid)
+                or (operand.alias == right_alias
+                    and operand.column == right_valid)):
+                return None
+    return JoinShape(
+        left_table=left_table, left_alias=left_alias,
+        right_table=right_table, right_alias=right_alias,
+        outputs=tuple(outputs), valid_at=valid_at, valid_name=valid_name,
+        left_valid=left_valid, right_valid=right_valid, window=window,
+        equalities=tuple(equalities), cross=tuple(cross),
+        left_filters=tuple(left_filters), right_filters=tuple(right_filters),
+    )
+
+
+def _normalize_cross(condition: Condition, left_alias: str) -> Condition:
+    """Cross-side comparisons with the left table's operand first."""
+    if condition.left.alias == left_alias:
+        return condition
+    return Condition(condition.right,
+                     _FLIPPED.get(condition.op, condition.op),
+                     condition.left)
+
+
+def _match_coalesce(parts, from_item) -> Optional[CoalesceShape]:
+    table, alias = from_item
+    tail_match = _GROUP_BY_TAIL_RE.match(parts.tail or "")
+    if not tail_match:
+        return None
+    group_by: List[str] = []
+    for key in tail_match["keys"].split(","):
+        operand = _parse_operand(key, (alias,), allow_bare=True)
+        if operand is None or operand.kind != "col":
+            return None
+        group_by.append(operand.column)
+    if not group_by:
+        return None
+
+    outputs: List[OutputColumn] = []
+    agg_at = None
+    agg_name = None
+    agg_wrapper = ""
+    agg_column = None
+    items = _split_select_items(parts.select_list)
+    if items is None:
+        return None
+    for index, item in enumerate(items):
+        expr, name = _split_alias_clause(item)
+        agg = _GROUP_UNION_RE.match(expr)
+        if agg:
+            if agg_at is not None:
+                return None
+            agg_at = index
+            agg_name = name if name is not None else expr
+            agg_wrapper = (agg["wrapper"] or "").lower()
+            operand = _parse_operand(agg["arg"], (alias,), allow_bare=True)
+            if operand is None or operand.kind != "col":
+                return None
+            agg_column = operand.column
+            continue
+        operand = _parse_operand(expr, (alias,), allow_bare=True)
+        if operand is None or operand.kind != "col" or name == "":
+            return None
+        if operand.column not in group_by:
+            return None  # bare-value select outside GROUP BY: arbitrary row
+        outputs.append(OutputColumn(
+            name=name if name is not None else operand.column,
+            alias=operand.alias, column=operand.column,
+        ))
+    if agg_at is None:
+        return None
+
+    filters: List[Condition] = []
+    if parts.where:
+        for conjunct in _conjuncts(parts.where):
+            condition = _parse_comparison(conjunct, (alias,), allow_bare=True)
+            if condition is None:
+                return None
+            filters.append(condition)
+    for condition in filters:
+        for operand in (condition.left, condition.right):
+            if operand.kind == "col" and operand.column == agg_column:
+                return None
+    if agg_column in group_by:
+        return None
+    return CoalesceShape(
+        table=table, alias=alias, outputs=tuple(outputs), agg_at=agg_at,
+        agg_name=agg_name, agg_wrapper=agg_wrapper, agg_column=agg_column,
+        group_by=tuple(group_by), filters=tuple(filters),
+    )
+
+
+def _split_select_items(select_list: str) -> Optional[List[str]]:
+    """Top-level comma split; None when the list is empty or has ``*``."""
+    items: List[str] = []
+    depth = 0
+    in_string = False
+    start = 0
+    for index, char in enumerate(select_list):
+        if in_string:
+            if char == "'":
+                in_string = False
+            continue
+        if char == "'":
+            in_string = True
+        elif char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        elif char == "," and depth == 0:
+            items.append(select_list[start:index].strip())
+            start = index + 1
+    items.append(select_list[start:].strip())
+    if not items or any(not item or "*" in item for item in items):
+        return None
+    return items

@@ -63,12 +63,14 @@ from time import perf_counter
 from typing import List, Optional, Tuple
 
 from repro import codec, obs
+from repro.core.formatter import chronon_text
 from repro.core.parser import parse_chronon
 from repro.errors import TipError
 from repro.faults import state as _FAULTS
 from repro.obs import flight as _flight
 from repro.obs import profile as _profile
 from repro.obs.http import TelemetryServer
+from repro.plan import planner as _planner
 from repro.server import protocol
 from repro.server.pool import ConnectionPool, classify
 from repro.tsql import compiled as _compiled
@@ -443,6 +445,25 @@ class _SessionHandler(socketserver.StreamRequestHandler):
                     # context plumbing entirely (it is generator-based
                     # and would cost a few microseconds per statement
                     # on the pipelined hot path for nothing).
+                    if not params and plan is not None \
+                            and plan.shape is not None:
+                        # The temporal planner may take the whole
+                        # statement (set-based kernel over this same
+                        # checked-out connection, shape matched at
+                        # compile time); None means run it normally.
+                        result = _planner.maybe_execute_kernel(
+                            connection, sql, shape=plan.shape
+                        )
+                        if result is not None:
+                            return {
+                                "ok": True,
+                                "rows": [protocol.dump_row(row)
+                                         for row in result.rows],
+                                "columns": result.columns,
+                                "rowcount": len(result.rows),
+                                "statement_now":
+                                    chronon_text(result.now_seconds),
+                            }
                     rows = cursor.execute_fetchall(sql, params)
                 else:
                     with _profile.activate_context(trace_id, parent_span, side="server"):

@@ -127,6 +127,13 @@ class CompiledStatement:
     params: int
     ddl: bool
     generation: int
+    #: The temporal planner's matched kernel shape for ``sql`` (or None
+    #: when the statement is not kernel-evaluable).  Matched once at
+    #: compile time so the hot prepared path pays a single attribute
+    #: load, and invalidated exactly when the plan is: this cache is
+    #: generation-keyed.  Runtime vetoes (schema types, row counts,
+    #: armed faults) are still checked per execution by the planner.
+    shape: Optional[object] = None
 
 
 def normalize_statement(statement: str) -> Optional[str]:
@@ -196,16 +203,38 @@ def bump_generation() -> int:
     return new_generation
 
 
+_SHAPE_MATCHER = None
+
+
+def _match_kernel_shape(sql: str):
+    """The planner's shape for *sql*, or None (lazy import: cycle).
+
+    Goes through the planner's generation-keyed shape LRU, not the raw
+    matcher: with the statement cache disabled (or thrashing) every
+    call re-compiles, and a candidate-but-unmatched statement would
+    otherwise re-pay the full regex matcher per call.
+    """
+    global _SHAPE_MATCHER
+    if _SHAPE_MATCHER is None:
+        from repro.plan import planner
+
+        _SHAPE_MATCHER = (planner.is_candidate, planner._lookup_shape)
+    is_candidate, lookup = _SHAPE_MATCHER
+    return lookup(sql) if is_candidate(sql) else None
+
+
 def _compile(statement: str, valid_columns: Dict[str, str], gen: int) -> CompiledStatement:
     from repro.tsql.preprocessor import translate_tsql  # lazy: avoids an import cycle
 
     sql = translate_tsql(statement, valid_columns)
+    ddl = bool(_DDL_RE.match(sql))
     return CompiledStatement(
         statement=statement,
         sql=sql,
         params=_count_params(statement),
-        ddl=bool(_DDL_RE.match(sql)),
+        ddl=ddl,
         generation=gen,
+        shape=None if ddl else _match_kernel_shape(sql),
     )
 
 

@@ -98,6 +98,7 @@ class ExplainReport:
     blade: EnginePlan
     layered: EnginePlan
     statement_cache: Dict = field(default_factory=dict)
+    plan_strategy: Dict = field(default_factory=dict)
 
     def as_dict(self) -> Dict:
         return {
@@ -106,6 +107,7 @@ class ExplainReport:
             "blade": self.blade.as_dict(),
             "layered": self.layered.as_dict(),
             "statement_cache": dict(self.statement_cache),
+            "plan_strategy": dict(self.plan_strategy),
         }
 
     # -- rendering -----------------------------------------------------
@@ -125,6 +127,19 @@ class ExplainReport:
                     f"statement cache: {outcome} "
                     f"(entries {entries}/{capacity}, "
                     f"generation {self.statement_cache.get('generation', 0)})"
+                )
+        if self.plan_strategy:
+            strategy = self.plan_strategy.get("strategy", "naive")
+            if strategy == "kernel":
+                lines.append(
+                    "temporal strategy: kernel "
+                    f"({self.plan_strategy.get('shape', '?')} via "
+                    f"{self.plan_strategy.get('kernel', '?')})"
+                )
+            else:
+                lines.append(
+                    "temporal strategy: naive "
+                    f"({self.plan_strategy.get('reason', 'no reason given')})"
                 )
         if self.layered.operation:
             lines.append(f"layered equivalent: {self.layered.operation}")
@@ -265,6 +280,14 @@ def explain_temporal(
         "generation": cache_snapshot["generation"],
     }
 
+    # The planner's verdict is computed before the profiled run below:
+    # profiling forces the naive path (the kernels would hide the blade
+    # work the report exists to show), so this is the only place the
+    # report can say what a *normal* execution would do.
+    from repro.plan import planner as _planner
+
+    plan_strategy = _planner.describe(connection, translated)
+
     blade = EnginePlan(
         engine="blade",
         sql=translated,
@@ -290,7 +313,7 @@ def explain_temporal(
             _obs.disable()
     return ExplainReport(
         statement=inner, translated=translated, blade=blade, layered=layered,
-        statement_cache=statement_cache,
+        statement_cache=statement_cache, plan_strategy=plan_strategy,
     )
 
 

@@ -293,6 +293,18 @@ _ELEMENT_COLUMN_RE = re.compile(
     r"([A-Za-z_][A-Za-z0-9_]*)\s+ELEMENT\b", re.IGNORECASE
 )
 
+_PLANNER = None
+
+
+def _planner():
+    """The temporal planner, imported lazily (it imports this module)."""
+    global _PLANNER
+    if _PLANNER is None:
+        from repro.plan import planner
+
+        _PLANNER = planner
+    return _PLANNER
+
 
 class TsqlSession:
     """Execute TSQL2-modified statements on a TIP connection.
@@ -358,8 +370,22 @@ class TsqlSession:
         A committed DDL statement triggers a :meth:`rescan`, so a table
         gaining or losing its valid-time column is picked up (and the
         compiled cache invalidated) without the caller remembering to.
+
+        Translated statements the temporal planner fully understands
+        run on its set-based kernels (:mod:`repro.plan`) instead of the
+        UDF path; the planner returns None for anything else — same
+        rows either way, so callers never see the difference except in
+        ``EXPLAIN TEMPORAL`` and the ``plan.*`` counters.
         """
         plan = self.compile(statement)
+        if plan.shape is not None and not parameters:
+            # The shape was matched at compile time; statements without
+            # one (the vast majority) skip the planner entirely here.
+            result = _planner().maybe_execute_kernel(
+                self._connection, plan.sql, shape=plan.shape
+            )
+            if result is not None:
+                return result.rows
         rows = self._connection.query(plan.sql, parameters)
         if plan.ddl:
             self.rescan()

@@ -3,10 +3,22 @@
 :mod:`repro.workload.generator` builds elements with controlled shape
 (period count, coverage, NOW fraction) for micro-benchmarks;
 :mod:`repro.workload.medical` regenerates the synthetic medical
-database of the paper's demonstration (Section 4).
+database of the paper's demonstration (Section 4);
+:mod:`repro.workload.graphs` builds temporal graphs whose
+"simultaneously valid path" joins are the planner's adversarial
+benchmark input.
 """
 
 from repro.workload.generator import random_element, striped_element
+from repro.workload.graphs import (
+    EdgeRow,
+    GraphConfig,
+    coalesce_query,
+    generate_edges,
+    load_graph,
+    path_query,
+    windowed_path_query,
+)
 from repro.workload.medical import (
     MedicalConfig,
     PrescriptionRow,
@@ -23,4 +35,11 @@ __all__ = [
     "generate_prescriptions",
     "load_tip",
     "load_layered",
+    "GraphConfig",
+    "EdgeRow",
+    "generate_edges",
+    "load_graph",
+    "path_query",
+    "windowed_path_query",
+    "coalesce_query",
 ]

@@ -1,0 +1,180 @@
+"""Seeded temporal-graph workloads: the adversarial join input.
+
+ROADMAP item 3 (after GraphStreams): a temporal graph is a set of
+edges, each valid over an :class:`~repro.core.element.Element`, and the
+canonical query — "which two-hop paths were ever *simultaneously*
+valid?" — is exactly the sequenced overlap join the naive UDF path
+evaluates over the full cross product.  The generator makes that
+adversarial on purpose: *overlap_density* concentrates edge validity
+into a shared rush window so interval overlap alone prunes almost
+nothing, and the join must discriminate on the equality key
+(``e1.dst = e2.src``) plus real interval work — the shape the
+set-based kernels (:mod:`repro.plan`) exist for.
+
+Everything is deterministic by seed: the same :class:`GraphConfig`
+always yields byte-identical edge rows, so benchmark runs and the
+differential tests replay exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.client.connection import TipConnection
+from repro.core.chronon import Chronon
+from repro.core.element import Element
+from repro.errors import TipValueError
+from repro.workload.generator import random_element
+
+__all__ = [
+    "GraphConfig",
+    "EdgeRow",
+    "EDGE_DDL",
+    "generate_edges",
+    "load_graph",
+    "path_query",
+    "windowed_path_query",
+    "coalesce_query",
+]
+
+#: Edge labels, a small alphabet so label filters stay selective.
+LABELS = ("follows", "cites", "routes", "peers", "mirrors")
+
+
+@dataclass(frozen=True)
+class GraphConfig:
+    """Shape of the generated temporal graph."""
+
+    n_nodes: int = 100
+    n_edges: int = 2000
+    seed: int = 7
+    start: str = "1995-01-01"
+    end: str = "1999-12-31"
+    #: Mean number of validity periods per edge (churn: an edge that
+    #: comes and goes has many short periods).
+    mean_periods: int = 2
+    #: Extra churn: probability an edge gets an extra period beyond the
+    #: gaussian draw (more periods, shorter each).
+    churn: float = 0.2
+    #: Fraction of edges whose validity is extended into one shared
+    #: "rush window" in the middle of the range — at 1.0 every such
+    #: edge is simultaneously valid and interval pruning is useless.
+    overlap_density: float = 0.5
+    #: Probability that an edge's last period is open-ended at NOW.
+    now_fraction: float = 0.0
+
+
+@dataclass(frozen=True)
+class EdgeRow:
+    """One edge of the temporal graph."""
+
+    src: int
+    dst: int
+    label: str
+    valid: Element
+
+    def as_params(self) -> tuple:
+        return (self.src, self.dst, self.label, self.valid)
+
+
+EDGE_DDL = (
+    "CREATE TABLE {table} "
+    "(src INTEGER, dst INTEGER, label TEXT, valid ELEMENT)"
+)
+
+
+def generate_edges(config: GraphConfig = GraphConfig()) -> List[EdgeRow]:
+    """Generate the edge set, deterministic by seed."""
+    if config.n_nodes < 2:
+        raise TipValueError("a graph needs at least 2 nodes")
+    if not 0.0 <= config.overlap_density <= 1.0:
+        raise TipValueError("overlap_density must be within [0, 1]")
+    rng = random.Random(config.seed)
+    lo = Chronon.parse(config.start).seconds
+    hi = Chronon.parse(config.end).seconds
+    span = hi - lo
+    # The shared rush window: the middle tenth of the range.
+    rush = (lo + int(span * 0.45), lo + int(span * 0.55))
+    rows: List[EdgeRow] = []
+    for _ in range(config.n_edges):
+        src = rng.randrange(config.n_nodes)
+        dst = rng.randrange(config.n_nodes - 1)
+        if dst >= src:
+            dst += 1  # no self-loops; every node pair stays reachable
+        n_periods = max(1, min(6, round(rng.gauss(config.mean_periods, 1.0))))
+        if rng.random() < config.churn:
+            n_periods = min(6, n_periods + 1)
+        valid = random_element(
+            rng, n_periods, lo, hi, now_fraction=config.now_fraction
+        )
+        if rng.random() < config.overlap_density:
+            # Union the rush window in: this edge is guaranteed valid
+            # simultaneously with every other rush-window edge.  Only
+            # determinate elements can be extended this way (a union
+            # with a NOW-relative element would ground it).
+            if valid.is_determinate:
+                valid = Element.from_pairs(
+                    valid.ground_pairs(0) + [rush]
+                )
+        rows.append(
+            EdgeRow(src=src, dst=dst, label=rng.choice(LABELS), valid=valid)
+        )
+    return rows
+
+
+def load_graph(
+    connection: TipConnection,
+    rows: Sequence[EdgeRow],
+    table: str = "edges",
+) -> None:
+    """Create and populate the edge table (indexed on ``src``).
+
+    The ``src`` index is deliberate: it gives the *naive* path its best
+    case (SQLite drives the equality with the index), so kernel-vs-naive
+    comparisons measure evaluation strategy, not a missing index.
+    """
+    connection.execute(EDGE_DDL.format(table=table))
+    connection.executemany(
+        f"INSERT INTO {table} VALUES (?, ?, ?, ?)",
+        [row.as_params() for row in rows],
+    )
+    connection.execute(f"CREATE INDEX idx_{table}_src ON {table} (src)")
+    connection.commit()
+
+
+def path_query(table: str = "edges") -> str:
+    """tSQL for "two-hop paths whose edges were simultaneously valid".
+
+    The ``VALIDTIME`` modifier makes the join sequenced: the result's
+    validity is the time both edges were valid at once, and pairs that
+    never coexist are dropped.
+    """
+    return (
+        f"VALIDTIME SELECT e1.src, e1.dst, e2.dst "
+        f"FROM {table} AS e1, {table} AS e2 WHERE e1.dst = e2.src"
+    )
+
+
+def windowed_path_query(window: str, table: str = "edges") -> str:
+    """The path query clipped to a period (``VALIDTIME PERIOD``).
+
+    *window* is a period body like ``1997-01-01, 1997-06-30``.
+    """
+    return (
+        f"VALIDTIME PERIOD '{window}' SELECT e1.src, e1.dst, e2.dst "
+        f"FROM {table} AS e1, {table} AS e2 WHERE e1.dst = e2.src"
+    )
+
+
+def coalesce_query(table: str = "edges") -> str:
+    """Total time each node had any outgoing edge (coalesced).
+
+    Plain SQL with ``group_union`` — overlapping edges must not double
+    count, which is temporal coalescing (the sweep kernel's shape).
+    """
+    return (
+        f"SELECT src, length_seconds(group_union(valid)) AS uptime "
+        f"FROM {table} GROUP BY src"
+    )

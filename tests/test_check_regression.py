@@ -117,6 +117,7 @@ class TestSmoke:
             "e7.prepared.hot", "e7.adhoc.retranslate", "e7.executemany.ingest",
             "e8.linq.compile.builder", "e8.linq.compile.handwritten",
             "e8.linq.prepared.builder", "e8.linq.prepared.handwritten",
+            "e10.join.kernel", "e10.join.naive", "e10.coalesce.kernel",
         }
         for entry in report["benchmarks"].values():
             assert entry["median_seconds"] > 0
@@ -145,6 +146,13 @@ class TestSmoke:
         assert linq["hot_builder_best_seconds"] > 0
         assert linq["hot_handwritten_best_seconds"] > 0
         assert "hot_overhead" in linq and "adhoc_overhead" in linq
+        # The planner A/B: same graph, kernel vs naive, with the
+        # decision counters proving which path each case took.
+        kernel = report["benchmarks"]["e10.join.kernel"]["counters"]
+        assert kernel.get("plan.kernel.join", 0) > 0
+        naive = report["benchmarks"]["e10.join.naive"]["counters"]
+        assert naive.get("plan.kernel.join", 0) == 0
+        assert report["plan"]["speedup"] > 0
 
     def test_smoke_compares_against_baseline(self, tmp_path, capsys):
         out_a = tmp_path / "BENCH_A.json"

@@ -152,3 +152,79 @@ class TestCorruption:
     def test_encode_rejects_non_tip(self):
         with pytest.raises(CodecError):
             codec.encode("1999-09-01")  # type: ignore[arg-type]
+
+
+class TestElementBlobPaths:
+    """The two element decode paths: verified-canonical fast, general slow.
+
+    A canonical all-determinate blob decodes straight to grounded pairs
+    (no Period objects, blob stamped for free re-encode); anything else
+    — NOW-relative, out-of-order, overlapping, adjacent — takes the
+    normalizing object path and is never stamped with foreign bytes.
+    """
+
+    @staticmethod
+    def _materialized(element: Element) -> bool:
+        try:
+            object.__getattribute__(element, "_periods")
+        except AttributeError:
+            return False
+        return True
+
+    @staticmethod
+    def _splice(*elements: Element) -> bytes:
+        """An element blob whose pair list concatenates *elements*'."""
+        import struct
+
+        bodies = [codec.encode(e)[7:] for e in elements]
+        count = sum(len(e.ground_pairs(0)) for e in elements)
+        return (bytes((MAGIC, VERSION, 0x05)) + struct.pack(">I", count)
+                + b"".join(bodies))
+
+    def test_canonical_blob_fast_path(self):
+        from repro.codec import cache as marshal_cache
+
+        element = Element.from_pairs([(0, 10), (20, 30)])
+        blob = codec.encode(element)
+        marshal_cache.clear_caches()
+        decoded = codec.decode(blob)
+        assert decoded is not element
+        assert decoded.ground_pairs(0) == [(0, 10), (20, 30)]
+        assert not self._materialized(decoded)  # pairs only, no Periods
+        assert codec.encode(decoded) == blob  # stamped: byte-identical
+
+    def test_out_of_order_blob_normalizes(self):
+        blob = self._splice(
+            Element.from_pairs([(50, 200)]), Element.from_pairs([(0, 100)])
+        )
+        decoded = codec.decode(blob)
+        assert decoded.ground_pairs(0) == [(0, 200)]
+        # Never stamped with the non-canonical input bytes.
+        assert codec.encode(decoded) != blob
+        assert codec.decode(codec.encode(decoded)).identical(decoded)
+
+    def test_adjacent_pairs_blob_coalesces(self):
+        blob = self._splice(
+            Element.from_pairs([(0, 10)]), Element.from_pairs([(11, 20)])
+        )
+        assert codec.decode(blob).ground_pairs(0) == [(0, 20)]
+
+    def test_now_relative_blob_round_trips(self):
+        from repro.codec import cache as marshal_cache
+
+        element = E("{[1999-10-01, NOW]}")
+        blob = codec.encode(element)
+        marshal_cache.clear_caches()
+        decoded = codec.decode(blob)
+        assert not decoded.is_determinate
+        assert decoded.identical(element)
+        assert codec.decode(codec.encode(decoded)).identical(element)
+
+    def test_truncated_element_payload(self):
+        import struct
+
+        full = codec.encode(Element.from_pairs([(0, 10), (20, 30)]))
+        truncated = full[:-8]
+        assert truncated[3:7] == struct.pack(">I", 2)
+        with pytest.raises(CodecError):
+            codec.decode(truncated)

@@ -296,3 +296,57 @@ class TestTextRepresentation:
     @given(determinate_elements())
     def test_parse_format_round_trip(self, element):
         assert Element.parse(str(element)).identical(element)
+
+
+class TestLazyMaterialization:
+    """Determinate elements defer building their Period tuple.
+
+    The set-based kernels churn through millions of elements that only
+    ever need raw grounded pairs; the Period objects behind ``.periods``
+    materialize on first access and never for pair-only work.
+    """
+
+    @staticmethod
+    def _materialized(element: Element) -> bool:
+        try:
+            object.__getattribute__(element, "_periods")
+        except AttributeError:
+            return False
+        return True
+
+    def test_determinate_constructions_defer_periods(self):
+        assert not self._materialized(E("{[1999-01-01, 1999-04-30]}"))
+        assert not self._materialized(Element.from_pairs([(0, 10), (20, 30)]))
+        assert not self._materialized(
+            Element.of(Period(C("1999-01-01"), C("1999-04-30")))
+        )
+
+    def test_indeterminate_elements_materialize_eagerly(self):
+        assert self._materialized(E("{[1999-10-01, NOW]}"))
+
+    def test_pair_work_never_materializes(self):
+        a = Element.from_pairs([(0, 10), (20, 30)])
+        b = Element.from_pairs([(5, 25)])
+        union = a.union(b)
+        assert union.ground_pairs(0) == [(0, 30)]
+        assert a.intersect(b).ground_pairs(0) == [(5, 10), (20, 25)]
+        assert a.ground() is a
+        for element in (a, b, union):
+            assert not self._materialized(element)
+
+    def test_periods_access_materializes_once(self):
+        element = Element.from_pairs([(150, 300), (0, 10)])
+        assert not self._materialized(element)
+        periods = element.periods
+        assert self._materialized(element)
+        assert element.periods is periods  # cached, not rebuilt
+        # Materialized form is the canonical one the pairs describe.
+        assert [p.ground_pair(0) for p in periods] == [(0, 10), (150, 300)]
+
+    def test_identity_and_str_agree_either_way(self):
+        lazy = Element.from_pairs([(100, 200)])
+        eager = Element.of(Period(C("1970-01-01 00:01:40"),
+                                  C("1970-01-01 00:03:20")))
+        _ = eager.periods
+        assert lazy.identical(eager)
+        assert str(lazy) == str(eager)

@@ -22,7 +22,7 @@ from __future__ import annotations
 import pytest
 
 import repro
-from repro import faults, obs
+from repro import faults, obs, plan
 from repro.errors import CodecError, TipError
 from repro.faults import InjectedFault
 from repro.server import RemoteTipConnection, TipServer
@@ -42,7 +42,10 @@ REMOTE_POINTS = (
     "client.connect", "client.send", "client.recv",
     "blade.routine", "codec.decode",
 )
-LOCAL_POINTS = ("conn.execute", "stmt.cache")
+LOCAL_POINTS = ("conn.execute", "stmt.cache", "plan.kernel")
+#: The statement the plan.kernel cell routes through a temporal kernel.
+_KERNEL = ("VALIDTIME SELECT a.n, b.n FROM chaos_edges AS a, "
+           "chaos_edges AS b WHERE a.n = b.n")
 #: Points that only exist on the pooled (WAL, file-backed) server path.
 POOLED_POINTS = ("pool.checkout", "wal.checkpoint")
 
@@ -86,6 +89,14 @@ EXPECTED.update({
     ("stmt.cache", "delay"): {"ok"},
     ("stmt.cache", "truncate"): {"local_error:InjectedFault"},
     ("stmt.cache", "corrupt"): {"local_error:InjectedFault"},
+    # The kernel routing point is an action point: it fires after plan
+    # selection and before the bulk fetch, so a raise aborts the
+    # statement with nothing touched; the fallback (naive) path is not
+    # in play because the armed plan targets the kernel explicitly.
+    ("plan.kernel", "raise"): {"local_error:InjectedFault"},
+    ("plan.kernel", "delay"): {"ok"},
+    ("plan.kernel", "truncate"): {"local_error:InjectedFault"},
+    ("plan.kernel", "corrupt"): {"local_error:InjectedFault"},
 })
 
 
@@ -125,16 +136,30 @@ def _run_remote_cell(point: str, mode: str) -> str:
 
 def _run_local_cell(point: str, mode: str) -> str:
     connection = repro.connect()
+    min_rows_before = plan.state.min_rows
     try:
         # Built before arming: stmt.cache fires per compile, and the
         # session's construction-time rescan must not consume the hit.
         session = TsqlSession(connection) if point == "stmt.cache" else None
+        statement = _PLAIN
+        if point == "plan.kernel":
+            connection.execute(
+                "CREATE TABLE chaos_edges (n INTEGER, valid ELEMENT)"
+            )
+            connection.cursor().executemany(
+                "INSERT INTO chaos_edges VALUES (?, ?)",
+                [(n, E("{[1999-01-01, 1999-02-01]}")) for n in range(4)],
+            )
+            connection.commit()
+            session = TsqlSession(connection)
+            plan.configure(min_rows=0)  # 4 rows must still take the kernel
+            statement = _KERNEL
         with faults.inject(_spec(point, mode), seed=SEED):
             try:
                 if session is not None:
-                    session.query(_PLAIN)
+                    session.query(statement)
                 else:
-                    connection.execute(_PLAIN)
+                    connection.execute(statement)
                 outcome = "ok"
             except InjectedFault as exc:
                 outcome = f"local_error:{type(exc).__name__}"
@@ -145,6 +170,7 @@ def _run_local_cell(point: str, mode: str) -> str:
         assert connection.query_one(_PLAIN) == (1,)
         return outcome
     finally:
+        plan.configure(min_rows=min_rows_before)
         connection.close()
 
 

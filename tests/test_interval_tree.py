@@ -165,6 +165,79 @@ class TestAgainstBruteForce:
             assert sorted(tree.stab(point)) == expected
 
 
+class TestDeterminism:
+    """The kernels rely on search results being independent of how the
+    tree was grown — assert it directly."""
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 300), st.integers(0, 50), st.integers(0, 999)),
+            min_size=1,
+            max_size=50,
+            unique=True,
+        ),
+        st.randoms(use_true_random=False),
+    )
+    def test_insertion_order_is_invisible(self, raw, rng):
+        entries = [(s, s + length, v) for s, length, v in raw]
+        shuffled = list(entries)
+        rng.shuffle(shuffled)
+        a = IntervalTree()
+        b = IntervalTree(seed=0xBEEF)
+        for entry in entries:
+            a.insert(*entry)
+        for entry in shuffled:
+            b.insert(*entry)
+        assert list(a.items()) == list(b.items())
+        for lo, hi in [(0, 400), (25, 75), (100, 100), (390, 400)]:
+            assert a.search_overlap(lo, hi) == b.search_overlap(lo, hi)
+            assert a.stab(lo) == b.stab(lo)
+
+    def test_search_results_sorted_by_key(self):
+        tree = IntervalTree()
+        for start, end, value in [(5, 9, "z"), (1, 20, "m"), (5, 7, "a"), (1, 3, "q")]:
+            tree.insert(start, end, value)
+        assert tree.search_overlap(0, 100) == ["q", "m", "a", "z"]
+
+
+class TestBuild:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 300), st.integers(0, 50), st.integers(0, 999)),
+            max_size=60,
+            unique=True,
+        )
+    )
+    def test_build_equals_insert_loop(self, raw):
+        entries = [(s, s + length, v) for s, length, v in raw]
+        looped = IntervalTree()
+        for entry in entries:
+            looped.insert(*entry)
+        bulk = IntervalTree.build(entries)
+        assert len(bulk) == len(looped)
+        assert list(bulk.items()) == list(looped.items())
+        for lo, hi in [(0, 400), (25, 75), (150, 151)]:
+            assert bulk.search_overlap(lo, hi) == looped.search_overlap(lo, hi)
+            assert bulk.any_overlap(lo, hi) == looped.any_overlap(lo, hi)
+
+    def test_build_rejects_duplicates(self):
+        with pytest.raises(TipValueError):
+            IntervalTree.build([(0, 10, "x"), (0, 10, "x")])
+
+    def test_build_rejects_inverted(self):
+        with pytest.raises(TipValueError):
+            IntervalTree.build([(10, 0, "x")])
+
+    def test_build_is_balanced_and_mutable(self):
+        tree = IntervalTree.build((i, i + 1, i) for i in range(4096))
+        assert len(tree) == 4096
+        assert tree.height_is_logarithmic()
+        assert tree.remove(0, 1, 0)
+        tree.insert(9000, 9001, "late")
+        assert tree.stab(9000) == ["late"]
+        assert len(tree) == 4096
+
+
 class TestBalance:
     def test_sorted_insertion_stays_balanced(self):
         """Sequential (worst-case BST) insertion must not degenerate."""

@@ -1,0 +1,396 @@
+"""The temporal query planner and its set-based kernels.
+
+The naive UDF path is the semantics oracle: every kernel strategy
+(hash / merge / tree joins, the vectorized hash emit, the sweep
+coalesce) is held **differentially equal** to the same statement run
+with the planner disabled, over hypothesis-generated tables that
+include NOW-relative and multi-period elements.  The behavioural half
+covers the planner's visible surface: fallback reasons and counters,
+``EXPLAIN TEMPORAL``'s strategy line, flight events, generation-keyed
+plan invalidation, and the kernel path on the server's reader pool.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro import obs, plan
+from repro.core.element import Element
+from repro.obs import flight
+from repro.obs.export import render_prometheus
+from repro.plan import kernels
+from repro.server import RemoteTipConnection, TipServer
+from repro.tsql import TsqlSession
+from repro.tsql import compiled as stmt_cache
+from repro.tsql.explain import explain_temporal
+from tests.conftest import DEMO_NOW, E
+from tests.strategies import chronons, elements
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+HASH_Q = ("VALIDTIME SELECT l.k, r.k FROM L AS l, R AS r "
+          "WHERE l.k = r.k")
+MERGE_Q = ("VALIDTIME SELECT l.k, r.k FROM L AS l, R AS r "
+           "WHERE l.k < r.k")
+WINDOW_Q = ("VALIDTIME PERIOD '1999-02-01, 1999-10-31' "
+            "SELECT l.k, r.k FROM L AS l, R AS r WHERE l.k = r.k")
+COALESCE_Q = ("SELECT k, length_seconds(group_union(valid)) "
+              "FROM L GROUP BY k")
+
+
+@contextmanager
+def _forced():
+    """Planner on with no row threshold; restored afterwards."""
+    min_rows_before = plan.state.min_rows
+    enabled_before = plan.state.enabled
+    plan.configure(enabled=True, min_rows=0)
+    try:
+        yield
+    finally:
+        plan.configure(enabled=enabled_before, min_rows=min_rows_before)
+
+
+@pytest.fixture
+def forced_planner():
+    with _forced():
+        yield
+
+
+def _load(connection, table, rows):
+    connection.execute(f"CREATE TABLE {table} (k INTEGER, valid ELEMENT)")
+    connection.executemany(
+        f"INSERT INTO {table} VALUES (?, ?)", rows
+    )
+    connection.commit()
+
+
+def _canon(rows, elem_at=None):
+    """Rows as a sortable multiset; elements grounded structurally."""
+    out = []
+    for row in rows:
+        key = list(row)
+        if elem_at is not None:
+            element = key[elem_at]
+            key[elem_at] = (
+                tuple(element.ground_pairs(0)) if element is not None else None
+            )
+        out.append(tuple(key))
+    return sorted(out)
+
+
+def _both_ways(session, query):
+    """(naive rows, kernel rows) for *query* on *session*."""
+    plan.configure(enabled=False)
+    try:
+        naive = session.query(query)
+    finally:
+        plan.configure(enabled=True, min_rows=0)
+    return naive, session.query(query)
+
+
+small_tables = st.lists(
+    st.tuples(st.integers(0, 4), elements(max_periods=3)),
+    min_size=0, max_size=8,
+)
+
+
+class TestDifferential:
+    """Kernel results == naive results, as multisets, per strategy."""
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(left=small_tables, right=small_tables)
+    def test_hash_join(self, forced_planner, left, right):
+        with repro.connect(now=DEMO_NOW) as connection:
+            _load(connection, "L", left)
+            _load(connection, "R", right)
+            session = TsqlSession(connection)
+            naive, kernel = _both_ways(session, HASH_Q)
+            assert _canon(naive, 2) == _canon(kernel, 2)
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(left=small_tables, right=small_tables)
+    def test_merge_join(self, forced_planner, left, right):
+        with repro.connect(now=DEMO_NOW) as connection:
+            _load(connection, "L", left)
+            _load(connection, "R", right)
+            session = TsqlSession(connection)
+            naive, kernel = _both_ways(session, MERGE_Q)
+            assert _canon(naive, 2) == _canon(kernel, 2)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(left=small_tables, right=small_tables)
+    def test_windowed_join(self, forced_planner, left, right):
+        with repro.connect(now=DEMO_NOW) as connection:
+            _load(connection, "L", left)
+            _load(connection, "R", right)
+            session = TsqlSession(connection)
+            naive, kernel = _both_ways(session, WINDOW_Q)
+            assert _canon(naive, 2) == _canon(kernel, 2)
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(rows=small_tables)
+    def test_coalesce(self, forced_planner, rows):
+        with repro.connect(now=DEMO_NOW) as connection:
+            _load(connection, "L", rows)
+            session = TsqlSession(connection)
+            naive, kernel = _both_ways(session, COALESCE_Q)
+            assert sorted(naive) == sorted(kernel)
+
+    def test_tree_join_skewed_sides(self, forced_planner):
+        """A >=TREE_SKEW size skew takes the tree-probe strategy."""
+        with repro.connect(now=DEMO_NOW) as connection:
+            _load(connection, "L", [
+                (k, E("{[1999-01-01, 1999-06-01]}")) for k in range(2)
+            ])
+            _load(connection, "R", [
+                (k, E(f"{{[1999-0{1 + k % 6}-15, 1999-0{2 + k % 6}-15]}}"))
+                for k in range(2 * kernels.TREE_SKEW)
+            ])
+            shape = plan.match(TsqlSession(connection).translate(MERGE_Q))
+            result = kernels.execute_join(
+                connection, shape, connection.statement_now_seconds()
+            )
+            assert result.strategy == "tree"
+            session = TsqlSession(connection)
+            naive, kernel = _both_ways(session, MERGE_Q)
+            assert _canon(naive, 2) == _canon(kernel, 2)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(left=small_tables, right=small_tables)
+    def test_vector_emit_equals_scalar_emit(
+        self, forced_planner, left, right, monkeypatch
+    ):
+        """The numpy hash emit and the scalar loop agree row-for-row —
+        same rows, same order — so vectorization is pure mechanism."""
+        with repro.connect(now=DEMO_NOW) as connection:
+            _load(connection, "L", left)
+            _load(connection, "R", right)
+            session = TsqlSession(connection)
+            vectorized = session.query(HASH_Q)
+            monkeypatch.setattr(kernels, "_np", None)
+            scalar = session.query(HASH_Q)
+            assert _canon(vectorized, 2) == _canon(scalar, 2)
+            assert [row[:2] for row in vectorized] == [
+                row[:2] for row in scalar
+            ]
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(left=small_tables, right=small_tables, now=chronons(),
+           override=chronons())
+    def test_random_now_and_override(
+        self, forced_planner, left, right, now, override
+    ):
+        """The kernels ground NOW-relative elements at the statement
+        NOW — including a ``set_now`` override applied mid-session."""
+        with repro.connect(now=now) as connection:
+            _load(connection, "L", left)
+            _load(connection, "R", right)
+            session = TsqlSession(connection)
+            naive, kernel = _both_ways(session, HASH_Q)
+            assert _canon(naive, 2) == _canon(kernel, 2)
+            connection.set_now(override)
+            naive, kernel = _both_ways(session, HASH_Q)
+            assert _canon(naive, 2) == _canon(kernel, 2)
+
+    def test_empty_window_short_circuits(self, forced_planner):
+        """A window that grounds empty yields no rows without a fetch."""
+        with repro.connect(now=DEMO_NOW) as connection:
+            _load(connection, "L", [(1, E("{[1999-01-01, 1999-06-01]}"))])
+            _load(connection, "R", [(1, E("{[1999-01-01, 1999-06-01]}"))])
+            # [NOW, 1998-01-01] is a legal period that grounds empty
+            # once NOW (pinned to 1999 here) passes 1998.
+            query = ("VALIDTIME PERIOD 'NOW, 1998-01-01' "
+                     "SELECT l.k, r.k FROM L AS l, R AS r WHERE l.k = r.k")
+            session = TsqlSession(connection)
+            shape = plan.match(session.translate(query))
+            result = kernels.execute_join(
+                connection, shape, connection.statement_now_seconds()
+            )
+            assert result.strategy == "empty-window"
+            assert result.rows == []
+
+
+class TestPlannerDecisions:
+    def test_small_inputs_fall_back(self, conn):
+        """Below min_rows the planner declines and counts the reason."""
+        _load(conn, "L", [(1, E("{[1999-01-01, 1999-06-01]}"))])
+        _load(conn, "R", [(1, E("{[1999-03-01, 1999-09-01]}"))])
+        session = TsqlSession(conn)
+        plan.configure(enabled=True, min_rows=plan.planner.DEFAULT_MIN_ROWS)
+        with obs.capture():
+            rows = session.query(HASH_Q)
+            counters = obs.snapshot()["counters"]
+        assert len(rows) == 1
+        assert counters.get("plan.fallback.small", 0) >= 1
+        assert "plan.kernel.join" not in counters
+
+    def test_unmatched_shape_returns_none(self, conn):
+        _load(conn, "L", [(1, E("{[1999-01-01, 1999-06-01]}"))])
+        # An OR between conjuncts is outside the matcher's repertoire.
+        sql = ("SELECT l.k, tintersect(l.valid, l.valid) FROM L AS l "
+               "WHERE l.k = 1 OR l.k = 2")
+        assert plan.maybe_execute_kernel(conn, sql) is None
+        assert plan.describe(conn, sql)["strategy"] == "naive"
+
+    def test_tip_typed_key_vetoes_kernel(self, conn, forced_planner):
+        """Equality on a TIP-encoded column must stay on the blade."""
+        conn.execute("CREATE TABLE L (k INTEGER, t CHRONON, valid ELEMENT)")
+        conn.execute("CREATE TABLE R (k INTEGER, t CHRONON, valid ELEMENT)")
+        conn.commit()
+        session = TsqlSession(conn)
+        translated = session.translate(
+            "VALIDTIME SELECT l.k, r.k FROM L AS l, R AS r WHERE l.t = r.t"
+        )
+        assert plan.maybe_execute_kernel(conn, translated) is None
+        description = plan.describe(conn, translated)
+        assert description["strategy"] == "naive"
+        assert "types" in description["reason"]
+
+    def test_disabled_planner_is_invisible(self, conn):
+        plan.configure(enabled=False)
+        try:
+            assert plan.maybe_execute_kernel(conn, "SELECT 1") is None
+            assert plan.describe(conn, "SELECT 1")["reason"] \
+                == "planner disabled"
+        finally:
+            plan.configure(enabled=True)
+
+    def test_generation_bump_invalidates_cached_plans(
+        self, conn, forced_planner
+    ):
+        """DDL bumps the statement generation; shape plans keyed on it
+        must re-match instead of serving the stale entry."""
+        _load(conn, "L", [(1, E("{[1999-01-01, 1999-06-01]}"))])
+        _load(conn, "R", [(1, E("{[1999-03-01, 1999-09-01]}"))])
+        session = TsqlSession(conn)
+        translated = session.translate(HASH_Q)
+        plan.clear_caches()
+        with obs.capture():
+            plan.maybe_execute_kernel(conn, translated)
+            plan.maybe_execute_kernel(conn, translated)
+            first = dict(obs.snapshot()["counters"])
+            generation_before = stmt_cache.generation()
+            # DDL adding a temporal table: the session rescan bumps the
+            # process-wide generation, orphaning every cached plan.
+            session.query("CREATE TABLE bump (n INTEGER, valid ELEMENT)")
+            assert stmt_cache.generation() > generation_before
+            plan.maybe_execute_kernel(conn, translated)
+            second = obs.snapshot()["counters"]
+        assert first.get("plan.cache.miss") == 1
+        assert first.get("plan.cache.hit") == 1
+        assert second.get("plan.cache.miss") == 2
+
+
+class TestObservability:
+    def test_kernel_counters_and_prometheus(self, conn, forced_planner):
+        _load(conn, "L", [
+            (k, E("{[1999-01-01, 1999-06-01]}")) for k in range(4)
+        ])
+        _load(conn, "R", [
+            (k, E("{[1999-03-01, 1999-09-01]}")) for k in range(4)
+        ])
+        session = TsqlSession(conn)
+        with obs.capture():
+            session.query(HASH_Q)
+            session.query(COALESCE_Q.replace("FROM L", "FROM L"))
+            snapshot = obs.snapshot()
+        counters = snapshot["counters"]
+        assert counters.get("plan.kernel.join") == 1
+        assert counters.get("plan.kernel.coalesce") == 1
+        assert counters.get("plan.join.candidates", 0) >= 4
+        exposition = render_prometheus(snapshot)
+        assert "tip_plan_kernel_join_total 1" in exposition
+        assert "tip_plan_kernel_coalesce_total 1" in exposition
+
+    def test_flight_records_kernel_runs(self, conn, forced_planner):
+        _load(conn, "L", [
+            (k, E("{[1999-01-01, 1999-06-01]}")) for k in range(3)
+        ])
+        _load(conn, "R", [
+            (k, E("{[1999-03-01, 1999-09-01]}")) for k in range(3)
+        ])
+        session = TsqlSession(conn)
+        flight.clear()
+        flight.enable()
+        try:
+            session.query(HASH_Q)
+            plan.configure(min_rows=10_000)
+            session.query(HASH_Q)
+        finally:
+            flight.disable()
+        kernel_events = flight.snapshot(kind="plan.kernel")
+        assert len(kernel_events) == 1
+        assert kernel_events[0]["data"]["strategy"] == "hash"
+        assert kernel_events[0]["data"]["rows"] == 3
+        fallbacks = flight.snapshot(kind="plan.fallback")
+        assert any(
+            event["data"]["reason"] == "small" for event in fallbacks
+        )
+
+    def test_explain_reports_kernel_strategy(self, conn, forced_planner):
+        _load(conn, "L", [
+            (k, E("{[1999-01-01, 1999-06-01]}")) for k in range(3)
+        ])
+        _load(conn, "R", [
+            (k, E("{[1999-03-01, 1999-09-01]}")) for k in range(3)
+        ])
+        report = explain_temporal(conn, HASH_Q)
+        assert report.plan_strategy["strategy"] == "kernel"
+        assert "temporal strategy: kernel (join via hash)" in report.render()
+
+    def test_explain_reports_naive_with_reason(self, conn):
+        _load(conn, "L", [(1, E("{[1999-01-01, 1999-06-01]}"))])
+        _load(conn, "R", [(1, E("{[1999-03-01, 1999-09-01]}"))])
+        plan.configure(enabled=True, min_rows=plan.planner.DEFAULT_MIN_ROWS)
+        report = explain_temporal(conn, HASH_Q)
+        assert report.plan_strategy["strategy"] == "naive"
+        assert "temporal strategy: naive" in report.render()
+        assert "threshold" in report.render()
+
+
+class TestServerPath:
+    def test_kernel_runs_on_the_reader_pool(self, forced_planner):
+        """A remote VALIDTIME join routes through the kernel server-side
+        and returns the same rows the naive path computes."""
+        with obs.capture() as registry, \
+                TipServer(":memory:", observability=True) as server:
+            host, port = server.address
+            with RemoteTipConnection(host, port) as connection:
+                connection.execute(
+                    "CREATE TABLE L (k INTEGER, valid ELEMENT)"
+                )
+                connection.execute(
+                    "CREATE TABLE R (k INTEGER, valid ELEMENT)"
+                )
+                for k in range(4):
+                    connection.execute(
+                        "INSERT INTO L VALUES (?, element(?))",
+                        (k, "{[1999-01-01, 1999-06-01]}"),
+                    )
+                    connection.execute(
+                        "INSERT INTO R VALUES (?, element(?))",
+                        (k, "{[1999-03-01, 1999-09-01]}"),
+                    )
+                connection.set_now(DEMO_NOW)
+                kernel_rows = connection.query(HASH_Q)
+                plan.configure(enabled=False)
+                try:
+                    naive_rows = connection.query(HASH_Q)
+                finally:
+                    plan.configure(enabled=True, min_rows=0)
+                assert sorted(r[:2] for r in kernel_rows) \
+                    == sorted(r[:2] for r in naive_rows)
+                assert len(kernel_rows) == 4
+                counters = registry.snapshot()["counters"]
+                assert counters.get("plan.kernel.join", 0) >= 1

@@ -55,6 +55,35 @@ class TestElementIndex:
         assert index.stab(sec("1999-01-15")) == []
         assert len(index) == 0 and index.n_periods == 0
 
+    def test_build_equals_add_loop(self):
+        items = [
+            ("a", E("{[1999-01-01, 1999-03-01], [1999-06-01, 1999-07-01]}")),
+            ("b", E("{[1999-02-01, 1999-04-01]}")),
+            ("open", E("{[1999-01-01, NOW]}")),
+            ("never", Element.empty()),
+        ]
+        looped = ElementIndex(now=C("1999-06-01"))
+        for key, element in items:
+            looped.add(key, element)
+        bulk = ElementIndex.build(items, now=C("1999-06-01"))
+        assert len(bulk) == len(looped)
+        assert bulk.n_periods == looped.n_periods
+        for key, _ in items:
+            assert bulk.pairs(key) == looped.pairs(key)
+        for lo, hi in [
+            (sec("1999-01-15"), sec("1999-02-20")),
+            (sec("1999-05-01"), sec("1999-07-01")),
+        ]:
+            assert bulk.overlapping(lo, hi) == looped.overlapping(lo, hi)
+            assert bulk.stab(lo) == looped.stab(lo)
+
+    def test_build_rejects_duplicate_key(self):
+        with pytest.raises(TipValueError):
+            ElementIndex.build(
+                [("a", E("{[1999-01-01, 1999-02-01]}")), ("a", Element.empty())],
+                now=0,
+            )
+
     def test_empty_element_indexable(self):
         index = ElementIndex(now=0)
         index.add("never", Element.empty())

@@ -1,0 +1,141 @@
+"""The seeded temporal-graph workload generator (repro.workload.graphs)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import plan
+from repro.core.chronon import Chronon
+from repro.errors import TipValueError
+from repro.tsql import TsqlSession
+from repro.workload import graphs
+from tests.conftest import DEMO_NOW
+
+
+def _fingerprint(rows):
+    return [
+        (row.src, row.dst, row.label, tuple(row.valid.ground_pairs(0)))
+        for row in rows
+    ]
+
+
+class TestGenerator:
+    def test_deterministic_by_seed(self):
+        config = graphs.GraphConfig(n_nodes=20, n_edges=150, seed=99)
+        assert _fingerprint(graphs.generate_edges(config)) \
+            == _fingerprint(graphs.generate_edges(config))
+
+    def test_different_seeds_differ(self):
+        base = graphs.GraphConfig(n_nodes=20, n_edges=150, seed=1)
+        other = graphs.GraphConfig(n_nodes=20, n_edges=150, seed=2)
+        assert _fingerprint(graphs.generate_edges(base)) \
+            != _fingerprint(graphs.generate_edges(other))
+
+    def test_shape_and_ranges(self):
+        config = graphs.GraphConfig(n_nodes=10, n_edges=200, seed=5)
+        rows = graphs.generate_edges(config)
+        assert len(rows) == 200
+        for row in rows:
+            assert 0 <= row.src < 10
+            assert 0 <= row.dst < 10
+            assert row.src != row.dst  # no self-loops
+            assert row.label in graphs.LABELS
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(TipValueError):
+            graphs.generate_edges(graphs.GraphConfig(n_nodes=1))
+        with pytest.raises(TipValueError):
+            graphs.generate_edges(graphs.GraphConfig(overlap_density=1.5))
+
+    def test_overlap_density_concentrates_the_rush_window(self):
+        """At density 1.0 every determinate edge covers the rush window
+        midpoint; at 0.0 only chance overlaps remain."""
+        lo = Chronon.parse("1995-01-01").seconds
+        hi = Chronon.parse("1999-12-31").seconds
+        midpoint = lo + (hi - lo) // 2
+        dense = graphs.generate_edges(
+            graphs.GraphConfig(n_nodes=20, n_edges=100, seed=3,
+                               overlap_density=1.0)
+        )
+        sparse = graphs.generate_edges(
+            graphs.GraphConfig(n_nodes=20, n_edges=100, seed=3,
+                               overlap_density=0.0)
+        )
+
+        def covering(rows):
+            return sum(
+                1 for row in rows
+                if any(start <= midpoint <= end
+                       for start, end in row.valid.ground_pairs(0))
+            )
+
+        assert covering(dense) == sum(
+            1 for row in dense if row.valid.is_determinate
+        )
+        assert covering(sparse) < covering(dense)
+
+    def test_now_fraction_yields_open_edges(self):
+        rows = graphs.generate_edges(
+            graphs.GraphConfig(n_nodes=20, n_edges=100, seed=4,
+                               now_fraction=0.5)
+        )
+        open_edges = [row for row in rows if not row.valid.is_determinate]
+        assert open_edges
+        closed = graphs.generate_edges(
+            graphs.GraphConfig(n_nodes=20, n_edges=100, seed=4)
+        )
+        assert all(row.valid.is_determinate for row in closed)
+
+
+class TestLoadAndQueries:
+    def test_load_graph_and_schema_discovery(self):
+        with repro.connect(now=DEMO_NOW) as connection:
+            rows = graphs.generate_edges(
+                graphs.GraphConfig(n_nodes=10, n_edges=40, seed=6)
+            )
+            graphs.load_graph(connection, rows)
+            assert connection.query_one(
+                "SELECT COUNT(*) FROM edges"
+            ) == (40,)
+            indexes = {
+                row[0] for row in connection.query(
+                    "SELECT name FROM sqlite_master WHERE type = 'index'"
+                )
+            }
+            assert "idx_edges_src" in indexes
+            session = TsqlSession(connection)
+            assert session.temporal_tables.get("edges") == "valid"
+
+    def test_query_spellings_translate_and_match(self):
+        """All three canonical queries compile, and the join/coalesce
+        shapes are exactly what the plan kernels accept."""
+        with repro.connect(now=DEMO_NOW) as connection:
+            graphs.load_graph(connection, graphs.generate_edges(
+                graphs.GraphConfig(n_nodes=8, n_edges=20, seed=8)
+            ))
+            session = TsqlSession(connection)
+            path_sql = session.translate(graphs.path_query())
+            assert "tintersect" in path_sql
+            assert plan.match(path_sql) is not None
+            windowed_sql = session.translate(
+                graphs.windowed_path_query("1997-01-01, 1997-06-30")
+            )
+            shape = plan.match(windowed_sql)
+            assert shape is not None and shape.window is not None
+            coalesce_sql = session.translate(graphs.coalesce_query())
+            assert "group_union" in coalesce_sql
+            assert plan.match(coalesce_sql).kind == "coalesce"
+
+    def test_custom_table_name_threads_through(self):
+        assert "FROM g AS e1" in graphs.path_query(table="g")
+        assert "FROM g" in graphs.coalesce_query(table="g")
+        with repro.connect(now=DEMO_NOW) as connection:
+            graphs.load_graph(
+                connection,
+                graphs.generate_edges(
+                    graphs.GraphConfig(n_nodes=5, n_edges=10, seed=9)
+                ),
+                table="g",
+            )
+            assert connection.query_one("SELECT COUNT(*) FROM g") == (10,)
